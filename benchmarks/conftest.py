@@ -1,0 +1,31 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper at the ``small``
+work-volume preset (the ``default`` preset reproduces the same shapes with
+roughly 3x the misses; pass ``--repro-size=default`` for the longer run).
+Simulation results are memoised inside :mod:`repro.experiments.runner`, so
+one pytest-benchmark session simulates each (workload, organisation) pair
+only once.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption("--repro-size", action="store", default="small",
+                     help="work-volume preset for benchmark runs "
+                          "(tiny/small/default/large)")
+
+
+@pytest.fixture(scope="session")
+def repro_size(request):
+    return request.config.getoption("--repro-size")
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+    return runner

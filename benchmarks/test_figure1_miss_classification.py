@@ -1,0 +1,41 @@
+"""Benchmark F1: regenerate Figure 1 (miss classification).
+
+Expected shape (paper): coherence dominates multi-chip off-chip misses for
+the Web and OLTP workloads; the single-chip system has no (non-I/O) off-chip
+coherence; DSS is dominated by compulsory + I/O misses; the intra-chip
+breakdown shows substantial coherence between cores.
+"""
+
+from repro.experiments import figure1
+from repro.mem import IntraChipClass, MissClass
+from repro.mem.trace import MULTI_CHIP, SINGLE_CHIP
+
+
+def test_figure1_miss_classification(run_once, repro_size):
+    result = run_once(figure1, size=repro_size)
+    print()
+    print(result.render())
+
+    # No off-chip CPU coherence in the single-chip system (all cores on chip).
+    for workload, contexts in result.offchip.items():
+        assert contexts[SINGLE_CHIP].fraction(MissClass.COHERENCE) == 0.0
+
+    # Coherence is a major component of multi-chip off-chip misses for the
+    # coherence-bound workloads.
+    for workload in ("Apache", "Zeus", "OLTP"):
+        assert result.offchip[workload][MULTI_CHIP].fraction(
+            MissClass.COHERENCE) > 0.25
+
+    # DSS off-chip misses are dominated by compulsory + I/O coherence.
+    for workload in ("Qry1", "Qry2", "Qry17"):
+        for context in (MULTI_CHIP, SINGLE_CHIP):
+            breakdown = result.offchip[workload][context]
+            assert (breakdown.fraction(MissClass.COMPULSORY)
+                    + breakdown.fraction(MissClass.IO_COHERENCE)) > 0.4
+
+    # Intra-chip misses include coherence supplied by peer L1s or the L2.
+    for workload in ("Apache", "OLTP"):
+        intra = result.intrachip[workload]
+        coherence = (intra.fraction(IntraChipClass.COHERENCE_PEER_L1)
+                     + intra.fraction(IntraChipClass.COHERENCE_L2))
+        assert coherence > 0.1

@@ -1,0 +1,28 @@
+"""Benchmark F3: regenerate Figure 3 (strides vs temporal streams).
+
+Expected shape (paper): DSS shows a large strided share (especially
+single-chip, where bulk copies dominate); Web and OLTP are mostly
+non-strided; repetitive and strided behaviour are largely distinct outside
+DSS.
+"""
+
+from repro.experiments import figure3
+from repro.mem.trace import MULTI_CHIP, SINGLE_CHIP
+
+
+def test_figure3_strides_and_streams(run_once, repro_size):
+    result = run_once(figure3, size=repro_size)
+    print()
+    print(result.render())
+
+    # DSS is heavily stride-predictable.
+    for workload in ("Qry1", "Qry17"):
+        assert result.breakdowns[workload][SINGLE_CHIP].fraction_strided > 0.5
+
+    # OLTP misses are mostly non-strided (pointer chasing).
+    assert result.breakdowns["OLTP"][MULTI_CHIP].fraction_strided < 0.4
+
+    # Every joint breakdown is a proper partition of the misses.
+    for contexts in result.breakdowns.values():
+        for breakdown in contexts.values():
+            assert abs(breakdown.total() - 1.0) < 1e-9

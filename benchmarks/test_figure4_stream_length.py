@@ -1,0 +1,36 @@
+"""Benchmark F4 (left): regenerate the temporal stream length CDFs.
+
+Expected shape (paper): streams are long — the median stream length is
+several misses (paper: 8-10) and exceeds typical fixed prefetch depths;
+stream lengths span orders of magnitude; DSS streams are the longest, with a
+step near the 4KB OS page size (64 blocks).
+"""
+
+from repro.experiments import figure4
+from repro.mem.trace import MULTI_CHIP, SINGLE_CHIP
+
+
+def test_figure4_stream_length_cdf(run_once, repro_size):
+    result = run_once(figure4, size=repro_size)
+    print()
+    print(result.render())
+
+    # Streams are long: median of at least a few misses for every workload
+    # in the multi-chip context.
+    for workload in ("Apache", "Zeus", "OLTP", "Qry1", "Qry2", "Qry17"):
+        assert result.median_length(workload, MULTI_CHIP) >= 2
+
+    # Web median stream length in the multi-chip context is in the several-
+    # to-tens range, exceeding small fixed prefetch depths.
+    assert result.median_length("Apache", MULTI_CHIP) >= 4
+
+    # DSS streams (page-sized copies / scans) are much longer than Web ones.
+    assert (result.median_length("Qry1", SINGLE_CHIP)
+            >= 2 * result.median_length("Apache", SINGLE_CHIP))
+
+    # Length distributions are genuine CDFs (monotone, ending at 1).
+    for workload, contexts in result.lengths.items():
+        for dist in contexts.values():
+            if dist.lengths:
+                assert dist.cumulative[-1] > 0.999
+                assert dist.cumulative == sorted(dist.cumulative)

@@ -1,0 +1,14 @@
+"""Benchmark T1: regenerate Table 1 (application parameters)."""
+
+from repro.experiments import render_table1, table1
+
+
+def test_table1_application_parameters(run_once):
+    configs = run_once(table1)
+    assert len(configs) == 6
+    print()
+    print(render_table1())
+    by_name = {cfg.name: cfg for cfg in configs}
+    assert "100 warehouses" in by_name["OLTP"].paper_parameters
+    assert "16K connections" in by_name["Apache"].paper_parameters
+    assert by_name["Qry1"].app_class == "DSS"

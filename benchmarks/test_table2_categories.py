@@ -1,0 +1,14 @@
+"""Benchmark T2: regenerate Table 2 (miss-category taxonomy)."""
+
+from repro.experiments import render_table2, table2
+
+
+def test_table2_miss_categories(run_once):
+    categories = run_once(table2)
+    print()
+    print(render_table2())
+    names = {c.name for c in categories}
+    assert {"Bulk memory copies", "Kernel task scheduler",
+            "Kernel STREAMS subsystem", "DB2 SQL runtime interpreter"} <= names
+    scopes = {c.scope for c in categories}
+    assert scopes == {"cross", "web", "db2", "other"}

@@ -1,0 +1,39 @@
+"""Benchmark T3: regenerate Table 3 (temporal stream origins, Web).
+
+Expected shape (paper): the web server's own code is a minor contributor;
+OS activity (STREAMS, IP assembly, scheduler, syscalls, copies) plus the
+perl CGI processes dominate; perl input parsing is almost fully repetitive;
+no single category exceeds ~25% of misses; overall 75-85% of misses are in
+streams across contexts.
+"""
+
+from repro.experiments import table3
+from repro.mem.trace import INTRA_CHIP, MULTI_CHIP
+
+
+def test_table3_web_stream_origins(run_once, repro_size):
+    result = run_once(table3, size=repro_size)
+    print()
+    print(result.render())
+
+    for workload in ("Apache", "Zeus"):
+        multi = result.breakdown(workload, MULTI_CHIP)
+        multi.check_consistency()
+
+        # The web server software itself is a small share of misses.
+        assert multi.row("Web server worker thread pool").pct_misses < 0.15
+
+        # The kernel and CGI categories the paper highlights are all present.
+        for category in ("Kernel STREAMS subsystem", "Kernel task scheduler",
+                         "Bulk memory copies", "CGI - perl execution engine",
+                         "System call implementation"):
+            assert multi.row(category).pct_misses > 0.0, category
+
+        # Perl execution-engine misses are highly repetitive (the same script
+        # op-tree is walked for every request).
+        perl_engine = multi.row("CGI - perl execution engine")
+        assert perl_engine.repetition_rate > 0.6
+
+        # Multi-chip and intra-chip web misses are mostly in streams.
+        assert multi.overall_in_streams > 0.55
+        assert result.breakdown(workload, INTRA_CHIP).overall_in_streams > 0.6

@@ -1,0 +1,41 @@
+"""Benchmark T4: regenerate Table 4 (temporal stream origins, OLTP).
+
+Expected shape (paper): buffer-pool index/page/tuple accesses are the largest
+single category; scheduler and synchronization activity contribute in the
+coherence-dominated contexts but fade from the single-chip off-chip profile;
+MMU trap handling produces many repetitive misses; overall repetition is high
+in the multi-chip and intra-chip contexts and much lower in single-chip.
+"""
+
+from repro.experiments import table4
+from repro.mem.trace import INTRA_CHIP, MULTI_CHIP, SINGLE_CHIP
+
+
+def test_table4_oltp_stream_origins(run_once, repro_size):
+    result = run_once(table4, size=repro_size)
+    print()
+    print(result.render())
+
+    multi = result.breakdown("OLTP", MULTI_CHIP)
+    single = result.breakdown("OLTP", SINGLE_CHIP)
+    intra = result.breakdown("OLTP", INTRA_CHIP)
+    for breakdown in (multi, single, intra):
+        breakdown.check_consistency()
+
+    # Index/page/tuple accesses are a leading contributor everywhere.
+    top_multi = {row.category for row in multi.top_categories(4)}
+    assert "DB2 index, page & tuple accesses" in top_multi
+
+    # Scheduler activity is visible in multi-chip but shrinks off-chip on the
+    # single chip (the hot dispatcher structures stay on chip).
+    assert (multi.row("Kernel task scheduler").pct_misses
+            > single.row("Kernel task scheduler").pct_misses)
+
+    # MMU/trap handling contributes repetitive misses in multi-chip.
+    mmu = multi.row("Kernel MMU & trap handlers")
+    assert mmu.pct_misses > 0.02 and mmu.repetition_rate > 0.4
+
+    # Repetition ordering across contexts: intra-chip and multi-chip are far
+    # more repetitive than single-chip off-chip.
+    assert multi.overall_in_streams > single.overall_in_streams + 0.2
+    assert intra.overall_in_streams > single.overall_in_streams + 0.2

@@ -1,0 +1,40 @@
+"""Benchmark T5: regenerate Table 5 (temporal stream origins, DSS).
+
+Expected shape (paper): bulk memory copies are the dominant category (half or
+more of single-chip misses) and are non-repetitive because DSS does not reuse
+its I/O buffers; index/tuple accesses are the second contributor and are not
+repetitive off-chip (data scanned once); overall stream fractions are the
+lowest of the three application classes.
+"""
+
+from repro.experiments import table3, table5
+from repro.mem.trace import INTRA_CHIP, MULTI_CHIP, SINGLE_CHIP
+
+
+def test_table5_dss_stream_origins(run_once, repro_size):
+    result = run_once(table5, size=repro_size)
+    print()
+    print(result.render())
+
+    merged_single = result.merged(SINGLE_CHIP)
+    merged_multi = result.merged(MULTI_CHIP)
+    copies_single = merged_single.row("Bulk memory copies")
+    copies_multi = merged_multi.row("Bulk memory copies")
+
+    # Bulk copies dominate DSS misses and are largely non-repetitive.
+    assert copies_single.pct_misses > 0.25
+    assert copies_multi.repetition_rate < 0.3
+
+    # Index/tuple accesses are the other major contributor.
+    assert merged_multi.row("DB2 index, page & tuple accesses").pct_misses > 0.1
+
+    # DSS off-chip repetition is lower than Web repetition (cross-check with
+    # Table 3 at the same size, reusing the memoised simulations).
+    web = table3(size="small")
+    assert (merged_multi.overall_in_streams
+            < web.merged(MULTI_CHIP).overall_in_streams)
+
+    # Intra-chip repetition is higher than off-chip (nested-loop joins loop
+    # over data that exceeds the L1 but stays on chip).
+    assert (result.breakdown("Qry2", INTRA_CHIP).overall_in_streams
+            > result.breakdown("Qry2", SINGLE_CHIP).overall_in_streams)

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: find temporal streams in one workload's miss trace.
+
+This walks the full pipeline on a small OLTP run:
+
+1. generate a synthetic TPC-C-style access trace on 16 CPUs,
+2. run it through the multi-chip (16-node, MSI) system model to obtain the
+   off-chip read-miss trace,
+3. run the SEQUITUR-based temporal-stream analysis,
+4. print the Figure 1 / Figure 2 / Figure 4 style summaries for that trace.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import (analyze_trace, classify_offchip, length_distribution,
+                        module_breakdown, reuse_distance_distribution)
+from repro.core.report import (format_offchip_classification,
+                               format_stream_fractions, format_length_cdf)
+from repro.mem import MultiChipSystem, multichip_config
+from repro.workloads import generate_trace
+
+
+def main() -> None:
+    print("Generating OLTP access trace (16 CPUs, small preset)...")
+    access_trace = generate_trace("OLTP", n_cpus=16, size="small", seed=42)
+    print(f"  {len(access_trace):,} accesses, "
+          f"{access_trace.instructions:,} instructions")
+
+    print("Simulating the multi-chip memory system (MSI, 16 nodes)...")
+    system = MultiChipSystem(multichip_config())
+    miss_trace = system.run(access_trace)
+    print(f"  {len(miss_trace):,} off-chip read misses "
+          f"({miss_trace.misses_per_kilo_instruction():.2f} per 1000 instr)")
+
+    print("\n--- Miss classification (Figure 1 style) ---")
+    print(format_offchip_classification("OLTP / multi-chip",
+                                        classify_offchip(miss_trace)))
+
+    print("\n--- Temporal streams (Figure 2 style) ---")
+    analysis = analyze_trace(miss_trace)
+    print(format_stream_fractions({"OLTP / multi-chip": analysis}))
+    print(f"\nDistinct temporal streams found: {analysis.n_distinct_streams():,}")
+
+    print("\n--- Stream length distribution (Figure 4 left style) ---")
+    print(format_length_cdf("OLTP / multi-chip",
+                            length_distribution(analysis.occurrences)))
+
+    print("\n--- Stream reuse distance (Figure 4 right style) ---")
+    reuse = reuse_distance_distribution(analysis, miss_trace)
+    for edge, fraction in reuse.bins():
+        print(f"  distance >= {edge:>9,}: {fraction:6.2%} of misses")
+
+    print("\n--- Top code-module origins (Table 4 style) ---")
+    breakdown = module_breakdown(miss_trace, analysis)
+    for row in breakdown.top_categories(8):
+        print(f"  {row.category:<42s} {row.pct_misses:6.1%} of misses, "
+              f"{row.pct_in_streams:6.1%} in streams")
+    print(f"  {'Overall in streams':<42s} {breakdown.overall_in_streams:6.1%}")
+
+
+if __name__ == "__main__":
+    main()

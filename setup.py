@@ -1,0 +1,14 @@
+"""Setuptools shim (environment has no `wheel`, so PEP 660 editable installs
+are unavailable; this enables legacy `pip install -e .`)."""
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Reproduction of 'Temporal Streams in Commercial Server "
+                 "Applications' (IISWC 2008)"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

@@ -1,0 +1,31 @@
+"""repro: reproduction of "Temporal Streams in Commercial Server Applications".
+
+(Wenisch, Ferdman, Ailamaki, Falsafi, Moshovos — IISWC 2008.)
+
+The library has four layers:
+
+* :mod:`repro.mem` — the memory-system substrate: set-associative caches,
+  the multi-chip (MSI) and single-chip (MOSI) system models, DMA/copyout
+  handling, and the extended 4C miss classifier.
+* :mod:`repro.workloads` — synthetic behavioural models of the paper's
+  commercial workloads (web serving, OLTP, DSS) and of the Solaris kernel
+  subsystems their misses are attributed to.
+* :mod:`repro.core` — the paper's contribution: SEQUITUR-based temporal
+  stream identification, stream length / reuse-distance / stride analyses,
+  and code-module attribution.
+* :mod:`repro.experiments` — drivers that regenerate every figure and table
+  of the paper's evaluation, plus :mod:`repro.prefetch` with temporal and
+  stride prefetcher models used for the ablation studies.
+
+Quick start::
+
+    from repro.experiments import run_workload_context
+    result = run_workload_context("Apache", "multi-chip", size="small")
+    print(result.stream_analysis.fraction_in_streams)
+"""
+
+__version__ = "1.0.0"
+
+from . import core, mem, workloads
+
+__all__ = ["core", "mem", "workloads", "__version__"]

@@ -1,0 +1,51 @@
+"""Core analysis: SEQUITUR, temporal streams, strides, reuse, module origins.
+
+This package is the paper's primary contribution: a hardware-independent,
+information-theoretic characterization of temporal streams in miss traces.
+
+Public API
+----------
+* :func:`~repro.core.sequitur.build_grammar`, :class:`~repro.core.sequitur.Grammar`
+* :func:`~repro.core.streams.analyze_trace`, :func:`~repro.core.streams.analyze_sequence`,
+  :class:`~repro.core.streams.StreamAnalysis`, :class:`~repro.core.streams.StreamLabel`
+* :func:`~repro.core.lengths.length_distribution`,
+  :func:`~repro.core.reuse.reuse_distance_distribution`
+* :class:`~repro.core.stride.StrideDetector`,
+  :func:`~repro.core.stride.stride_stream_breakdown`
+* :func:`~repro.core.modules.module_breakdown`, category registry in
+  :mod:`repro.core.modules`
+* :func:`~repro.core.classification.classify_offchip`,
+  :func:`~repro.core.classification.classify_intrachip`
+* :func:`~repro.core.suffix.find_streams_greedy` (cross-validation)
+* text rendering helpers in :mod:`repro.core.report`
+"""
+
+from .classification import (ClassificationBreakdown, classify_intrachip,
+                             classify_offchip)
+from .lengths import (LengthDistribution, length_distribution,
+                      length_distribution_from_analysis)
+from .modules import (CATEGORIES, Category, CategoryRow, ModuleBreakdown,
+                      UNCATEGORIZED, category_names, get_category,
+                      is_known_category, module_breakdown)
+from .reuse import (DEFAULT_BIN_EDGES, ReuseDistanceDistribution,
+                    reuse_distance_distribution, reuse_distances)
+from .sequitur import Grammar, Rule, build_grammar
+from .streams import (StreamAnalysis, StreamLabel, StreamOccurrence,
+                      analyze_sequence, analyze_trace)
+from .stride import (StrideDetector, StrideStreamBreakdown, stride_stream_breakdown,
+                     strided_flags)
+from .suffix import GreedyStreamAnalysis, GreedyStreamMatch, find_streams_greedy
+
+__all__ = [
+    "CATEGORIES", "Category", "CategoryRow", "ClassificationBreakdown",
+    "DEFAULT_BIN_EDGES", "Grammar", "GreedyStreamAnalysis",
+    "GreedyStreamMatch", "LengthDistribution", "ModuleBreakdown", "Rule",
+    "StreamAnalysis", "StreamLabel", "StreamOccurrence", "StrideDetector",
+    "StrideStreamBreakdown", "UNCATEGORIZED", "analyze_sequence",
+    "analyze_trace", "build_grammar", "category_names", "classify_intrachip",
+    "classify_offchip", "find_streams_greedy", "get_category",
+    "is_known_category", "length_distribution",
+    "length_distribution_from_analysis", "module_breakdown",
+    "reuse_distance_distribution", "reuse_distances",
+    "stride_stream_breakdown", "strided_flags",
+]

@@ -1,0 +1,61 @@
+"""Miss-classification breakdowns (Figure 1).
+
+Thin aggregation helpers over classified miss traces: Figure 1 (left) plots
+off-chip read misses per thousand instructions split by the extended 4C
+classes for the multi-chip and single-chip systems; Figure 1 (right) plots
+intra-chip (L1) misses per thousand instructions split by what satisfied
+them (peer L1 / shared L2 / off-chip) and why.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..mem.records import IntraChipClass, MissClass
+from ..mem.trace import MissTrace
+
+
+@dataclass
+class ClassificationBreakdown:
+    """Misses per kilo-instruction split by classification."""
+
+    #: class value -> misses per 1000 instructions
+    mpki_by_class: Dict[int, float]
+    #: class value -> raw miss count
+    counts_by_class: Dict[int, int]
+    total_misses: int
+    instructions: int
+
+    @property
+    def total_mpki(self) -> float:
+        return sum(self.mpki_by_class.values())
+
+    def mpki(self, miss_class: int) -> float:
+        return self.mpki_by_class.get(int(miss_class), 0.0)
+
+    def fraction(self, miss_class: int) -> float:
+        if not self.total_misses:
+            return 0.0
+        return self.counts_by_class.get(int(miss_class), 0) / self.total_misses
+
+
+def classify_offchip(trace: MissTrace) -> ClassificationBreakdown:
+    """Figure 1 (left) breakdown for an off-chip miss trace."""
+    return _breakdown(trace, [int(c) for c in MissClass])
+
+
+def classify_intrachip(trace: MissTrace) -> ClassificationBreakdown:
+    """Figure 1 (right) breakdown for an intra-chip miss trace."""
+    return _breakdown(trace, [int(c) for c in IntraChipClass])
+
+
+def _breakdown(trace: MissTrace, classes: Sequence[int]) -> ClassificationBreakdown:
+    counts: Dict[int, int] = {c: 0 for c in classes}
+    for record in trace:
+        counts[int(record.miss_class)] = counts.get(int(record.miss_class), 0) + 1
+    instructions = max(trace.instructions, 1)
+    mpki = {c: 1000.0 * n / instructions for c, n in counts.items()}
+    return ClassificationBreakdown(mpki_by_class=mpki, counts_by_class=counts,
+                                   total_misses=len(trace),
+                                   instructions=trace.instructions)

@@ -1,0 +1,81 @@
+"""Temporal-stream length distribution (Figure 4, left).
+
+The paper reports, per application and context, the cumulative distribution
+of stream lengths *weighted by their total contribution to temporal streams*:
+each stream occurrence contributes its length in misses, so the 50th
+percentile of the CDF is the stream length experienced by the median
+stream-covered miss.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .streams import StreamAnalysis, StreamOccurrence
+
+
+@dataclass
+class LengthDistribution:
+    """Miss-weighted cumulative distribution of temporal-stream lengths."""
+
+    #: Sorted distinct stream lengths.
+    lengths: List[int]
+    #: Cumulative fraction of stream-covered misses at or below each length.
+    cumulative: List[float]
+    #: Total number of stream-covered misses the distribution is built from.
+    total_weight: int
+
+    def percentile(self, q: float) -> int:
+        """Smallest stream length at which the CDF reaches fraction ``q``."""
+        if not self.lengths:
+            return 0
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("percentile must be in [0, 1]")
+        idx = bisect.bisect_left(self.cumulative, q)
+        idx = min(idx, len(self.lengths) - 1)
+        return self.lengths[idx]
+
+    @property
+    def median(self) -> int:
+        """Median stream length, miss-weighted (Section 4.4)."""
+        return self.percentile(0.5)
+
+    def cdf_at(self, length: int) -> float:
+        """Cumulative fraction of stream misses in streams of length <= ``length``."""
+        if not self.lengths:
+            return 0.0
+        idx = bisect.bisect_right(self.lengths, length) - 1
+        if idx < 0:
+            return 0.0
+        return self.cumulative[idx]
+
+    def series(self, points: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128, 256,
+                                              512, 1024, 4096, 10000)) -> List[Tuple[int, float]]:
+        """CDF sampled at fixed lengths (for plotting / table output)."""
+        return [(p, self.cdf_at(p)) for p in points]
+
+
+def length_distribution(occurrences: Iterable[StreamOccurrence]) -> LengthDistribution:
+    """Build the miss-weighted length CDF from top-level stream occurrences."""
+    weight_by_length: Dict[int, int] = {}
+    for occ in occurrences:
+        weight_by_length[occ.length] = weight_by_length.get(occ.length, 0) + occ.length
+    if not weight_by_length:
+        return LengthDistribution(lengths=[], cumulative=[], total_weight=0)
+    lengths = sorted(weight_by_length)
+    total = sum(weight_by_length.values())
+    cumulative: List[float] = []
+    running = 0
+    for length in lengths:
+        running += weight_by_length[length]
+        cumulative.append(running / total)
+    return LengthDistribution(lengths=lengths, cumulative=cumulative,
+                              total_weight=total)
+
+
+def length_distribution_from_analysis(analysis: StreamAnalysis) -> LengthDistribution:
+    """Convenience wrapper taking a :class:`StreamAnalysis`."""
+    return length_distribution(analysis.occurrences)

@@ -1,0 +1,196 @@
+"""Code-module categories and the per-category stream-origin breakdown.
+
+Table 2 of the paper defines the miss categories; Tables 3-5 report, for each
+application class and system context, each category's share of all misses and
+the share of all misses that are both in that category *and* part of a
+temporal stream (so that the per-category "% in streams" column sums to the
+overall fraction of misses in streams).
+
+Our synthetic workloads attach a :class:`~repro.mem.records.FunctionRef` to
+every access, carrying the function name, module, and category; this module
+provides the canonical category registry and the breakdown computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..mem.trace import MissTrace
+from .streams import StreamAnalysis, StreamLabel
+
+
+@dataclass(frozen=True)
+class Category:
+    """One miss category from Table 2."""
+
+    name: str
+    scope: str  # "cross", "web", "db2", or "other"
+    description: str
+
+
+#: Catch-all category used when a function cannot be attributed.
+UNCATEGORIZED = "Uncategorized / Unknown"
+
+#: The canonical category registry reproducing Table 2.
+CATEGORIES: Tuple[Category, ...] = (
+    Category(UNCATEGORIZED, "other",
+             "Functions whose purpose cannot be determined."),
+    # -- Cross-application categories ----------------------------------- #
+    Category("Bulk memory copies", "cross",
+             "Kernel and user memory copy functions such as memcpy, bcopy, "
+             "__align_cpy_1, and default_copyout (kernel-to-user copies of "
+             "data arriving via DMA)."),
+    Category("System call implementation", "cross",
+             "Kernel functionality invoked on behalf of user threads within "
+             "system call interfaces; dominated by I/O calls such as poll, "
+             "open, read, write, and stat."),
+    Category("Kernel task scheduler", "cross",
+             "Kernel thread prioritisation and dispatching over per-CPU "
+             "dispatch queues (disp_getwork, disp_getbest, dispdeq, "
+             "disp_ratify)."),
+    Category("Kernel MMU & trap handlers", "cross",
+             "Functions entered via the trap vector table: MMU miss handlers "
+             "filling virtual-to-physical translations, and register-window "
+             "spill/fill traps."),
+    Category("Kernel synchronization primitives", "cross",
+             "Solaris mutex and condition-variable primitives, including the "
+             "linked lists of threads waiting on them."),
+    Category("Kernel - other activity", "cross",
+             "Remaining kernel functionality (memory and resource "
+             "management) that stands out in no application."),
+    # -- Web-specific categories ----------------------------------------- #
+    Category("Kernel STREAMS subsystem", "web",
+             "Stream-based I/O: moving message pointers among thread-safe "
+             "queues between the web server and CGI processes."),
+    Category("Kernel IP packet assembly", "web",
+             "Dividing data written to sockets into individual IP packets."),
+    Category("Web server worker thread pool", "web",
+             "All activity within the web server (Apache or Zeus) itself."),
+    Category("CGI - perl input processing", "web",
+             "Perl_sv_gets: parsing the requests passed from the web server "
+             "to perl."),
+    Category("CGI - perl execution engine", "web",
+             "Perl_pp_* functions implementing perl's primitive operations."),
+    Category("CGI - perl other activity", "web",
+             "Other perl functionality that is not readily identifiable."),
+    # -- DB2-specific categories ------------------------------------------ #
+    Category("Kernel block device driver", "db2",
+             "Functions managing I/O to block devices such as disks."),
+    Category("DB2 index, page & tuple accesses", "db2",
+             "The sqli / sqld / sqlpg modules: index traversal, row access, "
+             "and buffer-pool page manipulation."),
+    Category("DB2 SQL request control", "db2",
+             "The sqlrr / sqlra modules: per-transaction context such as "
+             "cursors."),
+    Category("DB2 interprocess communication", "db2",
+             "Passing data between DB2 server and client processes."),
+    Category("DB2 SQL runtime interpreter", "db2",
+             "The sqlri module: primitive operations of parsed execution "
+             "plans (analogous to perl's Perl_pp_*)."),
+    Category("DB2 - other activity", "db2",
+             "Other DB2 functionality with small contribution or unknown "
+             "purpose."),
+)
+
+_BY_NAME: Dict[str, Category] = {c.name: c for c in CATEGORIES}
+
+
+def category_names(scope: Optional[str] = None) -> List[str]:
+    """All category names, optionally filtered by application scope.
+
+    A scope filter (``"web"`` or ``"db2"``) keeps the cross-application and
+    catch-all categories and adds the application-specific ones, matching how
+    Tables 3-5 are laid out.
+    """
+    if scope is None:
+        return [c.name for c in CATEGORIES]
+    return [c.name for c in CATEGORIES
+            if c.scope in (scope, "cross", "other")]
+
+
+def get_category(name: str) -> Category:
+    """Look up a category by name (raises ``KeyError`` if unknown)."""
+    return _BY_NAME[name]
+
+
+def is_known_category(name: str) -> bool:
+    return name in _BY_NAME
+
+
+@dataclass
+class CategoryRow:
+    """One row of a Table 3/4/5-style breakdown."""
+
+    category: str
+    #: Fraction of all misses attributed to this category.
+    pct_misses: float
+    #: Fraction of all misses in this category *and* in a temporal stream.
+    pct_in_streams: float
+    #: Raw miss count (for debugging / tests).
+    n_misses: int = 0
+
+    @property
+    def repetition_rate(self) -> float:
+        """Fraction of this category's misses that are in streams."""
+        if self.pct_misses == 0:
+            return 0.0
+        return self.pct_in_streams / self.pct_misses
+
+
+@dataclass
+class ModuleBreakdown:
+    """Per-category miss and stream shares for one workload x context."""
+
+    rows: Dict[str, CategoryRow]
+    overall_in_streams: float
+    total_misses: int
+
+    def row(self, category: str) -> CategoryRow:
+        return self.rows.get(category,
+                             CategoryRow(category=category, pct_misses=0.0,
+                                         pct_in_streams=0.0, n_misses=0))
+
+    def top_categories(self, n: int = 5) -> List[CategoryRow]:
+        """Categories sorted by miss share, largest first."""
+        return sorted(self.rows.values(), key=lambda r: -r.pct_misses)[:n]
+
+    def check_consistency(self, tolerance: float = 1e-9) -> None:
+        """Verify that shares sum to 1 and stream shares sum to the overall."""
+        total = sum(r.pct_misses for r in self.rows.values())
+        stream_total = sum(r.pct_in_streams for r in self.rows.values())
+        if self.total_misses and abs(total - 1.0) > 1e-6:
+            raise AssertionError(f"category shares sum to {total}, not 1")
+        if abs(stream_total - self.overall_in_streams) > max(tolerance, 1e-6):
+            raise AssertionError(
+                f"per-category stream shares sum to {stream_total}, "
+                f"but overall is {self.overall_in_streams}")
+
+
+def module_breakdown(trace: MissTrace, analysis: StreamAnalysis) -> ModuleBreakdown:
+    """Compute the Tables 3-5 style per-category breakdown."""
+    if len(trace) != len(analysis.labels):
+        raise ValueError("trace and stream analysis cover different miss counts")
+    total = len(trace)
+    misses_by_cat: Dict[str, int] = {}
+    stream_by_cat: Dict[str, int] = {}
+    in_streams = 0
+    for record, label in zip(trace, analysis.labels):
+        category = record.fn.category
+        if not is_known_category(category):
+            category = UNCATEGORIZED
+        misses_by_cat[category] = misses_by_cat.get(category, 0) + 1
+        if label is not StreamLabel.NON_REPETITIVE:
+            stream_by_cat[category] = stream_by_cat.get(category, 0) + 1
+            in_streams += 1
+    rows: Dict[str, CategoryRow] = {}
+    for category, count in misses_by_cat.items():
+        rows[category] = CategoryRow(
+            category=category,
+            pct_misses=count / total if total else 0.0,
+            pct_in_streams=(stream_by_cat.get(category, 0) / total
+                            if total else 0.0),
+            n_misses=count)
+    return ModuleBreakdown(rows=rows,
+                           overall_in_streams=(in_streams / total if total else 0.0),
+                           total_misses=total)

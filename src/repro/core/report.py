@@ -1,0 +1,160 @@
+"""Plain-text rendering of the paper's figures and tables.
+
+These helpers turn the analysis dataclasses into aligned text tables so the
+benchmark harness and examples can print output directly comparable to the
+paper's figures and tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..mem.records import IntraChipClass, MissClass
+from .classification import ClassificationBreakdown
+from .lengths import LengthDistribution
+from .modules import CATEGORIES, ModuleBreakdown, UNCATEGORIZED
+from .reuse import ReuseDistanceDistribution
+from .stride import StrideStreamBreakdown
+from .streams import StreamAnalysis
+
+
+def _format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def pct(value: float) -> str:
+    """Format a fraction as a percentage string like the paper's tables."""
+    return f"{100.0 * value:.1f}%"
+
+
+# --------------------------------------------------------------------------- #
+# Figure 1
+# --------------------------------------------------------------------------- #
+_OFFCHIP_LABELS = {
+    int(MissClass.COMPULSORY): "Compulsory",
+    int(MissClass.IO_COHERENCE): "I/O Coherence",
+    int(MissClass.REPLACEMENT): "Replacement",
+    int(MissClass.COHERENCE): "Coherence",
+}
+
+_INTRACHIP_LABELS = {
+    int(IntraChipClass.OFF_CHIP): "Off-chip",
+    int(IntraChipClass.REPLACEMENT_L2): "Replacement:L2",
+    int(IntraChipClass.COHERENCE_L2): "Coherence:L2",
+    int(IntraChipClass.COHERENCE_PEER_L1): "Coherence:Peer-L1",
+}
+
+
+def format_offchip_classification(name: str,
+                                  breakdown: ClassificationBreakdown) -> str:
+    """One Figure 1 (left) bar as a text table."""
+    rows = [[label, f"{breakdown.mpki(cls):.3f}", pct(breakdown.fraction(cls))]
+            for cls, label in _OFFCHIP_LABELS.items()]
+    rows.append(["Total", f"{breakdown.total_mpki:.3f}", pct(1.0 if breakdown.total_misses else 0.0)])
+    return (f"{name}\n"
+            + _format_table(["Class", "Misses/1000 instr", "Share"], rows))
+
+
+def format_intrachip_classification(name: str,
+                                     breakdown: ClassificationBreakdown) -> str:
+    """One Figure 1 (right) bar as a text table."""
+    rows = [[label, f"{breakdown.mpki(cls):.3f}", pct(breakdown.fraction(cls))]
+            for cls, label in _INTRACHIP_LABELS.items()]
+    rows.append(["Total", f"{breakdown.total_mpki:.3f}", pct(1.0 if breakdown.total_misses else 0.0)])
+    return (f"{name}\n"
+            + _format_table(["Class", "Misses/1000 instr", "Share"], rows))
+
+
+# --------------------------------------------------------------------------- #
+# Figure 2
+# --------------------------------------------------------------------------- #
+def format_stream_fractions(rows: Mapping[str, StreamAnalysis]) -> str:
+    """Figure 2: fraction of misses in temporal streams, one row per bar."""
+    table = []
+    for name, analysis in rows.items():
+        table.append([name,
+                      pct(analysis.fraction_non_repetitive),
+                      pct(analysis.fraction_new),
+                      pct(analysis.fraction_recurring),
+                      pct(analysis.fraction_in_streams)])
+    return _format_table(
+        ["Workload/context", "Non-repetitive", "New stream", "Recurring",
+         "In streams"], table)
+
+
+# --------------------------------------------------------------------------- #
+# Figure 3
+# --------------------------------------------------------------------------- #
+def format_stride_breakdown(rows: Mapping[str, StrideStreamBreakdown]) -> str:
+    table = []
+    for name, b in rows.items():
+        table.append([name,
+                      pct(b.repetitive_strided), pct(b.repetitive_non_strided),
+                      pct(b.non_repetitive_strided),
+                      pct(b.non_repetitive_non_strided)])
+    return _format_table(
+        ["Workload/context", "Rep+Strided", "Rep+Non-strided",
+         "NonRep+Strided", "NonRep+Non-strided"], table)
+
+
+# --------------------------------------------------------------------------- #
+# Figure 4
+# --------------------------------------------------------------------------- #
+def format_length_cdf(name: str, dist: LengthDistribution,
+                      points: Sequence[int] = (2, 4, 8, 16, 64, 256, 1024, 10000),
+                      ) -> str:
+    rows = [[str(p), pct(dist.cdf_at(p))] for p in points]
+    rows.append(["median", str(dist.median)])
+    return f"{name}\n" + _format_table(["Stream length <=", "Cum. % stream misses"],
+                                       rows)
+
+
+def format_reuse_pdf(name: str, dist: ReuseDistanceDistribution) -> str:
+    rows = [[f"10^{i}" if edge >= 10 else "1", pct(frac)]
+            for i, (edge, frac) in enumerate(dist.bins())]
+    return f"{name}\n" + _format_table(["Distance bin (>=)", "% misses in streams"],
+                                       rows)
+
+
+# --------------------------------------------------------------------------- #
+# Tables 3-5
+# --------------------------------------------------------------------------- #
+def format_module_table(title: str,
+                        contexts: Mapping[str, ModuleBreakdown],
+                        scope: str) -> str:
+    """Render a Table 3/4/5-style stream-origins table.
+
+    ``contexts`` maps context names (multi-chip / single-chip / intra-chip)
+    to breakdowns; ``scope`` selects which application-specific categories to
+    include ("web" or "db2").
+    """
+    wanted = [c.name for c in CATEGORIES
+              if c.scope in ("cross", "other", scope)]
+    headers = ["Category"]
+    for context in contexts:
+        headers.extend([f"{context} %misses", f"{context} %in streams"])
+    rows: List[List[str]] = []
+    for category in wanted:
+        row = [category]
+        any_nonzero = False
+        for breakdown in contexts.values():
+            r = breakdown.row(category)
+            row.extend([pct(r.pct_misses), pct(r.pct_in_streams)])
+            if r.pct_misses > 0:
+                any_nonzero = True
+        if any_nonzero or category == UNCATEGORIZED:
+            rows.append(row)
+    overall = ["Overall % in streams"]
+    for breakdown in contexts.values():
+        overall.extend(["", pct(breakdown.overall_in_streams)])
+    rows.append(overall)
+    return f"{title}\n" + _format_table(headers, rows)

@@ -1,0 +1,180 @@
+"""Temporal-stream extraction from a SEQUITUR grammar.
+
+A *temporal stream* is a sequence of two or more misses that occurs at least
+twice in the trace (Section 2).  After building the SEQUITUR grammar over the
+miss-address sequence, every production rule (other than the root)
+corresponds to one distinct temporal stream, and every place the rule's
+expansion appears in the trace is one *occurrence* of that stream.
+
+Following Figure 2 of the paper, each miss is labelled as:
+
+* ``NEW_STREAM`` — part of the first occurrence of some temporal stream;
+* ``RECURRING_STREAM`` — part of the second or subsequent occurrence;
+* ``NON_REPETITIVE`` — not part of any stream.
+
+When a miss is covered by several (nested) stream occurrences, recurring
+coverage wins over new coverage, which wins over non-repetitive.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence
+
+from ..mem.trace import MissTrace
+from .sequitur import Grammar, Rule, build_grammar
+
+
+class StreamLabel(enum.IntEnum):
+    """Per-miss repetition label (Figure 2 categories)."""
+
+    NON_REPETITIVE = 0
+    NEW_STREAM = 1
+    RECURRING_STREAM = 2
+
+
+@dataclass
+class StreamOccurrence:
+    """One occurrence of a temporal stream (rule) in the miss trace."""
+
+    rule_id: int
+    #: Global position (index into the miss trace) of the first miss.
+    start: int
+    #: Number of misses covered by this occurrence.
+    length: int
+    #: 0 for the stream's first occurrence, 1 for the second, and so on.
+    recurrence: int
+    #: CPU of the occurrence's first miss (or -1 when no trace was supplied).
+    cpu: int = -1
+
+    @property
+    def end(self) -> int:
+        """One past the last covered position."""
+        return self.start + self.length
+
+    @property
+    def is_recurring(self) -> bool:
+        return self.recurrence > 0
+
+
+@dataclass
+class StreamAnalysis:
+    """Result of temporal-stream extraction over one miss trace."""
+
+    #: Per-position label, aligned with the analysed sequence.
+    labels: List[StreamLabel]
+    #: Top-level (maximal, non-nested) stream occurrences in trace order.
+    occurrences: List[StreamOccurrence]
+    #: All occurrences (including nested) grouped by rule id, in trace order.
+    occurrences_by_rule: Dict[int, List[StreamOccurrence]]
+    #: The underlying grammar (kept for inspection and further analysis).
+    grammar: Grammar
+
+    # -- aggregate fractions (Figure 2) --------------------------------- #
+    def count(self, label: StreamLabel) -> int:
+        return sum(1 for l in self.labels if l is label)
+
+    @property
+    def n_misses(self) -> int:
+        return len(self.labels)
+
+    def fraction(self, label: StreamLabel) -> float:
+        if not self.labels:
+            return 0.0
+        return self.count(label) / len(self.labels)
+
+    @property
+    def fraction_non_repetitive(self) -> float:
+        return self.fraction(StreamLabel.NON_REPETITIVE)
+
+    @property
+    def fraction_new(self) -> float:
+        return self.fraction(StreamLabel.NEW_STREAM)
+
+    @property
+    def fraction_recurring(self) -> float:
+        return self.fraction(StreamLabel.RECURRING_STREAM)
+
+    @property
+    def fraction_in_streams(self) -> float:
+        """Fraction of misses that belong to any temporal stream."""
+        return self.fraction_new + self.fraction_recurring
+
+    def stream_positions(self) -> List[int]:
+        """Positions of misses that are part of a temporal stream."""
+        return [i for i, l in enumerate(self.labels)
+                if l is not StreamLabel.NON_REPETITIVE]
+
+    def n_distinct_streams(self) -> int:
+        """Number of distinct temporal streams (grammar rules)."""
+        return len(self.occurrences_by_rule)
+
+
+def analyze_sequence(sequence: Sequence[Hashable],
+                     cpus: Optional[Sequence[int]] = None) -> StreamAnalysis:
+    """Run temporal-stream extraction over a raw symbol sequence.
+
+    Parameters
+    ----------
+    sequence:
+        The miss-address sequence (any hashable symbols).
+    cpus:
+        Optional per-position CPU ids, used to annotate occurrences for the
+        reuse-distance analysis.
+    """
+    grammar = build_grammar(sequence)
+    lengths = grammar.expansion_lengths()
+
+    labels = [StreamLabel.NON_REPETITIVE] * len(sequence)
+    top_level: List[StreamOccurrence] = []
+    by_rule: Dict[int, List[StreamOccurrence]] = {}
+    seen_rules: Dict[int, int] = {}  # rule id -> occurrences seen so far
+
+    # Iterative DFS over the root expansion.  Each stack frame is an iterator
+    # over a rule body; ``pos`` tracks the current terminal position.
+    pos = 0
+    stack = [iter(list(grammar.root.symbols()))]
+    depth_top = [True]  # whether the current frame is the root frame
+    while stack:
+        try:
+            sym = next(stack[-1])
+        except StopIteration:
+            stack.pop()
+            depth_top.pop()
+            continue
+        if sym.rule is None:
+            pos += 1
+            continue
+        rule = sym.rule
+        length = lengths[rule.id]
+        recurrence = seen_rules.get(rule.id, 0)
+        seen_rules[rule.id] = recurrence + 1
+        occ = StreamOccurrence(rule_id=rule.id, start=pos, length=length,
+                               recurrence=recurrence,
+                               cpu=(cpus[pos] if cpus is not None and pos < len(cpus)
+                                    else -1))
+        by_rule.setdefault(rule.id, []).append(occ)
+        if depth_top[-1]:
+            top_level.append(occ)
+        # Label covered positions.  Recurring coverage dominates new coverage.
+        target = (StreamLabel.RECURRING_STREAM if recurrence > 0
+                  else StreamLabel.NEW_STREAM)
+        for p in range(pos, pos + length):
+            if target is StreamLabel.RECURRING_STREAM:
+                labels[p] = StreamLabel.RECURRING_STREAM
+            elif labels[p] is StreamLabel.NON_REPETITIVE:
+                labels[p] = StreamLabel.NEW_STREAM
+        # Descend into the rule body to find nested occurrences.
+        stack.append(iter(list(rule.symbols())))
+        depth_top.append(False)
+
+    return StreamAnalysis(labels=labels, occurrences=top_level,
+                          occurrences_by_rule=by_rule, grammar=grammar)
+
+
+def analyze_trace(trace: MissTrace) -> StreamAnalysis:
+    """Run temporal-stream extraction over a classified miss trace."""
+    addresses = [r.block for r in trace]
+    cpus = [r.cpu for r in trace]
+    return analyze_sequence(addresses, cpus=cpus)

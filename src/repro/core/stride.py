@@ -1,0 +1,131 @@
+"""Stride detection and the joint stride x repetition breakdown (Figure 3).
+
+Whether a miss sequence forms a temporal stream is orthogonal to whether it
+follows a constant stride (Section 4.3).  To measure the overlap, we classify
+each miss as *stride-predictable* with a simple per-(processor, function)
+stride detector — a software model of the PC-indexed stride prefetchers that
+commercial systems deploy — and cross it with the per-miss stream labels.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..mem.trace import MissTrace
+from .streams import StreamAnalysis, StreamLabel
+
+
+@dataclass
+class _StrideEntry:
+    """State of one stride-detector table entry."""
+
+    last_addr: Optional[int] = None
+    last_stride: Optional[int] = None
+    confidence: int = 0
+
+
+class StrideDetector:
+    """A PC-indexed (here: function-indexed) per-processor stride detector.
+
+    A miss is declared *strided* when the delta from the previous miss by the
+    same (cpu, function) pair equals the previously observed delta at least
+    ``min_confidence`` times in a row, with a non-zero stride no larger than
+    ``max_stride`` bytes.
+    """
+
+    def __init__(self, min_confidence: int = 2, max_stride: int = 4096) -> None:
+        if min_confidence < 1:
+            raise ValueError("min_confidence must be >= 1")
+        self.min_confidence = min_confidence
+        self.max_stride = max_stride
+        self._table: Dict[Tuple[int, str], _StrideEntry] = {}
+
+    def observe(self, cpu: int, fn_name: str, addr: int) -> bool:
+        """Feed one miss; return True if it was stride-predictable."""
+        key = (cpu, fn_name)
+        entry = self._table.get(key)
+        if entry is None:
+            entry = _StrideEntry()
+            self._table[key] = entry
+        strided = False
+        if entry.last_addr is not None:
+            stride = addr - entry.last_addr
+            if (stride != 0 and abs(stride) <= self.max_stride
+                    and stride == entry.last_stride):
+                entry.confidence += 1
+                strided = entry.confidence >= self.min_confidence
+            else:
+                entry.confidence = 0
+            entry.last_stride = stride
+        entry.last_addr = addr
+        return strided
+
+    def reset(self) -> None:
+        self._table.clear()
+
+
+@dataclass
+class StrideStreamBreakdown:
+    """Joint fractions of {repetitive, non-repetitive} x {strided, non-strided}."""
+
+    repetitive_strided: float
+    repetitive_non_strided: float
+    non_repetitive_strided: float
+    non_repetitive_non_strided: float
+
+    @property
+    def fraction_strided(self) -> float:
+        return self.repetitive_strided + self.non_repetitive_strided
+
+    @property
+    def fraction_repetitive(self) -> float:
+        return self.repetitive_strided + self.repetitive_non_strided
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "Repetitive Strided": self.repetitive_strided,
+            "Repetitive Non-strided": self.repetitive_non_strided,
+            "Non-repetitive Strided": self.non_repetitive_strided,
+            "Non-repetitive Non-strided": self.non_repetitive_non_strided,
+        }
+
+    def total(self) -> float:
+        return sum(self.as_dict().values())
+
+
+def strided_flags(trace: MissTrace, min_confidence: int = 2,
+                  max_stride: int = 4096) -> List[bool]:
+    """Per-miss stride-predictability flags for a classified miss trace."""
+    detector = StrideDetector(min_confidence=min_confidence,
+                              max_stride=max_stride)
+    return [detector.observe(r.cpu, r.fn.name, r.block) for r in trace]
+
+
+def stride_stream_breakdown(trace: MissTrace, analysis: StreamAnalysis,
+                            min_confidence: int = 2,
+                            max_stride: int = 4096) -> StrideStreamBreakdown:
+    """Cross stride-predictability with stream membership (Figure 3)."""
+    if len(trace) != len(analysis.labels):
+        raise ValueError("trace and stream analysis cover different miss counts")
+    flags = strided_flags(trace, min_confidence=min_confidence,
+                          max_stride=max_stride)
+    counts = {"rs": 0, "rn": 0, "ns": 0, "nn": 0}
+    for flag, label in zip(flags, analysis.labels):
+        repetitive = label is not StreamLabel.NON_REPETITIVE
+        if repetitive and flag:
+            counts["rs"] += 1
+        elif repetitive:
+            counts["rn"] += 1
+        elif flag:
+            counts["ns"] += 1
+        else:
+            counts["nn"] += 1
+    total = max(1, len(trace))
+    return StrideStreamBreakdown(
+        repetitive_strided=counts["rs"] / total,
+        repetitive_non_strided=counts["rn"] / total,
+        non_repetitive_strided=counts["ns"] / total,
+        non_repetitive_non_strided=counts["nn"] / total,
+    )

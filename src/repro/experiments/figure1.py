@@ -1,0 +1,65 @@
+"""Figure 1: miss classification across system organisations.
+
+Left plot: off-chip read misses per 1000 instructions, split into
+Compulsory / I/O Coherence / Replacement / Coherence, for every workload in
+the multi-chip and single-chip systems.
+
+Right plot: intra-chip (L1) misses per 1000 instructions in the single-chip
+system, split into Off-chip / Replacement:L2 / Coherence:L2 /
+Coherence:Peer-L1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.classification import ClassificationBreakdown
+from ..core.report import (format_intrachip_classification,
+                           format_offchip_classification)
+from ..mem.trace import INTRA_CHIP, MULTI_CHIP, SINGLE_CHIP
+from ..workloads.configs import WORKLOAD_NAMES
+from .runner import run_workload_context
+
+
+@dataclass
+class Figure1Result:
+    """Classification breakdowns for every bar of Figure 1."""
+
+    #: workload -> {multi-chip, single-chip} -> off-chip breakdown (left plot).
+    offchip: Dict[str, Dict[str, ClassificationBreakdown]]
+    #: workload -> intra-chip breakdown (right plot).
+    intrachip: Dict[str, ClassificationBreakdown]
+
+    def render(self) -> str:
+        lines = ["Figure 1 (left): off-chip miss classification "
+                 "(misses per 1000 instructions)", ""]
+        for workload, contexts in self.offchip.items():
+            for context, breakdown in contexts.items():
+                lines.append(format_offchip_classification(
+                    f"{workload} / {context}", breakdown))
+                lines.append("")
+        lines.append("Figure 1 (right): intra-chip (L1) miss classification")
+        lines.append("")
+        for workload, breakdown in self.intrachip.items():
+            lines.append(format_intrachip_classification(
+                f"{workload} / intra-chip", breakdown))
+            lines.append("")
+        return "\n".join(lines)
+
+
+def figure1(size: str = "small", seed: int = 42,
+            workloads: Tuple[str, ...] = WORKLOAD_NAMES) -> Figure1Result:
+    """Regenerate Figure 1 for the given workloads."""
+    offchip: Dict[str, Dict[str, ClassificationBreakdown]] = {}
+    intrachip: Dict[str, ClassificationBreakdown] = {}
+    for workload in workloads:
+        offchip[workload] = {}
+        for context in (MULTI_CHIP, SINGLE_CHIP):
+            result = run_workload_context(workload, context, size=size,
+                                          seed=seed)
+            offchip[workload][context] = result.classification
+        intra = run_workload_context(workload, INTRA_CHIP, size=size,
+                                     seed=seed)
+        intrachip[workload] = intra.classification
+    return Figure1Result(offchip=offchip, intrachip=intrachip)

@@ -1,0 +1,148 @@
+"""Experiment runner: workload -> system model -> full analysis bundle.
+
+Every figure and table of the paper is computed from the same per-(workload,
+context) analysis bundle; this module builds those bundles and memoises them
+so the benchmark harness can regenerate all artifacts without re-simulating
+the same configuration repeatedly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..core.classification import (ClassificationBreakdown, classify_intrachip,
+                                   classify_offchip)
+from ..core.lengths import LengthDistribution, length_distribution
+from ..core.modules import ModuleBreakdown, module_breakdown
+from ..core.reuse import ReuseDistanceDistribution, reuse_distance_distribution
+from ..core.streams import StreamAnalysis, analyze_trace
+from ..core.stride import StrideStreamBreakdown, stride_stream_breakdown
+from ..mem.config import DEFAULT_SCALE
+from ..mem.multichip import MultiChipSystem
+from ..mem.singlechip import SingleChipSystem
+from ..mem.trace import (AccessTrace, INTRA_CHIP, MULTI_CHIP, MissTrace,
+                         SINGLE_CHIP)
+from ..mem.config import multichip_config, singlechip_config
+from ..workloads import WORKLOAD_NAMES, create_workload
+
+#: Fraction of the access trace used to warm the caches before recording,
+#: mirroring the paper's warm-up of at least 5000 transactions before tracing.
+DEFAULT_WARMUP_FRACTION = 0.25
+
+
+@dataclass
+class ContextResult:
+    """Everything the figures/tables need for one (workload, context) pair."""
+
+    workload: str
+    context: str
+    miss_trace: MissTrace
+    stream_analysis: StreamAnalysis
+    classification: ClassificationBreakdown
+    modules: ModuleBreakdown
+    stride: StrideStreamBreakdown
+    lengths: LengthDistribution
+    reuse: ReuseDistanceDistribution
+
+    @property
+    def n_misses(self) -> int:
+        return len(self.miss_trace)
+
+
+#: Memoised results keyed by (workload, context, size, seed, scale).
+_CACHE: Dict[Tuple[str, str, str, int, int], ContextResult] = {}
+#: Memoised (off-chip, intra-chip) miss traces keyed by the run parameters.
+_TRACE_CACHE: Dict[Tuple[str, str, str, int, int], Dict[str, MissTrace]] = {}
+
+
+def clear_cache() -> None:
+    """Drop all memoised results (tests use this to force regeneration)."""
+    _CACHE.clear()
+    _TRACE_CACHE.clear()
+
+
+def _simulate(workload: str, organisation: str, size: str, seed: int,
+              scale: int, warmup_fraction: float) -> Dict[str, MissTrace]:
+    """Generate the workload trace and run it through one system model."""
+    key = (workload, organisation, size, seed, scale)
+    if key in _TRACE_CACHE:
+        return _TRACE_CACHE[key]
+    if organisation == "multi-chip":
+        config = multichip_config(scale=scale)
+        system = MultiChipSystem(config)
+    elif organisation == "single-chip":
+        config = singlechip_config(scale=scale)
+        system = SingleChipSystem(config)
+    else:
+        raise ValueError(f"unknown organisation {organisation!r}")
+    access_trace = create_workload(workload, n_cpus=config.n_cpus,
+                                   seed=seed, size=size).generate()
+    warmup = int(len(access_trace) * max(0.0, min(warmup_fraction, 0.9)))
+    system.set_recording(False)
+    for i, access in enumerate(access_trace):
+        if i == warmup:
+            system.set_recording(True)
+        system.process(access)
+    if warmup >= len(access_trace):
+        system.set_recording(True)
+    if organisation == "multi-chip":
+        traces = {MULTI_CHIP: system.finish()}
+    else:
+        offchip, intrachip = system.finish()
+        traces = {SINGLE_CHIP: offchip, INTRA_CHIP: intrachip}
+    _TRACE_CACHE[key] = traces
+    return traces
+
+
+def run_workload_context(workload: str, context: str, size: str = "small",
+                         seed: int = 42, scale: int = DEFAULT_SCALE,
+                         warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+                         ) -> ContextResult:
+    """Build the full analysis bundle for one workload in one system context.
+
+    ``context`` is one of ``multi-chip``, ``single-chip``, or ``intra-chip``
+    (the latter two come from the same single-chip simulation).
+    """
+    if context not in (MULTI_CHIP, SINGLE_CHIP, INTRA_CHIP):
+        raise ValueError(f"unknown context {context!r}")
+    cache_key = (workload, context, size, seed, scale)
+    if cache_key in _CACHE:
+        return _CACHE[cache_key]
+    organisation = "multi-chip" if context == MULTI_CHIP else "single-chip"
+    traces = _simulate(workload, organisation, size, seed, scale,
+                       warmup_fraction)
+    miss_trace = traces[context]
+    analysis = analyze_trace(miss_trace)
+    classification = (classify_intrachip(miss_trace) if context == INTRA_CHIP
+                      else classify_offchip(miss_trace))
+    result = ContextResult(
+        workload=workload,
+        context=context,
+        miss_trace=miss_trace,
+        stream_analysis=analysis,
+        classification=classification,
+        modules=module_breakdown(miss_trace, analysis),
+        stride=stride_stream_breakdown(miss_trace, analysis),
+        lengths=length_distribution(analysis.occurrences),
+        reuse=reuse_distance_distribution(analysis, miss_trace),
+    )
+    _CACHE[cache_key] = result
+    return result
+
+
+def run_all_contexts(workload: str, size: str = "small", seed: int = 42,
+                     scale: int = DEFAULT_SCALE) -> Dict[str, ContextResult]:
+    """All three contexts for one workload."""
+    return {context: run_workload_context(workload, context, size=size,
+                                          seed=seed, scale=scale)
+            for context in (MULTI_CHIP, SINGLE_CHIP, INTRA_CHIP)}
+
+
+def run_suite(size: str = "small", seed: int = 42,
+              scale: int = DEFAULT_SCALE,
+              workloads: Tuple[str, ...] = WORKLOAD_NAMES,
+              ) -> Dict[str, Dict[str, ContextResult]]:
+    """All workloads in all contexts (the full evaluation sweep)."""
+    return {name: run_all_contexts(name, size=size, seed=seed, scale=scale)
+            for name in workloads}

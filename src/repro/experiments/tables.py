@@ -1,0 +1,131 @@
+"""Tables 1-5 of the paper.
+
+* Table 1 — application parameters (configuration; reproduced verbatim from
+  :mod:`repro.workloads.configs` together with the model-scale parameters).
+* Table 2 — miss-category definitions (the registry in
+  :mod:`repro.core.modules`).
+* Tables 3-5 — temporal-stream origins for the Web, OLTP, and DSS workloads:
+  per category, the share of all misses and the share of misses that are both
+  in that category and inside a temporal stream, for each system context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.modules import CATEGORIES, Category, ModuleBreakdown
+from ..core.report import _format_table, format_module_table, pct
+from ..mem.trace import ALL_CONTEXTS
+from ..workloads.configs import TABLE1, ApplicationConfig, WORKLOAD_NAMES
+from .runner import run_workload_context
+
+
+# --------------------------------------------------------------------------- #
+# Table 1 and Table 2 (static configuration artifacts)
+# --------------------------------------------------------------------------- #
+def table1() -> Tuple[ApplicationConfig, ...]:
+    """Application parameters (Table 1)."""
+    return TABLE1
+
+
+def render_table1() -> str:
+    rows = [[cfg.name, cfg.app_class, cfg.paper_parameters,
+             ", ".join(f"{k}={v}" for k, v in sorted(cfg.model_parameters.items()))]
+            for cfg in TABLE1]
+    return ("Table 1: application parameters\n"
+            + _format_table(["Workload", "Class", "Paper configuration",
+                             "Model configuration"], rows))
+
+
+def table2() -> Tuple[Category, ...]:
+    """Miss-category definitions (Table 2)."""
+    return CATEGORIES
+
+
+def render_table2() -> str:
+    rows = [[c.name, c.scope, c.description] for c in CATEGORIES]
+    return ("Table 2: miss categories\n"
+            + _format_table(["Category", "Scope", "Description"], rows))
+
+
+# --------------------------------------------------------------------------- #
+# Tables 3-5 (temporal stream origins)
+# --------------------------------------------------------------------------- #
+@dataclass
+class OriginsResult:
+    """Per-context module breakdowns for one application class."""
+
+    title: str
+    scope: str
+    #: workload -> context -> ModuleBreakdown
+    breakdowns: Dict[str, Dict[str, ModuleBreakdown]]
+
+    def breakdown(self, workload: str, context: str) -> ModuleBreakdown:
+        return self.breakdowns[workload][context]
+
+    def merged(self, context: str) -> ModuleBreakdown:
+        """Average the per-workload breakdowns for one context.
+
+        The paper reports one table per application *class*; when a class has
+        several workloads (Apache and Zeus; the three DSS queries), their
+        per-category shares are averaged with equal weight.
+        """
+        rows: Dict[str, List[float]] = {}
+        streams: Dict[str, List[float]] = {}
+        counts: Dict[str, int] = {}
+        overall: List[float] = []
+        total = 0
+        for per_context in self.breakdowns.values():
+            breakdown = per_context[context]
+            overall.append(breakdown.overall_in_streams)
+            total += breakdown.total_misses
+            for name, row in breakdown.rows.items():
+                rows.setdefault(name, []).append(row.pct_misses)
+                streams.setdefault(name, []).append(row.pct_in_streams)
+                counts[name] = counts.get(name, 0) + row.n_misses
+        n = max(1, len(self.breakdowns))
+        from ..core.modules import CategoryRow
+        merged_rows = {
+            name: CategoryRow(category=name,
+                              pct_misses=sum(values) / n,
+                              pct_in_streams=sum(streams[name]) / n,
+                              n_misses=counts[name])
+            for name, values in rows.items()}
+        return ModuleBreakdown(rows=merged_rows,
+                               overall_in_streams=sum(overall) / n if overall else 0.0,
+                               total_misses=total)
+
+    def render(self) -> str:
+        contexts = {context: self.merged(context) for context in ALL_CONTEXTS}
+        return format_module_table(self.title, contexts, self.scope)
+
+
+def _origins(title: str, scope: str, workloads: Tuple[str, ...], size: str,
+             seed: int) -> OriginsResult:
+    breakdowns: Dict[str, Dict[str, ModuleBreakdown]] = {}
+    for workload in workloads:
+        breakdowns[workload] = {}
+        for context in ALL_CONTEXTS:
+            result = run_workload_context(workload, context, size=size,
+                                          seed=seed)
+            breakdowns[workload][context] = result.modules
+    return OriginsResult(title=title, scope=scope, breakdowns=breakdowns)
+
+
+def table3(size: str = "small", seed: int = 42) -> OriginsResult:
+    """Table 3: temporal stream origins in the Web applications."""
+    return _origins("Table 3: temporal stream origins in Web applications",
+                    "web", ("Apache", "Zeus"), size, seed)
+
+
+def table4(size: str = "small", seed: int = 42) -> OriginsResult:
+    """Table 4: temporal stream origins in OLTP (DB2)."""
+    return _origins("Table 4: temporal stream origins in OLTP (DB2)",
+                    "db2", ("OLTP",), size, seed)
+
+
+def table5(size: str = "small", seed: int = 42) -> OriginsResult:
+    """Table 5: temporal stream origins in DSS (DB2)."""
+    return _origins("Table 5: temporal stream origins in DSS (DB2)",
+                    "db2", ("Qry1", "Qry2", "Qry17"), size, seed)

@@ -1,0 +1,36 @@
+"""Memory-system substrate: caches, coherence, miss classification, traces.
+
+Public API
+----------
+* :class:`~repro.mem.records.Access`, :class:`~repro.mem.records.MissRecord`,
+  :class:`~repro.mem.records.AccessKind`, :class:`~repro.mem.records.MissClass`,
+  :class:`~repro.mem.records.IntraChipClass`, :class:`~repro.mem.records.FunctionRef`
+* :class:`~repro.mem.trace.AccessTrace`, :class:`~repro.mem.trace.MissTrace`
+* :class:`~repro.mem.cache.Cache`, :class:`~repro.mem.cache.State`
+* :class:`~repro.mem.multichip.MultiChipSystem`,
+  :class:`~repro.mem.singlechip.SingleChipSystem`
+* configuration helpers in :mod:`repro.mem.config`
+"""
+
+from .addrspace import AddressSpace, Region
+from .cache import Cache, State
+from .classify import BlockHistory
+from .config import (BLOCK_SIZE, DEFAULT_SCALE, PAGE_SIZE, CacheConfig,
+                     SystemConfig, multichip_config, paper_config,
+                     scaled_config, singlechip_config)
+from .multichip import MultiChipSystem
+from .records import (Access, AccessKind, FunctionRef, IntraChipClass,
+                      MissClass, MissRecord, UNKNOWN_FUNCTION)
+from .singlechip import SingleChipSystem
+from .trace import (ALL_CONTEXTS, INTRA_CHIP, MULTI_CHIP, SINGLE_CHIP,
+                    AccessTrace, MissTrace)
+
+__all__ = [
+    "Access", "AccessKind", "AccessTrace", "AddressSpace", "BlockHistory",
+    "BLOCK_SIZE", "Cache", "CacheConfig", "DEFAULT_SCALE", "FunctionRef",
+    "IntraChipClass", "MissClass", "MissRecord", "MissTrace",
+    "MultiChipSystem", "PAGE_SIZE", "Region", "SingleChipSystem", "State",
+    "SystemConfig", "UNKNOWN_FUNCTION", "multichip_config", "paper_config",
+    "scaled_config", "singlechip_config", "ALL_CONTEXTS", "INTRA_CHIP",
+    "MULTI_CHIP", "SINGLE_CHIP",
+]

@@ -1,0 +1,156 @@
+"""Set-associative cache with true-LRU replacement and per-block state.
+
+Used as the building block for both system models.  A cache stores
+*coherence state* per block (MOSI superset; MSI models simply never use the
+OWNED state).  Lookups and fills operate on block addresses (byte address of
+the block base); callers are responsible for converting byte addresses using
+:meth:`Cache.block_of`.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .config import CacheConfig
+
+
+class State(enum.IntEnum):
+    """Coherence state of a cached block (MOSI superset)."""
+
+    INVALID = 0
+    SHARED = 1
+    OWNED = 2
+    MODIFIED = 3
+
+    @property
+    def is_dirty(self) -> bool:
+        return self in (State.OWNED, State.MODIFIED)
+
+    @property
+    def is_valid(self) -> bool:
+        return self is not State.INVALID
+
+
+class Cache:
+    """A set-associative, write-allocate cache with true-LRU replacement.
+
+    Each set is an ``OrderedDict`` mapping block address to coherence state;
+    the ordering encodes recency (last item = most recently used).
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self.block_size = config.block_size
+        self.n_sets = config.n_sets
+        self.assoc = config.assoc
+        self._sets: List["OrderedDict[int, State]"] = [
+            OrderedDict() for _ in range(self.n_sets)]
+        # Statistics (informational; the system models keep their own).
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ #
+    # Address helpers
+    # ------------------------------------------------------------------ #
+    def block_of(self, addr: int) -> int:
+        """Block base address containing byte address ``addr``."""
+        return addr - (addr % self.block_size)
+
+    def _set_index(self, block: int) -> int:
+        return (block // self.block_size) % self.n_sets
+
+    # ------------------------------------------------------------------ #
+    # Lookup / fill / invalidate
+    # ------------------------------------------------------------------ #
+    def lookup(self, block: int, touch: bool = True) -> State:
+        """Return the state of ``block`` (INVALID if absent).
+
+        When ``touch`` is true and the block is present, it is promoted to
+        most-recently-used.
+        """
+        cache_set = self._sets[self._set_index(block)]
+        state = cache_set.get(block)
+        if state is None:
+            self.misses += 1
+            return State.INVALID
+        self.hits += 1
+        if touch:
+            cache_set.move_to_end(block)
+        return state
+
+    def peek(self, block: int) -> State:
+        """Like :meth:`lookup` but without updating LRU or statistics."""
+        cache_set = self._sets[self._set_index(block)]
+        return cache_set.get(block, State.INVALID)
+
+    def fill(self, block: int, state: State) -> Optional[Tuple[int, State]]:
+        """Insert ``block`` with ``state``, evicting the LRU victim if needed.
+
+        Returns ``(victim_block, victim_state)`` if an eviction occurred,
+        otherwise ``None``.  Filling a block already present simply updates
+        its state and recency.
+        """
+        if not state.is_valid:
+            raise ValueError("cannot fill a block in INVALID state")
+        cache_set = self._sets[self._set_index(block)]
+        if block in cache_set:
+            cache_set[block] = state
+            cache_set.move_to_end(block)
+            return None
+        victim: Optional[Tuple[int, State]] = None
+        if len(cache_set) >= self.assoc:
+            victim_block, victim_state = cache_set.popitem(last=False)
+            victim = (victim_block, victim_state)
+            self.evictions += 1
+        cache_set[block] = state
+        return victim
+
+    def set_state(self, block: int, state: State) -> None:
+        """Change the state of a resident block (or drop it if INVALID)."""
+        cache_set = self._sets[self._set_index(block)]
+        if block not in cache_set:
+            if state.is_valid:
+                raise KeyError(f"block {block:#x} not resident in {self.name}")
+            return
+        if state.is_valid:
+            cache_set[block] = state
+        else:
+            del cache_set[block]
+
+    def invalidate(self, block: int) -> State:
+        """Remove ``block`` and return its previous state."""
+        cache_set = self._sets[self._set_index(block)]
+        return cache_set.pop(block, State.INVALID)
+
+    def downgrade(self, block: int) -> State:
+        """Downgrade a dirty block to SHARED (remote read).  Returns the old state."""
+        cache_set = self._sets[self._set_index(block)]
+        old = cache_set.get(block, State.INVALID)
+        if old.is_valid:
+            cache_set[block] = State.SHARED
+        return old
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __contains__(self, block: int) -> bool:
+        return self.peek(block).is_valid
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def resident_blocks(self) -> Iterator[Tuple[int, State]]:
+        for cache_set in self._sets:
+            yield from cache_set.items()
+
+    def occupancy(self) -> float:
+        """Fraction of cache frames currently holding a valid block."""
+        return len(self) / (self.n_sets * self.assoc)
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}

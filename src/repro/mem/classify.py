@@ -1,0 +1,97 @@
+"""Global block-history bookkeeping for miss classification.
+
+The paper classifies off-chip read misses (Section 4.1) as:
+
+* **Coherence** — the block was written by another processor since this
+  processor last read it.
+* **I/O Coherence** — the block was written by a DMA transfer or an
+  OS-to-user bulk copy (the Solaris ``default_copyout`` family, which uses
+  non-allocating stores) since this processor last accessed it.
+* **Compulsory** — the block has never previously been accessed.
+* **Replacement** — everything else (capacity or conflict; with 16-way L2s
+  almost all are capacity).
+
+:class:`BlockHistory` tracks, per cache block, the global sequence numbers of
+the last CPU write (and its writer) and the last I/O write, plus the last
+access sequence number per (observer, block) pair, where an *observer* is a
+node in the multi-chip system or the whole chip in the single-chip system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .records import MissClass
+
+
+class BlockHistory:
+    """Tracks write/access history per block for the 4C+I/O classifier."""
+
+    def __init__(self) -> None:
+        #: Monotonic event counter; every recorded access/write bumps it.
+        self._clock = 0
+        #: block -> (sequence of last CPU write, writer id)
+        self._last_cpu_write: Dict[int, Tuple[int, int]] = {}
+        #: block -> sequence of last DMA/copyout write
+        self._last_io_write: Dict[int, int] = {}
+        #: (observer, block) -> sequence of the observer's last access
+        self._last_access: Dict[Tuple[int, int], int] = {}
+        #: blocks ever touched (by CPU, DMA or copyout)
+        self._touched: set = set()
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def record_access(self, observer: int, block: int) -> None:
+        """Record that ``observer`` read or wrote ``block`` (for recency)."""
+        seq = self._tick()
+        self._last_access[(observer, block)] = seq
+        self._touched.add(block)
+
+    def record_cpu_write(self, observer: int, block: int) -> None:
+        """Record a CPU store to ``block`` by ``observer``."""
+        seq = self._tick()
+        self._last_cpu_write[block] = (seq, observer)
+        self._last_access[(observer, block)] = seq
+        self._touched.add(block)
+
+    def record_io_write(self, block: int) -> None:
+        """Record a DMA or copyout (non-allocating) store to ``block``."""
+        seq = self._tick()
+        self._last_io_write[block] = seq
+        self._touched.add(block)
+
+    # ------------------------------------------------------------------ #
+    # Classification
+    # ------------------------------------------------------------------ #
+    def classify_read_miss(self, observer: int, block: int) -> MissClass:
+        """Classify a read miss by ``observer`` on ``block``.
+
+        Must be called *before* :meth:`record_access` for the same event.
+        """
+        if block not in self._touched:
+            return MissClass.COMPULSORY
+        since = self._last_access.get((observer, block), 0)
+        cpu_write = self._last_cpu_write.get(block)
+        if cpu_write is not None:
+            write_seq, writer = cpu_write
+            if write_seq > since and writer != observer:
+                return MissClass.COHERENCE
+        io_seq = self._last_io_write.get(block, 0)
+        if io_seq > since:
+            return MissClass.IO_COHERENCE
+        return MissClass.REPLACEMENT
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers (used by tests)
+    # ------------------------------------------------------------------ #
+    def touched(self, block: int) -> bool:
+        return block in self._touched
+
+    def last_writer(self, block: int) -> Optional[int]:
+        entry = self._last_cpu_write.get(block)
+        return entry[1] if entry else None

@@ -1,0 +1,105 @@
+"""System configuration for the multi-chip and single-chip models.
+
+The paper's systems (Section 3, "System contexts"):
+
+* multi-chip: 16-node distributed shared memory machine; each node has split
+  2-way 64KB L1 I/D caches and a private unified 16-way 8MB L2; MSI protocol.
+* single-chip: 4-core CMP; split 64KB L1 I/D per core; shared 16-way 8MB L2;
+  MOSI protocol modelled on Piranha; non-inclusive hierarchy.
+
+Because the substrate here is a pure-Python trace-driven simulator fed by
+*synthetic scaled-down workloads*, the default configuration scales the cache
+capacities down by ``DEFAULT_SCALE`` while preserving the capacity ratios
+(L2/L1 and footprint/L2) that determine the miss classification mix.  Use
+:func:`paper_config` for the full-size parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+#: Cache block (line) size in bytes, matching typical SPARC systems.
+BLOCK_SIZE = 64
+
+#: OS page size (Solaris on SPARC), relevant for bulk-copy stream lengths.
+PAGE_SIZE = 4096
+
+#: Default linear scale-down factor applied to cache capacities.
+DEFAULT_SCALE = 64
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one set-associative cache."""
+
+    size_bytes: int
+    assoc: int
+    block_size: int = BLOCK_SIZE
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.assoc * self.block_size):
+            raise ValueError(
+                f"cache size {self.size_bytes} not divisible by "
+                f"assoc*block ({self.assoc}*{self.block_size})")
+
+    @property
+    def n_blocks(self) -> int:
+        return self.size_bytes // self.block_size
+
+    @property
+    def n_sets(self) -> int:
+        return self.n_blocks // self.assoc
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Parameters shared by both system organisations."""
+
+    #: Number of processors (16 nodes multi-chip, 4 cores single-chip).
+    n_cpus: int
+    l1: CacheConfig
+    l2: CacheConfig
+    block_size: int = BLOCK_SIZE
+
+    def __post_init__(self) -> None:
+        if self.n_cpus < 1:
+            raise ValueError("n_cpus must be positive")
+        if self.l1.block_size != self.block_size or self.l2.block_size != self.block_size:
+            raise ValueError("cache block sizes must match system block size")
+
+
+def scaled_config(n_cpus: int, scale: int = DEFAULT_SCALE) -> SystemConfig:
+    """Build a configuration with the paper's geometry scaled down.
+
+    The paper uses 64KB 2-way L1s and 8MB 16-way L2s.  With the default
+    scale of 64 this yields a 1KB L1 (16 blocks) and a 128KB L2 (2048
+    blocks); associativities are preserved.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    l1_bytes = max(64 * 1024 // scale, 2 * BLOCK_SIZE)
+    l2_bytes = max(8 * 1024 * 1024 // scale, 16 * BLOCK_SIZE)
+    # Round to a multiple of assoc * block so geometry stays valid.
+    l1_bytes -= l1_bytes % (2 * BLOCK_SIZE)
+    l2_bytes -= l2_bytes % (16 * BLOCK_SIZE)
+    return SystemConfig(
+        n_cpus=n_cpus,
+        l1=CacheConfig(size_bytes=l1_bytes, assoc=2),
+        l2=CacheConfig(size_bytes=l2_bytes, assoc=16),
+    )
+
+
+def paper_config(n_cpus: int) -> SystemConfig:
+    """The unscaled configuration used in the paper."""
+    return scaled_config(n_cpus=n_cpus, scale=1)
+
+
+def multichip_config(scale: int = DEFAULT_SCALE) -> SystemConfig:
+    """16-node multi-chip system (scaled)."""
+    return scaled_config(n_cpus=16, scale=scale)
+
+
+def singlechip_config(scale: int = DEFAULT_SCALE) -> SystemConfig:
+    """4-core single-chip system (scaled)."""
+    return scaled_config(n_cpus=4, scale=scale)

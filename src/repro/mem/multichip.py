@@ -1,0 +1,144 @@
+"""Multi-chip distributed-shared-memory system model (MSI protocol).
+
+The paper's multi-chip context is a 16-node DSM machine: each node holds one
+processor with private L1 and L2 caches; an MSI invalidation protocol keeps
+them coherent.  The trace of interest is the sequence of **off-chip read
+misses** — reads that miss in a node's L2 — classified with the extended
+4C model (:mod:`repro.mem.classify`).
+
+Like the paper's trace-collection mode, the model is functional and
+timing-free: accesses are processed in program order with no stalls.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .cache import Cache, State
+from .classify import BlockHistory
+from .config import SystemConfig
+from .records import Access, AccessKind, MissRecord
+from .trace import AccessTrace, MissTrace, MULTI_CHIP
+
+
+class MultiChipSystem:
+    """Trace-driven model of the 16-node multi-chip DSM system."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.block_size = config.block_size
+        self.n_nodes = config.n_cpus
+        self.l1s: List[Cache] = [Cache(config.l1, name=f"node{i}.l1")
+                                 for i in range(self.n_nodes)]
+        self.l2s: List[Cache] = [Cache(config.l2, name=f"node{i}.l2")
+                                 for i in range(self.n_nodes)]
+        self.history = BlockHistory()
+        self._offchip = MissTrace(MULTI_CHIP)
+        self._instructions = 0
+        #: When False, accesses still update cache and classification state
+        #: but produce no miss records and no instruction counts (used for
+        #: cache warm-up, mirroring the paper's warming phase).
+        self.recording = True
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def run(self, trace: Iterable[Access]) -> MissTrace:
+        """Process an access trace and return the off-chip read-miss trace."""
+        for access in trace:
+            self.process(access)
+        return self.finish()
+
+    def set_recording(self, recording: bool) -> None:
+        """Enable or disable miss recording (warm-up support)."""
+        self.recording = recording
+
+    def process(self, access: Access) -> None:
+        """Process one access (possibly spanning several cache blocks)."""
+        if access.cpu >= 0 and self.recording:
+            self._instructions += access.icount
+        first = access.addr - (access.addr % self.block_size)
+        last = (access.addr + max(access.size, 1) - 1)
+        last -= last % self.block_size
+        block = first
+        while True:
+            self._process_block(access, block)
+            if block >= last:
+                break
+            block += self.block_size
+
+    def finish(self) -> MissTrace:
+        """Finalize and return the off-chip miss trace."""
+        self._offchip.instructions = self._instructions
+        return self._offchip
+
+    @property
+    def offchip(self) -> MissTrace:
+        self._offchip.instructions = self._instructions
+        return self._offchip
+
+    # ------------------------------------------------------------------ #
+    # Per-block protocol actions
+    # ------------------------------------------------------------------ #
+    def _process_block(self, access: Access, block: int) -> None:
+        kind = access.kind
+        if kind in (AccessKind.DMA_WRITE, AccessKind.COPYOUT_WRITE):
+            self._io_write(access, block)
+        elif kind == AccessKind.WRITE:
+            self._cpu_write(access.cpu, block)
+        else:  # READ or IFETCH
+            self._cpu_read(access, block)
+
+    def _cpu_read(self, access: Access, block: int) -> None:
+        node = access.cpu
+        l1, l2 = self.l1s[node], self.l2s[node]
+        if l1.lookup(block).is_valid:
+            self.history.record_access(node, block)
+            return
+        if l2.lookup(block).is_valid:
+            # L2 hit: refill L1 in SHARED (or keep M state at L2 only; the
+            # trace analyses only need hit/miss behaviour).
+            self._fill(l1, block, State.SHARED)
+            self.history.record_access(node, block)
+            return
+        # Off-chip miss: classify before updating history.
+        if self.recording:
+            miss_class = self.history.classify_read_miss(node, block)
+            self._offchip.append(MissRecord(seq=len(self._offchip), cpu=node,
+                                            block=block, miss_class=miss_class,
+                                            fn=access.fn))
+        # Remote dirty copies are downgraded to SHARED by the MSI protocol.
+        for other in range(self.n_nodes):
+            if other == node:
+                continue
+            if self.l1s[other].peek(block) == State.MODIFIED:
+                self.l1s[other].downgrade(block)
+            if self.l2s[other].peek(block) == State.MODIFIED:
+                self.l2s[other].downgrade(block)
+        self._fill(l2, block, State.SHARED)
+        self._fill(l1, block, State.SHARED)
+        self.history.record_access(node, block)
+
+    def _cpu_write(self, node: int, block: int) -> None:
+        # Invalidate every other node's copies (MSI upgrade/invalidate).
+        for other in range(self.n_nodes):
+            if other == node:
+                continue
+            self.l1s[other].invalidate(block)
+            self.l2s[other].invalidate(block)
+        self._fill(self.l2s[node], block, State.MODIFIED)
+        self._fill(self.l1s[node], block, State.MODIFIED)
+        self.history.record_cpu_write(node, block)
+
+    def _io_write(self, access: Access, block: int) -> None:
+        # DMA and copyout stores write memory without allocating anywhere
+        # and invalidate all cached copies.
+        for node in range(self.n_nodes):
+            self.l1s[node].invalidate(block)
+            self.l2s[node].invalidate(block)
+        self.history.record_io_write(block)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _fill(cache: Cache, block: int, state: State) -> None:
+        cache.fill(block, state)

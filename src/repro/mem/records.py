@@ -1,0 +1,181 @@
+"""Trace record types shared by the workload generators and cache models.
+
+The workload generators (:mod:`repro.workloads`) produce sequences of
+:class:`Access` records.  The system models (:mod:`repro.mem.multichip`,
+:mod:`repro.mem.singlechip`) consume those accesses and emit
+:class:`MissRecord` sequences for each *system context* the paper studies
+(multi-chip off-chip misses, single-chip off-chip misses, intra-chip misses).
+
+All addresses are byte addresses; the cache models convert them to block
+addresses using the configured block size.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class AccessKind(enum.IntEnum):
+    """Kind of memory operation appearing in a workload trace."""
+
+    READ = 0
+    WRITE = 1
+    #: Device (DMA) write into main memory.  Invalidate cached copies and
+    #: mark the block as I/O-written for miss classification.
+    DMA_WRITE = 2
+    #: Kernel-to-user bulk copy destination store (Solaris ``default_copyout``
+    #: family).  These use non-allocating stores: the block is written in
+    #: memory, cached copies are invalidated, and nothing is allocated in the
+    #: writer's cache hierarchy.
+    COPYOUT_WRITE = 3
+    #: Instruction fetch.  Traced like a read; tagged so analyses can
+    #: separate I-side behaviour if desired.
+    IFETCH = 4
+
+
+class MissClass(enum.IntEnum):
+    """Miss classification used for Figure 1 (an extended "4 C's" model)."""
+
+    #: Block written by another processor since this processor last read it.
+    COHERENCE = 0
+    #: Block written by a DMA transfer or OS-to-user bulk copy since this
+    #: processor (or chip) last accessed it.
+    IO_COHERENCE = 1
+    #: Block never previously accessed by any processor.
+    COMPULSORY = 2
+    #: Everything else (capacity or conflict).
+    REPLACEMENT = 3
+
+
+class IntraChipClass(enum.IntEnum):
+    """Classification of L1 misses in the single-chip system (Figure 1 right)."""
+
+    #: Coherence miss satisfied by a peer L1 (dirty copy in another core).
+    COHERENCE_PEER_L1 = 0
+    #: Coherence miss satisfied by the shared L2.
+    COHERENCE_L2 = 1
+    #: L1 replacement miss satisfied by the shared L2.
+    REPLACEMENT_L2 = 2
+    #: The L1 miss also missed in the shared L2 (off-chip).
+    OFF_CHIP = 3
+
+
+@dataclass(frozen=True)
+class FunctionRef:
+    """A symbol-table entry attached to every access.
+
+    The paper attributes misses to code modules by walking the call stack at
+    each miss and matching function names against module naming conventions
+    (Section 3, "Code module analysis").  Our synthetic workloads attach the
+    enclosing function directly, which plays the role of the resolved stack.
+    """
+
+    name: str
+    module: str
+    category: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.module}:{self.name}"
+
+
+#: Function reference used when a trace record has no attribution.
+UNKNOWN_FUNCTION = FunctionRef(name="<unknown>", module="unknown",
+                               category="Uncategorized / Unknown")
+
+
+@dataclass
+class Access:
+    """A single memory operation emitted by a workload generator.
+
+    Attributes
+    ----------
+    cpu:
+        Logical processor issuing the access.  ``-1`` for device (DMA)
+        operations that are not issued by any processor.
+    addr:
+        Byte address.
+    size:
+        Size in bytes.  The cache models split multi-block accesses into
+        one operation per cache block.
+    kind:
+        Operation kind (read, write, DMA write, copyout store, ifetch).
+    fn:
+        Function attribution for code-module analysis.
+    thread:
+        Software thread identifier (used by the scheduler model and for
+        debugging; not needed by the cache models).
+    icount:
+        Number of instructions executed since the previous access on this
+        CPU.  Summed to obtain total instruction counts for the
+        misses-per-kilo-instruction metrics of Figure 1.
+    """
+
+    __slots__ = ("cpu", "addr", "size", "kind", "fn", "thread", "icount")
+
+    cpu: int
+    addr: int
+    size: int
+    kind: AccessKind
+    fn: FunctionRef
+    thread: int
+    icount: int
+
+    def __init__(self, cpu: int, addr: int, size: int = 8,
+                 kind: AccessKind = AccessKind.READ,
+                 fn: FunctionRef = UNKNOWN_FUNCTION,
+                 thread: int = 0, icount: int = 4) -> None:
+        self.cpu = cpu
+        self.addr = addr
+        self.size = size
+        self.kind = kind
+        self.fn = fn
+        self.thread = thread
+        self.icount = icount
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind in (AccessKind.READ, AccessKind.IFETCH)
+
+    @property
+    def is_io_write(self) -> bool:
+        return self.kind in (AccessKind.DMA_WRITE, AccessKind.COPYOUT_WRITE)
+
+
+@dataclass
+class MissRecord:
+    """A classified read miss in one of the three system contexts.
+
+    The analysis layer (:mod:`repro.core`) operates on sequences of these.
+    """
+
+    __slots__ = ("seq", "cpu", "block", "miss_class", "fn", "supplier")
+
+    #: Position of this miss within its context's miss trace (0-based).
+    seq: int
+    #: Processor (node or core) that incurred the miss.
+    cpu: int
+    #: Cache-block address (byte address of the block base).
+    block: int
+    #: Classification (MissClass for off-chip traces, IntraChipClass for the
+    #: intra-chip trace).
+    miss_class: int
+    #: Function attribution copied from the triggering access.
+    fn: FunctionRef
+    #: For intra-chip misses: which level supplied the data (informational).
+    supplier: Optional[int]
+
+    def __init__(self, seq: int, cpu: int, block: int, miss_class: int,
+                 fn: FunctionRef = UNKNOWN_FUNCTION,
+                 supplier: Optional[int] = None) -> None:
+        self.seq = seq
+        self.cpu = cpu
+        self.block = block
+        self.miss_class = miss_class
+        self.fn = fn
+        self.supplier = supplier
+
+    def key(self) -> Tuple[int, int]:
+        """(cpu, block) pair, convenient for grouping."""
+        return (self.cpu, self.block)

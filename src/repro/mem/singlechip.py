@@ -1,0 +1,193 @@
+"""Single-chip CMP system model (MOSI, Piranha-like, non-inclusive).
+
+The paper's single-chip context is a 4-core CMP with private split L1s and a
+shared 16-way L2.  Two miss traces come out of it:
+
+* **single-chip (off-chip)** — L1 misses that also miss in the shared L2,
+  classified with the extended 4C model at chip granularity.  Because all
+  cores share the chip, there is no (non-I/O) off-chip coherence.
+* **intra-chip** — L1 read misses that are satisfied on-chip, classified as
+  ``Coherence:Peer-L1`` (dirty copy supplied by another core's L1),
+  ``Coherence:L2`` (coherence miss satisfied by the shared L2), or
+  ``Replacement:L2`` (plain L1 replacement miss hitting in L2), following
+  Figure 1 (right).
+
+The hierarchy is non-inclusive: a block may live in an L1 without being in
+the L2 (the L2 is filled on L1 refills but L2 evictions do not back-
+invalidate the L1s).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from .cache import Cache, State
+from .classify import BlockHistory
+from .config import SystemConfig
+from .records import Access, AccessKind, IntraChipClass, MissClass, MissRecord
+from .trace import AccessTrace, MissTrace, INTRA_CHIP, SINGLE_CHIP
+
+#: Observer id used for chip-level classification (the whole chip acts as a
+#: single observer for off-chip misses).
+_CHIP = 0
+
+
+class SingleChipSystem:
+    """Trace-driven model of the 4-core single-chip CMP."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.block_size = config.block_size
+        self.n_cores = config.n_cpus
+        self.l1s: List[Cache] = [Cache(config.l1, name=f"core{i}.l1")
+                                 for i in range(self.n_cores)]
+        self.l2 = Cache(config.l2, name="shared.l2")
+        #: Chip-level history for off-chip classification.
+        self.chip_history = BlockHistory()
+        #: Per-core history for intra-chip coherence-vs-replacement decisions.
+        self.core_history = BlockHistory()
+        self._offchip = MissTrace(SINGLE_CHIP)
+        self._intrachip = MissTrace(INTRA_CHIP)
+        self._instructions = 0
+        #: When False, accesses still update cache and classification state
+        #: but produce no miss records and no instruction counts (used for
+        #: cache warm-up, mirroring the paper's warming phase).
+        self.recording = True
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def run(self, trace: Iterable[Access]) -> Tuple[MissTrace, MissTrace]:
+        """Process a trace; return ``(offchip_trace, intrachip_trace)``."""
+        for access in trace:
+            self.process(access)
+        return self.finish()
+
+    def set_recording(self, recording: bool) -> None:
+        """Enable or disable miss recording (warm-up support)."""
+        self.recording = recording
+
+    def process(self, access: Access) -> None:
+        if access.cpu >= 0 and self.recording:
+            self._instructions += access.icount
+        first = access.addr - (access.addr % self.block_size)
+        last = (access.addr + max(access.size, 1) - 1)
+        last -= last % self.block_size
+        block = first
+        while True:
+            self._process_block(access, block)
+            if block >= last:
+                break
+            block += self.block_size
+
+    def finish(self) -> Tuple[MissTrace, MissTrace]:
+        self._offchip.instructions = self._instructions
+        self._intrachip.instructions = self._instructions
+        return self._offchip, self._intrachip
+
+    @property
+    def offchip(self) -> MissTrace:
+        self._offchip.instructions = self._instructions
+        return self._offchip
+
+    @property
+    def intrachip(self) -> MissTrace:
+        self._intrachip.instructions = self._instructions
+        return self._intrachip
+
+    # ------------------------------------------------------------------ #
+    # Per-block protocol actions
+    # ------------------------------------------------------------------ #
+    def _process_block(self, access: Access, block: int) -> None:
+        kind = access.kind
+        if kind in (AccessKind.DMA_WRITE, AccessKind.COPYOUT_WRITE):
+            self._io_write(block)
+        elif kind == AccessKind.WRITE:
+            self._cpu_write(access.cpu, block)
+        else:
+            self._cpu_read(access, block)
+
+    def _cpu_read(self, access: Access, block: int) -> None:
+        core = access.cpu
+        l1 = self.l1s[core]
+        if l1.lookup(block).is_valid:
+            self.core_history.record_access(core, block)
+            self.chip_history.record_access(_CHIP, block)
+            return
+
+        # L1 miss.  Determine whether it is a coherence miss (another core
+        # wrote the block since this core last read it).
+        core_class = self.core_history.classify_read_miss(core, block)
+        is_coherence = core_class == MissClass.COHERENCE
+
+        # Find a dirty peer copy (MOSI: M or O states can supply data).
+        peer_supplier = None
+        for other in range(self.n_cores):
+            if other != core and self.l1s[other].peek(block).is_dirty:
+                peer_supplier = other
+                break
+
+        l2_state = self.l2.lookup(block)
+        if peer_supplier is not None:
+            # Peer L1 supplies the data; the supplier transitions M -> O
+            # (Piranha keeps the dirty copy as owner).
+            if self.l1s[peer_supplier].peek(block) == State.MODIFIED:
+                self.l1s[peer_supplier].set_state(block, State.OWNED)
+            if self.recording:
+                cls = (IntraChipClass.COHERENCE_PEER_L1 if is_coherence
+                       else IntraChipClass.REPLACEMENT_L2)
+                self._intrachip.append(MissRecord(
+                    seq=len(self._intrachip), cpu=core, block=block,
+                    miss_class=cls, fn=access.fn, supplier=peer_supplier))
+            self._fill_l1(core, block, State.SHARED)
+        elif l2_state.is_valid:
+            if self.recording:
+                cls = (IntraChipClass.COHERENCE_L2 if is_coherence
+                       else IntraChipClass.REPLACEMENT_L2)
+                self._intrachip.append(MissRecord(
+                    seq=len(self._intrachip), cpu=core, block=block,
+                    miss_class=cls, fn=access.fn, supplier=-1))
+            self._fill_l1(core, block, State.SHARED)
+        else:
+            # Off-chip miss; classify at chip granularity.
+            if self.recording:
+                chip_class = self.chip_history.classify_read_miss(_CHIP, block)
+                self._offchip.append(MissRecord(
+                    seq=len(self._offchip), cpu=core, block=block,
+                    miss_class=chip_class, fn=access.fn))
+            self.l2.fill(block, State.SHARED)
+            self._fill_l1(core, block, State.SHARED)
+
+        self.core_history.record_access(core, block)
+        self.chip_history.record_access(_CHIP, block)
+
+    def _cpu_write(self, core: int, block: int) -> None:
+        # Invalidate peer copies; write-allocate into this core's L1 and the
+        # shared L2 (write-back, write-allocate).
+        for other in range(self.n_cores):
+            if other != core:
+                self.l1s[other].invalidate(block)
+        self._fill_l1(core, block, State.MODIFIED)
+        if self.l2.peek(block).is_valid:
+            self.l2.set_state(block, State.MODIFIED)
+        self.core_history.record_cpu_write(core, block)
+        self.chip_history.record_access(_CHIP, block)
+        # A CPU write inside the chip never creates off-chip coherence, so
+        # the chip-level history records it as a plain access, not a write.
+
+    def _io_write(self, block: int) -> None:
+        for core in range(self.n_cores):
+            self.l1s[core].invalidate(block)
+        self.l2.invalidate(block)
+        self.core_history.record_io_write(block)
+        self.chip_history.record_io_write(block)
+
+    # ------------------------------------------------------------------ #
+    def _fill_l1(self, core: int, block: int, state: State) -> None:
+        victim = self.l1s[core].fill(block, state)
+        if victim is not None:
+            victim_block, victim_state = victim
+            # Non-inclusive hierarchy: dirty L1 victims are written back to
+            # the shared L2 so their data is not lost.
+            if victim_state.is_dirty and not self.l2.peek(victim_block).is_valid:
+                self.l2.fill(victim_block, State.MODIFIED)

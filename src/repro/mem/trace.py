@@ -1,0 +1,150 @@
+"""Containers for access traces and classified miss traces.
+
+A :class:`MissTrace` is the unit of input to the analysis layer: an ordered
+list of :class:`~repro.mem.records.MissRecord` plus the instruction count of
+the run that produced it (needed for Figure 1's misses-per-kilo-instruction
+axis).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from .records import (Access, FunctionRef, IntraChipClass, MissClass,
+                      MissRecord, UNKNOWN_FUNCTION)
+
+
+@dataclass
+class AccessTrace:
+    """An ordered sequence of workload accesses plus bookkeeping totals."""
+
+    accesses: List[Access] = field(default_factory=list)
+
+    def append(self, access: Access) -> None:
+        self.accesses.append(access)
+
+    def extend(self, accesses: Iterable[Access]) -> None:
+        self.accesses.extend(accesses)
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    def __iter__(self) -> Iterator[Access]:
+        return iter(self.accesses)
+
+    def __getitem__(self, idx):
+        return self.accesses[idx]
+
+    @property
+    def instructions(self) -> int:
+        """Total instructions represented by the trace."""
+        return sum(a.icount for a in self.accesses)
+
+    def cpus(self) -> List[int]:
+        """Sorted list of CPUs appearing in the trace (excluding DMA)."""
+        return sorted({a.cpu for a in self.accesses if a.cpu >= 0})
+
+
+class MissTrace:
+    """An ordered sequence of classified read misses for one system context."""
+
+    def __init__(self, context: str, instructions: int = 0,
+                 records: Optional[List[MissRecord]] = None) -> None:
+        self.context = context
+        self.instructions = instructions
+        self.records: List[MissRecord] = records if records is not None else []
+
+    # -- construction ---------------------------------------------------- #
+    def append(self, record: MissRecord) -> None:
+        self.records.append(record)
+
+    # -- sequence protocol ------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[MissRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, idx):
+        return self.records[idx]
+
+    # -- derived views ----------------------------------------------------- #
+    def addresses(self) -> List[int]:
+        """Block addresses in trace order (input to SEQUITUR)."""
+        return [r.block for r in self.records]
+
+    def per_cpu_positions(self) -> Dict[int, List[int]]:
+        """Map cpu -> list of global positions of that cpu's misses."""
+        out: Dict[int, List[int]] = {}
+        for i, r in enumerate(self.records):
+            out.setdefault(r.cpu, []).append(i)
+        return out
+
+    def misses_per_kilo_instruction(self) -> float:
+        """Read misses per 1000 instructions (Figure 1 vertical axis)."""
+        if self.instructions <= 0:
+            return 0.0
+        return 1000.0 * len(self.records) / self.instructions
+
+    def class_counts(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for r in self.records:
+            counts[r.miss_class] = counts.get(r.miss_class, 0) + 1
+        return counts
+
+    def filter(self, predicate: Callable[[MissRecord], bool]) -> "MissTrace":
+        """Return a new trace containing only records matching ``predicate``.
+
+        The filtered records keep their original relative order but are
+        renumbered from zero.
+        """
+        filtered = MissTrace(self.context, self.instructions)
+        for r in self.records:
+            if predicate(r):
+                filtered.append(MissRecord(seq=len(filtered.records), cpu=r.cpu,
+                                           block=r.block,
+                                           miss_class=r.miss_class, fn=r.fn,
+                                           supplier=r.supplier))
+        return filtered
+
+    # -- serialization ------------------------------------------------------ #
+    def to_jsonl(self, path: str) -> None:
+        """Write the trace as JSON-lines (one record per line)."""
+        with open(path, "w") as fh:
+            header = {"context": self.context,
+                      "instructions": self.instructions,
+                      "n_records": len(self.records)}
+            fh.write(json.dumps(header) + "\n")
+            for r in self.records:
+                fh.write(json.dumps({
+                    "seq": r.seq, "cpu": r.cpu, "block": r.block,
+                    "class": int(r.miss_class),
+                    "fn": r.fn.name, "module": r.fn.module,
+                    "category": r.fn.category,
+                    "supplier": r.supplier}) + "\n")
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> "MissTrace":
+        """Read a trace previously written by :meth:`to_jsonl`."""
+        with open(path) as fh:
+            header = json.loads(fh.readline())
+            trace = cls(context=header["context"],
+                        instructions=header["instructions"])
+            for line in fh:
+                d = json.loads(line)
+                fn = FunctionRef(name=d["fn"], module=d["module"],
+                                 category=d["category"])
+                trace.append(MissRecord(seq=d["seq"], cpu=d["cpu"],
+                                        block=d["block"],
+                                        miss_class=d["class"], fn=fn,
+                                        supplier=d.get("supplier")))
+        return trace
+
+
+#: Context name constants used throughout the experiments.
+MULTI_CHIP = "multi-chip"
+SINGLE_CHIP = "single-chip"
+INTRA_CHIP = "intra-chip"
+ALL_CONTEXTS = (MULTI_CHIP, SINGLE_CHIP, INTRA_CHIP)

@@ -1,0 +1,17 @@
+"""Prefetcher models built on the temporal-stream characterization.
+
+Public API
+----------
+* :class:`~repro.prefetch.base.Prefetcher`,
+  :func:`~repro.prefetch.base.evaluate_coverage`,
+  :class:`~repro.prefetch.base.CoverageResult`
+* :class:`~repro.prefetch.stride_prefetcher.StridePrefetcher`
+* :class:`~repro.prefetch.temporal_prefetcher.TemporalPrefetcher`
+"""
+
+from .base import CoverageResult, Prefetcher, evaluate_coverage
+from .stride_prefetcher import StridePrefetcher
+from .temporal_prefetcher import TemporalPrefetcher
+
+__all__ = ["CoverageResult", "Prefetcher", "StridePrefetcher",
+           "TemporalPrefetcher", "evaluate_coverage"]

@@ -1,0 +1,84 @@
+"""Synthetic commercial server workload models.
+
+This package builds the access traces the paper's analysis consumes: web
+serving (Apache, Zeus), online transaction processing (OLTP on a DB2-like
+substrate), and decision support (TPC-H-like queries 1, 2, 17), all running
+on top of a Solaris kernel model (scheduler, synchronization, MMU, STREAMS,
+IP, block devices, bulk copies).
+
+Use :func:`create_workload` / :func:`generate_trace` to obtain traces by the
+paper's workload names (``Apache``, ``Zeus``, ``OLTP``, ``Qry1``, ``Qry2``,
+``Qry17``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..mem.trace import AccessTrace
+from .base import (Job, KernelHooks, Op, OpStream, TraceBuilder,
+                   WorkloadDriver, copyout_store, dma_write, read, write)
+from .btree import BPlusTree
+from .configs import (SIZE_PRESETS, TABLE1, WORKLOAD_NAMES, ApplicationConfig,
+                      get_config, scaled_parameter)
+from .db2 import (BufferPool, CursorPool, IpcChannel, LockManager,
+                  PackageCache, TransactionLog, TransactionTable)
+from .dss import DssWorkload
+from .kernel import KernelConfig, KernelModel
+from .oltp import OltpWorkload
+from .perl import PerlPool, PerlProcess
+from .symbols import Sym, all_functions, lookup
+from .web import WebWorkload
+from .webserver import ConnectionTable, FileCache
+
+
+def create_workload(name: str, n_cpus: int, seed: int = 42,
+                    size: str = "default"):
+    """Instantiate a workload model by its paper name.
+
+    Parameters
+    ----------
+    name:
+        One of ``Apache``, ``Zeus``, ``OLTP``, ``Qry1``, ``Qry2``, ``Qry17``
+        (case-insensitive).
+    n_cpus:
+        Number of processors the workload's threads are interleaved over
+        (16 for the multi-chip system, 4 for the single-chip CMP).
+    seed:
+        Seed for the workload's deterministic pseudo-random choices.
+    size:
+        Work-volume preset: ``tiny``, ``small``, ``default``, or ``large``.
+    """
+    key = name.lower()
+    if key == "apache":
+        return WebWorkload("apache", n_cpus=n_cpus, seed=seed, size=size)
+    if key == "zeus":
+        return WebWorkload("zeus", n_cpus=n_cpus, seed=seed, size=size)
+    if key in ("oltp", "db2", "tpcc", "tpc-c"):
+        return OltpWorkload(n_cpus=n_cpus, seed=seed, size=size)
+    if key in ("qry1", "q1", "query1"):
+        return DssWorkload(1, n_cpus=n_cpus, seed=seed, size=size)
+    if key in ("qry2", "q2", "query2"):
+        return DssWorkload(2, n_cpus=n_cpus, seed=seed, size=size)
+    if key in ("qry17", "q17", "query17"):
+        return DssWorkload(17, n_cpus=n_cpus, seed=seed, size=size)
+    raise KeyError(f"unknown workload {name!r}; known names: {WORKLOAD_NAMES}")
+
+
+def generate_trace(name: str, n_cpus: int, seed: int = 42,
+                   size: str = "default") -> AccessTrace:
+    """Build a workload and generate its access trace in one call."""
+    return create_workload(name, n_cpus=n_cpus, seed=seed, size=size).generate()
+
+
+__all__ = [
+    "ApplicationConfig", "BPlusTree", "BufferPool", "ConnectionTable",
+    "CursorPool", "DssWorkload", "FileCache", "IpcChannel", "Job",
+    "KernelConfig", "KernelHooks", "KernelModel", "LockManager",
+    "OltpWorkload", "Op", "OpStream", "PackageCache", "PerlPool",
+    "PerlProcess", "SIZE_PRESETS", "Sym", "TABLE1", "TraceBuilder",
+    "TransactionLog", "TransactionTable", "WORKLOAD_NAMES", "WebWorkload",
+    "WorkloadDriver", "all_functions", "copyout_store", "create_workload",
+    "dma_write", "generate_trace", "get_config", "lookup", "read",
+    "scaled_parameter", "write",
+]

@@ -1,0 +1,240 @@
+"""Workload-modelling framework: ops, trace builder, and the CPU driver.
+
+The synthetic workloads are written as Python generators that *yield*
+:class:`Op` records (address, size, kind, function attribution, instruction
+weight).  The :class:`WorkloadDriver` interleaves many such generators across
+the simulated CPUs in quanta, invoking the Solaris kernel model (scheduler,
+MMU, …) at the appropriate points, and appends the resulting
+:class:`~repro.mem.records.Access` stream to an
+:class:`~repro.mem.trace.AccessTrace`.
+
+This mirrors how the paper's traces come about: many concurrent server
+threads, migrating across processors under the Solaris dispatcher, touching
+both private working state and shared structures.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import (Callable, Deque, Dict, Generator, Iterable, Iterator,
+                    List, NamedTuple, Optional, Sequence, Tuple)
+from collections import deque
+
+from ..mem.addrspace import AddressSpace
+from ..mem.config import BLOCK_SIZE, PAGE_SIZE
+from ..mem.records import Access, AccessKind, FunctionRef, UNKNOWN_FUNCTION
+from ..mem.trace import AccessTrace
+
+
+class Op(NamedTuple):
+    """One memory operation yielded by a workload generator."""
+
+    addr: int
+    size: int
+    kind: AccessKind
+    fn: FunctionRef
+    icount: int
+
+
+#: Type alias for workload generators.
+OpStream = Iterator[Op]
+
+
+def read(addr: int, fn: FunctionRef, size: int = 8, icount: int = 6) -> Op:
+    """A cacheable load."""
+    return Op(addr=addr, size=size, kind=AccessKind.READ, fn=fn, icount=icount)
+
+
+def write(addr: int, fn: FunctionRef, size: int = 8, icount: int = 6) -> Op:
+    """A cacheable store."""
+    return Op(addr=addr, size=size, kind=AccessKind.WRITE, fn=fn, icount=icount)
+
+
+def dma_write(addr: int, size: int, fn: FunctionRef, icount: int = 0) -> Op:
+    """A device (DMA) write into memory; not issued by any CPU."""
+    return Op(addr=addr, size=size, kind=AccessKind.DMA_WRITE, fn=fn,
+              icount=icount)
+
+
+def copyout_store(addr: int, size: int, fn: FunctionRef, icount: int = 2) -> Op:
+    """A non-allocating kernel-to-user copy store (``default_copyout``)."""
+    return Op(addr=addr, size=size, kind=AccessKind.COPYOUT_WRITE, fn=fn,
+              icount=icount)
+
+
+class TraceBuilder:
+    """Accumulates the access trace and owns the synthetic address space."""
+
+    def __init__(self, n_cpus: int, seed: int = 42) -> None:
+        if n_cpus < 1:
+            raise ValueError("n_cpus must be >= 1")
+        self.n_cpus = n_cpus
+        self.rng = random.Random(seed)
+        self.space = AddressSpace()
+        self.trace = AccessTrace()
+
+    def emit(self, cpu: int, op: Op, thread: int = 0) -> None:
+        """Append one op to the trace, attributing it to ``cpu``/``thread``."""
+        actual_cpu = -1 if op.kind == AccessKind.DMA_WRITE else cpu
+        self.trace.append(Access(cpu=actual_cpu, addr=op.addr, size=op.size,
+                                 kind=op.kind, fn=op.fn, thread=thread,
+                                 icount=op.icount))
+
+    def emit_ops(self, cpu: int, ops: Iterable[Op], thread: int = 0) -> int:
+        """Append a burst of ops; returns the number emitted."""
+        count = 0
+        for op in ops:
+            self.emit(cpu, op, thread=thread)
+            count += 1
+        return count
+
+
+@dataclass
+class Job:
+    """One schedulable unit of work (a request, transaction, or query chunk)."""
+
+    name: str
+    #: Factory producing the job's op generator when the job first runs.
+    factory: Callable[[], OpStream]
+    #: Software thread id for trace attribution.
+    thread: int = 0
+    #: Populated lazily on first dispatch.
+    _gen: Optional[OpStream] = None
+
+    def generator(self) -> OpStream:
+        if self._gen is None:
+            self._gen = self.factory()
+        return self._gen
+
+
+class KernelHooks:
+    """Interface the driver uses to invoke the OS model.
+
+    The Solaris kernel model (:class:`repro.workloads.kernel.KernelModel`)
+    implements this; the default implementation is a no-op so the framework
+    can be exercised without an OS model in unit tests.
+    """
+
+    def on_dispatch(self, cpu: int, job: Job) -> Iterable[Op]:
+        """Called when ``cpu`` picks up ``job`` from the run queue."""
+        return ()
+
+    def on_quantum_expire(self, cpu: int, job: Job) -> Iterable[Op]:
+        """Called when ``job`` exhausts its time quantum on ``cpu``."""
+        return ()
+
+    def on_job_complete(self, cpu: int, job: Job) -> Iterable[Op]:
+        """Called when ``job`` finishes on ``cpu``."""
+        return ()
+
+    def on_idle(self, cpu: int) -> Iterable[Op]:
+        """Called when ``cpu`` finds no runnable job (work stealing)."""
+        return ()
+
+    def translate(self, cpu: int, op: Op) -> Iterable[Op]:
+        """Called for every user-level op; may emit MMU-trap activity."""
+        return ()
+
+
+@dataclass
+class DriverStats:
+    """Counters describing one driver run (useful for tests/examples)."""
+
+    dispatches: int = 0
+    quantum_expirations: int = 0
+    completions: int = 0
+    idle_scans: int = 0
+    user_ops: int = 0
+    kernel_ops: int = 0
+
+
+class WorkloadDriver:
+    """Interleaves jobs across CPUs in quanta, invoking the kernel model.
+
+    Parameters
+    ----------
+    builder:
+        The :class:`TraceBuilder` receiving the access stream.
+    kernel:
+        Kernel hook implementation (scheduler, MMU, ...).
+    quantum:
+        Number of user-level ops a job may emit before the CPU switches to
+        another runnable job.  Smaller quanta interleave CPUs more finely,
+        fragmenting temporal streams; larger quanta preserve them.
+    migration:
+        If True (default) a preempted job goes back to the shared run queue
+        and may resume on any CPU — this is what turns per-job working sets
+        into coherence traffic on the multi-chip system.
+    """
+
+    def __init__(self, builder: TraceBuilder, kernel: Optional[KernelHooks] = None,
+                 quantum: int = 48, migration: bool = True) -> None:
+        if quantum < 1:
+            raise ValueError("quantum must be >= 1")
+        self.builder = builder
+        self.kernel = kernel if kernel is not None else KernelHooks()
+        self.quantum = quantum
+        self.migration = migration
+        self.stats = DriverStats()
+
+    # ------------------------------------------------------------------ #
+    def run(self, jobs: Sequence[Job]) -> DriverStats:
+        """Run all jobs to completion, interleaving them across CPUs."""
+        run_queue: Deque[Job] = deque(jobs)
+        n_cpus = self.builder.n_cpus
+        current: List[Optional[Job]] = [None] * n_cpus
+        active = True
+        while active:
+            active = False
+            for cpu in range(n_cpus):
+                job = current[cpu]
+                if job is None:
+                    if run_queue:
+                        job = run_queue.popleft()
+                        current[cpu] = job
+                        self.stats.dispatches += 1
+                        self._emit_kernel(cpu, self.kernel.on_dispatch(cpu, job))
+                    else:
+                        # Nothing runnable: the dispatcher scans other CPUs'
+                        # queues looking for work to steal.
+                        if any(c is not None for c in current):
+                            self.stats.idle_scans += 1
+                            self._emit_kernel(cpu, self.kernel.on_idle(cpu))
+                        continue
+                active = True
+                finished = self._run_quantum(cpu, job)
+                if finished:
+                    self.stats.completions += 1
+                    self._emit_kernel(cpu, self.kernel.on_job_complete(cpu, job))
+                    current[cpu] = None
+                else:
+                    self.stats.quantum_expirations += 1
+                    self._emit_kernel(cpu, self.kernel.on_quantum_expire(cpu, job))
+                    if self.migration:
+                        run_queue.append(job)
+                        current[cpu] = None
+        return self.stats
+
+    # ------------------------------------------------------------------ #
+    def _run_quantum(self, cpu: int, job: Job) -> bool:
+        """Run ``job`` on ``cpu`` for one quantum; True if the job finished."""
+        gen = job.generator()
+        emitted = 0
+        while emitted < self.quantum:
+            try:
+                op = next(gen)
+            except StopIteration:
+                return True
+            for trap_op in self.kernel.translate(cpu, op):
+                self.builder.emit(cpu, trap_op, thread=job.thread)
+                self.stats.kernel_ops += 1
+            self.builder.emit(cpu, op, thread=job.thread)
+            self.stats.user_ops += 1
+            emitted += 1
+        return False
+
+    def _emit_kernel(self, cpu: int, ops: Iterable[Op]) -> None:
+        for op in ops:
+            self.builder.emit(cpu, op)
+            self.stats.kernel_ops += 1

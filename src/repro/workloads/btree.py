@@ -1,0 +1,126 @@
+"""B+-tree index model (Section 2.1, example one).
+
+The B+-tree keeps a sorted index of records; each node holds a sorted key
+list with child pointers, leaves point to tuple identifiers, and sibling
+leaves are linked horizontally so range scans can walk the leaf level in key
+order.  Because leaves are not contiguous in memory, a range scan produces a
+pointer-chasing miss sequence that stride prefetchers cannot capture — but
+overlapping range scans revisit the same leaves in the same order, producing
+temporal streams that recur across processors.
+
+The model allocates one cache block per inner node and per leaf, with leaves
+deliberately scattered (allocation order shuffled) so leaf walks are
+non-strided.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional
+
+from ..mem.config import BLOCK_SIZE
+from ..mem.records import FunctionRef
+from .base import Op, TraceBuilder, read, write
+from .symbols import Sym
+
+
+class BPlusTree:
+    """A synthetic B+-tree over ``n_keys`` keys with the given fanout."""
+
+    def __init__(self, builder: TraceBuilder, name: str, n_keys: int,
+                 fanout: int = 16, keys_per_leaf: int = 32,
+                 scatter_leaves: bool = True) -> None:
+        if n_keys < 1:
+            raise ValueError("n_keys must be >= 1")
+        if fanout < 2 or keys_per_leaf < 1:
+            raise ValueError("fanout must be >= 2 and keys_per_leaf >= 1")
+        self.builder = builder
+        self.name = name
+        self.n_keys = n_keys
+        self.fanout = fanout
+        self.keys_per_leaf = keys_per_leaf
+
+        n_leaves = (n_keys + keys_per_leaf - 1) // keys_per_leaf
+        # Count inner nodes level by level (bottom-up).
+        level_sizes = [n_leaves]
+        while level_sizes[-1] > 1:
+            level_sizes.append((level_sizes[-1] + fanout - 1) // fanout)
+        total_nodes = sum(level_sizes)
+        region = builder.space.add_region(f"db.index.{name}",
+                                          (total_nodes + 2) * BLOCK_SIZE)
+
+        # Allocate leaves in shuffled order so the leaf level is non-strided.
+        leaf_slots = list(range(n_leaves))
+        if scatter_leaves:
+            random.Random(builder.rng.randint(0, 2 ** 31)).shuffle(leaf_slots)
+        addresses = [region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
+                     for _ in range(n_leaves)]
+        self.leaves: List[int] = [0] * n_leaves
+        for slot, addr in zip(leaf_slots, addresses):
+            self.leaves[slot] = addr
+
+        #: Inner levels, bottom-up; ``levels[-1]`` is the root level.
+        self.levels: List[List[int]] = []
+        for size in level_sizes[1:]:
+            self.levels.append([region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
+                                for _ in range(size)])
+
+    # ------------------------------------------------------------------ #
+    @property
+    def height(self) -> int:
+        """Number of node levels from root to leaf, inclusive."""
+        return len(self.levels) + 1
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.leaves)
+
+    @property
+    def root(self) -> Optional[int]:
+        return self.levels[-1][0] if self.levels else self.leaves[0]
+
+    def _leaf_index(self, key: int) -> int:
+        if not 0 <= key < self.n_keys:
+            raise KeyError(f"key {key} out of range [0, {self.n_keys})")
+        return key // self.keys_per_leaf
+
+    def _path_to_leaf(self, leaf_index: int) -> List[int]:
+        """Addresses of the inner nodes from root down to the leaf's parent."""
+        # Walk bottom-up collecting the covering node at each level, then
+        # reverse to obtain the root-to-parent order a search reads them in.
+        path: List[int] = []
+        index = leaf_index
+        for level in self.levels:
+            index = index // self.fanout
+            path.append(level[min(index, len(level) - 1)])
+        return list(reversed(path))
+
+    # ------------------------------------------------------------------ #
+    # Access generators
+    # ------------------------------------------------------------------ #
+    def search(self, key: int,
+               fn: FunctionRef = Sym.SQLI_KEY_SEARCH) -> Iterator[Op]:
+        """Root-to-leaf traversal with binary search within each node."""
+        leaf_index = self._leaf_index(key)
+        for node in self._path_to_leaf(leaf_index):
+            yield read(node, fn, icount=14)
+        yield read(self.leaves[leaf_index], fn, icount=14)
+
+    def range_scan(self, start_key: int, n_keys: int,
+                   fn: FunctionRef = Sym.SQLI_SCAN_LEAF) -> Iterator[Op]:
+        """Locate ``start_key`` then walk sibling leaves covering ``n_keys``."""
+        yield from self.search(start_key)
+        first_leaf = self._leaf_index(start_key)
+        last_key = min(start_key + max(n_keys, 1) - 1, self.n_keys - 1)
+        last_leaf = self._leaf_index(last_key)
+        for leaf_index in range(first_leaf, last_leaf + 1):
+            yield read(self.leaves[leaf_index], Sym.SQLI_FETCH_NEXT, icount=10)
+
+    def insert(self, key: int,
+               fn: FunctionRef = Sym.SQLI_INSERT) -> Iterator[Op]:
+        """Search to the covering leaf and update it in place (no splits)."""
+        leaf_index = self._leaf_index(key)
+        for node in self._path_to_leaf(leaf_index):
+            yield read(node, fn, icount=12)
+        yield read(self.leaves[leaf_index], fn, icount=12)
+        yield write(self.leaves[leaf_index], fn, icount=8)

@@ -1,0 +1,165 @@
+"""Application configurations (Table 1) and model scaling presets.
+
+Table 1 of the paper lists the commercial application parameters:
+
+==========  ==========================================================
+OLTP        TPC-C on DB2: 100 warehouses (10 GB), 64 clients, 450 MB
+            buffer pool
+DSS Qry 1   TPC-H on DB2: scan-dominated, 450 MB buffer pool
+DSS Qry 2   TPC-H on DB2: join-dominated, 450 MB buffer pool
+DSS Qry 17  TPC-H on DB2: balanced scan-join, 450 MB buffer pool
+Apache      SPECweb99: 16K connections, FastCGI, worker threading model
+Zeus        SPECweb99: 16K connections, FastCGI
+==========  ==========================================================
+
+Because the substrate is a scaled-down synthetic model, each configuration
+also records the *model scale* actually simulated; the ratios that drive the
+paper's qualitative results (data footprint vs. cache capacity, hot metadata
+vs. cache capacity, buffer reuse vs. no reuse) are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class ApplicationConfig:
+    """Description of one benchmark application (one Table 1 row)."""
+
+    name: str
+    app_class: str           # "Web", "OLTP", or "DSS"
+    paper_parameters: str    # the Table 1 text
+    model_parameters: Dict[str, int]
+    description: str = ""
+
+
+#: Sizing presets: each maps a preset name to a multiplier on the per-run
+#: work volume (requests / transactions / pages scanned).
+SIZE_PRESETS: Dict[str, float] = {
+    "tiny": 0.08,      # unit tests
+    "small": 0.35,     # quick experiments
+    "default": 1.0,    # benchmark harness
+    "large": 2.5,      # longer runs
+}
+
+
+TABLE1: Tuple[ApplicationConfig, ...] = (
+    ApplicationConfig(
+        name="OLTP",
+        app_class="OLTP",
+        paper_parameters="TPC-C 3.0 on DB2 v8 ESE: 100 warehouses (10 GB), "
+                         "64 clients, 450 MB buffer pool",
+        model_parameters={
+            "n_transactions": 220,
+            "n_clients": 16,
+            "n_data_pages": 640,
+            "n_pool_frames": 128,
+            "hot_pages": 96,
+            "index_keys": 8192,
+        },
+        description="New-order/payment style transaction mix over B+-tree "
+                    "indexes and a buffer pool with a hot working set."),
+    ApplicationConfig(
+        name="Qry1",
+        app_class="DSS",
+        paper_parameters="TPC-H query 1 on DB2: scan-dominated, "
+                         "450 MB buffer pool",
+        model_parameters={
+            "n_scan_pages": 420,
+            "rows_per_page": 28,
+            "n_pool_frames": 24,
+            "n_partitions": 16,
+        },
+        description="Single-pass scan + aggregation over a table far larger "
+                    "than the buffer pool."),
+    ApplicationConfig(
+        name="Qry2",
+        app_class="DSS",
+        paper_parameters="TPC-H query 2 on DB2: join-dominated, "
+                         "450 MB buffer pool",
+        model_parameters={
+            "n_outer_pages": 48,
+            "rows_per_outer_page": 36,
+            "n_inner_pages": 18,
+            "inner_index_keys": 1024,
+            "n_pool_frames": 64,
+            "n_partitions": 16,
+        },
+        description="Nested-loop join whose inner table exceeds the L1 but "
+                    "fits on chip, probed repeatedly."),
+    ApplicationConfig(
+        name="Qry17",
+        app_class="DSS",
+        paper_parameters="TPC-H query 17 on DB2: balanced scan-join, "
+                         "450 MB buffer pool",
+        model_parameters={
+            "n_scan_pages": 260,
+            "rows_per_page": 24,
+            "n_inner_pages": 14,
+            "inner_index_keys": 768,
+            "n_pool_frames": 48,
+            "n_partitions": 16,
+        },
+        description="Large scan with a nested-loop probe against a small "
+                    "dimension table."),
+    ApplicationConfig(
+        name="Apache",
+        app_class="Web",
+        paper_parameters="SPECweb99 on Apache HTTP Server v2.0: 16K "
+                         "connections, FastCGI, worker threading model",
+        model_parameters={
+            "n_requests": 220,
+            "n_connections": 48,
+            "n_perl_processes": 6,
+            "dynamic_permille": 700,
+            "n_static_files": 32,
+        },
+        description="Worker-model HTTP server with FastCGI perl dynamic "
+                    "content."),
+    ApplicationConfig(
+        name="Zeus",
+        app_class="Web",
+        paper_parameters="SPECweb99 on Zeus Web Server v4.3: 16K connections, "
+                         "FastCGI",
+        model_parameters={
+            "n_requests": 220,
+            "n_connections": 56,
+            "n_perl_processes": 6,
+            "dynamic_permille": 650,
+            "n_static_files": 40,
+        },
+        description="Event-driven HTTP server with FastCGI perl dynamic "
+                    "content."),
+)
+
+_BY_NAME = {cfg.name: cfg for cfg in TABLE1}
+
+#: Names in the order the paper's figures present them.
+WORKLOAD_NAMES: Tuple[str, ...] = ("Apache", "Zeus", "OLTP", "Qry1", "Qry2",
+                                   "Qry17")
+
+
+def get_config(name: str) -> ApplicationConfig:
+    """Look up the configuration for a workload by its paper name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; known: {WORKLOAD_NAMES}")
+
+
+def scaled_parameter(config: ApplicationConfig, key: str, size: str) -> int:
+    """A model parameter scaled by the chosen size preset.
+
+    Only the *work volume* parameters scale with the preset; structural
+    parameters (pool frames, index sizes) stay fixed so cache/footprint
+    ratios are preserved.
+    """
+    factor = SIZE_PRESETS[size]
+    value = config.model_parameters[key]
+    volume_keys = {"n_transactions", "n_requests", "n_scan_pages",
+                   "n_outer_pages"}
+    if key in volume_keys:
+        return max(4, int(round(value * factor)))
+    return value

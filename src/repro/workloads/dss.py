@@ -1,0 +1,191 @@
+"""DSS workload models (TPC-H queries 1, 2, and 17 on the DB2 substrate).
+
+Section 5.3 of the paper: DSS miss breakdowns are dominated by bulk memory
+copies (half or more of all activity), mostly page-sized kernel-to-user
+copies of data arriving from disk; unlike the web workloads these copies do
+not reuse buffers and are non-repetitive.  Index and tuple accesses are the
+second contributor but are also non-repetitive off-chip because the queries
+scan data only once; the nested-loop joins of queries 2 and 17 loop over
+table portions that exceed the L1 but fit on chip, producing intra-chip
+repetition.
+
+Three query models are provided, matching the paper's selection from the
+DBmbench categorisation: query 1 (scan-dominated), query 2 (join-dominated),
+and query 17 (balanced scan-join).  Each query is split into partitions so
+all simulated CPUs participate, as DB2's intra-query parallelism would.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..mem.config import BLOCK_SIZE
+from ..mem.trace import AccessTrace
+from .base import Job, Op, TraceBuilder, WorkloadDriver, read, write
+from .btree import BPlusTree
+from .configs import ApplicationConfig, get_config, scaled_parameter
+from .db2 import BufferPool, CursorPool, IpcChannel, PackageCache
+from .kernel import KernelConfig, KernelModel
+from .symbols import Sym
+
+
+class DssWorkload:
+    """One TPC-H-style decision-support query."""
+
+    def __init__(self, query: int, n_cpus: int, seed: int = 42,
+                 size: str = "default",
+                 config: ApplicationConfig = None) -> None:
+        if query not in (1, 2, 17):
+            raise ValueError("query must be one of 1, 2, 17")
+        self.query = query
+        self.config = (config if config is not None
+                       else get_config(f"Qry{query}"))
+        self.size = size
+        self.n_cpus = n_cpus
+        self.builder = TraceBuilder(n_cpus=n_cpus, seed=seed)
+        # DSS runs a handful of long-lived query threads: little scheduling
+        # churn, little synchronization compared to OLTP/Web.
+        self.kernel = KernelModel(self.builder,
+                                  KernelConfig(steal_probability=0.12,
+                                               cv_probability=0.1,
+                                               window_trap_period=900))
+        params = self.config.model_parameters
+        self.n_partitions = params["n_partitions"]
+        # The fact-table pool: frames are recycled constantly and the kernel
+        # I/O buffers are NOT reused (fresh readahead buffers), making the
+        # copies non-repetitive, as the paper observes.
+        self.pool = BufferPool(self.builder, self.kernel, f"dss_q{query}",
+                               n_frames=params["n_pool_frames"],
+                               n_kernel_buffers=0)
+        self.cursors = CursorPool(self.builder, n_agents=self.n_partitions)
+        self.ipc = IpcChannel(self.builder, n_channels=4)
+        self.package_cache = PackageCache(self.builder, n_sections=4)
+        #: Aggregation state (a handful of group-by buckets, heavily written).
+        region = self.builder.space.add_region("db.dss_agg",
+                                               16 * BLOCK_SIZE)
+        self.agg_state = [region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
+                          for _ in range(8)]
+        # Join-side structures for queries 2 and 17.
+        if query in (2, 17):
+            self.inner_index = BPlusTree(self.builder, f"q{query}_inner",
+                                         n_keys=params["inner_index_keys"])
+            inner_region = self.builder.space.add_region(
+                f"db.q{query}_inner_pages",
+                params["n_inner_pages"] * 4096 + BLOCK_SIZE)
+            self.inner_pages = [inner_region.alloc(4096, align=4096)
+                                for _ in range(params["n_inner_pages"])]
+        else:
+            self.inner_index = None
+            self.inner_pages = []
+        self._next_page_id = 0
+
+    # ------------------------------------------------------------------ #
+    def _fresh_page_id(self) -> int:
+        """Fact-table page ids are monotonically increasing: visited once."""
+        page_id = self._next_page_id
+        self._next_page_id += 1
+        return page_id
+
+    def _aggregate(self, n_groups: int = 2) -> Iterator[Op]:
+        """sqlriAggr: update a few group-by buckets."""
+        rng = self.builder.rng
+        for _ in range(max(1, n_groups)):
+            bucket = self.agg_state[rng.randrange(len(self.agg_state))]
+            yield read(bucket, Sym.SQLRI_AGGR, icount=10)
+            yield write(bucket, Sym.SQLRI_AGGR, icount=6)
+
+    def _probe_inner(self, key_hint: int) -> Iterator[Op]:
+        """Nested-loop probe: index search plus a read of the matching row."""
+        assert self.inner_index is not None
+        key = key_hint % self.inner_index.n_keys
+        yield from self.inner_index.search(key, fn=Sym.SQLRI_JOIN)
+        page = self.inner_pages[key % len(self.inner_pages)]
+        slot = (key * 67) % (4096 // BLOCK_SIZE)
+        yield read(page + slot * BLOCK_SIZE, Sym.SQLD_ROW_FETCH, icount=14)
+
+    # ------------------------------------------------------------------ #
+    # Query partitions
+    # ------------------------------------------------------------------ #
+    def _scan_partition(self, partition: int, n_pages: int,
+                        rows_per_page: int, probe_every: int = 0) -> Iterator[Op]:
+        """Scan ``n_pages`` fresh fact-table pages, aggregating as we go."""
+        yield from self.ipc.receive_request(partition)
+        yield from self.cursors.open(partition)
+        yield from self.package_cache.load_section(0)
+        rng = self.builder.rng
+        for _ in range(n_pages):
+            page_id = self._fresh_page_id()
+            yield from self.pool.scan_page(page_id, rows_per_page)
+            yield from self._aggregate(2)
+            if probe_every and rng.random() < probe_every / 100.0:
+                yield from self._probe_inner(rng.randrange(1 << 16))
+        yield from self.cursors.commit(partition)
+        yield from self.ipc.send_response(partition)
+
+    def _join_partition(self, partition: int, n_outer_pages: int,
+                        rows_per_outer_page: int) -> Iterator[Op]:
+        """Nested-loop join: every outer row probes the inner index."""
+        yield from self.ipc.receive_request(partition)
+        yield from self.cursors.open(partition)
+        yield from self.package_cache.load_section(1)
+        rng = self.builder.rng
+        for _ in range(n_outer_pages):
+            page_id = self._fresh_page_id()
+            yield from self.pool.fix_page(page_id)
+            frame = self.pool.page_address(page_id)
+            for row in range(rows_per_outer_page):
+                if frame is not None:
+                    yield read(frame + (row * 96) % 4096, Sym.SQLD_ROW_FETCH,
+                               icount=12)
+                yield from self._probe_inner(rng.randrange(1 << 16))
+                if row % 6 == 0:
+                    yield from self._aggregate(1)
+        yield from self.cursors.commit(partition)
+        yield from self.ipc.send_response(partition)
+
+    # ------------------------------------------------------------------ #
+    def _make_jobs(self) -> List[Job]:
+        params = self.config.model_parameters
+        jobs: List[Job] = []
+        if self.query == 1:
+            total_pages = scaled_parameter(self.config, "n_scan_pages",
+                                           self.size)
+            rows = params["rows_per_page"]
+            per_partition = max(1, total_pages // self.n_partitions)
+            for p in range(self.n_partitions):
+                jobs.append(Job(
+                    name=f"q1_scan[{p}]",
+                    factory=lambda p=p: self._scan_partition(
+                        p, per_partition, rows),
+                    thread=p))
+        elif self.query == 2:
+            total_outer = scaled_parameter(self.config, "n_outer_pages",
+                                           self.size)
+            rows = params["rows_per_outer_page"]
+            per_partition = max(1, total_outer // self.n_partitions)
+            for p in range(self.n_partitions):
+                jobs.append(Job(
+                    name=f"q2_join[{p}]",
+                    factory=lambda p=p: self._join_partition(
+                        p, per_partition, rows),
+                    thread=p))
+        else:  # query 17: balanced scan + join
+            total_pages = scaled_parameter(self.config, "n_scan_pages",
+                                           self.size)
+            rows = params["rows_per_page"]
+            per_partition = max(1, total_pages // self.n_partitions)
+            for p in range(self.n_partitions):
+                jobs.append(Job(
+                    name=f"q17_mixed[{p}]",
+                    factory=lambda p=p: self._scan_partition(
+                        p, per_partition, rows, probe_every=60),
+                    thread=p))
+        return jobs
+
+    def generate(self) -> AccessTrace:
+        """Run the query to completion and return the access trace."""
+        jobs = self._make_jobs()
+        # Long quanta: query threads run long stretches between preemptions.
+        driver = WorkloadDriver(self.builder, self.kernel, quantum=160)
+        driver.run(jobs)
+        return self.builder.trace

@@ -1,0 +1,66 @@
+"""Block device driver model (disk I/O path for the database workloads).
+
+Table 2 ("Kernel block device driver"): a small number of functions that
+manage I/O to block devices such as disks.  A disk read touches the buf
+structure, the driver's per-device state, and the DMA scatter/gather setup,
+then the device DMAs the page into the destination buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ...mem.config import BLOCK_SIZE, PAGE_SIZE
+from ..base import Op, TraceBuilder, dma_write, read, write
+from ..symbols import Sym
+
+
+class BlockDeviceModel:
+    """Memory behaviour of the sd/ssd disk driver path."""
+
+    def __init__(self, builder: TraceBuilder, n_bufs: int = 16,
+                 n_devices: int = 4) -> None:
+        self.builder = builder
+        region = builder.space.add_region(
+            "kernel.blockdev", (n_bufs + 2 * n_devices) * BLOCK_SIZE)
+        #: buf_t structures, reused round-robin.
+        self.bufs = [region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
+                     for _ in range(n_bufs)]
+        #: Per-device driver soft-state + queue blocks.
+        self.devices = [(region.alloc(BLOCK_SIZE, align=BLOCK_SIZE),
+                         region.alloc(BLOCK_SIZE, align=BLOCK_SIZE))
+                        for _ in range(n_devices)]
+        self._next_buf = 0
+
+    def disk_read(self, dest_addr: int, size: int = PAGE_SIZE,
+                  device: int = 0) -> Iterator[Op]:
+        """Issue a disk read of ``size`` bytes DMA'd into ``dest_addr``."""
+        buf = self.bufs[self._next_buf % len(self.bufs)]
+        self._next_buf += 1
+        state, queue = self.devices[device % len(self.devices)]
+        yield read(buf, Sym.BDEV_STRATEGY)
+        yield write(buf, Sym.BDEV_STRATEGY)
+        yield read(state, Sym.SD_START)
+        yield write(queue, Sym.SD_START)
+        # The device transfers the data into memory.
+        yield dma_write(dest_addr, size, Sym.SD_INTR)
+        # Completion interrupt: driver updates its state and the buf.
+        yield read(queue, Sym.SD_INTR)
+        yield write(state, Sym.SD_INTR)
+        yield write(buf, Sym.SD_INTR)
+
+    def disk_write(self, src_addr: int, size: int = PAGE_SIZE,
+                   device: int = 0) -> Iterator[Op]:
+        """Issue a disk write (e.g. flushing a dirty page or the log)."""
+        buf = self.bufs[self._next_buf % len(self.bufs)]
+        self._next_buf += 1
+        state, queue = self.devices[device % len(self.devices)]
+        yield read(buf, Sym.BDEV_STRATEGY)
+        yield write(buf, Sym.BDEV_STRATEGY)
+        # The driver reads the source data to feed the device (block granular).
+        first = src_addr - src_addr % BLOCK_SIZE
+        for offset in range(0, max(size, 1), BLOCK_SIZE * 8):
+            yield read(first + offset, Sym.SD_START, size=BLOCK_SIZE)
+        yield read(state, Sym.SD_START)
+        yield write(queue, Sym.SD_START)
+        yield write(buf, Sym.SD_INTR)

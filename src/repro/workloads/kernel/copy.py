@@ -1,0 +1,60 @@
+"""Bulk memory copy model: memcpy/bcopy and the ``default_copyout`` family.
+
+Table 2 ("Bulk memory copies"): kernel and user memory-copy functions.  The
+most notable is ``default_copyout``, which copies the results of I/O arriving
+via DMA from kernel buffers to user buffers using non-allocating stores.
+
+A bulk copy of N bytes appears in the trace as block-granular reads of the
+source buffer plus stores to the destination; for ``copyout`` the stores are
+:class:`~repro.mem.records.AccessKind.COPYOUT_WRITE` so the destination
+blocks are invalidated rather than allocated, and later reads of them
+classify as I/O-coherence misses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ...mem.config import BLOCK_SIZE
+from ...mem.records import FunctionRef
+from ..base import Op, copyout_store, read, write
+from ..symbols import Sym
+
+
+def _blocks(addr: int, size: int) -> Iterator[int]:
+    first = addr - addr % BLOCK_SIZE
+    last = addr + max(size, 1) - 1
+    last -= last % BLOCK_SIZE
+    block = first
+    while True:
+        yield block
+        if block >= last:
+            break
+        block += BLOCK_SIZE
+
+
+def bulk_copy(src: int, dst: int, size: int,
+              fn: Optional[FunctionRef] = None) -> Iterator[Op]:
+    """An ordinary cacheable copy (``memcpy``/``bcopy``)."""
+    fn = fn if fn is not None else Sym.BCOPY
+    for src_block, dst_block in zip(_blocks(src, size), _blocks(dst, size)):
+        yield read(src_block, fn, size=BLOCK_SIZE, icount=4)
+        yield write(dst_block, fn, size=BLOCK_SIZE, icount=4)
+
+
+def copyout(src: int, dst: int, size: int,
+            fn: Optional[FunctionRef] = None) -> Iterator[Op]:
+    """Kernel-to-user copy with non-allocating destination stores."""
+    fn = fn if fn is not None else Sym.DEFAULT_COPYOUT
+    for src_block, dst_block in zip(_blocks(src, size), _blocks(dst, size)):
+        yield read(src_block, fn, size=BLOCK_SIZE, icount=4)
+        yield copyout_store(dst_block, BLOCK_SIZE, fn, icount=2)
+
+
+def copyin(src: int, dst: int, size: int,
+           fn: Optional[FunctionRef] = None) -> Iterator[Op]:
+    """User-to-kernel copy (ordinary cacheable stores on the kernel side)."""
+    fn = fn if fn is not None else Sym.DEFAULT_COPYIN
+    for src_block, dst_block in zip(_blocks(src, size), _blocks(dst, size)):
+        yield read(src_block, fn, size=BLOCK_SIZE, icount=4)
+        yield write(dst_block, fn, size=BLOCK_SIZE, icount=4)

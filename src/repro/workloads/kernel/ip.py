@@ -1,0 +1,62 @@
+"""IP / TCP packet-assembly model.
+
+Table 2 ("Kernel IP packet assembly"): functions that divide data written to
+sockets into individual IP packets.  The per-connection ``tcp_t``/``ip``
+structures and the header template are read and written on every packet, and
+the same assembly sequence runs for every response, so these misses are
+repetitive; in the multi-chip context they bounce between processors as
+connections are serviced by different CPUs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ...mem.config import BLOCK_SIZE
+from ..base import Op, TraceBuilder, read, write
+from ..symbols import Sym
+
+
+class IpModel:
+    """Per-connection TCP/IP state and packet assembly behaviour."""
+
+    #: Blocks per connection: tcp_t, ip header template, send buffer head.
+    _CONN_BLOCKS = 3
+
+    def __init__(self, builder: TraceBuilder, n_connections: int = 32,
+                 mss_bytes: int = 1460) -> None:
+        self.builder = builder
+        self.mss_bytes = mss_bytes
+        region = builder.space.add_region(
+            "kernel.ip", (n_connections * self._CONN_BLOCKS + 8) * BLOCK_SIZE)
+        self.connections = [
+            [region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
+             for _ in range(self._CONN_BLOCKS)]
+            for _ in range(n_connections)]
+        #: Global IP routing / interface state touched on every send.
+        self.ip_globals = [region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
+                           for _ in range(4)]
+
+    def send(self, conn_id: int, n_bytes: int) -> Iterator[Op]:
+        """Assemble and send ``n_bytes`` on connection ``conn_id``."""
+        conn = self.connections[conn_id % len(self.connections)]
+        tcp_t, header_template, sendbuf_head = conn
+        yield read(tcp_t, Sym.TCP_WPUT)
+        yield read(sendbuf_head, Sym.TCP_WPUT)
+        n_packets = max(1, (max(n_bytes, 1) + self.mss_bytes - 1) // self.mss_bytes)
+        for _ in range(n_packets):
+            yield read(header_template, Sym.IP_HDR_ASSEMBLE)
+            yield write(header_template, Sym.IP_HDR_ASSEMBLE)
+            yield read(self.ip_globals[0], Sym.IP_WPUT)
+            yield read(self.ip_globals[1], Sym.IP_OUTPUT)
+            yield write(tcp_t, Sym.TCP_SEND_DATA)
+        yield write(sendbuf_head, Sym.TCP_SEND_DATA)
+
+    def receive(self, conn_id: int) -> Iterator[Op]:
+        """Process an inbound segment (ack / request arrival) on a connection."""
+        conn = self.connections[conn_id % len(self.connections)]
+        tcp_t, _header_template, sendbuf_head = conn
+        yield read(self.ip_globals[2], Sym.IP_OUTPUT)
+        yield read(tcp_t, Sym.TCP_WPUT)
+        yield write(tcp_t, Sym.TCP_WPUT)
+        yield read(sendbuf_head, Sym.TCP_SEND_DATA)

@@ -1,0 +1,89 @@
+"""SPARC MMU / trap-handler model: software TLB fills and window traps.
+
+Table 2 ("Kernel MMU and trap handlers"): the most frequent traps are the
+``data_access_MMU_miss`` and ``instruction_access_MMU_miss`` traps, which
+fill virtual-to-physical translations into the MMU from software caches (the
+TSB) and page tables; register-window spill/fill traps also contribute.
+Because many translations are loaded repeatedly, the misses incurred during
+the translation walk repeat — a per-page temporal stream at fixed TSB /
+page-table addresses (Section 5.2).
+
+The model keeps a small per-CPU TLB; on a TLB miss it emits the TSB probe
+and, with some probability, the multi-level page-table walk.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional
+
+from ...mem.config import BLOCK_SIZE, PAGE_SIZE
+from ..base import Op, TraceBuilder, read, write
+from ..symbols import Sym
+
+
+class MmuModel:
+    """Per-CPU TLB + shared TSB and page-table memory behaviour."""
+
+    def __init__(self, builder: TraceBuilder, tlb_entries: int = 64,
+                 tsb_entries: int = 512, walk_probability: float = 0.25,
+                 window_trap_period: int = 400) -> None:
+        self.builder = builder
+        self.tlb_entries = tlb_entries
+        self.walk_probability = walk_probability
+        self.window_trap_period = max(1, window_trap_period)
+        region = builder.space.add_region(
+            "kernel.mmu",
+            tsb_entries * BLOCK_SIZE + 64 * BLOCK_SIZE
+            + builder.n_cpus * 2 * BLOCK_SIZE)
+        #: TSB entries (direct-mapped by page number hash), one block each.
+        self.tsb = [region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
+                    for _ in range(tsb_entries)]
+        #: Page-table (hme/hash-bucket) blocks, hashed by page number.
+        self.page_table = [region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
+                           for _ in range(64)]
+        #: Per-CPU register-window save areas (kernel stack blocks).
+        self.window_area = [region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
+                            for _ in range(builder.n_cpus)]
+        self._tlbs: List["OrderedDict[int, bool]"] = [
+            OrderedDict() for _ in range(builder.n_cpus)]
+        self._op_counter = [0] * builder.n_cpus
+
+    # ------------------------------------------------------------------ #
+    def translate(self, cpu: int, vaddr: int) -> Iterator[Op]:
+        """TLB lookup for ``vaddr``; on a miss, emit the TSB/page-table walk."""
+        page = vaddr // PAGE_SIZE
+        tlb = self._tlbs[cpu % len(self._tlbs)]
+        if page in tlb:
+            tlb.move_to_end(page)
+            return
+        if len(tlb) >= self.tlb_entries:
+            tlb.popitem(last=False)
+        tlb[page] = True
+        tsb_entry = self.tsb[page % len(self.tsb)]
+        yield read(tsb_entry, Sym.DTLB_MISS, icount=3)
+        yield read(tsb_entry, Sym.SFMMU_TSB_MISS, icount=3)
+        # With some probability the TSB probe misses too and the full
+        # hat-layer hash walk runs, touching the page-table buckets.
+        if self.builder.rng.random() < self.walk_probability:
+            bucket = self.page_table[page % len(self.page_table)]
+            bucket2 = self.page_table[(page // 7) % len(self.page_table)]
+            yield read(bucket, Sym.SFMMU_TSB_MISS)
+            yield read(bucket2, Sym.HAT_MEMLOAD)
+            yield write(tsb_entry, Sym.HAT_MEMLOAD)
+
+    def maybe_window_trap(self, cpu: int) -> Iterator[Op]:
+        """Occasional register-window spill/fill to the kernel stack area."""
+        idx = cpu % len(self._op_counter)
+        self._op_counter[idx] += 1
+        if self._op_counter[idx] % self.window_trap_period:
+            return
+        area = self.window_area[idx]
+        yield write(area, Sym.SPILL_WINDOW, size=64, icount=8)
+        yield read(area, Sym.FILL_WINDOW, size=64, icount=8)
+
+    def tlb_shootdown(self, page_vaddr: int) -> None:
+        """Invalidate a page translation in every CPU's TLB (unmap/remap)."""
+        page = page_vaddr // PAGE_SIZE
+        for tlb in self._tlbs:
+            tlb.pop(page, None)

@@ -1,0 +1,114 @@
+"""Solaris dispatcher model: per-CPU dispatch queues and work stealing.
+
+Section 2.1 (example two) describes the behaviour this model reproduces:
+Solaris keeps one dispatch queue per processor plus a real-time queue, each
+protected by its own lock.  When a CPU's own queue is empty it scans the
+other queues in a fixed order (``disp_getwork`` / ``disp_getbest``), removes
+a thread (``dispdeq``) and re-checks priorities (``disp_ratify``).  Because
+every CPU scans the queues in the same order and the locks live at fixed
+addresses, the resulting miss sequences are highly repetitive and, in the
+multi-chip system, almost entirely coherence misses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ...mem.config import BLOCK_SIZE
+from ..base import Op, TraceBuilder, read, write
+from ..symbols import Sym
+
+
+class DispatcherModel:
+    """Models the memory behaviour of the Solaris per-CPU dispatcher."""
+
+    #: Blocks per dispatch queue: lock, queue header, priority bitmap.
+    _QUEUE_BLOCKS = 3
+
+    def __init__(self, builder: TraceBuilder, n_threads: int = 64) -> None:
+        self.builder = builder
+        n_cpus = builder.n_cpus
+        space = builder.space
+        region = space.add_region(
+            "kernel.dispatcher",
+            (n_cpus + 1) * self._QUEUE_BLOCKS * BLOCK_SIZE
+            + n_threads * BLOCK_SIZE + 4 * BLOCK_SIZE)
+        #: Real-time queue blocks (scanned first by every CPU).
+        self.realtime_queue = [region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
+                               for _ in range(self._QUEUE_BLOCKS)]
+        #: Per-CPU dispatch queue blocks.
+        self.cpu_queues: List[List[int]] = [
+            [region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
+             for _ in range(self._QUEUE_BLOCKS)]
+            for _ in range(n_cpus)]
+        #: kthread_t structures, one block each (indexed by thread id mod pool).
+        self.threads = [region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
+                        for _ in range(n_threads)]
+        #: cpu_t / global dispatcher state.
+        self.cpu_global = region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
+
+    # ------------------------------------------------------------------ #
+    def thread_struct(self, thread: int) -> int:
+        return self.threads[thread % len(self.threads)]
+
+    # ------------------------------------------------------------------ #
+    # Dispatcher entry points (generators of Ops)
+    # ------------------------------------------------------------------ #
+    def enqueue(self, cpu: int, thread: int) -> Iterator[Op]:
+        """``setbackdq``: put a runnable thread on a CPU's dispatch queue."""
+        queue = self.cpu_queues[cpu % len(self.cpu_queues)]
+        yield read(queue[0], Sym.SETBACKDQ)            # queue lock
+        yield write(queue[0], Sym.SETBACKDQ)
+        yield read(queue[1], Sym.SETBACKDQ)            # queue header
+        yield write(queue[1], Sym.SETBACKDQ)
+        yield write(self.thread_struct(thread), Sym.SETBACKDQ)
+        yield write(queue[0], Sym.SETBACKDQ, icount=3)  # unlock
+
+    def pick_local(self, cpu: int, thread: int) -> Iterator[Op]:
+        """``swtch``/``dispdeq`` on the CPU's own queue."""
+        queue = self.cpu_queues[cpu % len(self.cpu_queues)]
+        yield read(self.cpu_global, Sym.SWTCH)
+        yield read(queue[0], Sym.SWTCH)                # own queue lock
+        yield write(queue[0], Sym.DISPDEQ)
+        yield read(queue[1], Sym.DISPDEQ)              # queue header
+        yield read(queue[2], Sym.DISPDEQ)              # priority bitmap
+        yield write(queue[1], Sym.DISPDEQ)
+        yield read(self.thread_struct(thread), Sym.SWTCH)
+        yield write(self.thread_struct(thread), Sym.SWTCH)
+        yield write(queue[0], Sym.DISPDEQ, icount=3)
+
+    def steal_work(self, cpu: int, thread: int, found: bool = True,
+                   scan_limit: int = 0) -> Iterator[Op]:
+        """``disp_getwork``: scan the queues in fixed order, then steal.
+
+        All CPUs perform this scan in the same order (real-time queue first,
+        then the per-CPU queues), which is exactly what makes the resulting
+        miss sequence a temporal stream shared across processors.  The scan
+        stops as soon as a non-empty queue is found; ``scan_limit`` bounds
+        how many per-CPU queues are examined (0 means all of them).
+        """
+        yield read(self.cpu_global, Sym.DISP_GETWORK)
+        yield read(self.realtime_queue[0], Sym.DISP_GETWORK)
+        yield read(self.realtime_queue[1], Sym.DISP_GETWORK)
+        n_scanned = len(self.cpu_queues) if scan_limit <= 0 else \
+            min(scan_limit, len(self.cpu_queues))
+        for queue in self.cpu_queues[:n_scanned]:
+            yield read(queue[1], Sym.DISP_GETWORK)     # queue header
+        if found:
+            victim = self.cpu_queues[(cpu + 1) % len(self.cpu_queues)]
+            yield read(victim[0], Sym.DISP_GETBEST)
+            yield write(victim[0], Sym.DISP_GETBEST)
+            yield read(victim[1], Sym.DISP_GETBEST)
+            yield read(victim[2], Sym.DISP_GETBEST)
+            yield read(self.thread_struct(thread), Sym.DISPDEQ)
+            yield write(victim[1], Sym.DISPDEQ)
+            yield write(victim[0], Sym.DISPDEQ)
+            own = self.cpu_queues[cpu % len(self.cpu_queues)]
+            yield read(own[1], Sym.DISP_RATIFY)
+            yield read(self.realtime_queue[1], Sym.DISP_RATIFY)
+
+    def tick(self, cpu: int, thread: int) -> Iterator[Op]:
+        """``ts_tick``/``cpu_resched``: bookkeeping at quantum expiration."""
+        yield read(self.thread_struct(thread), Sym.TS_TICK)
+        yield write(self.thread_struct(thread), Sym.TS_TICK)
+        yield read(self.cpu_global, Sym.CPU_RESCHED)

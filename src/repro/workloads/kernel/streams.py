@@ -1,0 +1,97 @@
+"""Solaris STREAMS subsystem model.
+
+Table 2 ("Kernel STREAMS"): implementation of stream-based I/O such as stdin
+and stdout; consists largely of functions that move pointers to strings among
+thread-safe queues.  Section 5.1 explains why this matters for web serving:
+the web server and the FastCGI perl processes communicate over standard I/O
+streams, the STREAMS code breaks the data into messages that pass through a
+chain of queue modules, and both the queue locks and the message-pointer
+manipulation produce highly repetitive access sequences (~80% of STREAMS
+misses fall in temporal streams).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from ...mem.config import BLOCK_SIZE
+from ..base import Op, TraceBuilder, read, write
+from ..symbols import Sym
+
+
+class StreamsModel:
+    """Stream heads, queue pairs, and a recycled message-block pool."""
+
+    #: Blocks per queue: lock, q_first/q_last pointers, qband info.
+    _QUEUE_BLOCKS = 3
+
+    def __init__(self, builder: TraceBuilder, n_streams: int = 16,
+                 n_modules: int = 2, msg_pool_blocks: int = 64) -> None:
+        self.builder = builder
+        self.n_modules = max(1, n_modules)
+        per_stream = (1 + 2 * self.n_modules * self._QUEUE_BLOCKS)
+        region = builder.space.add_region(
+            "kernel.streams",
+            (n_streams * per_stream + msg_pool_blocks + 4) * BLOCK_SIZE)
+        #: One stream head block per stream (stdin/stdout of a CGI process,
+        #: or a socket stream).
+        self.stream_heads = [region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
+                             for _ in range(n_streams)]
+        #: Per stream: a chain of (read queue, write queue) module pairs.
+        self.queues: List[List[Tuple[List[int], List[int]]]] = []
+        for _ in range(n_streams):
+            chain = []
+            for _ in range(self.n_modules):
+                rq = [region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
+                      for _ in range(self._QUEUE_BLOCKS)]
+                wq = [region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
+                      for _ in range(self._QUEUE_BLOCKS)]
+                chain.append((rq, wq))
+            self.queues.append(chain)
+        #: Recycled mblk/dblk pool: message headers are allocated round-robin
+        #: from a kmem cache, so the same addresses are reused constantly.
+        self.msg_pool = [region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
+                         for _ in range(msg_pool_blocks)]
+        self._next_msg = 0
+
+    # ------------------------------------------------------------------ #
+    def _alloc_msg(self) -> int:
+        block = self.msg_pool[self._next_msg % len(self.msg_pool)]
+        self._next_msg += 1
+        return block
+
+    # ------------------------------------------------------------------ #
+    def stream_write(self, stream_id: int, n_messages: int = 1) -> Iterator[Op]:
+        """``strwrite``/``putnext``/``putq``: send messages down a stream."""
+        stream_id %= len(self.stream_heads)
+        head = self.stream_heads[stream_id]
+        yield read(head, Sym.STRWRITE)
+        for _ in range(max(1, n_messages)):
+            msg = self._alloc_msg()
+            yield read(msg, Sym.ALLOCB)
+            yield write(msg, Sym.ALLOCB)
+            for rq, wq in self.queues[stream_id]:
+                yield read(wq[0], Sym.CANPUT)       # flow-control check
+                yield read(wq[0], Sym.PUTNEXT)      # queue lock
+                yield write(wq[0], Sym.PUTQ)
+                yield read(wq[1], Sym.PUTQ)         # q_first / q_last
+                yield write(wq[1], Sym.PUTQ)
+                yield write(msg, Sym.PUTQ)          # link message into queue
+                yield write(wq[0], Sym.PUTQ, icount=3)
+        yield write(head, Sym.STRWRITE)
+
+    def stream_read(self, stream_id: int, n_messages: int = 1) -> Iterator[Op]:
+        """``strread``/``getq``: drain messages from a stream head."""
+        stream_id %= len(self.stream_heads)
+        head = self.stream_heads[stream_id]
+        yield read(head, Sym.STRREAD)
+        for _ in range(max(1, n_messages)):
+            for rq, wq in reversed(self.queues[stream_id]):
+                yield read(rq[0], Sym.GETQ)
+                yield write(rq[0], Sym.GETQ)
+                yield read(rq[1], Sym.GETQ)
+                yield write(rq[1], Sym.GETQ)
+            msg = self.msg_pool[(self._next_msg - 1) % len(self.msg_pool)]
+            yield read(msg, Sym.STRRPUT)
+            yield write(msg, Sym.FREEB)
+        yield write(head, Sym.STRREAD)

@@ -1,0 +1,85 @@
+"""Solaris synchronization primitive model: mutexes and condition variables.
+
+Table 2 ("Kernel synchronization primitives"): Solaris-supplied mutex and
+condition-variable primitives, including the linked lists of threads waiting
+on them.  These structures live at fixed addresses and are written by every
+acquiring CPU, so in the multi-chip context they are classic coherence-miss
+producers with highly repetitive access sequences (lock word, turnstile,
+sleep-queue head, waiter list).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from ...mem.config import BLOCK_SIZE
+from ..base import Op, TraceBuilder, read, write
+from ..symbols import Sym
+
+
+class SyncModel:
+    """Models kernel mutexes, turnstiles, and condition variables."""
+
+    def __init__(self, builder: TraceBuilder, n_locks: int = 32,
+                 n_condvars: int = 16) -> None:
+        self.builder = builder
+        region = builder.space.add_region(
+            "kernel.sync",
+            (n_locks + 2 * n_condvars + n_locks) * BLOCK_SIZE)
+        #: mutex lock words (one block each, as adaptive mutexes pad to a line).
+        self.locks = [region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
+                      for _ in range(n_locks)]
+        #: turnstile structures, hashed by lock.
+        self.turnstiles = [region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
+                           for _ in range(n_locks)]
+        #: condition variables: cv word + sleep-queue head.
+        self.condvars = [(region.alloc(BLOCK_SIZE, align=BLOCK_SIZE),
+                          region.alloc(BLOCK_SIZE, align=BLOCK_SIZE))
+                         for _ in range(n_condvars)]
+
+    # ------------------------------------------------------------------ #
+    def mutex_enter(self, lock_id: int, contended: bool = False) -> Iterator[Op]:
+        """Acquire kernel mutex ``lock_id`` (fast path or adaptive spin)."""
+        lock = self.locks[lock_id % len(self.locks)]
+        yield read(lock, Sym.MUTEX_ENTER, icount=3)
+        yield write(lock, Sym.MUTEX_ENTER, icount=3)
+        if contended:
+            turnstile = self.turnstiles[lock_id % len(self.turnstiles)]
+            yield read(lock, Sym.MUTEX_VECTOR_ENTER)
+            yield read(turnstile, Sym.TURNSTILE_BLOCK)
+            yield write(turnstile, Sym.TURNSTILE_BLOCK)
+            yield read(lock, Sym.MUTEX_VECTOR_ENTER)
+            yield write(lock, Sym.MUTEX_VECTOR_ENTER)
+
+    def mutex_exit(self, lock_id: int, waiters: bool = False) -> Iterator[Op]:
+        """Release kernel mutex ``lock_id``."""
+        lock = self.locks[lock_id % len(self.locks)]
+        yield write(lock, Sym.MUTEX_EXIT, icount=3)
+        if waiters:
+            turnstile = self.turnstiles[lock_id % len(self.turnstiles)]
+            yield read(turnstile, Sym.TURNSTILE_WAKEUP)
+            yield write(turnstile, Sym.TURNSTILE_WAKEUP)
+
+    def cv_wait(self, cv_id: int, lock_id: int) -> Iterator[Op]:
+        """Block on a condition variable (manipulates the sleep queue)."""
+        cv, sleepq = self.condvars[cv_id % len(self.condvars)]
+        yield read(cv, Sym.CV_WAIT)
+        yield write(cv, Sym.CV_WAIT)
+        yield read(sleepq, Sym.CV_WAIT)
+        yield write(sleepq, Sym.CV_WAIT)
+        yield from self.mutex_exit(lock_id)
+
+    def cv_signal(self, cv_id: int) -> Iterator[Op]:
+        """Wake one waiter on a condition variable."""
+        cv, sleepq = self.condvars[cv_id % len(self.condvars)]
+        yield read(cv, Sym.CV_SIGNAL)
+        yield read(sleepq, Sym.CV_SIGNAL)
+        yield write(sleepq, Sym.CV_SIGNAL)
+
+    def cv_broadcast(self, cv_id: int, n_waiters: int = 2) -> Iterator[Op]:
+        """Wake all waiters on a condition variable."""
+        cv, sleepq = self.condvars[cv_id % len(self.condvars)]
+        yield read(cv, Sym.CV_BROADCAST)
+        for _ in range(max(1, n_waiters)):
+            yield read(sleepq, Sym.CV_BROADCAST)
+            yield write(sleepq, Sym.CV_BROADCAST)

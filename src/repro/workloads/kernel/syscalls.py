@@ -1,0 +1,89 @@
+"""System-call implementation model.
+
+Table 2 ("System call implementation"): kernel functionality invoked on
+behalf of user threads within system-call interfaces; the most frequent calls
+all involve I/O — ``poll``, ``open``, ``read``, ``write``, and ``stat``.
+
+The model provides the kernel-side data-structure footprints of those calls:
+the per-process file-descriptor table, ``file_t``/``vnode_t`` structures, the
+pollcache, and directory-lookup structures.  These are shared, read-write
+kernel structures at fixed addresses, so their misses repeat and — in the
+multi-chip context — show up as coherence misses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ...mem.config import BLOCK_SIZE
+from ..base import Op, TraceBuilder, read, write
+from ..symbols import Sym
+
+
+class SyscallModel:
+    """Kernel-side memory behaviour of frequent I/O system calls."""
+
+    def __init__(self, builder: TraceBuilder, n_fds: int = 64,
+                 n_vnodes: int = 48) -> None:
+        self.builder = builder
+        region = builder.space.add_region(
+            "kernel.syscalls",
+            (4 + n_fds + n_vnodes + 16 + 8) * BLOCK_SIZE)
+        #: Per-process uf_entry / fd table blocks (shared by all workers of a
+        #: process, written on open/close and on poll bookkeeping).
+        self.fd_table = [region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
+                         for _ in range(4)]
+        #: file_t structures, one block per open descriptor.
+        self.file_structs = [region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
+                             for _ in range(n_fds)]
+        #: vnode_t structures.
+        self.vnodes = [region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
+                       for _ in range(n_vnodes)]
+        #: pollcache / pollfd array blocks (scanned by every poll call).
+        self.pollcache = [region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
+                          for _ in range(16)]
+        #: Directory name lookup cache buckets.
+        self.dnlc = [region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
+                     for _ in range(8)]
+
+    # ------------------------------------------------------------------ #
+    def poll(self, n_fds_scanned: int = 8) -> Iterator[Op]:
+        """``poll``/``pollsys``: scan the pollcache and referenced file_t's."""
+        yield read(self.fd_table[0], Sym.POLL)
+        for i in range(max(1, n_fds_scanned)):
+            yield read(self.pollcache[i % len(self.pollcache)], Sym.POLL)
+            yield read(self.file_structs[i % len(self.file_structs)], Sym.POLLSYS)
+        yield write(self.pollcache[0], Sym.POLLSYS)
+
+    def syscall_read(self, fd: int) -> Iterator[Op]:
+        """``read``: fd table, file_t, vnode, offset update."""
+        yield read(self.fd_table[fd % len(self.fd_table)], Sym.READ)
+        yield read(self.file_structs[fd % len(self.file_structs)], Sym.READ)
+        yield read(self.vnodes[fd % len(self.vnodes)], Sym.READ)
+        yield write(self.file_structs[fd % len(self.file_structs)], Sym.READ)
+
+    def syscall_write(self, fd: int) -> Iterator[Op]:
+        """``write``: fd table, file_t, vnode, offset update."""
+        yield read(self.fd_table[fd % len(self.fd_table)], Sym.WRITE)
+        yield read(self.file_structs[fd % len(self.file_structs)], Sym.WRITE)
+        yield read(self.vnodes[fd % len(self.vnodes)], Sym.WRITE)
+        yield write(self.file_structs[fd % len(self.file_structs)], Sym.WRITE)
+
+    def syscall_open(self, path_hash: int) -> Iterator[Op]:
+        """``open``: name lookup through the DNLC plus fd allocation."""
+        yield read(self.fd_table[0], Sym.OPEN)
+        yield read(self.dnlc[path_hash % len(self.dnlc)], Sym.FOP_LOOKUP)
+        yield read(self.vnodes[path_hash % len(self.vnodes)], Sym.FOP_LOOKUP)
+        yield write(self.fd_table[0], Sym.COPEN)
+        yield write(self.file_structs[path_hash % len(self.file_structs)], Sym.COPEN)
+
+    def syscall_stat(self, path_hash: int) -> Iterator[Op]:
+        """``stat``: name lookup and vnode attribute read."""
+        yield read(self.dnlc[path_hash % len(self.dnlc)], Sym.STAT)
+        yield read(self.vnodes[path_hash % len(self.vnodes)], Sym.STAT)
+
+    def syscall_close(self, fd: int) -> Iterator[Op]:
+        """``close``: release the file_t and clear the fd slot."""
+        yield read(self.fd_table[fd % len(self.fd_table)], Sym.CLOSE)
+        yield write(self.file_structs[fd % len(self.file_structs)], Sym.CLOSE)
+        yield write(self.fd_table[fd % len(self.fd_table)], Sym.CLOSE)

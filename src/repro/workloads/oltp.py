@@ -1,0 +1,209 @@
+"""OLTP workload model (TPC-C-style transactions on the DB2 substrate).
+
+Section 5.2 of the paper: the most significant miss sources in OLTP are the
+index, tuple, and page accesses issued to the database buffer pool (about one
+sixth to one fifth of all misses, index accesses largest), while the higher
+layers of the engine — transaction management, execution-plan interpreter,
+interprocess communication — are more repetitive (~90%) because they touch
+meta-data that never leaves memory.  The Solaris scheduler and
+synchronization primitives contribute substantially wherever coherence
+matters (multi-chip, intra-chip) but vanish from the single-chip off-chip
+profile, and MMU trap handlers produce many temporal streams.
+
+The model executes a mix of new-order / payment / order-status style
+transactions over B+-tree indexes, a buffer pool with a hot working set, a
+lock manager, a transaction table, a sequential log, and IPC channels, all
+driven through the shared Solaris kernel model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..mem.config import BLOCK_SIZE
+from ..mem.trace import AccessTrace
+from .base import Job, Op, TraceBuilder, WorkloadDriver, read, write
+from .btree import BPlusTree
+from .configs import ApplicationConfig, get_config, scaled_parameter
+from .db2 import (BufferPool, CursorPool, IpcChannel, LockManager,
+                  PackageCache, TransactionLog, TransactionTable)
+from .kernel import KernelConfig, KernelModel
+from .symbols import Sym
+
+
+class OltpWorkload:
+    """TPC-C-like transaction processing over the DB2 substrate."""
+
+    def __init__(self, n_cpus: int, seed: int = 42, size: str = "default",
+                 config: ApplicationConfig = None) -> None:
+        self.config = config if config is not None else get_config("OLTP")
+        self.size = size
+        self.n_cpus = n_cpus
+        self.builder = TraceBuilder(n_cpus=n_cpus, seed=seed)
+        self.kernel = KernelModel(self.builder,
+                                  KernelConfig(steal_probability=0.3,
+                                               cv_probability=0.4))
+        params = self.config.model_parameters
+        self.n_transactions = scaled_parameter(self.config, "n_transactions",
+                                               size)
+        self.n_clients = params["n_clients"]
+        self.n_data_pages = params["n_data_pages"]
+        self.hot_pages = params["hot_pages"]
+        index_keys = params["index_keys"]
+
+        # -- DB2 substrate ------------------------------------------------ #
+        self.pool = BufferPool(self.builder, self.kernel, "oltp",
+                               n_frames=params["n_pool_frames"],
+                               n_kernel_buffers=0)
+        # The paper warms for thousands of transactions before tracing; start
+        # with the hot working set already resident in the buffer pool.
+        self.pool.preload(range(self.hot_pages))
+        self.item_index = BPlusTree(self.builder, "item", n_keys=index_keys)
+        self.stock_index = BPlusTree(self.builder, "stock", n_keys=index_keys)
+        self.customer_index = BPlusTree(self.builder, "customer",
+                                        n_keys=index_keys // 2)
+        self.orders_index = BPlusTree(self.builder, "orders",
+                                      n_keys=index_keys)
+        self.locks = LockManager(self.builder, n_buckets=64)
+        self.xact_table = TransactionTable(self.builder, n_entries=32)
+        self.log = TransactionLog(self.builder, self.kernel)
+        self.package_cache = PackageCache(self.builder, n_sections=12)
+        self.cursors = CursorPool(self.builder, n_agents=self.n_clients)
+        self.ipc = IpcChannel(self.builder, n_channels=self.n_clients)
+        #: Small per-agent sort/work heaps for the runtime interpreter.
+        region = self.builder.space.add_region(
+            "db.agent_heaps", self.n_clients * 4 * BLOCK_SIZE)
+        self.agent_heaps = [
+            [region.alloc(BLOCK_SIZE, align=BLOCK_SIZE) for _ in range(4)]
+            for _ in range(self.n_clients)]
+
+    # ------------------------------------------------------------------ #
+    # Data-access helpers
+    # ------------------------------------------------------------------ #
+    def _page_for_key(self, key: int) -> int:
+        """Deterministic key -> data page mapping with a hot/cold skew.
+
+        A key always lives on the same page (as in a real table), and most
+        keys map into the hot page set that fits the buffer pool; repeated
+        accesses to popular keys therefore produce recurring miss sequences,
+        while the cold tail triggers occasional disk reads.
+        """
+        h = (key * 2654435761) & 0xFFFFFFFF
+        if h % 1000 < 993:
+            return h % self.hot_pages
+        return self.hot_pages + h % (self.n_data_pages - self.hot_pages)
+
+    def _pick_key(self, n_keys: int) -> int:
+        """Pick a key with TPC-C-like skew: most requests hit popular keys."""
+        rng = self.builder.rng
+        if rng.random() < 0.75:
+            # Popular subset (e.g. this warehouse's districts and top items).
+            return rng.randrange(max(1, n_keys // 64))
+        return rng.randrange(n_keys)
+
+    def _interpreter_ops(self, agent: int, n_ops: int) -> Iterator[Op]:
+        """sqlri: evaluate predicates / move values through the agent heap."""
+        heap = self.agent_heaps[agent % len(self.agent_heaps)]
+        section = self.package_cache.sections[agent % len(self.package_cache.sections)]
+        for i in range(max(1, n_ops)):
+            yield read(section[i % len(section)], Sym.SQLRI_EVAL, icount=12)
+            yield read(heap[i % len(heap)], Sym.SQLRI_FETCH, icount=8)
+            if i % 3 == 0:
+                yield write(heap[(i + 1) % len(heap)], Sym.SQLRI_EVAL, icount=6)
+
+    def _client_request(self, agent: int) -> Iterator[Op]:
+        """Receive a client request: poll/read syscalls plus the IPC buffers."""
+        yield from self.kernel.syscalls.poll(n_fds_scanned=4)
+        yield from self.kernel.syscalls.syscall_read(agent)
+        yield from self.ipc.receive_request(agent)
+
+    def _client_response(self, agent: int) -> Iterator[Op]:
+        """Send the response back: IPC buffers plus the write syscall."""
+        yield from self.ipc.send_response(agent)
+        yield from self.kernel.syscalls.syscall_write(agent)
+
+    # ------------------------------------------------------------------ #
+    # Transaction types
+    # ------------------------------------------------------------------ #
+    def _new_order(self, xact_id: int, agent: int) -> Iterator[Op]:
+        rng = self.builder.rng
+        yield from self._client_request(agent)
+        yield from self.cursors.open(agent)
+        yield from self.package_cache.load_section(agent % 12)
+        yield from self.xact_table.begin(xact_id)
+        n_items = rng.randint(5, 12)
+        for _ in range(n_items):
+            item_key = self._pick_key(self.item_index.n_keys)
+            yield from self.item_index.search(item_key)
+            yield from self.locks.acquire(item_key)
+            yield from self.pool.access_row(self._page_for_key(item_key),
+                                            item_key)
+            stock_key = self._pick_key(self.stock_index.n_keys)
+            yield from self.stock_index.search(stock_key)
+            yield from self.pool.access_row(self._page_for_key(stock_key),
+                                            stock_key, update=True)
+            yield from self._interpreter_ops(agent, 2)
+            yield from self.log.append(160)
+            yield from self.locks.release(item_key)
+        order_key = rng.randrange(self.orders_index.n_keys)
+        yield from self.orders_index.insert(order_key)
+        yield from self.pool.access_row(self._page_for_key(order_key),
+                                        order_key, update=True)
+        yield from self.cursors.fetch(agent)
+        yield from self.log.append(224)
+        yield from self.xact_table.commit(xact_id)
+        yield from self.cursors.commit(agent)
+        yield from self._client_response(agent)
+
+    def _payment(self, xact_id: int, agent: int) -> Iterator[Op]:
+        rng = self.builder.rng
+        yield from self._client_request(agent)
+        yield from self.cursors.open(agent)
+        yield from self.xact_table.begin(xact_id)
+        customer_key = self._pick_key(self.customer_index.n_keys)
+        yield from self.customer_index.search(customer_key)
+        yield from self.locks.acquire(customer_key)
+        yield from self.pool.access_row(self._page_for_key(customer_key),
+                                        customer_key, update=True)
+        yield from self._interpreter_ops(agent, 3)
+        yield from self.log.append(128)
+        yield from self.locks.release(customer_key)
+        yield from self.xact_table.commit(xact_id)
+        yield from self.cursors.commit(agent)
+        yield from self._client_response(agent)
+
+    def _order_status(self, xact_id: int, agent: int) -> Iterator[Op]:
+        """Read-only transaction: an index range scan over recent orders."""
+        rng = self.builder.rng
+        yield from self._client_request(agent)
+        yield from self.cursors.open(agent)
+        start = rng.randrange(max(1, self.orders_index.n_keys - 256))
+        yield from self.orders_index.range_scan(start, 192)
+        for offset in range(4):
+            yield from self.pool.access_row(self._page_for_key(start + offset),
+                                            start + offset)
+        yield from self._interpreter_ops(agent, 4)
+        yield from self.cursors.commit(agent)
+        yield from self._client_response(agent)
+
+    # ------------------------------------------------------------------ #
+    def _make_job(self, index: int) -> Job:
+        agent = index % self.n_clients
+        rng_value = (index * 2654435761) % 100
+        if rng_value < 55:
+            factory = lambda i=index, a=agent: self._new_order(i, a)
+            name = f"new_order[{index}]"
+        elif rng_value < 85:
+            factory = lambda i=index, a=agent: self._payment(i, a)
+            name = f"payment[{index}]"
+        else:
+            factory = lambda i=index, a=agent: self._order_status(i, a)
+            name = f"order_status[{index}]"
+        return Job(name=name, factory=factory, thread=agent)
+
+    def generate(self) -> AccessTrace:
+        """Run the transaction mix and return the access trace."""
+        jobs = [self._make_job(i) for i in range(self.n_transactions)]
+        driver = WorkloadDriver(self.builder, self.kernel, quantum=80)
+        driver.run(jobs)
+        return self.builder.trace

@@ -1,0 +1,242 @@
+"""Synthetic symbol table for the commercial workload models.
+
+The paper attributes misses to code modules by resolving the call stack at
+each miss against the function names embedded in the Solaris kernel and the
+application binaries, then grouping functions into the categories of Table 2
+using module naming conventions (Section 3, "Code module analysis").
+
+Our workload models cannot run the real binaries, so this module provides the
+equivalent of the resolved symbol table: one :class:`FunctionRef` per
+function the models touch, carrying the function name, the module it belongs
+to, and its Table 2 category.  The names follow the real Solaris / DB2 / perl
+naming conventions mentioned in the paper so traces remain recognisable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..mem.records import FunctionRef
+
+# Category name constants (must match repro.core.modules.CATEGORIES).
+BULK_COPIES = "Bulk memory copies"
+SYSCALLS = "System call implementation"
+SCHEDULER = "Kernel task scheduler"
+MMU_TRAPS = "Kernel MMU & trap handlers"
+SYNC = "Kernel synchronization primitives"
+KERNEL_OTHER = "Kernel - other activity"
+STREAMS = "Kernel STREAMS subsystem"
+IP_ASSEMBLY = "Kernel IP packet assembly"
+WEB_WORKER = "Web server worker thread pool"
+PERL_INPUT = "CGI - perl input processing"
+PERL_ENGINE = "CGI - perl execution engine"
+PERL_OTHER = "CGI - perl other activity"
+BLOCK_DEV = "Kernel block device driver"
+DB2_INDEX = "DB2 index, page & tuple accesses"
+DB2_REQUEST = "DB2 SQL request control"
+DB2_IPC = "DB2 interprocess communication"
+DB2_INTERP = "DB2 SQL runtime interpreter"
+DB2_OTHER = "DB2 - other activity"
+UNKNOWN = "Uncategorized / Unknown"
+
+
+_REGISTRY: Dict[str, FunctionRef] = {}
+
+
+def _register(name: str, module: str, category: str) -> FunctionRef:
+    ref = FunctionRef(name=name, module=module, category=category)
+    _REGISTRY[name] = ref
+    return ref
+
+
+def lookup(name: str) -> FunctionRef:
+    """Resolve a function name to its :class:`FunctionRef`.
+
+    Unknown names resolve to an uncategorised reference, mirroring the
+    paper's "Uncategorized / Unknown" bucket.
+    """
+    ref = _REGISTRY.get(name)
+    if ref is None:
+        ref = FunctionRef(name=name, module="unknown", category=UNKNOWN)
+    return ref
+
+
+def all_functions() -> List[FunctionRef]:
+    """Every registered function (useful for tests and documentation)."""
+    return list(_REGISTRY.values())
+
+
+class Sym:
+    """Namespace of all registered :class:`FunctionRef` constants."""
+
+    # ------------------------------------------------------------------ #
+    # Bulk memory copies
+    # ------------------------------------------------------------------ #
+    MEMCPY = _register("memcpy", "libc", BULK_COPIES)
+    BCOPY = _register("bcopy", "genunix", BULK_COPIES)
+    ALIGN_CPY = _register("__align_cpy_1", "libc", BULK_COPIES)
+    DEFAULT_COPYOUT = _register("default_copyout", "genunix", BULK_COPIES)
+    DEFAULT_COPYIN = _register("default_copyin", "genunix", BULK_COPIES)
+    KCOPY = _register("kcopy", "genunix", BULK_COPIES)
+
+    # ------------------------------------------------------------------ #
+    # System call implementation
+    # ------------------------------------------------------------------ #
+    POLL = _register("poll", "genunix:syscall", SYSCALLS)
+    POLLSYS = _register("pollsys", "genunix:syscall", SYSCALLS)
+    READ = _register("read", "genunix:syscall", SYSCALLS)
+    WRITE = _register("write", "genunix:syscall", SYSCALLS)
+    OPEN = _register("open", "genunix:syscall", SYSCALLS)
+    CLOSE = _register("close", "genunix:syscall", SYSCALLS)
+    STAT = _register("stat", "genunix:syscall", SYSCALLS)
+    FCNTL = _register("fcntl", "genunix:syscall", SYSCALLS)
+    COPEN = _register("copen", "genunix:syscall", SYSCALLS)
+    FOP_LOOKUP = _register("fop_lookup", "genunix:syscall", SYSCALLS)
+
+    # ------------------------------------------------------------------ #
+    # Kernel task scheduler
+    # ------------------------------------------------------------------ #
+    DISP_GETWORK = _register("disp_getwork", "unix:disp", SCHEDULER)
+    DISP_GETBEST = _register("disp_getbest", "unix:disp", SCHEDULER)
+    DISPDEQ = _register("dispdeq", "unix:disp", SCHEDULER)
+    DISP_RATIFY = _register("disp_ratify", "unix:disp", SCHEDULER)
+    SETFRONTDQ = _register("setfrontdq", "unix:disp", SCHEDULER)
+    SETBACKDQ = _register("setbackdq", "unix:disp", SCHEDULER)
+    SWTCH = _register("swtch", "unix:disp", SCHEDULER)
+    TS_TICK = _register("ts_tick", "TS:sched", SCHEDULER)
+    CPU_RESCHED = _register("cpu_resched", "unix:disp", SCHEDULER)
+
+    # ------------------------------------------------------------------ #
+    # Kernel MMU and trap handlers
+    # ------------------------------------------------------------------ #
+    DTLB_MISS = _register("data_access_MMU_miss", "unix:trap", MMU_TRAPS)
+    ITLB_MISS = _register("instruction_access_MMU_miss", "unix:trap", MMU_TRAPS)
+    SFMMU_TSB_MISS = _register("sfmmu_tsb_miss", "unix:hat", MMU_TRAPS)
+    HAT_MEMLOAD = _register("hat_memload", "unix:hat", MMU_TRAPS)
+    FILL_WINDOW = _register("fill_window", "unix:trap", MMU_TRAPS)
+    SPILL_WINDOW = _register("spill_window", "unix:trap", MMU_TRAPS)
+
+    # ------------------------------------------------------------------ #
+    # Kernel synchronization primitives
+    # ------------------------------------------------------------------ #
+    MUTEX_ENTER = _register("mutex_enter", "unix:sync", SYNC)
+    MUTEX_VECTOR_ENTER = _register("mutex_vector_enter", "unix:sync", SYNC)
+    MUTEX_EXIT = _register("mutex_exit", "unix:sync", SYNC)
+    CV_WAIT = _register("cv_wait", "genunix:sync", SYNC)
+    CV_SIGNAL = _register("cv_signal", "genunix:sync", SYNC)
+    CV_BROADCAST = _register("cv_broadcast", "genunix:sync", SYNC)
+    TURNSTILE_BLOCK = _register("turnstile_block", "genunix:sync", SYNC)
+    TURNSTILE_WAKEUP = _register("turnstile_wakeup", "genunix:sync", SYNC)
+
+    # ------------------------------------------------------------------ #
+    # Kernel - other activity
+    # ------------------------------------------------------------------ #
+    KMEM_ALLOC = _register("kmem_cache_alloc", "genunix:kmem", KERNEL_OTHER)
+    KMEM_FREE = _register("kmem_cache_free", "genunix:kmem", KERNEL_OTHER)
+    SEGMAP_GETMAP = _register("segmap_getmapflt", "genunix:vm", KERNEL_OTHER)
+    PAGE_LOOKUP = _register("page_lookup", "genunix:vm", KERNEL_OTHER)
+    ANON_ZERO = _register("anon_zero", "genunix:vm", KERNEL_OTHER)
+    TIMEOUT = _register("timeout", "genunix:callout", KERNEL_OTHER)
+    GETHRTIME = _register("gethrtime", "genunix:time", KERNEL_OTHER)
+
+    # ------------------------------------------------------------------ #
+    # Kernel STREAMS subsystem (web)
+    # ------------------------------------------------------------------ #
+    PUTQ = _register("putq", "genunix:streams", STREAMS)
+    GETQ = _register("getq", "genunix:streams", STREAMS)
+    CANPUT = _register("canput", "genunix:streams", STREAMS)
+    PUTNEXT = _register("putnext", "genunix:streams", STREAMS)
+    ALLOCB = _register("allocb", "genunix:streams", STREAMS)
+    FREEB = _register("freeb", "genunix:streams", STREAMS)
+    STRREAD = _register("strread", "genunix:streams", STREAMS)
+    STRWRITE = _register("strwrite", "genunix:streams", STREAMS)
+    STRRPUT = _register("strrput", "genunix:streams", STREAMS)
+
+    # ------------------------------------------------------------------ #
+    # Kernel IP packet assembly (web)
+    # ------------------------------------------------------------------ #
+    IP_WPUT = _register("ip_wput", "ip", IP_ASSEMBLY)
+    IP_OUTPUT = _register("ip_output", "ip", IP_ASSEMBLY)
+    TCP_WPUT = _register("tcp_wput", "tcp", IP_ASSEMBLY)
+    TCP_SEND_DATA = _register("tcp_send_data", "tcp", IP_ASSEMBLY)
+    IP_HDR_ASSEMBLE = _register("ip_hdr_assemble", "ip", IP_ASSEMBLY)
+
+    # ------------------------------------------------------------------ #
+    # Web server worker threads
+    # ------------------------------------------------------------------ #
+    AP_PROCESS_REQUEST = _register("ap_process_request", "httpd", WEB_WORKER)
+    AP_OUTPUT_FILTER = _register("ap_core_output_filter", "httpd", WEB_WORKER)
+    AP_READ_REQUEST = _register("ap_read_request", "httpd", WEB_WORKER)
+    ZEUS_WORKER = _register("zeus_worker_run", "zeus.web", WEB_WORKER)
+    ZEUS_SENDFILE = _register("zeus_send_response", "zeus.web", WEB_WORKER)
+
+    # ------------------------------------------------------------------ #
+    # CGI / perl
+    # ------------------------------------------------------------------ #
+    PERL_SV_GETS = _register("Perl_sv_gets", "perl", PERL_INPUT)
+    PERL_PP_CONST = _register("Perl_pp_const", "perl", PERL_ENGINE)
+    PERL_PP_PRINT = _register("Perl_pp_print", "perl", PERL_ENGINE)
+    PERL_PP_RETURN = _register("Perl_pp_return", "perl", PERL_ENGINE)
+    PERL_PP_NEXTSTATE = _register("Perl_pp_nextstate", "perl", PERL_ENGINE)
+    PERL_PP_CONCAT = _register("Perl_pp_concat", "perl", PERL_ENGINE)
+    PERL_PP_GV = _register("Perl_pp_gv", "perl", PERL_ENGINE)
+    PERL_RUNOPS = _register("Perl_runops_standard", "perl", PERL_ENGINE)
+    PERL_HV_FETCH = _register("Perl_hv_fetch", "perl", PERL_OTHER)
+    PERL_AV_FETCH = _register("Perl_av_fetch", "perl", PERL_OTHER)
+    PERL_SV_SETPV = _register("Perl_sv_setpv", "perl", PERL_OTHER)
+    PERL_NEWSV = _register("Perl_newSV", "perl", PERL_OTHER)
+
+    # ------------------------------------------------------------------ #
+    # Kernel block device driver (DB2)
+    # ------------------------------------------------------------------ #
+    BDEV_STRATEGY = _register("bdev_strategy", "genunix:driver", BLOCK_DEV)
+    SD_START = _register("sd_start_cmds", "sd", BLOCK_DEV)
+    SD_INTR = _register("sdintr", "sd", BLOCK_DEV)
+
+    # ------------------------------------------------------------------ #
+    # DB2 index, page and tuple accesses
+    # ------------------------------------------------------------------ #
+    SQLI_KEY_SEARCH = _register("sqliKeySearch", "db2:sqli", DB2_INDEX)
+    SQLI_FETCH_NEXT = _register("sqliFetchNext", "db2:sqli", DB2_INDEX)
+    SQLI_SCAN_LEAF = _register("sqliScanLeaf", "db2:sqli", DB2_INDEX)
+    SQLI_INSERT = _register("sqliInsertKey", "db2:sqli", DB2_INDEX)
+    SQLD_ROW_FETCH = _register("sqldRowFetch", "db2:sqld", DB2_INDEX)
+    SQLD_ROW_UPDATE = _register("sqldRowUpdate", "db2:sqld", DB2_INDEX)
+    SQLPG_READ_PAGE = _register("sqlpgReadPage", "db2:sqlpg", DB2_INDEX)
+    SQLPG_FLUSH_PAGE = _register("sqlpgFlushPage", "db2:sqlpg", DB2_INDEX)
+    SQLB_FIX_PAGE = _register("sqlbFixPage", "db2:sqlb", DB2_INDEX)
+
+    # ------------------------------------------------------------------ #
+    # DB2 SQL request control
+    # ------------------------------------------------------------------ #
+    SQLRR_OPEN = _register("sqlrr_open", "db2:sqlrr", DB2_REQUEST)
+    SQLRR_FETCH = _register("sqlrr_fetch", "db2:sqlrr", DB2_REQUEST)
+    SQLRR_COMMIT = _register("sqlrr_commit", "db2:sqlrr", DB2_REQUEST)
+    SQLRA_CURSOR = _register("sqlra_cursor_update", "db2:sqlra", DB2_REQUEST)
+    SQLRA_GET_SECTION = _register("sqlra_get_section", "db2:sqlra", DB2_REQUEST)
+
+    # ------------------------------------------------------------------ #
+    # DB2 interprocess communication
+    # ------------------------------------------------------------------ #
+    SQLE_IPC_SEND = _register("sqleIPCSend", "db2:sqle", DB2_IPC)
+    SQLE_IPC_RECV = _register("sqleIPCRecv", "db2:sqle", DB2_IPC)
+    SQLE_AGENT_DISPATCH = _register("sqleAgentDispatch", "db2:sqle", DB2_IPC)
+
+    # ------------------------------------------------------------------ #
+    # DB2 SQL runtime interpreter
+    # ------------------------------------------------------------------ #
+    SQLRI_FETCH = _register("sqlriFetch", "db2:sqlri", DB2_INTERP)
+    SQLRI_EVAL = _register("sqlriEvalPred", "db2:sqlri", DB2_INTERP)
+    SQLRI_AGGR = _register("sqlriAggr", "db2:sqlri", DB2_INTERP)
+    SQLRI_JOIN = _register("sqlriNljnProbe", "db2:sqlri", DB2_INTERP)
+    SQLRI_SORT = _register("sqlriSortInsert", "db2:sqlri", DB2_INTERP)
+
+    # ------------------------------------------------------------------ #
+    # DB2 - other activity
+    # ------------------------------------------------------------------ #
+    SQLO_LOCK = _register("sqloXlatchConflict", "db2:sqlo", DB2_OTHER)
+    SQLP_LOCK_REQUEST = _register("sqlpLockRequest", "db2:sqlp", DB2_OTHER)
+    SQLP_LOCK_RELEASE = _register("sqlpLockRelease", "db2:sqlp", DB2_OTHER)
+    SQLP_XACT_TABLE = _register("sqlpWriteXactEntry", "db2:sqlp", DB2_OTHER)
+    SQLZ_LOG_WRITE = _register("sqlzLogWrite", "db2:sqlz", DB2_OTHER)
+    SQLE_PROCESS = _register("sqleProcessRequest", "db2:sqle", DB2_OTHER)

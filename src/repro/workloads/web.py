@@ -1,0 +1,194 @@
+"""Web-server workload models (SPECweb99 on Apache and Zeus).
+
+Section 5.1 of the paper: the HTTP server software itself accounts for only
+about 3% of off-chip misses; activity is dominated by the interaction between
+the perl scripts generating dynamic content, the web server, and the kernel
+interfaces sending replies to the network.  The biggest stream producers are
+the kernel STREAMS subsystem carrying the FastCGI traffic (~80% repetitive),
+the perl interpreter (input parsing ~99% repetitive, op execution ~75%), the
+poll system call, the scheduler/synchronization caused by the many worker
+threads, and bulk copies into *reused* network I/O buffers.
+
+Each simulated request:
+
+1. arrives via network DMA into a per-connection kernel socket buffer,
+2. is noticed by ``poll`` and read by a server worker (``read`` syscall plus
+   ``copyout`` from the socket buffer into the worker's user buffer),
+3. is either served statically (file-cache lookup + copy) or passed to a
+   FastCGI perl process through STREAMS, parsed by ``Perl_sv_gets``, executed
+   over the script's op-tree, and returned through STREAMS,
+4. and is finally written back: ``write`` syscall, user-to-kernel copy, and
+   TCP/IP packet assembly.
+
+Apache and Zeus share the model; they differ in connection count, the
+dynamic/static mix, and threading intensity (Table 1 shows the same
+SPECweb99 setup for both, and the paper's results for the two servers are
+close).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..mem.config import BLOCK_SIZE, PAGE_SIZE
+from ..mem.trace import AccessTrace
+from .base import Job, Op, TraceBuilder, WorkloadDriver, read, write
+from .configs import ApplicationConfig, get_config, scaled_parameter
+from .kernel import KernelConfig, KernelModel, bulk_copy, copyin, copyout
+from .perl import PerlPool
+from .symbols import Sym
+from .webserver import ConnectionTable, FileCache
+
+
+class WebWorkload:
+    """SPECweb99-style web serving on Apache or Zeus."""
+
+    def __init__(self, variant: str, n_cpus: int, seed: int = 42,
+                 size: str = "default",
+                 config: ApplicationConfig = None) -> None:
+        variant = variant.lower()
+        if variant not in ("apache", "zeus"):
+            raise ValueError("variant must be 'apache' or 'zeus'")
+        self.variant = variant
+        self.config = (config if config is not None
+                       else get_config(variant.capitalize()))
+        self.size = size
+        self.n_cpus = n_cpus
+        self.builder = TraceBuilder(n_cpus=n_cpus, seed=seed)
+        # Web servers run hundreds of threads; scheduling and synchronization
+        # are intense (Section 5.1).
+        self.kernel = KernelModel(self.builder,
+                                  KernelConfig(steal_probability=0.25,
+                                               cv_probability=0.45,
+                                               n_threads=96))
+        params = self.config.model_parameters
+        self.n_requests = scaled_parameter(self.config, "n_requests", size)
+        self.dynamic_permille = params["dynamic_permille"]
+
+        server_fn = (Sym.AP_PROCESS_REQUEST if variant == "apache"
+                     else Sym.ZEUS_WORKER)
+        self.server_fn = server_fn
+        self.output_fn = (Sym.AP_OUTPUT_FILTER if variant == "apache"
+                          else Sym.ZEUS_SENDFILE)
+        self.read_fn = (Sym.AP_READ_REQUEST if variant == "apache"
+                        else Sym.ZEUS_WORKER)
+
+        self.connections = ConnectionTable(self.builder, server_fn,
+                                           n_connections=params["n_connections"])
+        self.file_cache = FileCache(self.builder,
+                                    n_files=params["n_static_files"],
+                                    pages_per_file=2)
+        self.perl_pool = PerlPool(self.builder,
+                                  n_processes=params["n_perl_processes"],
+                                  script_ops=160)
+        #: Kernel socket receive buffers, one page per connection, reused for
+        #: every request on that connection (the source of the repetitive
+        #: I/O-coherence misses the paper observes).
+        region = self.builder.space.add_region(
+            "kernel.socket_buffers", len(self.connections) * PAGE_SIZE)
+        self.socket_buffers = [region.alloc(PAGE_SIZE, align=PAGE_SIZE)
+                               for _ in range(len(self.connections))]
+        #: Kernel-side staging buffers for outbound data (reused round-robin).
+        out_region = self.builder.space.add_region(
+            "kernel.out_buffers", 16 * PAGE_SIZE)
+        self.out_buffers = [out_region.alloc(PAGE_SIZE, align=PAGE_SIZE)
+                            for _ in range(16)]
+        self._next_out = 0
+
+    # ------------------------------------------------------------------ #
+    def _out_buffer(self) -> int:
+        buf = self.out_buffers[self._next_out % len(self.out_buffers)]
+        self._next_out += 1
+        return buf
+
+    # ------------------------------------------------------------------ #
+    # Request handlers
+    # ------------------------------------------------------------------ #
+    def _accept_and_read(self, conn_id: int, request_bytes: int) -> Iterator[Op]:
+        """poll + network DMA + read() + copyout into the worker's buffer."""
+        yield from self.kernel.syscalls.poll(n_fds_scanned=6)
+        socket_buf = self.socket_buffers[conn_id % len(self.socket_buffers)]
+        # The NIC DMAs the request into the (reused) kernel socket buffer.
+        yield from self.connections.network_arrival(conn_id, request_bytes,
+                                                    target_addr=socket_buf)
+        yield from self.kernel.ip.receive(conn_id)
+        yield from self.kernel.syscalls.syscall_read(conn_id)
+        yield from copyout(socket_buf,
+                           self.connections.request_buffer(conn_id),
+                           request_bytes)
+        yield from self.connections.read_request(conn_id, fn=self.read_fn)
+
+    def _respond(self, conn_id: int, src_addr: int,
+                 response_bytes: int) -> Iterator[Op]:
+        """write() + user-to-kernel copy + TCP/IP packet assembly."""
+        yield from self.kernel.syscalls.syscall_write(conn_id)
+        staging = self._out_buffer()
+        yield from copyin(src_addr, staging, min(response_bytes, PAGE_SIZE))
+        yield from self.kernel.ip.send(conn_id, response_bytes)
+        yield read(self.connections.connection_struct(conn_id), self.server_fn,
+                   icount=8)
+
+    def _dynamic_request(self, conn_id: int, request_id: int) -> Iterator[Op]:
+        """A FastCGI dynamic-content request through a perl worker."""
+        rng = self.builder.rng
+        yield from self._accept_and_read(conn_id, request_bytes=384)
+        process = self.perl_pool.acquire()
+        stream_id = request_id % len(self.kernel.streams.stream_heads)
+        # Server writes the CGI request down the stream to the perl process.
+        yield from self.kernel.syscalls.syscall_write(conn_id + 64)
+        yield from copyin(self.connections.request_buffer(conn_id),
+                          process.input_address(), 256)
+        yield from self.kernel.streams.stream_write(stream_id, n_messages=1)
+        # Perl worker wakes, parses the request, and runs the script.
+        yield from self.kernel.streams.stream_read(stream_id, n_messages=1)
+        yield from process.parse_request()
+        yield from process.run_script(work_factor=0.6 + 0.8 * rng.random())
+        # Perl prints the generated page back to the server.
+        yield from self.kernel.streams.stream_write(stream_id, n_messages=2)
+        yield from self.kernel.streams.stream_read(stream_id, n_messages=2)
+        yield read(process.output_address(), self.output_fn, icount=10)
+        yield from self._respond(conn_id, process.output_address(),
+                                 response_bytes=2048 + rng.randrange(4096))
+
+    def _static_request(self, conn_id: int, request_id: int) -> Iterator[Op]:
+        """A static-file request served from the file cache."""
+        rng = self.builder.rng
+        yield from self._accept_and_read(conn_id, request_bytes=256)
+        # SPECweb's static file accesses follow a Zipf-like popularity curve:
+        # most requests hit a small hot subset, so their copy sequences recur.
+        if rng.random() < 0.7:
+            file_id = rng.randrange(max(1, len(self.file_cache.files) // 4))
+        else:
+            file_id = rng.randrange(len(self.file_cache.files))
+        yield from self.kernel.syscalls.syscall_open(file_id)
+        yield from self.kernel.syscalls.syscall_stat(file_id)
+        yield from self.file_cache.lookup(file_id)
+        pages = self.file_cache.pages(file_id)
+        # The server sends the file: each cached page is copied into a kernel
+        # staging buffer and packetised.
+        for page in pages:
+            staging = self._out_buffer()
+            yield from bulk_copy(page, staging, PAGE_SIZE, fn=Sym.BCOPY)
+            yield from self.kernel.ip.send(conn_id, PAGE_SIZE)
+        yield from self.kernel.syscalls.syscall_close(file_id)
+        yield read(self.connections.connection_struct(conn_id), self.server_fn,
+                   icount=6)
+
+    # ------------------------------------------------------------------ #
+    def _make_job(self, request_id: int) -> Job:
+        conn_id = request_id % len(self.connections)
+        is_dynamic = (request_id * 2654435761) % 1000 < self.dynamic_permille
+        if is_dynamic:
+            factory = lambda c=conn_id, r=request_id: self._dynamic_request(c, r)
+            name = f"{self.variant}_dynamic[{request_id}]"
+        else:
+            factory = lambda c=conn_id, r=request_id: self._static_request(c, r)
+            name = f"{self.variant}_static[{request_id}]"
+        return Job(name=name, factory=factory, thread=conn_id)
+
+    def generate(self) -> AccessTrace:
+        """Serve the request mix and return the access trace."""
+        jobs = [self._make_job(i) for i in range(self.n_requests)]
+        driver = WorkloadDriver(self.builder, self.kernel, quantum=80)
+        driver.run(jobs)
+        return self.builder.trace

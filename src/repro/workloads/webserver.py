@@ -1,0 +1,97 @@
+"""Web-server substrate shared by the Apache and Zeus workload models.
+
+Section 5.1: the HTTP server software itself accounts for only ~3% of
+off-chip misses; activity is dominated by the OS work done on its behalf
+(poll, STREAMS, IP assembly, bulk copies) and the perl CGI processes.  This
+module models the server-side structures: connection state, request parse
+buffers (fed by network DMA into reused socket buffers), and the static-file
+page cache whose pages are repeatedly copied out to the network.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from ..mem.config import BLOCK_SIZE, PAGE_SIZE
+from ..mem.records import FunctionRef
+from .base import Op, TraceBuilder, dma_write, read, write
+from .kernel import KernelModel, copyout
+from .symbols import Sym
+
+
+class FileCache:
+    """In-memory cache of hot static files (segmap / vnode page cache)."""
+
+    def __init__(self, builder: TraceBuilder, n_files: int = 24,
+                 pages_per_file: int = 2) -> None:
+        region = builder.space.add_region(
+            "web.filecache", n_files * pages_per_file * PAGE_SIZE
+            + n_files * BLOCK_SIZE)
+        self.files: List[List[int]] = [
+            [region.alloc(PAGE_SIZE, align=PAGE_SIZE)
+             for _ in range(pages_per_file)]
+            for _ in range(n_files)]
+        #: Per-file vnode/page-list header block.
+        self.headers = [region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
+                        for _ in range(n_files)]
+
+    def lookup(self, file_id: int) -> Iterator[Op]:
+        """segmap/page_lookup for a cached file."""
+        file_id %= len(self.files)
+        yield read(self.headers[file_id], Sym.SEGMAP_GETMAP, icount=8)
+        yield read(self.files[file_id][0], Sym.PAGE_LOOKUP, icount=6)
+
+    def pages(self, file_id: int) -> List[int]:
+        return self.files[file_id % len(self.files)]
+
+
+class ConnectionTable:
+    """HTTP connection state plus reused socket receive buffers."""
+
+    def __init__(self, builder: TraceBuilder, server_fn: FunctionRef,
+                 n_connections: int = 32, recv_buffer_blocks: int = 4) -> None:
+        self.server_fn = server_fn
+        region = builder.space.add_region(
+            "web.connections",
+            n_connections * (2 + recv_buffer_blocks) * BLOCK_SIZE)
+        self.connections: List[Tuple[int, int, List[int]]] = []
+        for _ in range(n_connections):
+            conn_struct = region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
+            parse_state = region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
+            recv_buffer = [region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
+                           for _ in range(recv_buffer_blocks)]
+            self.connections.append((conn_struct, parse_state, recv_buffer))
+
+    def __len__(self) -> int:
+        return len(self.connections)
+
+    # ------------------------------------------------------------------ #
+    def network_arrival(self, conn_id: int, n_bytes: int = 512,
+                        target_addr: int = None) -> Iterator[Op]:
+        """The NIC DMAs an incoming request into a kernel socket buffer.
+
+        ``target_addr`` is the kernel socket buffer the packet lands in; when
+        omitted, the connection's own receive buffer is used.
+        """
+        _conn, _parse, recv_buffer = self.connections[conn_id % len(self.connections)]
+        if target_addr is None:
+            target_addr = recv_buffer[0]
+            n_bytes = min(n_bytes, len(recv_buffer) * BLOCK_SIZE)
+        yield dma_write(target_addr, n_bytes, Sym.SD_INTR)
+
+    def read_request(self, conn_id: int,
+                     fn: FunctionRef = None) -> Iterator[Op]:
+        """The server parses the request from the (just-DMA'd) buffer."""
+        fn = fn if fn is not None else self.server_fn
+        conn_struct, parse_state, recv_buffer = \
+            self.connections[conn_id % len(self.connections)]
+        yield read(conn_struct, fn, icount=10)
+        for block in recv_buffer:
+            yield read(block, fn, icount=8)
+        yield write(parse_state, fn, icount=8)
+
+    def request_buffer(self, conn_id: int) -> int:
+        return self.connections[conn_id % len(self.connections)][2][0]
+
+    def connection_struct(self, conn_id: int) -> int:
+        return self.connections[conn_id % len(self.connections)][0]

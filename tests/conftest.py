@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.mem import (Access, AccessKind, FunctionRef, MissRecord, MissTrace,
+                       MULTI_CHIP)
+
+
+FN_A = FunctionRef(name="fn_a", module="mod_a", category="Kernel - other activity")
+FN_B = FunctionRef(name="fn_b", module="mod_b", category="Bulk memory copies")
+
+
+def make_miss_trace(blocks, cpus=None, context=MULTI_CHIP, instructions=None,
+                    classes=None, fns=None):
+    """Build a MissTrace from a list of block addresses (test helper)."""
+    trace = MissTrace(context)
+    n = len(blocks)
+    cpus = cpus if cpus is not None else [0] * n
+    classes = classes if classes is not None else [3] * n  # REPLACEMENT
+    fns = fns if fns is not None else [FN_A] * n
+    for i, (block, cpu, cls, fn) in enumerate(zip(blocks, cpus, classes, fns)):
+        trace.append(MissRecord(seq=i, cpu=cpu, block=block, miss_class=cls,
+                                fn=fn))
+    trace.instructions = instructions if instructions is not None else 1000 * n
+    return trace
+
+
+@pytest.fixture
+def simple_trace():
+    """A small miss trace with an obvious repeated sequence."""
+    pattern = [0x1000, 0x2000, 0x3000, 0x4000]
+    blocks = pattern + [0x9000] + pattern + [0xA000] + pattern
+    return make_miss_trace(blocks)
+
+
+@pytest.fixture
+def tiny_web_trace():
+    """A tiny Apache access trace (session-scoped for reuse across tests)."""
+    from repro.workloads import generate_trace
+    return generate_trace("Apache", n_cpus=4, size="tiny", seed=7)

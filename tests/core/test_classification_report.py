@@ -1,0 +1,92 @@
+"""Tests for classification breakdowns (Figure 1) and text rendering."""
+
+import pytest
+
+from repro.core import (analyze_trace, classify_intrachip, classify_offchip,
+                        module_breakdown, length_distribution,
+                        reuse_distance_distribution, stride_stream_breakdown)
+from repro.core.report import (format_intrachip_classification,
+                               format_length_cdf, format_module_table,
+                               format_offchip_classification, format_reuse_pdf,
+                               format_stream_fractions,
+                               format_stride_breakdown, pct)
+from repro.mem import FunctionRef, IntraChipClass, MissClass, INTRA_CHIP
+
+from ..conftest import make_miss_trace
+
+
+class TestClassification:
+    def test_offchip_breakdown_counts_and_mpki(self):
+        trace = make_miss_trace([1, 2, 3, 4],
+                                classes=[int(MissClass.COHERENCE),
+                                         int(MissClass.COHERENCE),
+                                         int(MissClass.COMPULSORY),
+                                         int(MissClass.REPLACEMENT)],
+                                instructions=2000)
+        breakdown = classify_offchip(trace)
+        assert breakdown.counts_by_class[int(MissClass.COHERENCE)] == 2
+        assert breakdown.mpki(MissClass.COHERENCE) == pytest.approx(1.0)
+        assert breakdown.total_mpki == pytest.approx(2.0)
+        assert breakdown.fraction(MissClass.COHERENCE) == pytest.approx(0.5)
+
+    def test_intrachip_breakdown(self):
+        trace = make_miss_trace(
+            [1, 2, 3],
+            classes=[int(IntraChipClass.COHERENCE_PEER_L1),
+                     int(IntraChipClass.REPLACEMENT_L2),
+                     int(IntraChipClass.OFF_CHIP)],
+            context=INTRA_CHIP, instructions=1000)
+        breakdown = classify_intrachip(trace)
+        assert breakdown.counts_by_class[int(IntraChipClass.OFF_CHIP)] == 1
+        assert breakdown.total_misses == 3
+
+    def test_empty_trace(self):
+        trace = make_miss_trace([], instructions=0)
+        breakdown = classify_offchip(trace)
+        assert breakdown.total_mpki == 0.0
+        assert breakdown.fraction(MissClass.COHERENCE) == 0.0
+
+
+class TestRendering:
+    def test_pct(self):
+        assert pct(0.5) == "50.0%"
+        assert pct(0.123) == "12.3%"
+
+    def test_offchip_table_contains_classes(self, simple_trace):
+        breakdown = classify_offchip(simple_trace)
+        text = format_offchip_classification("OLTP / multi-chip", breakdown)
+        for label in ("Coherence", "Compulsory", "Replacement", "I/O Coherence",
+                      "OLTP / multi-chip"):
+            assert label in text
+
+    def test_intrachip_table(self, simple_trace):
+        text = format_intrachip_classification("x", classify_intrachip(simple_trace))
+        assert "Coherence:Peer-L1" in text and "Off-chip" in text
+
+    def test_stream_fraction_table(self, simple_trace):
+        analysis = analyze_trace(simple_trace)
+        text = format_stream_fractions({"OLTP / multi-chip": analysis})
+        assert "OLTP / multi-chip" in text and "Recurring" in text
+
+    def test_stride_table(self, simple_trace):
+        analysis = analyze_trace(simple_trace)
+        text = format_stride_breakdown(
+            {"w": stride_stream_breakdown(simple_trace, analysis)})
+        assert "Rep+Strided" in text
+
+    def test_length_and_reuse_rendering(self, simple_trace):
+        analysis = analyze_trace(simple_trace)
+        lengths = length_distribution(analysis.occurrences)
+        reuse = reuse_distance_distribution(analysis, simple_trace)
+        assert "median" in format_length_cdf("x", lengths)
+        assert "Distance bin" in format_reuse_pdf("x", reuse)
+
+    def test_module_table_rendering(self):
+        fn = FunctionRef("disp_getwork", "unix", "Kernel task scheduler")
+        trace = make_miss_trace([1, 2, 1, 2], fns=[fn] * 4)
+        breakdown = module_breakdown(trace, analyze_trace(trace))
+        text = format_module_table("Table 4", {"multi-chip": breakdown}, "db2")
+        assert "Kernel task scheduler" in text
+        assert "Overall % in streams" in text
+        # Web-only categories must not appear in a db2-scoped table.
+        assert "CGI - perl execution engine" not in text

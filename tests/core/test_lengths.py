@@ -1,0 +1,71 @@
+"""Tests for the stream-length CDF (Figure 4 left machinery)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (analyze_sequence, length_distribution,
+                        length_distribution_from_analysis)
+from repro.core.streams import StreamOccurrence
+
+
+def occ(length, start=0, rule=1, recurrence=0):
+    return StreamOccurrence(rule_id=rule, start=start, length=length,
+                            recurrence=recurrence)
+
+
+class TestLengthDistribution:
+    def test_empty(self):
+        dist = length_distribution([])
+        assert dist.median == 0
+        assert dist.cdf_at(100) == 0.0
+        assert dist.total_weight == 0
+
+    def test_single_length(self):
+        dist = length_distribution([occ(4), occ(4, start=10, recurrence=1)])
+        assert dist.median == 4
+        assert dist.cdf_at(3) == 0.0
+        assert dist.cdf_at(4) == 1.0
+        assert dist.total_weight == 8
+
+    def test_miss_weighted_median(self):
+        # One stream of length 2 (seen 3 times = 6 misses) and one of length
+        # 18 (once = 18 misses): the median miss sits in the long stream.
+        occurrences = [occ(2, rule=1), occ(2, rule=1, start=5, recurrence=1),
+                       occ(2, rule=1, start=9, recurrence=2),
+                       occ(18, rule=2, start=20)]
+        dist = length_distribution(occurrences)
+        assert dist.median == 18
+
+    def test_cdf_monotone(self):
+        occurrences = [occ(2), occ(5, start=10, rule=2), occ(9, start=20, rule=3)]
+        dist = length_distribution(occurrences)
+        values = [dist.cdf_at(x) for x in range(1, 12)]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_percentile_bounds(self):
+        dist = length_distribution([occ(3), occ(7, rule=2, start=5)])
+        assert dist.percentile(0.0) == 3
+        assert dist.percentile(1.0) == 7
+        with pytest.raises(ValueError):
+            dist.percentile(1.5)
+
+    def test_series_sampling(self):
+        dist = length_distribution([occ(8), occ(8, start=10, recurrence=1)])
+        series = dist.series(points=(4, 8, 16))
+        assert series == [(4, 0.0), (8, 1.0), (16, 1.0)]
+
+    def test_from_analysis(self):
+        analysis = analyze_sequence([1, 2, 3, 0, 1, 2, 3])
+        dist = length_distribution_from_analysis(analysis)
+        assert dist.median == 3
+
+    @given(st.lists(st.integers(min_value=2, max_value=500), min_size=1,
+                    max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_median_within_observed_lengths(self, lengths):
+        occurrences = [occ(length, rule=i, start=i * 1000)
+                       for i, length in enumerate(lengths)]
+        dist = length_distribution(occurrences)
+        assert min(lengths) <= dist.median <= max(lengths)
+        assert dist.cdf_at(max(lengths)) == pytest.approx(1.0)

@@ -1,0 +1,116 @@
+"""Tests for the category registry and module breakdown (Tables 2-5)."""
+
+import pytest
+
+from repro.core import (CATEGORIES, UNCATEGORIZED, analyze_trace,
+                        category_names, get_category, is_known_category,
+                        module_breakdown)
+from repro.mem import FunctionRef
+
+from ..conftest import make_miss_trace
+
+
+class TestRegistry:
+    def test_all_table2_categories_present(self):
+        names = category_names()
+        for expected in ("Bulk memory copies", "System call implementation",
+                         "Kernel task scheduler", "Kernel MMU & trap handlers",
+                         "Kernel synchronization primitives",
+                         "Kernel - other activity",
+                         "Kernel STREAMS subsystem",
+                         "Kernel IP packet assembly",
+                         "Web server worker thread pool",
+                         "CGI - perl input processing",
+                         "CGI - perl execution engine",
+                         "CGI - perl other activity",
+                         "Kernel block device driver",
+                         "DB2 index, page & tuple accesses",
+                         "DB2 SQL request control",
+                         "DB2 interprocess communication",
+                         "DB2 SQL runtime interpreter",
+                         "DB2 - other activity",
+                         UNCATEGORIZED):
+            assert expected in names, expected
+
+    def test_scope_filtering(self):
+        web = category_names(scope="web")
+        db2 = category_names(scope="db2")
+        assert "Kernel STREAMS subsystem" in web
+        assert "Kernel STREAMS subsystem" not in db2
+        assert "DB2 SQL runtime interpreter" in db2
+        assert "Bulk memory copies" in web and "Bulk memory copies" in db2
+
+    def test_lookup(self):
+        category = get_category("Kernel task scheduler")
+        assert "disp" in category.description
+        assert is_known_category("Bulk memory copies")
+        assert not is_known_category("No such category")
+        with pytest.raises(KeyError):
+            get_category("No such category")
+
+    def test_every_category_has_description(self):
+        for category in CATEGORIES:
+            assert category.description
+            assert category.scope in ("cross", "web", "db2", "other")
+
+
+class TestBreakdown:
+    def _trace(self):
+        fn_sched = FunctionRef("disp_getwork", "unix", "Kernel task scheduler")
+        fn_copy = FunctionRef("bcopy", "genunix", "Bulk memory copies")
+        fn_unknown = FunctionRef("mystery", "unknown", "not-a-category")
+        # Repeated pattern from the scheduler, one-off copies.
+        blocks = [1, 2, 3, 10, 1, 2, 3, 11]
+        fns = [fn_sched, fn_sched, fn_sched, fn_copy,
+               fn_sched, fn_sched, fn_sched, fn_unknown]
+        return make_miss_trace(blocks, fns=fns)
+
+    def test_shares_sum_to_one(self):
+        trace = self._trace()
+        breakdown = module_breakdown(trace, analyze_trace(trace))
+        assert sum(r.pct_misses for r in breakdown.rows.values()) == pytest.approx(1.0)
+        breakdown.check_consistency()
+
+    def test_stream_share_sums_to_overall(self):
+        trace = self._trace()
+        breakdown = module_breakdown(trace, analyze_trace(trace))
+        stream_total = sum(r.pct_in_streams for r in breakdown.rows.values())
+        assert stream_total == pytest.approx(breakdown.overall_in_streams)
+
+    def test_unknown_category_mapped_to_uncategorized(self):
+        trace = self._trace()
+        breakdown = module_breakdown(trace, analyze_trace(trace))
+        assert breakdown.row(UNCATEGORIZED).n_misses == 1
+
+    def test_repetition_rate(self):
+        trace = self._trace()
+        breakdown = module_breakdown(trace, analyze_trace(trace))
+        scheduler = breakdown.row("Kernel task scheduler")
+        copies = breakdown.row("Bulk memory copies")
+        assert scheduler.repetition_rate > 0.9
+        assert copies.repetition_rate == 0.0
+
+    def test_top_categories_sorted(self):
+        trace = self._trace()
+        breakdown = module_breakdown(trace, analyze_trace(trace))
+        top = breakdown.top_categories(2)
+        assert top[0].category == "Kernel task scheduler"
+        assert top[0].pct_misses >= top[1].pct_misses
+
+    def test_missing_category_row_is_zero(self):
+        trace = self._trace()
+        breakdown = module_breakdown(trace, analyze_trace(trace))
+        row = breakdown.row("DB2 SQL runtime interpreter")
+        assert row.pct_misses == 0.0 and row.n_misses == 0
+
+    def test_mismatched_lengths_rejected(self):
+        trace = self._trace()
+        analysis = analyze_trace(trace)
+        with pytest.raises(ValueError):
+            module_breakdown(trace.filter(lambda r: r.seq < 2), analysis)
+
+    def test_empty_trace(self):
+        trace = make_miss_trace([])
+        breakdown = module_breakdown(trace, analyze_trace(trace))
+        assert breakdown.total_misses == 0
+        assert breakdown.overall_in_streams == 0.0

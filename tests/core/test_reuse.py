@@ -1,0 +1,82 @@
+"""Tests for reuse-distance analysis (Figure 4 right machinery)."""
+
+import pytest
+
+from repro.core import (DEFAULT_BIN_EDGES, analyze_sequence, analyze_trace,
+                        reuse_distance_distribution, reuse_distances)
+
+from ..conftest import make_miss_trace
+
+
+class TestReuseDistances:
+    def test_no_recurrence_no_samples(self):
+        analysis = analyze_sequence([1, 2, 3, 4])
+        assert reuse_distances(analysis) == []
+
+    def test_simple_distance_without_cpus(self):
+        # Stream [1,2] ends at position 1 and recurs at position 5: three
+        # misses (positions 2-4) intervene; the recurrence weighs 2 misses.
+        analysis = analyze_sequence([1, 2, 7, 8, 9, 1, 2])
+        samples = reuse_distances(analysis)
+        assert samples == [(3, 2)]
+
+    def test_distance_counts_only_first_processor_misses(self):
+        # The first occurrence is on cpu 0; of the misses between the two
+        # occurrences, only those by cpu 0 count.
+        blocks = [1, 2, 50, 60, 70, 80, 1, 2]
+        cpus = [0, 0, 0, 1, 1, 1, 3, 3]
+        analysis = analyze_sequence(blocks, cpus=cpus)
+        samples = reuse_distances(analysis, cpus=cpus)
+        assert len(samples) == 1
+        distance, weight = samples[0]
+        assert distance == 1  # only the cpu-0 miss at position 2 intervenes
+        assert weight == 2
+
+    def test_distribution_normalisation(self):
+        blocks = [1, 2, 9, 1, 2]
+        trace = make_miss_trace(blocks)
+        analysis = analyze_trace(trace)
+        dist = reuse_distance_distribution(analysis, trace)
+        assert dist.total_misses == 5
+        # Two recurring misses out of five.
+        assert dist.total_fraction == pytest.approx(2 / 5)
+
+    def test_bins_are_log_spaced_defaults(self):
+        assert DEFAULT_BIN_EDGES[0] == 1
+        assert DEFAULT_BIN_EDGES[-1] == 10 ** 7
+        blocks = [1, 2, 9, 1, 2]
+        trace = make_miss_trace(blocks)
+        analysis = analyze_trace(trace)
+        dist = reuse_distance_distribution(analysis, trace)
+        assert len(dist.fractions) == len(DEFAULT_BIN_EDGES)
+
+    def test_long_distances_truncated_into_last_bin(self):
+        analysis = analyze_sequence([1, 2, 9, 1, 2])
+        dist = reuse_distance_distribution(analysis, bin_edges=(1, 2))
+        assert sum(dist.weights) == 2
+
+    def test_mass_below_and_dominant_bin(self):
+        blocks = [1, 2] + list(range(100, 130)) + [1, 2]
+        trace = make_miss_trace(blocks)
+        analysis = analyze_trace(trace)
+        dist = reuse_distance_distribution(analysis, trace)
+        assert dist.dominant_bin() == 10  # distance ~30 falls in the [10,100) bin
+        assert dist.mass_below(100) == pytest.approx(dist.total_fraction)
+
+    def test_empty_distribution(self):
+        analysis = analyze_sequence([])
+        dist = reuse_distance_distribution(analysis)
+        assert dist.dominant_bin() is None
+        assert dist.total_fraction == 0.0
+
+    def test_coherence_vs_capacity_distance_shapes(self):
+        """Short-reuse streams land in smaller bins than long-reuse streams."""
+        short_gap = [1, 2] + [99] + [1, 2]
+        long_gap = [5, 6] + list(range(1000, 1200)) + [5, 6]
+        short_trace = make_miss_trace(short_gap)
+        long_trace = make_miss_trace(long_gap)
+        short_dist = reuse_distance_distribution(analyze_trace(short_trace),
+                                                 short_trace)
+        long_dist = reuse_distance_distribution(analyze_trace(long_trace),
+                                                long_trace)
+        assert short_dist.dominant_bin() < long_dist.dominant_bin()

@@ -1,0 +1,119 @@
+"""Unit and property-based tests for the SEQUITUR grammar builder."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Grammar, build_grammar
+
+
+class TestBasics:
+    def test_empty_sequence(self):
+        grammar = build_grammar([])
+        assert grammar.expand() == []
+        assert len(grammar) == 0
+        assert grammar.grammar_size() == 0
+
+    def test_single_symbol(self):
+        grammar = build_grammar(["a"])
+        assert grammar.expand() == ["a"]
+        assert len(grammar.rules()) == 1  # just the root
+
+    def test_no_repetition_creates_no_rules(self):
+        grammar = build_grammar([1, 2, 3, 4, 5])
+        assert len(grammar.rules()) == 1
+        assert grammar.expand() == [1, 2, 3, 4, 5]
+
+    def test_simple_digram_repetition_creates_rule(self):
+        grammar = build_grammar(list("abab"))
+        rules = grammar.rules()
+        assert len(rules) == 2
+        assert grammar.expand() == list("abab")
+        grammar.check_invariants()
+
+    def test_classic_example(self):
+        # The canonical "abcabcabcd" example compresses the repeated "abc".
+        grammar = build_grammar(list("abcabcabcd"))
+        assert "".join(grammar.expand()) == "abcabcabcd"
+        grammar.check_invariants()
+        assert grammar.grammar_size() < 10
+
+    def test_nested_rules(self):
+        sequence = list("abcdbcabcdbc")
+        grammar = build_grammar(sequence)
+        assert grammar.expand() == sequence
+        grammar.check_invariants(strict_digrams=False)
+        lengths = grammar.expansion_lengths()
+        assert lengths[grammar.root.id] == len(sequence)
+
+    def test_incremental_append_matches_bulk(self):
+        sequence = [1, 2, 1, 2, 3, 1, 2]
+        bulk = build_grammar(sequence)
+        incremental = Grammar()
+        for symbol in sequence:
+            incremental.append(symbol)
+        assert bulk.expand() == incremental.expand() == sequence
+
+    def test_integers_and_strings_as_terminals(self):
+        sequence = [0x1000, 0x2000, 0x1000, 0x2000]
+        grammar = build_grammar(sequence)
+        assert grammar.expand() == sequence
+        assert len(grammar.rules()) == 2
+
+    def test_expansion_lengths_consistent(self):
+        sequence = list("xyxyxyxy")
+        grammar = build_grammar(sequence)
+        lengths = grammar.expansion_lengths()
+        for rule in grammar.rules():
+            if rule is not grammar.root:
+                assert lengths[rule.id] >= 2
+
+    def test_rule_utility_every_rule_used_twice(self):
+        grammar = build_grammar([1, 2, 3, 1, 2, 3, 4, 1, 2, 3])
+        grammar.check_invariants(strict_digrams=False)
+
+    def test_rule_repr_and_body(self):
+        grammar = build_grammar(list("abab"))
+        rule = [r for r in grammar.rules() if r is not grammar.root][0]
+        assert rule.body() == ["a", "b"]
+        assert "Rule" in repr(rule)
+
+    def test_compression_on_highly_repetitive_input(self):
+        sequence = list(range(25)) * 40
+        grammar = build_grammar(sequence)
+        assert grammar.expand() == sequence
+        assert grammar.grammar_size() < len(sequence) / 5
+
+
+class TestProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=8), max_size=400))
+    @settings(max_examples=120, deadline=None)
+    def test_roundtrip_random_sequences(self, sequence):
+        grammar = build_grammar(sequence)
+        assert grammar.expand() == sequence
+
+    @given(st.lists(st.integers(min_value=0, max_value=8), max_size=300))
+    @settings(max_examples=80, deadline=None)
+    def test_rule_utility_holds(self, sequence):
+        grammar = build_grammar(sequence)
+        grammar.check_invariants(strict_digrams=False)
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=2,
+                    max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_quadrupling_input_compresses(self, sequence):
+        from hypothesis import assume
+        assume(len(set(sequence)) >= 2)
+        repeated = sequence * 4
+        grammar = build_grammar(repeated)
+        assert grammar.expand() == repeated
+        # Four copies of the same sequence must compress well below the raw
+        # repeated length.
+        assert grammar.grammar_size() < len(repeated)
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_length_bookkeeping(self, sequence):
+        grammar = build_grammar(sequence)
+        assert len(grammar) == len(sequence)
+        lengths = grammar.expansion_lengths()
+        assert lengths[grammar.root.id] == len(sequence)

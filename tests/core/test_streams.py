@@ -1,0 +1,119 @@
+"""Tests for temporal-stream extraction (Figure 2 machinery)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import StreamLabel, analyze_sequence, analyze_trace
+
+from ..conftest import make_miss_trace
+
+
+class TestLabels:
+    def test_non_repetitive_sequence(self):
+        analysis = analyze_sequence([1, 2, 3, 4, 5])
+        assert analysis.fraction_in_streams == 0.0
+        assert analysis.fraction_non_repetitive == 1.0
+        assert analysis.occurrences == []
+
+    def test_single_repeat_labels_new_then_recurring(self):
+        analysis = analyze_sequence([1, 2, 9, 1, 2])
+        assert analysis.labels[0] == StreamLabel.NEW_STREAM
+        assert analysis.labels[1] == StreamLabel.NEW_STREAM
+        assert analysis.labels[2] == StreamLabel.NON_REPETITIVE
+        assert analysis.labels[3] == StreamLabel.RECURRING_STREAM
+        assert analysis.labels[4] == StreamLabel.RECURRING_STREAM
+
+    def test_fractions_sum_to_one(self):
+        analysis = analyze_sequence([1, 2, 9, 1, 2])
+        total = (analysis.fraction_new + analysis.fraction_recurring
+                 + analysis.fraction_non_repetitive)
+        assert total == pytest.approx(1.0)
+
+    def test_three_occurrences(self):
+        analysis = analyze_sequence([1, 2, 3, 7, 1, 2, 3, 8, 1, 2, 3])
+        assert analysis.fraction_recurring == pytest.approx(6 / 11)
+        assert analysis.fraction_new == pytest.approx(3 / 11)
+
+    def test_empty_sequence(self):
+        analysis = analyze_sequence([])
+        assert analysis.n_misses == 0
+        assert analysis.fraction_in_streams == 0.0
+
+    def test_stream_positions(self):
+        analysis = analyze_sequence([5, 6, 0, 5, 6])
+        assert analysis.stream_positions() == [0, 1, 3, 4]
+
+
+class TestOccurrences:
+    def test_occurrence_metadata(self):
+        analysis = analyze_sequence([1, 2, 3, 7, 1, 2, 3],
+                                    cpus=[0, 0, 0, 1, 2, 2, 2])
+        assert len(analysis.occurrences) == 2
+        first, second = analysis.occurrences
+        assert first.start == 0 and first.length == 3 and first.recurrence == 0
+        assert second.start == 4 and second.length == 3 and second.recurrence == 1
+        assert first.cpu == 0 and second.cpu == 2
+        assert not first.is_recurring and second.is_recurring
+        assert second.end == 7
+
+    def test_occurrences_by_rule_groups(self):
+        analysis = analyze_sequence([1, 2, 9, 1, 2, 8, 1, 2])
+        assert analysis.n_distinct_streams() == 1
+        occs = list(analysis.occurrences_by_rule.values())[0]
+        assert [o.recurrence for o in occs] == [0, 1, 2]
+
+    def test_streams_of_minimum_length_two(self):
+        analysis = analyze_sequence([1, 2, 1, 2])
+        for occ in analysis.occurrences:
+            assert occ.length >= 2
+
+    def test_longer_stream_wins_coverage(self):
+        # abc abc: the whole trace is covered by one stream of length 3.
+        analysis = analyze_sequence(list("abcabc"))
+        assert analysis.fraction_in_streams == 1.0
+        assert max(o.length for o in analysis.occurrences) == 3
+
+
+class TestTraceInterface:
+    def test_analyze_trace_uses_blocks_and_cpus(self):
+        trace = make_miss_trace([0x10, 0x20, 0x99, 0x10, 0x20],
+                                cpus=[1, 1, 0, 2, 2])
+        analysis = analyze_trace(trace)
+        assert analysis.n_misses == 5
+        assert analysis.occurrences[0].cpu == 1
+        assert analysis.occurrences[1].cpu == 2
+
+
+class TestProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=6), max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_labels_cover_every_position(self, sequence):
+        analysis = analyze_sequence(sequence)
+        assert len(analysis.labels) == len(sequence)
+        total = (analysis.count(StreamLabel.NEW_STREAM)
+                 + analysis.count(StreamLabel.RECURRING_STREAM)
+                 + analysis.count(StreamLabel.NON_REPETITIVE))
+        assert total == len(sequence)
+
+    @given(st.lists(st.integers(min_value=0, max_value=6), min_size=2,
+                    max_size=80))
+    @settings(max_examples=50, deadline=None)
+    def test_duplicated_sequence_is_mostly_repetitive(self, sequence):
+        """Concatenating a sequence with itself makes the second half recur."""
+        analysis = analyze_sequence(sequence + sequence)
+        # At least the entire second copy is covered by recurring streams.
+        assert analysis.count(StreamLabel.RECURRING_STREAM) >= len(sequence) // 2
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1,
+                    max_size=150, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_unique_symbols_never_form_streams(self, sequence):
+        analysis = analyze_sequence(sequence)
+        assert analysis.fraction_in_streams == 0.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), max_size=150))
+    @settings(max_examples=50, deadline=None)
+    def test_occurrence_positions_within_bounds(self, sequence):
+        analysis = analyze_sequence(sequence)
+        for occ in analysis.occurrences:
+            assert 0 <= occ.start and occ.end <= len(sequence)

@@ -1,0 +1,109 @@
+"""Tests for stride detection and the Figure 3 joint breakdown."""
+
+import pytest
+
+from repro.core import (StrideDetector, analyze_trace, stride_stream_breakdown,
+                        strided_flags)
+
+from ..conftest import FN_A, FN_B, make_miss_trace
+
+
+class TestStrideDetector:
+    def test_constant_stride_detected_after_confidence(self):
+        detector = StrideDetector(min_confidence=1)
+        flags = [detector.observe(0, "fn", 64 * i) for i in range(5)]
+        # First miss: no delta; second: first delta; third onward: strided.
+        assert flags == [False, False, True, True, True]
+
+    def test_higher_confidence_needs_longer_runs(self):
+        detector = StrideDetector(min_confidence=2)
+        flags = [detector.observe(0, "fn", 64 * i) for i in range(5)]
+        assert flags == [False, False, False, True, True]
+
+    def test_zero_stride_not_strided(self):
+        detector = StrideDetector(min_confidence=1)
+        flags = [detector.observe(0, "fn", 0x100) for _ in range(4)]
+        assert not any(flags)
+
+    def test_large_stride_ignored(self):
+        detector = StrideDetector(min_confidence=1, max_stride=4096)
+        flags = [detector.observe(0, "fn", (1 << 20) * i) for i in range(5)]
+        assert not any(flags)
+
+    def test_negative_stride_detected(self):
+        detector = StrideDetector(min_confidence=1)
+        flags = [detector.observe(0, "fn", 0x10000 - 64 * i) for i in range(5)]
+        assert flags[2:] == [True, True, True]
+
+    def test_separate_table_entries_per_cpu_and_function(self):
+        detector = StrideDetector(min_confidence=1)
+        # Interleaving two strided sequences on different (cpu, fn) keys must
+        # not destroy either's stride.
+        flags = []
+        for i in range(4):
+            flags.append(detector.observe(0, "a", 64 * i))
+            flags.append(detector.observe(1, "b", 4096 + 128 * i))
+        assert flags[4] and flags[5]
+
+    def test_stride_break_resets_confidence(self):
+        detector = StrideDetector(min_confidence=1)
+        addrs = [0, 64, 128, 5000, 5064, 5128]
+        flags = [detector.observe(0, "fn", a) for a in addrs]
+        assert flags[2] is True
+        assert flags[3] is False and flags[4] is False
+        assert flags[5] is True
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            StrideDetector(min_confidence=0)
+
+    def test_reset(self):
+        detector = StrideDetector(min_confidence=1)
+        for i in range(4):
+            detector.observe(0, "fn", 64 * i)
+        detector.reset()
+        assert detector.observe(0, "fn", 64 * 4) is False
+
+
+class TestBreakdown:
+    def test_strided_flags_on_trace(self):
+        trace = make_miss_trace([64 * i for i in range(8)])
+        flags = strided_flags(trace, min_confidence=1)
+        assert sum(flags) == 6
+
+    def test_breakdown_fractions_sum_to_one(self, simple_trace):
+        analysis = analyze_trace(simple_trace)
+        breakdown = stride_stream_breakdown(simple_trace, analysis)
+        assert breakdown.total() == pytest.approx(1.0)
+
+    def test_strided_scan_classified_strided(self):
+        # A long sequential scan: strided but (single pass) non-repetitive.
+        trace = make_miss_trace([64 * i for i in range(32)])
+        analysis = analyze_trace(trace)
+        breakdown = stride_stream_breakdown(trace, analysis, min_confidence=1)
+        assert breakdown.non_repetitive_strided > 0.7
+        assert breakdown.fraction_repetitive < 0.2
+
+    def test_pointer_chase_repeated_is_repetitive_non_strided(self):
+        # A scattered (non-strided) sequence repeated twice.
+        import random
+        rng = random.Random(3)
+        pattern = [rng.randrange(1 << 20) * 64 for _ in range(16)]
+        trace = make_miss_trace(pattern + pattern)
+        analysis = analyze_trace(trace)
+        breakdown = stride_stream_breakdown(trace, analysis)
+        assert breakdown.repetitive_non_strided > 0.5
+        assert breakdown.fraction_strided < 0.3
+
+    def test_mismatched_lengths_rejected(self, simple_trace):
+        analysis = analyze_trace(simple_trace)
+        shorter = simple_trace.filter(lambda r: r.seq < 3)
+        with pytest.raises(ValueError):
+            stride_stream_breakdown(shorter, analysis)
+
+    def test_as_dict_keys(self, simple_trace):
+        analysis = analyze_trace(simple_trace)
+        breakdown = stride_stream_breakdown(simple_trace, analysis)
+        assert set(breakdown.as_dict()) == {
+            "Repetitive Strided", "Repetitive Non-strided",
+            "Non-repetitive Strided", "Non-repetitive Non-strided"}

@@ -1,0 +1,92 @@
+"""Unit tests for the synthetic address space / region allocator."""
+
+import pytest
+
+from repro.mem import AddressSpace, BLOCK_SIZE, PAGE_SIZE
+
+
+class TestRegion:
+    def test_alloc_within_region(self):
+        space = AddressSpace()
+        region = space.add_region("heap", 4096)
+        a = region.alloc(64)
+        b = region.alloc(64)
+        assert region.contains(a) and region.contains(b)
+        assert b >= a + 64
+
+    def test_alignment(self):
+        space = AddressSpace()
+        region = space.add_region("r", 1 << 16)
+        addr = region.alloc(10, align=256)
+        assert addr % 256 == 0
+
+    def test_bad_alignment_rejected(self):
+        space = AddressSpace()
+        region = space.add_region("r", 4096)
+        with pytest.raises(ValueError):
+            region.alloc(8, align=3)
+
+    def test_exhaustion(self):
+        space = AddressSpace()
+        region = space.add_region("r", 128)
+        region.alloc(128)
+        with pytest.raises(MemoryError):
+            region.alloc(1)
+
+    def test_allocated_tracking(self):
+        space = AddressSpace()
+        region = space.add_region("r", 4096)
+        region.alloc(100)
+        assert region.allocated >= 100
+
+
+class TestAddressSpace:
+    def test_regions_do_not_overlap(self):
+        space = AddressSpace()
+        r1 = space.add_region("a", 1 << 20)
+        r2 = space.add_region("b", 1 << 20)
+        assert r1.end <= r2.base
+
+    def test_region_bases_page_aligned(self):
+        space = AddressSpace()
+        region = space.add_region("a", 12345)
+        assert region.base % PAGE_SIZE == 0
+
+    def test_duplicate_region_rejected(self):
+        space = AddressSpace()
+        space.add_region("a", 4096)
+        with pytest.raises(ValueError):
+            space.add_region("a", 4096)
+
+    def test_zero_size_region_rejected(self):
+        space = AddressSpace()
+        with pytest.raises(ValueError):
+            space.add_region("a", 0)
+
+    def test_find(self):
+        space = AddressSpace()
+        r1 = space.add_region("a", 4096)
+        addr = r1.alloc(64)
+        assert space.find(addr) is r1
+        assert space.find(r1.end + (1 << 19)) is None
+
+    def test_contains_and_lookup(self):
+        space = AddressSpace()
+        space.add_region("a", 4096)
+        assert "a" in space
+        assert "b" not in space
+        assert space.region("a").name == "a"
+
+    def test_alloc_helpers(self):
+        space = AddressSpace()
+        space.add_region("a", 1 << 16)
+        block_addr = space.alloc_blocks("a", 3)
+        assert block_addr % BLOCK_SIZE == 0
+        page_addr = space.alloc_page("a")
+        assert page_addr % PAGE_SIZE == 0
+
+    def test_regions_listing(self):
+        space = AddressSpace()
+        space.add_region("a", 4096)
+        space.add_region("b", 4096)
+        assert [r.name for r in space.regions()] == ["a", "b"]

@@ -1,0 +1,143 @@
+"""Unit tests for the set-associative cache."""
+
+import pytest
+
+from repro.mem import Cache, CacheConfig, State
+
+
+def make_cache(size=1024, assoc=2, block=64):
+    return Cache(CacheConfig(size_bytes=size, assoc=assoc, block_size=block))
+
+
+class TestGeometry:
+    def test_blocks_and_sets(self):
+        cache = make_cache(size=1024, assoc=2, block=64)
+        assert cache.config.n_blocks == 16
+        assert cache.n_sets == 8
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, assoc=3, block_size=64)
+
+    def test_block_of(self):
+        cache = make_cache()
+        assert cache.block_of(0) == 0
+        assert cache.block_of(63) == 0
+        assert cache.block_of(64) == 64
+        assert cache.block_of(130) == 128
+
+
+class TestLookupFill:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.lookup(0x1000) == State.INVALID
+        cache.fill(0x1000, State.SHARED)
+        assert cache.lookup(0x1000) == State.SHARED
+
+    def test_fill_invalid_state_rejected(self):
+        cache = make_cache()
+        with pytest.raises(ValueError):
+            cache.fill(0x1000, State.INVALID)
+
+    def test_fill_updates_state_in_place(self):
+        cache = make_cache()
+        cache.fill(0x1000, State.SHARED)
+        cache.fill(0x1000, State.MODIFIED)
+        assert cache.peek(0x1000) == State.MODIFIED
+        assert len(cache) == 1
+
+    def test_peek_does_not_touch_lru(self):
+        cache = make_cache(size=256, assoc=2)  # 2 sets
+        # Two blocks in the same set (stride = n_sets * block = 128).
+        cache.fill(0, State.SHARED)
+        cache.fill(128, State.SHARED)
+        cache.peek(0)  # should NOT refresh block 0
+        victim = cache.fill(256, State.SHARED)
+        assert victim is not None
+        assert victim[0] == 0  # LRU victim is block 0 despite the peek
+
+    def test_lru_eviction_order(self):
+        cache = make_cache(size=256, assoc=2)  # 2 sets of 2
+        cache.fill(0, State.SHARED)
+        cache.fill(128, State.SHARED)
+        cache.lookup(0)  # touch 0, making 128 the LRU
+        victim = cache.fill(256, State.SHARED)
+        assert victim == (128, State.SHARED)
+
+    def test_eviction_returns_state(self):
+        cache = make_cache(size=256, assoc=2)
+        cache.fill(0, State.MODIFIED)
+        cache.fill(128, State.SHARED)
+        victim = cache.fill(256, State.SHARED)
+        assert victim == (0, State.MODIFIED)
+
+    def test_different_sets_do_not_conflict(self):
+        cache = make_cache(size=256, assoc=2)
+        cache.fill(0, State.SHARED)
+        cache.fill(64, State.SHARED)  # different set
+        cache.fill(128, State.SHARED)
+        assert 0 in cache and 64 in cache and 128 in cache
+
+
+class TestStateManagement:
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.fill(0x40, State.MODIFIED)
+        assert cache.invalidate(0x40) == State.MODIFIED
+        assert cache.peek(0x40) == State.INVALID
+        assert cache.invalidate(0x40) == State.INVALID
+
+    def test_downgrade(self):
+        cache = make_cache()
+        cache.fill(0x40, State.MODIFIED)
+        assert cache.downgrade(0x40) == State.MODIFIED
+        assert cache.peek(0x40) == State.SHARED
+
+    def test_downgrade_absent_block(self):
+        cache = make_cache()
+        assert cache.downgrade(0x40) == State.INVALID
+
+    def test_set_state(self):
+        cache = make_cache()
+        cache.fill(0x40, State.SHARED)
+        cache.set_state(0x40, State.OWNED)
+        assert cache.peek(0x40) == State.OWNED
+
+    def test_set_state_missing_block_raises(self):
+        cache = make_cache()
+        with pytest.raises(KeyError):
+            cache.set_state(0x40, State.SHARED)
+
+    def test_set_state_invalid_removes(self):
+        cache = make_cache()
+        cache.fill(0x40, State.SHARED)
+        cache.set_state(0x40, State.INVALID)
+        assert 0x40 not in cache
+
+    def test_state_dirty_flags(self):
+        assert State.MODIFIED.is_dirty and State.OWNED.is_dirty
+        assert not State.SHARED.is_dirty and not State.INVALID.is_dirty
+        assert State.SHARED.is_valid and not State.INVALID.is_valid
+
+
+class TestStats:
+    def test_hit_miss_counters(self):
+        cache = make_cache()
+        cache.lookup(0)
+        cache.fill(0, State.SHARED)
+        cache.lookup(0)
+        assert cache.stats() == {"hits": 1, "misses": 1, "evictions": 0}
+
+    def test_occupancy(self):
+        cache = make_cache(size=256, assoc=2)  # 4 frames
+        assert cache.occupancy() == 0.0
+        cache.fill(0, State.SHARED)
+        cache.fill(64, State.SHARED)
+        assert cache.occupancy() == pytest.approx(0.5)
+
+    def test_resident_blocks_iteration(self):
+        cache = make_cache()
+        cache.fill(0, State.SHARED)
+        cache.fill(64, State.MODIFIED)
+        resident = dict(cache.resident_blocks())
+        assert resident == {0: State.SHARED, 64: State.MODIFIED}

@@ -1,0 +1,77 @@
+"""Unit tests for the extended 4C miss classifier (BlockHistory)."""
+
+from repro.mem import BlockHistory, MissClass
+
+
+class TestBlockHistory:
+    def test_first_access_is_compulsory(self):
+        history = BlockHistory()
+        assert history.classify_read_miss(0, 0x100) == MissClass.COMPULSORY
+
+    def test_reread_after_own_access_is_replacement(self):
+        history = BlockHistory()
+        history.record_access(0, 0x100)
+        assert history.classify_read_miss(0, 0x100) == MissClass.REPLACEMENT
+
+    def test_write_by_other_processor_is_coherence(self):
+        history = BlockHistory()
+        history.record_access(0, 0x100)
+        history.record_cpu_write(1, 0x100)
+        assert history.classify_read_miss(0, 0x100) == MissClass.COHERENCE
+
+    def test_own_write_is_not_coherence(self):
+        history = BlockHistory()
+        history.record_access(0, 0x100)
+        history.record_cpu_write(0, 0x100)
+        assert history.classify_read_miss(0, 0x100) == MissClass.REPLACEMENT
+
+    def test_never_seen_block_written_by_other_is_coherence(self):
+        # The block has been touched globally (so not compulsory), and the
+        # last write is by another processor since this one never read it.
+        history = BlockHistory()
+        history.record_cpu_write(1, 0x100)
+        assert history.classify_read_miss(0, 0x100) == MissClass.COHERENCE
+
+    def test_io_write_is_io_coherence(self):
+        history = BlockHistory()
+        history.record_access(0, 0x100)
+        history.record_io_write(0x100)
+        assert history.classify_read_miss(0, 0x100) == MissClass.IO_COHERENCE
+
+    def test_io_then_own_access_is_replacement(self):
+        history = BlockHistory()
+        history.record_io_write(0x100)
+        history.record_access(0, 0x100)
+        assert history.classify_read_miss(0, 0x100) == MissClass.REPLACEMENT
+
+    def test_cpu_write_takes_precedence_over_older_io_write(self):
+        history = BlockHistory()
+        history.record_access(0, 0x100)
+        history.record_io_write(0x100)
+        history.record_cpu_write(1, 0x100)
+        assert history.classify_read_miss(0, 0x100) == MissClass.COHERENCE
+
+    def test_io_write_newer_than_remote_cpu_write_still_coherence_first(self):
+        # Classification checks CPU coherence before I/O coherence, matching
+        # the paper's category precedence.
+        history = BlockHistory()
+        history.record_access(0, 0x100)
+        history.record_cpu_write(1, 0x100)
+        history.record_io_write(0x100)
+        assert history.classify_read_miss(0, 0x100) == MissClass.COHERENCE
+
+    def test_last_writer_and_touched(self):
+        history = BlockHistory()
+        assert history.last_writer(0x100) is None
+        assert not history.touched(0x100)
+        history.record_cpu_write(3, 0x100)
+        assert history.last_writer(0x100) == 3
+        assert history.touched(0x100)
+
+    def test_distinct_blocks_tracked_independently(self):
+        history = BlockHistory()
+        history.record_access(0, 0x100)
+        history.record_cpu_write(1, 0x200)
+        assert history.classify_read_miss(0, 0x100) == MissClass.REPLACEMENT
+        assert history.classify_read_miss(0, 0x200) == MissClass.COHERENCE
+        assert history.classify_read_miss(0, 0x300) == MissClass.COMPULSORY

@@ -1,0 +1,65 @@
+"""Tests for system configuration helpers."""
+
+import pytest
+
+from repro.mem import (BLOCK_SIZE, CacheConfig, SystemConfig, multichip_config,
+                       paper_config, scaled_config, singlechip_config)
+
+
+class TestCacheConfig:
+    def test_block_and_set_counts(self):
+        config = CacheConfig(size_bytes=8 * 1024 * 1024, assoc=16)
+        assert config.n_blocks == 131072
+        assert config.n_sets == 8192
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=100, assoc=3)
+
+
+class TestSystemConfig:
+    def test_paper_configuration_geometry(self):
+        config = paper_config(n_cpus=16)
+        assert config.n_cpus == 16
+        assert config.l1.size_bytes == 64 * 1024
+        assert config.l1.assoc == 2
+        assert config.l2.size_bytes == 8 * 1024 * 1024
+        assert config.l2.assoc == 16
+
+    def test_scaled_preserves_associativity(self):
+        config = scaled_config(n_cpus=4, scale=64)
+        assert config.l1.assoc == 2
+        assert config.l2.assoc == 16
+        assert config.l1.size_bytes == 64 * 1024 // 64
+        assert config.l2.size_bytes == 8 * 1024 * 1024 // 64
+
+    def test_scaled_ratio_preserved(self):
+        paper = paper_config(4)
+        scaled = scaled_config(4, scale=64)
+        assert (paper.l2.size_bytes // paper.l1.size_bytes
+                == scaled.l2.size_bytes // scaled.l1.size_bytes)
+
+    def test_extreme_scale_clamps_to_valid_geometry(self):
+        config = scaled_config(n_cpus=2, scale=10_000)
+        assert config.l1.n_blocks >= 2
+        assert config.l2.n_blocks >= 16
+        assert config.l1.size_bytes % (2 * BLOCK_SIZE) == 0
+
+    def test_default_contexts(self):
+        assert multichip_config().n_cpus == 16
+        assert singlechip_config().n_cpus == 4
+
+    def test_invalid_cpu_count(self):
+        with pytest.raises(ValueError):
+            scaled_config(n_cpus=0)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            scaled_config(n_cpus=4, scale=0)
+
+    def test_mismatched_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(n_cpus=2,
+                         l1=CacheConfig(size_bytes=1024, assoc=2,
+                                        block_size=32),
+                         l2=CacheConfig(size_bytes=4096, assoc=16))

@@ -1,0 +1,149 @@
+"""Tests for the multi-chip (MSI) system model."""
+
+import pytest
+
+from repro.mem import (Access, AccessKind, MissClass, MultiChipSystem,
+                       UNKNOWN_FUNCTION, multichip_config, scaled_config)
+
+
+def read(cpu, addr, size=8):
+    return Access(cpu=cpu, addr=addr, size=size, kind=AccessKind.READ)
+
+
+def write(cpu, addr, size=8):
+    return Access(cpu=cpu, addr=addr, size=size, kind=AccessKind.WRITE)
+
+
+def dma(addr, size=64):
+    return Access(cpu=-1, addr=addr, size=size, kind=AccessKind.DMA_WRITE)
+
+
+def make_system(n_cpus=4):
+    return MultiChipSystem(scaled_config(n_cpus=n_cpus))
+
+
+class TestBasicMisses:
+    def test_first_read_is_compulsory_miss(self):
+        system = make_system()
+        trace = system.run([read(0, 0x1000)])
+        assert len(trace) == 1
+        assert trace[0].miss_class == MissClass.COMPULSORY
+        assert trace[0].cpu == 0
+
+    def test_second_read_same_node_hits(self):
+        system = make_system()
+        trace = system.run([read(0, 0x1000), read(0, 0x1000)])
+        assert len(trace) == 1
+
+    def test_read_on_other_node_misses_separately(self):
+        system = make_system()
+        trace = system.run([read(0, 0x1000), read(1, 0x1000)])
+        assert len(trace) == 2
+        # Not compulsory for the second node: block was touched, not written.
+        assert trace[1].miss_class == MissClass.REPLACEMENT
+
+    def test_multi_block_access_split(self):
+        system = make_system()
+        trace = system.run([read(0, 0x1000, size=256)])
+        assert len(trace) == 4  # 256 bytes = 4 blocks
+
+    def test_unaligned_access_spanning_two_blocks(self):
+        system = make_system()
+        trace = system.run([read(0, 0x103C, size=16)])
+        assert len(trace) == 2
+
+
+class TestCoherence:
+    def test_remote_write_invalidates_and_causes_coherence_miss(self):
+        system = make_system()
+        trace = system.run([read(0, 0x1000), write(1, 0x1000), read(0, 0x1000)])
+        assert len(trace) == 2
+        assert trace[1].miss_class == MissClass.COHERENCE
+        assert trace[1].cpu == 0
+
+    def test_own_write_does_not_cause_coherence(self):
+        system = make_system()
+        trace = system.run([read(0, 0x1000), write(0, 0x1000), read(0, 0x1000)])
+        # The second read hits in the local cache: only the initial miss.
+        assert len(trace) == 1
+
+    def test_writer_cache_holds_block_modified(self):
+        system = make_system()
+        system.run([write(2, 0x1000)])
+        assert system.l1s[2].peek(0x1000).is_dirty
+        assert not system.l1s[0].peek(0x1000).is_valid
+
+    def test_remote_read_downgrades_writer(self):
+        system = make_system()
+        system.run([write(2, 0x1000), read(3, 0x1000)])
+        assert not system.l1s[2].peek(0x1000).is_dirty
+
+
+class TestIoCoherence:
+    def test_dma_invalidates_all_and_marks_io(self):
+        system = make_system()
+        trace = system.run([read(0, 0x1000), dma(0x1000), read(0, 0x1000)])
+        assert len(trace) == 2
+        assert trace[1].miss_class == MissClass.IO_COHERENCE
+
+    def test_copyout_store_is_io_write(self):
+        system = make_system()
+        ops = [read(0, 0x1000),
+               Access(cpu=1, addr=0x1000, size=64,
+                      kind=AccessKind.COPYOUT_WRITE),
+               read(0, 0x1000)]
+        trace = system.run(ops)
+        assert trace[1].miss_class == MissClass.IO_COHERENCE
+
+    def test_copyout_does_not_allocate_in_writer_cache(self):
+        system = make_system()
+        system.run([Access(cpu=1, addr=0x1000, size=64,
+                           kind=AccessKind.COPYOUT_WRITE)])
+        assert not system.l1s[1].peek(0x1000 - 0x1000 % 64).is_valid
+
+
+class TestReplacement:
+    def test_capacity_eviction_causes_replacement_miss(self):
+        system = make_system()
+        l2_blocks = system.config.l2.n_blocks
+        block_size = system.block_size
+        # Touch enough distinct blocks to overflow the L2, then re-touch the
+        # first one.
+        ops = [read(0, i * block_size) for i in range(l2_blocks + 64)]
+        ops.append(read(0, 0))
+        trace = system.run(ops)
+        assert trace[-1].block == 0
+        assert trace[-1].miss_class == MissClass.REPLACEMENT
+
+
+class TestRecordingAndCounters:
+    def test_recording_toggle_suppresses_records(self):
+        system = make_system()
+        system.set_recording(False)
+        system.process(read(0, 0x1000))
+        system.set_recording(True)
+        system.process(read(0, 0x2000))
+        trace = system.finish()
+        assert len(trace) == 1
+        assert trace[0].block == 0x2000
+
+    def test_instruction_counting(self):
+        system = make_system()
+        system.process(Access(cpu=0, addr=0x1000, size=8,
+                              kind=AccessKind.READ, icount=7))
+        system.process(dma(0x2000))  # DMA contributes no instructions
+        trace = system.finish()
+        assert trace.instructions == 7
+
+    def test_mpki(self):
+        system = make_system()
+        for i in range(10):
+            system.process(Access(cpu=0, addr=0x1000 + i * 64, size=8,
+                                  kind=AccessKind.READ, icount=100))
+        trace = system.finish()
+        assert trace.misses_per_kilo_instruction() == pytest.approx(10.0)
+
+    def test_n_nodes_matches_config(self):
+        system = make_system(n_cpus=16)
+        assert system.n_nodes == 16
+        assert len(system.l1s) == 16 and len(system.l2s) == 16

@@ -1,0 +1,129 @@
+"""Tests for the single-chip CMP (MOSI, non-inclusive) system model."""
+
+import pytest
+
+from repro.mem import (Access, AccessKind, IntraChipClass, MissClass,
+                       SingleChipSystem, State, singlechip_config)
+
+
+def read(cpu, addr, size=8):
+    return Access(cpu=cpu, addr=addr, size=size, kind=AccessKind.READ)
+
+
+def write(cpu, addr, size=8):
+    return Access(cpu=cpu, addr=addr, size=size, kind=AccessKind.WRITE)
+
+
+def dma(addr, size=64):
+    return Access(cpu=-1, addr=addr, size=size, kind=AccessKind.DMA_WRITE)
+
+
+def make_system():
+    return SingleChipSystem(singlechip_config())
+
+
+class TestOffChip:
+    def test_first_read_is_offchip_compulsory(self):
+        system = make_system()
+        offchip, intrachip = system.run([read(0, 0x1000)])
+        assert len(offchip) == 1 and len(intrachip) == 0
+        assert offchip[0].miss_class == MissClass.COMPULSORY
+
+    def test_no_cpu_coherence_offchip(self):
+        """Writes by on-chip cores never create off-chip coherence misses."""
+        system = make_system()
+        # Force block out of all caches after a remote write by flooding L2.
+        ops = [read(0, 0x1000), write(1, 0x1000)]
+        l2_blocks = system.config.l2.n_blocks
+        ops += [read(2, 0x100000 + i * 64) for i in range(l2_blocks + 32)]
+        ops += [read(0, 0x1000)]
+        offchip, _ = system.run(ops)
+        classes = {r.miss_class for r in offchip if r.block == 0x1000}
+        assert MissClass.COHERENCE not in classes
+
+    def test_dma_produces_io_coherence_offchip(self):
+        system = make_system()
+        offchip, _ = system.run([read(0, 0x1000), dma(0x1000), read(1, 0x1000)])
+        assert offchip[-1].miss_class == MissClass.IO_COHERENCE
+
+
+class TestIntraChip:
+    def test_l2_hit_after_other_core_read_is_replacement_l2(self):
+        system = make_system()
+        _, intrachip = system.run([read(0, 0x1000), read(1, 0x1000)])
+        assert len(intrachip) == 1
+        assert intrachip[0].miss_class == IntraChipClass.REPLACEMENT_L2
+        assert intrachip[0].cpu == 1
+
+    def test_dirty_peer_supplies_coherence_peer_l1(self):
+        system = make_system()
+        _, intrachip = system.run([read(1, 0x1000), write(0, 0x1000),
+                                   read(1, 0x1000)])
+        assert len(intrachip) >= 1
+        last = intrachip[-1]
+        assert last.miss_class == IntraChipClass.COHERENCE_PEER_L1
+        assert last.supplier == 0
+
+    def test_peer_supplier_transitions_to_owned(self):
+        system = make_system()
+        system.run([write(0, 0x1000), read(1, 0x1000)])
+        assert system.l1s[0].peek(0x1000) == State.OWNED
+
+    def test_coherence_satisfied_by_l2_when_no_dirty_peer(self):
+        system = make_system()
+        # Core 1 reads, core 0 writes (invalidates core 1, updates L2), the
+        # writer's L1 copy is then evicted so only the L2 can supply.
+        ops = [read(1, 0x1000), write(0, 0x1000)]
+        l1_blocks = system.config.l1.n_blocks
+        ops += [read(0, 0x200000 + i * 64) for i in range(l1_blocks * 2)]
+        ops += [read(1, 0x1000)]
+        _, intrachip = system.run(ops)
+        final = [r for r in intrachip if r.block == 0x1000 and r.cpu == 1]
+        assert final, "expected an intra-chip miss for the re-read"
+        assert final[-1].miss_class in (IntraChipClass.COHERENCE_L2,
+                                        IntraChipClass.COHERENCE_PEER_L1)
+
+    def test_l1_replacement_hit_in_l2(self):
+        system = make_system()
+        l1_blocks = system.config.l1.n_blocks
+        ops = [read(0, 0x1000)]
+        ops += [read(0, 0x200000 + i * 64) for i in range(l1_blocks * 2)]
+        ops += [read(0, 0x1000)]
+        offchip, intrachip = system.run(ops)
+        refetch = [r for r in intrachip if r.block == 0x1000]
+        assert refetch and refetch[-1].miss_class == IntraChipClass.REPLACEMENT_L2
+
+
+class TestNonInclusive:
+    def test_dirty_l1_victim_written_back_to_l2(self):
+        system = make_system()
+        l1_blocks = system.config.l1.n_blocks
+        ops = [write(0, 0x1000)]
+        # Evict the dirty block from core 0's L1 by filling it with reads.
+        ops += [read(0, 0x300000 + i * 64) for i in range(l1_blocks * 2)]
+        system.run(ops)
+        assert system.l2.peek(0x1000).is_valid
+
+    def test_recording_toggle(self):
+        system = make_system()
+        system.set_recording(False)
+        system.process(read(0, 0x1000))
+        system.set_recording(True)
+        system.process(read(0, 0x2000))
+        offchip, intrachip = system.finish()
+        assert len(offchip) == 1 and offchip[0].block == 0x2000
+
+
+class TestCounters:
+    def test_instruction_count_shared_between_traces(self):
+        system = make_system()
+        system.process(Access(cpu=0, addr=0x1000, size=8,
+                              kind=AccessKind.READ, icount=50))
+        offchip, intrachip = system.finish()
+        assert offchip.instructions == 50
+        assert intrachip.instructions == 50
+
+    def test_core_count(self):
+        system = make_system()
+        assert system.n_cores == 4
+        assert len(system.l1s) == 4

@@ -1,0 +1,94 @@
+"""Tests for trace containers and serialization."""
+
+import pytest
+
+from repro.mem import (Access, AccessKind, AccessTrace, FunctionRef,
+                       MissClass, MissRecord, MissTrace, MULTI_CHIP,
+                       SINGLE_CHIP, INTRA_CHIP, ALL_CONTEXTS)
+
+from ..conftest import FN_A, FN_B, make_miss_trace
+
+
+class TestAccessTrace:
+    def test_append_and_iterate(self):
+        trace = AccessTrace()
+        trace.append(Access(cpu=0, addr=0x10, size=8))
+        trace.extend([Access(cpu=1, addr=0x20, size=8, icount=10)])
+        assert len(trace) == 2
+        assert [a.addr for a in trace] == [0x10, 0x20]
+        assert trace[1].cpu == 1
+
+    def test_instruction_total(self):
+        trace = AccessTrace()
+        trace.append(Access(cpu=0, addr=0x10, icount=5))
+        trace.append(Access(cpu=0, addr=0x20, icount=7))
+        assert trace.instructions == 12
+
+    def test_cpus_excludes_dma(self):
+        trace = AccessTrace()
+        trace.append(Access(cpu=2, addr=0x10))
+        trace.append(Access(cpu=-1, addr=0x20, kind=AccessKind.DMA_WRITE))
+        assert trace.cpus() == [2]
+
+
+class TestMissTrace:
+    def test_addresses_and_counts(self):
+        trace = make_miss_trace([0x100, 0x200, 0x100],
+                                classes=[0, 1, 2])
+        assert trace.addresses() == [0x100, 0x200, 0x100]
+        assert trace.class_counts() == {0: 1, 1: 1, 2: 1}
+
+    def test_per_cpu_positions(self):
+        trace = make_miss_trace([1, 2, 3, 4], cpus=[0, 1, 0, 1])
+        positions = trace.per_cpu_positions()
+        assert positions == {0: [0, 2], 1: [1, 3]}
+
+    def test_mpki(self):
+        trace = make_miss_trace([1, 2], instructions=1000)
+        assert trace.misses_per_kilo_instruction() == pytest.approx(2.0)
+
+    def test_mpki_zero_instructions(self):
+        trace = make_miss_trace([1], instructions=0)
+        assert trace.misses_per_kilo_instruction() == 0.0
+
+    def test_filter_renumbers(self):
+        trace = make_miss_trace([1, 2, 3, 4], cpus=[0, 1, 0, 1])
+        filtered = trace.filter(lambda r: r.cpu == 1)
+        assert [r.block for r in filtered] == [2, 4]
+        assert [r.seq for r in filtered] == [0, 1]
+        assert filtered.instructions == trace.instructions
+
+    def test_jsonl_round_trip(self, tmp_path):
+        trace = make_miss_trace([0x100, 0x200], cpus=[3, 5],
+                                classes=[int(MissClass.COHERENCE),
+                                         int(MissClass.COMPULSORY)],
+                                fns=[FN_A, FN_B])
+        path = str(tmp_path / "trace.jsonl")
+        trace.to_jsonl(path)
+        loaded = MissTrace.from_jsonl(path)
+        assert loaded.context == trace.context
+        assert loaded.instructions == trace.instructions
+        assert len(loaded) == 2
+        assert loaded[0].block == 0x100 and loaded[0].cpu == 3
+        assert loaded[1].fn.category == FN_B.category
+
+    def test_context_constants(self):
+        assert set(ALL_CONTEXTS) == {MULTI_CHIP, SINGLE_CHIP, INTRA_CHIP}
+
+
+class TestRecords:
+    def test_access_kind_predicates(self):
+        assert Access(cpu=0, addr=0, kind=AccessKind.READ).is_read
+        assert Access(cpu=0, addr=0, kind=AccessKind.IFETCH).is_read
+        assert not Access(cpu=0, addr=0, kind=AccessKind.WRITE).is_read
+        assert Access(cpu=-1, addr=0, kind=AccessKind.DMA_WRITE).is_io_write
+        assert Access(cpu=0, addr=0, kind=AccessKind.COPYOUT_WRITE).is_io_write
+
+    def test_miss_record_key(self):
+        record = MissRecord(seq=0, cpu=2, block=0x40,
+                            miss_class=MissClass.COHERENCE)
+        assert record.key() == (2, 0x40)
+
+    def test_function_ref_str(self):
+        fn = FunctionRef(name="foo", module="bar", category="baz")
+        assert "foo" in str(fn) and "bar" in str(fn)

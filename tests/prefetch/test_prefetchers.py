@@ -1,0 +1,113 @@
+"""Tests for the stride and temporal-streaming prefetcher models."""
+
+import pytest
+
+from repro.prefetch import (StridePrefetcher, TemporalPrefetcher,
+                            evaluate_coverage)
+from repro.mem import MissRecord
+
+from ..conftest import FN_A, make_miss_trace
+
+
+class TestStridePrefetcher:
+    def test_predicts_along_stride(self):
+        pf = StridePrefetcher(degree=2, min_confidence=1)
+        trace = make_miss_trace([0, 64, 128])
+        preds = []
+        for rec in trace:
+            preds.append(pf.observe(rec))
+        assert preds[2] == [192, 256]
+
+    def test_no_prediction_without_confidence(self):
+        pf = StridePrefetcher(degree=2, min_confidence=3)
+        trace = make_miss_trace([0, 64, 128])
+        assert all(pf.observe(rec) == [] for rec in trace)
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            StridePrefetcher(degree=0)
+
+    def test_coverage_on_sequential_trace(self):
+        trace = make_miss_trace([64 * i for i in range(100)])
+        result = evaluate_coverage(StridePrefetcher(degree=4), trace)
+        assert result.coverage > 0.8
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_low_coverage_on_pointer_chase(self):
+        import random
+        rng = random.Random(0)
+        blocks = [rng.randrange(1 << 24) * 64 for _ in range(200)]
+        result = evaluate_coverage(StridePrefetcher(degree=4),
+                                   make_miss_trace(blocks))
+        assert result.coverage < 0.1
+
+
+class TestTemporalPrefetcher:
+    def test_replays_previous_successors(self):
+        pf = TemporalPrefetcher(depth=3)
+        blocks = [1, 2, 3, 4, 99, 1]
+        predictions = []
+        for rec in make_miss_trace(blocks):
+            predictions.append(pf.observe(rec))
+        # On the second occurrence of block 1 the prefetcher streams the
+        # successors recorded after its first occurrence.
+        assert predictions[5] == [2, 3, 4]
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            TemporalPrefetcher(depth=0)
+
+    def test_high_coverage_on_recurring_pointer_chase(self):
+        import random
+        rng = random.Random(1)
+        pattern = [rng.randrange(1 << 24) * 64 for _ in range(50)]
+        blocks = pattern * 6
+        result = evaluate_coverage(TemporalPrefetcher(depth=8),
+                                   make_miss_trace(blocks))
+        assert result.coverage > 0.6
+
+    def test_beats_stride_on_temporal_streams(self):
+        import random
+        rng = random.Random(2)
+        pattern = [rng.randrange(1 << 24) * 64 for _ in range(64)]
+        trace = make_miss_trace(pattern * 5)
+        temporal = evaluate_coverage(TemporalPrefetcher(depth=8), trace)
+        stride = evaluate_coverage(StridePrefetcher(degree=8), trace)
+        assert temporal.coverage > stride.coverage + 0.3
+
+    def test_loses_to_stride_on_single_pass_scan(self):
+        trace = make_miss_trace([64 * i for i in range(400)])
+        temporal = evaluate_coverage(TemporalPrefetcher(depth=8), trace)
+        stride = evaluate_coverage(StridePrefetcher(degree=8), trace)
+        assert stride.coverage > temporal.coverage + 0.5
+
+    def test_per_cpu_histories(self):
+        pf = TemporalPrefetcher(depth=2, per_cpu=True)
+        blocks = [1, 2, 1]
+        cpus = [0, 1, 0]
+        preds = [pf.observe(rec) for rec in make_miss_trace(blocks, cpus=cpus)]
+        # CPU 0's history does not contain block 2 (observed by CPU 1).
+        assert preds[2] == []
+
+    def test_history_capacity_bounded(self):
+        pf = TemporalPrefetcher(depth=2, history_capacity=64)
+        for rec in make_miss_trace([64 * i for i in range(1000)]):
+            pf.observe(rec)
+        assert len(pf._history[0]) <= 128
+
+
+class TestCoverageEvaluator:
+    def test_empty_trace(self):
+        result = evaluate_coverage(StridePrefetcher(), make_miss_trace([]))
+        assert result.coverage == 0.0 and result.accuracy == 0.0
+
+    def test_buffer_capacity_limits_coverage(self):
+        import random
+        rng = random.Random(3)
+        pattern = [rng.randrange(1 << 24) * 64 for _ in range(100)]
+        trace = make_miss_trace(pattern * 3)
+        big = evaluate_coverage(TemporalPrefetcher(depth=8), trace,
+                                buffer_capacity=4096)
+        tiny = evaluate_coverage(TemporalPrefetcher(depth=8), trace,
+                                 buffer_capacity=2)
+        assert big.coverage >= tiny.coverage

@@ -1,0 +1,138 @@
+"""Tests for the workload framework: ops, trace builder, driver."""
+
+import pytest
+
+from repro.mem import AccessKind
+from repro.workloads import Job, KernelHooks, TraceBuilder, WorkloadDriver
+from repro.workloads.base import (Op, copyout_store, dma_write, read, write)
+from repro.workloads.symbols import Sym
+
+
+class TestOps:
+    def test_read_write_helpers(self):
+        r = read(0x100, Sym.MEMCPY, size=16, icount=9)
+        w = write(0x200, Sym.BCOPY)
+        assert r.kind == AccessKind.READ and r.size == 16 and r.icount == 9
+        assert w.kind == AccessKind.WRITE and w.fn is Sym.BCOPY
+
+    def test_io_helpers(self):
+        d = dma_write(0x100, 4096, Sym.SD_INTR)
+        c = copyout_store(0x200, 64, Sym.DEFAULT_COPYOUT)
+        assert d.kind == AccessKind.DMA_WRITE and d.icount == 0
+        assert c.kind == AccessKind.COPYOUT_WRITE
+
+
+class TestTraceBuilder:
+    def test_emit_attaches_cpu_and_thread(self):
+        builder = TraceBuilder(n_cpus=2)
+        builder.emit(1, read(0x100, Sym.MEMCPY), thread=7)
+        access = builder.trace[0]
+        assert access.cpu == 1 and access.thread == 7
+
+    def test_dma_gets_cpu_minus_one(self):
+        builder = TraceBuilder(n_cpus=2)
+        builder.emit(1, dma_write(0x100, 64, Sym.SD_INTR))
+        assert builder.trace[0].cpu == -1
+
+    def test_emit_ops_counts(self):
+        builder = TraceBuilder(n_cpus=1)
+        count = builder.emit_ops(0, [read(0x100, Sym.MEMCPY),
+                                     write(0x140, Sym.MEMCPY)])
+        assert count == 2 and len(builder.trace) == 2
+
+    def test_invalid_cpu_count(self):
+        with pytest.raises(ValueError):
+            TraceBuilder(n_cpus=0)
+
+    def test_deterministic_rng(self):
+        b1 = TraceBuilder(n_cpus=1, seed=5)
+        b2 = TraceBuilder(n_cpus=1, seed=5)
+        assert [b1.rng.random() for _ in range(5)] == \
+               [b2.rng.random() for _ in range(5)]
+
+
+class _CountingHooks(KernelHooks):
+    """Kernel hook stub that records how often each hook fires."""
+
+    def __init__(self):
+        self.dispatches = 0
+        self.expirations = 0
+        self.completions = 0
+        self.translations = 0
+
+    def on_dispatch(self, cpu, job):
+        self.dispatches += 1
+        return [read(0xdead000, Sym.SWTCH)]
+
+    def on_quantum_expire(self, cpu, job):
+        self.expirations += 1
+        return ()
+
+    def on_job_complete(self, cpu, job):
+        self.completions += 1
+        return ()
+
+    def translate(self, cpu, op):
+        self.translations += 1
+        return ()
+
+
+def _simple_job(name, n_ops, base=0x1000):
+    def gen():
+        for i in range(n_ops):
+            yield read(base + 64 * i, Sym.MEMCPY)
+    return Job(name=name, factory=gen)
+
+
+class TestDriver:
+    def test_all_jobs_run_to_completion(self):
+        builder = TraceBuilder(n_cpus=2)
+        hooks = _CountingHooks()
+        driver = WorkloadDriver(builder, hooks, quantum=4)
+        jobs = [_simple_job(f"j{i}", 10, base=0x1000 * (i + 1))
+                for i in range(5)]
+        stats = driver.run(jobs)
+        assert stats.completions == 5
+        assert hooks.completions == 5
+        # 5 jobs x 10 user ops each.
+        assert stats.user_ops == 50
+        assert hooks.translations == 50
+
+    def test_quantum_expiration_and_migration(self):
+        builder = TraceBuilder(n_cpus=1)
+        driver = WorkloadDriver(builder, _CountingHooks(), quantum=3)
+        stats = driver.run([_simple_job("long", 10)])
+        assert stats.quantum_expirations >= 3
+        assert stats.completions == 1
+
+    def test_no_migration_keeps_job_on_cpu(self):
+        builder = TraceBuilder(n_cpus=2)
+        driver = WorkloadDriver(builder, quantum=2, migration=False)
+        driver.run([_simple_job("a", 9), _simple_job("b", 9, base=0x8000)])
+        # With migration disabled a job's ops all carry the same cpu.
+        cpus_a = {a.cpu for a in builder.trace if a.addr < 0x8000}
+        assert len(cpus_a) == 1
+
+    def test_kernel_ops_interleaved(self):
+        builder = TraceBuilder(n_cpus=1)
+        hooks = _CountingHooks()
+        driver = WorkloadDriver(builder, hooks, quantum=4)
+        driver.run([_simple_job("a", 4)])
+        kernel_accesses = [a for a in builder.trace if a.addr == 0xdead000]
+        assert kernel_accesses, "dispatch hook ops should be in the trace"
+
+    def test_jobs_interleave_across_cpus(self):
+        builder = TraceBuilder(n_cpus=2)
+        driver = WorkloadDriver(builder, quantum=2)
+        driver.run([_simple_job("a", 6), _simple_job("b", 6, base=0x8000)])
+        cpus = {a.cpu for a in builder.trace}
+        assert cpus == {0, 1}
+
+    def test_invalid_quantum(self):
+        with pytest.raises(ValueError):
+            WorkloadDriver(TraceBuilder(n_cpus=1), quantum=0)
+
+    def test_empty_job_list(self):
+        builder = TraceBuilder(n_cpus=2)
+        stats = WorkloadDriver(builder).run([])
+        assert stats.completions == 0 and len(builder.trace) == 0

@@ -1,0 +1,102 @@
+"""Tests for the B+-tree index model."""
+
+import pytest
+
+from repro.mem import BLOCK_SIZE, AccessKind
+from repro.workloads import BPlusTree, TraceBuilder
+from repro.workloads.symbols import Sym
+
+
+def make_tree(n_keys=1000, **kwargs):
+    builder = TraceBuilder(n_cpus=1, seed=1)
+    return BPlusTree(builder, "test", n_keys=n_keys, **kwargs), builder
+
+
+class TestStructure:
+    def test_leaf_count(self):
+        tree, _ = make_tree(n_keys=1000, keys_per_leaf=32)
+        assert tree.n_leaves == (1000 + 31) // 32
+
+    def test_height_grows_with_keys(self):
+        small, _ = make_tree(n_keys=64)
+        large, _ = make_tree(n_keys=20_000)
+        assert large.height > small.height
+
+    def test_single_leaf_tree(self):
+        tree, _ = make_tree(n_keys=10, keys_per_leaf=32)
+        assert tree.n_leaves == 1
+        assert tree.height >= 1
+        assert list(tree.search(5))  # still emits at least the leaf read
+
+    def test_invalid_parameters(self):
+        builder = TraceBuilder(n_cpus=1)
+        with pytest.raises(ValueError):
+            BPlusTree(builder, "bad", n_keys=0)
+        with pytest.raises(ValueError):
+            BPlusTree(builder, "bad2", n_keys=10, fanout=1)
+
+    def test_leaves_are_block_aligned_and_distinct(self):
+        tree, _ = make_tree(n_keys=2000)
+        assert len(set(tree.leaves)) == tree.n_leaves
+        assert all(addr % BLOCK_SIZE == 0 for addr in tree.leaves)
+
+    def test_scattered_leaves_are_not_monotonic(self):
+        tree, _ = make_tree(n_keys=4000, scatter_leaves=True)
+        assert tree.leaves != sorted(tree.leaves)
+
+    def test_unscattered_leaves_are_monotonic(self):
+        tree, _ = make_tree(n_keys=4000, scatter_leaves=False)
+        assert tree.leaves == sorted(tree.leaves)
+
+
+class TestAccessGenerators:
+    def test_search_reads_root_to_leaf(self):
+        tree, _ = make_tree(n_keys=5000)
+        ops = list(tree.search(1234))
+        assert len(ops) == tree.height
+        assert all(op.kind == AccessKind.READ for op in ops)
+        assert ops[-1].addr == tree.leaves[1234 // tree.keys_per_leaf]
+
+    def test_search_out_of_range_key(self):
+        tree, _ = make_tree(n_keys=100)
+        with pytest.raises(KeyError):
+            list(tree.search(100))
+
+    def test_same_key_same_path(self):
+        tree, _ = make_tree(n_keys=5000)
+        assert ([op.addr for op in tree.search(777)]
+                == [op.addr for op in tree.search(777)])
+
+    def test_range_scan_walks_sibling_leaves_in_order(self):
+        tree, _ = make_tree(n_keys=5000, keys_per_leaf=32)
+        ops = list(tree.range_scan(64, 200))
+        scan_addrs = [op.addr for op in ops if op.fn is Sym.SQLI_FETCH_NEXT]
+        first_leaf = 64 // 32
+        last_leaf = (64 + 199) // 32
+        assert scan_addrs == tree.leaves[first_leaf:last_leaf + 1]
+
+    def test_overlapping_scans_share_leaf_sequence(self):
+        """The paper's example one: overlapping range scans repeat leaves."""
+        tree, _ = make_tree(n_keys=5000, keys_per_leaf=32)
+        scan1 = [op.addr for op in tree.range_scan(100, 300)
+                 if op.fn is Sym.SQLI_FETCH_NEXT]
+        scan2 = [op.addr for op in tree.range_scan(150, 300)
+                 if op.fn is Sym.SQLI_FETCH_NEXT]
+        overlap = set(scan1) & set(scan2)
+        assert len(overlap) >= 5
+
+    def test_range_scan_clamped_at_end(self):
+        tree, _ = make_tree(n_keys=100, keys_per_leaf=32)
+        ops = list(tree.range_scan(90, 1000))
+        assert ops  # does not raise
+
+    def test_insert_writes_leaf(self):
+        tree, _ = make_tree(n_keys=1000)
+        ops = list(tree.insert(500))
+        assert ops[-1].kind == AccessKind.WRITE
+        assert ops[-1].addr == tree.leaves[500 // tree.keys_per_leaf]
+
+    def test_category_attribution(self):
+        tree, _ = make_tree(n_keys=1000)
+        for op in tree.range_scan(0, 100):
+            assert op.fn.category == "DB2 index, page & tuple accesses"

@@ -1,0 +1,205 @@
+"""Tests for the Solaris kernel model components."""
+
+import pytest
+
+from repro.mem import AccessKind, PAGE_SIZE
+from repro.workloads import Job, TraceBuilder
+from repro.workloads.kernel import (KernelConfig, KernelModel, bulk_copy,
+                                    copyin, copyout)
+from repro.workloads.base import Op, read
+from repro.workloads.symbols import (BULK_COPIES, IP_ASSEMBLY, MMU_TRAPS,
+                                     SCHEDULER, STREAMS, SYNC, SYSCALLS, Sym,
+                                     lookup)
+
+
+@pytest.fixture
+def kernel():
+    builder = TraceBuilder(n_cpus=4, seed=11)
+    return KernelModel(builder), builder
+
+
+class TestSymbols:
+    def test_lookup_known_and_unknown(self):
+        assert lookup("disp_getwork") is Sym.DISP_GETWORK
+        unknown = lookup("not_a_real_function")
+        assert unknown.category == "Uncategorized / Unknown"
+
+    def test_all_categories_match_registry(self):
+        from repro.core.modules import is_known_category
+        from repro.workloads.symbols import all_functions
+        for fn in all_functions():
+            assert is_known_category(fn.category), fn
+
+
+class TestScheduler:
+    def test_steal_work_scans_queues_in_fixed_order(self, kernel):
+        model, _ = kernel
+        addrs_cpu0 = [op.addr for op in
+                      model.dispatcher.steal_work(0, thread=1, found=False)]
+        addrs_cpu2 = [op.addr for op in
+                      model.dispatcher.steal_work(2, thread=5, found=False)]
+        # The scan prefix (global state + realtime queue + per-CPU headers)
+        # is identical regardless of which CPU scans: that is what makes the
+        # dispatcher a temporal-stream producer.
+        assert addrs_cpu0 == addrs_cpu2
+
+    def test_steal_scan_limit(self, kernel):
+        model, _ = kernel
+        short = list(model.dispatcher.steal_work(0, 1, found=False,
+                                                 scan_limit=2))
+        full = list(model.dispatcher.steal_work(0, 1, found=False,
+                                                scan_limit=0))
+        assert len(short) < len(full)
+
+    def test_scheduler_ops_attributed_to_scheduler_category(self, kernel):
+        model, _ = kernel
+        for op in model.dispatcher.steal_work(0, 1):
+            assert op.fn.category == SCHEDULER
+
+    def test_enqueue_and_pick_local_touch_own_queue(self, kernel):
+        model, _ = kernel
+        queue_blocks = set(model.dispatcher.cpu_queues[1])
+        enqueue_addrs = {op.addr for op in model.dispatcher.enqueue(1, 3)}
+        assert enqueue_addrs & queue_blocks
+
+
+class TestSync:
+    def test_mutex_roundtrip(self, kernel):
+        model, _ = kernel
+        enter = list(model.sync.mutex_enter(3))
+        exit_ = list(model.sync.mutex_exit(3))
+        assert all(op.fn.category == SYNC for op in enter + exit_)
+        assert {op.addr for op in enter} & {op.addr for op in exit_}
+
+    def test_contended_mutex_touches_turnstile(self, kernel):
+        model, _ = kernel
+        plain = list(model.sync.mutex_enter(3, contended=False))
+        contended = list(model.sync.mutex_enter(3, contended=True))
+        assert len(contended) > len(plain)
+
+    def test_condvar_ops(self, kernel):
+        model, _ = kernel
+        for ops in (model.sync.cv_wait(1, 1), model.sync.cv_signal(1),
+                    model.sync.cv_broadcast(1, n_waiters=3)):
+            assert list(ops)
+
+
+class TestMmu:
+    def test_tlb_miss_then_hit(self, kernel):
+        model, _ = kernel
+        first = list(model.mmu.translate(0, 0x5000_0000))
+        second = list(model.mmu.translate(0, 0x5000_0008))  # same page
+        assert first and not second
+        assert all(op.fn.category == MMU_TRAPS for op in first)
+
+    def test_per_cpu_tlbs_are_independent(self, kernel):
+        model, _ = kernel
+        list(model.mmu.translate(0, 0x5000_0000))
+        other_cpu = list(model.mmu.translate(1, 0x5000_0000))
+        assert other_cpu  # cpu 1 still misses its own TLB
+
+    def test_tlb_capacity_eviction(self, kernel):
+        model, _ = kernel
+        entries = model.mmu.tlb_entries
+        for i in range(entries + 4):
+            list(model.mmu.translate(0, (i + 2) * PAGE_SIZE))
+        again = list(model.mmu.translate(0, 2 * PAGE_SIZE))
+        assert again  # evicted translation misses again
+
+    def test_tlb_shootdown(self, kernel):
+        model, _ = kernel
+        list(model.mmu.translate(0, 0x7000_0000))
+        model.mmu.tlb_shootdown(0x7000_0000)
+        assert list(model.mmu.translate(0, 0x7000_0000))
+
+    def test_repeated_translations_reuse_tsb_entries(self, kernel):
+        model, _ = kernel
+        first = [op.addr for op in model.mmu.translate(0, 0x9000_0000)]
+        model.mmu.tlb_shootdown(0x9000_0000)
+        second = [op.addr for op in model.mmu.translate(0, 0x9000_0000)]
+        assert set(first[:2]) == set(second[:2])  # same TSB entry blocks
+
+
+class TestCopies:
+    def test_bulk_copy_block_counts(self):
+        ops = list(bulk_copy(0x1000, 0x9000, 256))
+        reads = [op for op in ops if op.kind == AccessKind.READ]
+        writes = [op for op in ops if op.kind == AccessKind.WRITE]
+        assert len(reads) == 4 and len(writes) == 4
+        assert all(op.fn.category == BULK_COPIES for op in ops)
+
+    def test_copyout_uses_non_allocating_stores(self):
+        ops = list(copyout(0x1000, 0x9000, 128))
+        stores = [op for op in ops if op.kind == AccessKind.COPYOUT_WRITE]
+        assert len(stores) == 2
+
+    def test_copyin_is_cacheable(self):
+        ops = list(copyin(0x1000, 0x9000, 128))
+        assert all(op.kind in (AccessKind.READ, AccessKind.WRITE) for op in ops)
+
+
+class TestIoPaths:
+    def test_syscalls_attribution(self, kernel):
+        model, _ = kernel
+        for gen in (model.syscalls.poll(), model.syscalls.syscall_read(3),
+                    model.syscalls.syscall_write(3), model.syscalls.syscall_open(1),
+                    model.syscalls.syscall_stat(1), model.syscalls.syscall_close(3)):
+            ops = list(gen)
+            assert ops
+            assert all(op.fn.category == SYSCALLS for op in ops)
+
+    def test_streams_write_read_roundtrip(self, kernel):
+        model, _ = kernel
+        w = list(model.streams.stream_write(2, n_messages=2))
+        r = list(model.streams.stream_read(2, n_messages=2))
+        assert all(op.fn.category == STREAMS for op in w + r)
+        assert {op.addr for op in w} & {op.addr for op in r}
+
+    def test_streams_message_pool_recycled(self, kernel):
+        model, _ = kernel
+        pool = set(model.streams.msg_pool)
+        for _ in range(3):
+            for op in model.streams.stream_write(0):
+                pass
+        assert model.streams._next_msg >= 3
+        assert set(model.streams.msg_pool) == pool
+
+    def test_ip_send_scales_with_bytes(self, kernel):
+        model, _ = kernel
+        small = list(model.ip.send(0, 500))
+        large = list(model.ip.send(0, 20000))
+        assert len(large) > len(small)
+        assert all(op.fn.category == IP_ASSEMBLY for op in small)
+
+    def test_blockdev_read_has_dma(self, kernel):
+        model, _ = kernel
+        ops = list(model.blockdev.disk_read(0x80000, size=PAGE_SIZE))
+        dmas = [op for op in ops if op.kind == AccessKind.DMA_WRITE]
+        assert len(dmas) == 1 and dmas[0].addr == 0x80000
+        assert dmas[0].size == PAGE_SIZE
+
+    def test_blockdev_write_reads_source(self, kernel):
+        model, _ = kernel
+        ops = list(model.blockdev.disk_write(0x80000, size=PAGE_SIZE))
+        assert any(op.kind == AccessKind.READ and op.addr >= 0x80000
+                   for op in ops)
+
+
+class TestKernelHooks:
+    def test_hooks_produce_ops(self, kernel):
+        model, builder = kernel
+        job = Job(name="j", factory=lambda: iter(()), thread=1)
+        assert list(model.on_quantum_expire(0, job))
+        assert list(model.on_idle(2))
+        # Dispatch produces either a local pick or a steal scan.
+        assert list(model.on_dispatch(1, job))
+
+    def test_translate_skips_dma(self, kernel):
+        model, _ = kernel
+        from repro.workloads.base import dma_write
+        assert list(model.translate(0, dma_write(0x1000, 64, Sym.SD_INTR))) == []
+
+    def test_config_defaults(self):
+        config = KernelConfig()
+        assert 0.0 <= config.steal_probability <= 1.0
+        assert config.tlb_entries > 0

@@ -1,0 +1,132 @@
+"""Integration-level tests for the six workload models."""
+
+import pytest
+
+from repro.mem import AccessKind
+from repro.workloads import (WORKLOAD_NAMES, create_workload, generate_trace,
+                             get_config, scaled_parameter)
+from repro.workloads.configs import SIZE_PRESETS, TABLE1
+
+
+class TestConfigs:
+    def test_table1_covers_all_workloads(self):
+        names = {cfg.name for cfg in TABLE1}
+        assert names == set(WORKLOAD_NAMES)
+
+    def test_get_config_unknown(self):
+        with pytest.raises(KeyError):
+            get_config("NotAWorkload")
+
+    def test_scaled_parameter_volume_vs_structure(self):
+        config = get_config("OLTP")
+        tiny = scaled_parameter(config, "n_transactions", "tiny")
+        default = scaled_parameter(config, "n_transactions", "default")
+        assert tiny < default
+        # Structural parameters do not scale.
+        assert (scaled_parameter(config, "n_pool_frames", "tiny")
+                == scaled_parameter(config, "n_pool_frames", "default"))
+
+    def test_size_presets(self):
+        assert SIZE_PRESETS["tiny"] < SIZE_PRESETS["small"] < SIZE_PRESETS["default"]
+
+
+class TestFactory:
+    def test_create_by_any_alias(self):
+        assert create_workload("OLTP", 4, size="tiny").__class__.__name__ == "OltpWorkload"
+        assert create_workload("q1", 4, size="tiny").query == 1
+        assert create_workload("Qry17", 4, size="tiny").query == 17
+        assert create_workload("zeus", 4, size="tiny").variant == "zeus"
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            create_workload("doom", 4)
+
+    def test_invalid_dss_query(self):
+        from repro.workloads import DssWorkload
+        with pytest.raises(ValueError):
+            DssWorkload(3, n_cpus=4)
+
+    def test_invalid_web_variant(self):
+        from repro.workloads import WebWorkload
+        with pytest.raises(ValueError):
+            WebWorkload("nginx", n_cpus=4)
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestGeneration:
+    def test_generates_nonempty_trace(self, name):
+        trace = generate_trace(name, n_cpus=4, size="tiny", seed=3)
+        assert len(trace) > 500
+        assert trace.instructions > len(trace)
+
+    def test_uses_all_cpus(self, name):
+        trace = generate_trace(name, n_cpus=4, size="tiny", seed=3)
+        assert set(trace.cpus()) == {0, 1, 2, 3}
+
+    def test_contains_reads_and_writes(self, name):
+        trace = generate_trace(name, n_cpus=2, size="tiny", seed=3)
+        kinds = {a.kind for a in trace}
+        assert AccessKind.READ in kinds and AccessKind.WRITE in kinds
+
+    def test_deterministic_for_same_seed(self, name):
+        t1 = generate_trace(name, n_cpus=2, size="tiny", seed=9)
+        t2 = generate_trace(name, n_cpus=2, size="tiny", seed=9)
+        assert len(t1) == len(t2)
+        assert all(a.addr == b.addr and a.cpu == b.cpu and a.kind == b.kind
+                   for a, b in zip(t1, t2))
+
+    def test_different_seeds_differ(self, name):
+        t1 = generate_trace(name, n_cpus=2, size="tiny", seed=1)
+        t2 = generate_trace(name, n_cpus=2, size="tiny", seed=2)
+        assert ([a.addr for a in t1.accesses[:2000]]
+                != [a.addr for a in t2.accesses[:2000]])
+
+
+class TestWorkloadCharacter:
+    def test_web_has_web_categories(self):
+        trace = generate_trace("Apache", n_cpus=4, size="tiny")
+        categories = {a.fn.category for a in trace}
+        for expected in ("Kernel STREAMS subsystem", "Kernel IP packet assembly",
+                         "CGI - perl input processing",
+                         "CGI - perl execution engine",
+                         "Kernel task scheduler", "Bulk memory copies",
+                         "System call implementation"):
+            assert expected in categories
+
+    def test_oltp_has_db2_categories(self):
+        trace = generate_trace("OLTP", n_cpus=4, size="tiny")
+        categories = {a.fn.category for a in trace}
+        for expected in ("DB2 index, page & tuple accesses",
+                         "DB2 SQL request control",
+                         "DB2 interprocess communication",
+                         "DB2 SQL runtime interpreter",
+                         "Kernel synchronization primitives",
+                         "Kernel MMU & trap handlers"):
+            assert expected in categories
+
+    def test_dss_dominated_by_copies_and_tuple_reads(self):
+        trace = generate_trace("Qry1", n_cpus=4, size="tiny")
+        from collections import Counter
+        counts = Counter(a.fn.category for a in trace)
+        top_two = {name for name, _ in counts.most_common(2)}
+        assert "Bulk memory copies" in top_two or \
+               "DB2 index, page & tuple accesses" in top_two
+
+    def test_dss_has_dma_traffic(self):
+        trace = generate_trace("Qry1", n_cpus=4, size="tiny")
+        assert any(a.kind == AccessKind.DMA_WRITE for a in trace)
+
+    def test_web_dynamic_and_static_mix(self):
+        workload = create_workload("Apache", n_cpus=2, size="tiny")
+        names = [workload._make_job(i).name for i in range(50)]
+        assert any("dynamic" in n for n in names)
+        assert any("static" in n for n in names)
+
+    def test_zeus_differs_from_apache(self):
+        apache = generate_trace("Apache", n_cpus=2, size="tiny")
+        zeus = generate_trace("Zeus", n_cpus=2, size="tiny")
+        apache_fns = {a.fn.name for a in apache}
+        zeus_fns = {a.fn.name for a in zeus}
+        assert "ap_process_request" in apache_fns
+        assert "zeus_worker_run" in zeus_fns
+        assert "zeus_worker_run" not in apache_fns
