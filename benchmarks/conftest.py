@@ -10,6 +10,9 @@ only once.
 
 import pytest
 
+# Disk-cache isolation lives in the repo-root conftest.py (shared with
+# tests/).
+
 
 def pytest_addoption(parser):
     parser.addoption("--repro-size", action="store", default="small",

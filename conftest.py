@@ -1,0 +1,23 @@
+"""Repo-level pytest configuration shared by tests/ and benchmarks/."""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_disk_cache(tmp_path_factory):
+    """Point the on-disk result store at a session-scoped temp directory.
+
+    Keeps test and benchmark runs from reading results persisted by earlier
+    runs (or by the user's own experiments) in ``~/.cache/repro`` while
+    still exercising the disk-cache code paths.
+    """
+    from repro.experiments.store import CACHE_DIR_ENV
+    previous = os.environ.get(CACHE_DIR_ENV)
+    os.environ[CACHE_DIR_ENV] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if previous is None:
+        os.environ.pop(CACHE_DIR_ENV, None)
+    else:
+        os.environ[CACHE_DIR_ENV] = previous

@@ -3,11 +3,15 @@
 
 This walks the full pipeline on a small OLTP run:
 
-1. generate a synthetic TPC-C-style access trace on 16 CPUs,
-2. run it through the multi-chip (16-node, MSI) system model to obtain the
-   off-chip read-miss trace,
+1. *stream* a synthetic TPC-C-style access trace on 16 CPUs directly into
+2. the multi-chip (16-node, MSI) system model — chunk-wise, so the full
+   access trace is never materialised — to obtain the off-chip read-miss
+   trace,
 3. run the SEQUITUR-based temporal-stream analysis,
 4. print the Figure 1 / Figure 2 / Figure 4 style summaries for that trace.
+
+(The same pipeline is available pre-packaged as
+``python -m repro run OLTP multi-chip --size small``.)
 
 Run with:  python examples/quickstart.py
 """
@@ -17,18 +21,15 @@ from repro.core import (analyze_trace, classify_offchip, length_distribution,
 from repro.core.report import (format_offchip_classification,
                                format_stream_fractions, format_length_cdf)
 from repro.mem import MultiChipSystem, multichip_config
-from repro.workloads import generate_trace
+from repro.workloads import stream_accesses
 
 
 def main() -> None:
-    print("Generating OLTP access trace (16 CPUs, small preset)...")
-    access_trace = generate_trace("OLTP", n_cpus=16, size="small", seed=42)
-    print(f"  {len(access_trace):,} accesses, "
-          f"{access_trace.instructions:,} instructions")
-
-    print("Simulating the multi-chip memory system (MSI, 16 nodes)...")
+    print("Streaming OLTP accesses (16 CPUs, small preset) through the "
+          "multi-chip memory system (MSI, 16 nodes)...")
     system = MultiChipSystem(multichip_config())
-    miss_trace = system.run(access_trace)
+    miss_trace = system.run_stream(
+        stream_accesses("OLTP", n_cpus=16, size="small", seed=42))
     print(f"  {len(miss_trace):,} off-chip read misses "
           f"({miss_trace.misses_per_kilo_instruction():.2f} per 1000 instr)")
 

@@ -11,4 +11,5 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.9",
     install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
 )

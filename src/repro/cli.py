@@ -1,0 +1,251 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+run
+    One (workload, context) pair through the streaming pipeline; prints the
+    bundle's headline numbers (misses, MPKI, stream fractions, top classes).
+suite
+    The full evaluation sweep (all workloads x all contexts) over the
+    process-pool runner; a second invocation is served from the disk cache.
+report
+    Render the paper's figures and tables from (cached) suite results.
+clear-cache
+    Empty the versioned on-disk result store.
+
+All subcommands share ``--size/--seed/--scale`` run parameters and the
+``--cache-dir`` / ``--no-disk-cache`` cache controls.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from .mem.config import DEFAULT_SCALE
+from .mem.trace import ALL_CONTEXTS
+from .workloads import WORKLOAD_NAMES
+
+#: Artifact names accepted by ``report``.
+REPORT_ARTIFACTS = ("figure1", "figure2", "figure3", "figure4",
+                    "table1", "table2", "table3", "table4", "table5")
+
+
+def _add_run_params(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--size", default="small",
+                        choices=("tiny", "small", "default", "large"),
+                        help="work-volume preset (default: small)")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="workload RNG seed (default: 42)")
+    parser.add_argument("--scale", type=int, default=DEFAULT_SCALE,
+                        help=f"cache scale-down factor (default: "
+                             f"{DEFAULT_SCALE})")
+    parser.add_argument("--eager", action="store_true",
+                        help="materialise access traces instead of streaming")
+
+
+def _add_cache_params(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-dir", default=None,
+                        help="disk-cache root (default: $REPRO_CACHE_DIR or "
+                             "~/.cache/repro)")
+    parser.add_argument("--no-disk-cache", action="store_true",
+                        help="disable the on-disk result store for this run")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Temporal streams in commercial server applications "
+                    "(IISWC'08) — reproduction driver.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser(
+        "run", help="simulate and analyse one workload in one context")
+    p_run.add_argument("workload", help=f"one of {', '.join(WORKLOAD_NAMES)}")
+    p_run.add_argument("context", choices=ALL_CONTEXTS)
+    _add_run_params(p_run)
+    _add_cache_params(p_run)
+
+    p_suite = sub.add_parser(
+        "suite", help="run the full evaluation sweep over a process pool")
+    p_suite.add_argument("--workloads", nargs="+", default=list(WORKLOAD_NAMES),
+                         metavar="NAME", help="subset of workloads to sweep")
+    p_suite.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="worker processes (default: cpu count; 1 runs "
+                              "inline without a pool)")
+    _add_run_params(p_suite)
+    _add_cache_params(p_suite)
+
+    p_report = sub.add_parser(
+        "report", help="render figures/tables from (cached) suite results")
+    p_report.add_argument("--artifact", default="all",
+                          choices=REPORT_ARTIFACTS + ("all",),
+                          help="which artifact to render (default: all)")
+    p_report.add_argument("--workloads", nargs="+",
+                          default=list(WORKLOAD_NAMES), metavar="NAME")
+    # The figure/table drivers expose size and seed only; no --scale/--eager
+    # here, so the report always matches a suite run at the same size/seed.
+    p_report.add_argument("--size", default="small",
+                          choices=("tiny", "small", "default", "large"),
+                          help="work-volume preset (default: small)")
+    p_report.add_argument("--seed", type=int, default=42,
+                          help="workload RNG seed (default: 42)")
+    _add_cache_params(p_report)
+
+    p_clear = sub.add_parser("clear-cache",
+                             help="empty the on-disk result store")
+    p_clear.add_argument("--cache-dir", default=None,
+                         help="disk-cache root to clear")
+    return parser
+
+
+# ---------------------------------------------------------------------- #
+def _apply_cache_flags(args: argparse.Namespace) -> None:
+    from .experiments.store import CACHE_DIR_ENV, CACHE_DISABLE_ENV
+    if getattr(args, "no_disk_cache", False):
+        os.environ[CACHE_DISABLE_ENV] = "1"
+    if getattr(args, "cache_dir", None):
+        os.environ[CACHE_DIR_ENV] = args.cache_dir
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .experiments import run_workload_context
+    start = time.time()
+    try:
+        result = run_workload_context(
+            args.workload, args.context, size=args.size, seed=args.seed,
+            scale=args.scale, streaming=not args.eager,
+            cache_dir=args.cache_dir)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    elapsed = time.time() - start
+    trace = result.miss_trace
+    print(f"{args.workload} / {args.context}  "
+          f"(size={args.size}, seed={args.seed}, scale={args.scale}) "
+          f"[{elapsed:.2f}s]")
+    print(f"  misses:              {result.n_misses:,}")
+    print(f"  instructions:        {trace.instructions:,}")
+    print(f"  misses/kilo-instr:   "
+          f"{trace.misses_per_kilo_instruction():.3f}")
+    analysis = result.stream_analysis
+    print(f"  in temporal streams: {analysis.fraction_in_streams:.1%} "
+          f"(new {analysis.fraction_new:.1%}, "
+          f"recurring {analysis.fraction_recurring:.1%})")
+    print(f"  distinct streams:    {analysis.n_distinct_streams():,}")
+    print("  miss classes:")
+    total = max(1, result.n_misses)
+    for cls, count in sorted(trace.class_counts().items(),
+                             key=lambda kv: -kv[1]):
+        print(f"    class {cls}: {count:,} ({count / total:.1%})")
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from .experiments import ParallelSuiteRunner
+    unknown = [w for w in args.workloads if w not in WORKLOAD_NAMES]
+    if unknown:
+        print(f"unknown workloads: {', '.join(unknown)} "
+              f"(known: {', '.join(WORKLOAD_NAMES)})", file=sys.stderr)
+        return 2
+    if args.jobs is not None and args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    runner = ParallelSuiteRunner(max_workers=args.jobs,
+                                 streaming=not args.eager,
+                                 cache_dir=args.cache_dir)
+    start = time.time()
+    results = runner.run_suite(size=args.size, seed=args.seed,
+                               scale=args.scale,
+                               workloads=tuple(args.workloads))
+    elapsed = time.time() - start
+    jobs = "inline" if args.jobs == 1 else f"jobs={args.jobs or 'auto'}"
+    print(f"suite: {len(args.workloads)} workloads x {len(ALL_CONTEXTS)} "
+          f"contexts (size={args.size}, {jobs}) in {elapsed:.1f}s")
+    header = f"{'workload':<10}" + "".join(f"{c:>14}" for c in ALL_CONTEXTS)
+    print(header)
+    print("-" * len(header))
+    for workload in args.workloads:
+        row = f"{workload:<10}"
+        for context in ALL_CONTEXTS:
+            result = results[workload][context]
+            row += f"{result.n_misses:>14,}"
+        print(row)
+    print("(cells are recorded read misses; results persisted to the disk "
+          "cache)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments import (figure1, figure2, figure3, figure4,
+                              render_table1, render_table2, table3, table4,
+                              table5)
+    unknown = [w for w in args.workloads if w not in WORKLOAD_NAMES]
+    if unknown:
+        print(f"unknown workloads: {', '.join(unknown)} "
+              f"(known: {', '.join(WORKLOAD_NAMES)})", file=sys.stderr)
+        return 2
+    workloads = tuple(args.workloads)
+    wanted = (REPORT_ARTIFACTS if args.artifact == "all"
+              else (args.artifact,))
+    renderers = {
+        "figure1": lambda: figure1(size=args.size, seed=args.seed,
+                                   workloads=workloads).render(),
+        "figure2": lambda: figure2(size=args.size, seed=args.seed,
+                                   workloads=workloads).render(),
+        "figure3": lambda: figure3(size=args.size, seed=args.seed,
+                                   workloads=workloads).render(),
+        "figure4": lambda: figure4(size=args.size, seed=args.seed,
+                                   workloads=workloads).render(),
+        "table1": render_table1,
+        "table2": render_table2,
+        "table3": lambda: table3(size=args.size, seed=args.seed).render(),
+        "table4": lambda: table4(size=args.size, seed=args.seed).render(),
+        "table5": lambda: table5(size=args.size, seed=args.seed).render(),
+    }
+    for name in wanted:
+        print(f"==== {name} " + "=" * max(0, 66 - len(name)))
+        print(renderers[name]())
+        print()
+    return 0
+
+
+def _cmd_clear_cache(args: argparse.Namespace) -> int:
+    from .experiments import clear_cache, get_store
+    store = get_store(args.cache_dir)
+    if store is None:
+        print("disk cache is disabled (REPRO_DISABLE_DISK_CACHE set)")
+        return 0
+    before = store.describe()
+    removed = clear_cache(disk=True) if args.cache_dir is None else \
+        store.clear()
+    print(before)
+    print(f"removed {removed} cached result(s)")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    _apply_cache_flags(args)
+    handlers = {
+        "run": _cmd_run,
+        "suite": _cmd_suite,
+        "report": _cmd_report,
+        "clear-cache": _cmd_clear_cache,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

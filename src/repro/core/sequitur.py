@@ -147,6 +147,60 @@ class Grammar:
         return self._length
 
     # ------------------------------------------------------------------ #
+    # Pickling
+    # ------------------------------------------------------------------ #
+    # The default pickle protocol would recurse through the doubly-linked
+    # symbol lists and overflow the interpreter stack on any non-trivial
+    # grammar.  Serialise iteratively as (rule id -> token list) instead and
+    # rebuild the linked structure, refcounts, and digram index on load, so
+    # grammars can cross process boundaries (parallel suite runner) and live
+    # in the on-disk result store.
+
+    def __getstate__(self) -> Dict:
+        # Record which occurrence each digram-index entry points at as
+        # (rule id, position): for overlapping runs of identical symbols the
+        # indexed occurrence is build-history-dependent and cannot be
+        # recovered from the rule bodies alone.
+        indexed = []
+        for rule in self.rules():
+            for position, sym in enumerate(rule.symbols()):
+                key = sym.digram_key()
+                if key is not None and self._digrams.get(key) is sym:
+                    indexed.append((rule.id, position))
+        return {
+            "next_rule_id": self._next_rule_id,
+            "length": self._length,
+            "root": self.root.id,
+            "rules": [(rule.id, [sym.token() for sym in rule.symbols()])
+                      for rule in self.rules()],
+            "indexed": indexed,
+        }
+
+    def __setstate__(self, state: Dict) -> None:
+        self._next_rule_id = state["next_rule_id"]
+        self._length = state["length"]
+        self._digrams = {}
+        by_id: Dict[int, Rule] = {rid: Rule(rid) for rid, _ in state["rules"]}
+        self.root = by_id[state["root"]]
+        for rid, tokens in state["rules"]:
+            rule = by_id[rid]
+            for kind, payload in tokens:
+                if kind == "R":
+                    sym = _Symbol(rule=by_id[payload], owner=rule)
+                else:
+                    sym = _Symbol(value=payload, owner=rule)
+                self._link(rule.guard.prev, sym)
+                self._link(sym, rule.guard)
+        # Restore the digram index to exactly the recorded occurrences, so
+        # appending to an unpickled grammar behaves identically to appending
+        # to the original.
+        symbols_at = {
+            rid: list(by_id[rid].symbols()) for rid, _ in state["rules"]}
+        for rid, position in state["indexed"]:
+            sym = symbols_at[rid][position]
+            self._digrams[sym.digram_key()] = sym
+
+    # ------------------------------------------------------------------ #
     # Linked-list and index primitives
     # ------------------------------------------------------------------ #
     @staticmethod

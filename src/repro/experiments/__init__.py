@@ -20,17 +20,24 @@ from .figure1 import Figure1Result, figure1
 from .figure2 import Figure2Result, figure2
 from .figure3 import Figure3Result, figure3
 from .figure4 import Figure4Result, figure4
+from .parallel import ORGANISATION_CONTEXTS, ParallelSuiteRunner
 from .runner import (ContextResult, DEFAULT_WARMUP_FRACTION, clear_cache,
-                     run_all_contexts, run_suite, run_workload_context)
+                     get_store, run_all_contexts, run_suite,
+                     run_workload_context)
+from .store import (CACHE_DIR_ENV, CACHE_DISABLE_ENV, CACHE_SCHEMA,
+                    ResultStore, default_cache_root)
 from .tables import (OriginsResult, render_table1, render_table2, table1,
                      table2, table3, table4, table5)
 
 __all__ = [
-    "ContextResult", "DEFAULT_WARMUP_FRACTION", "Figure1Result",
-    "Figure2Result", "Figure3Result", "Figure4Result", "OriginsResult",
-    "PrefetcherComparison", "StreamFinderAgreement", "clear_cache",
-    "figure1", "figure2", "figure3", "figure4", "prefetcher_ablation",
-    "render_table1", "render_table2", "run_all_contexts", "run_suite",
-    "run_workload_context", "stream_finder_ablation", "stride_sensitivity",
-    "table1", "table2", "table3", "table4", "table5",
+    "CACHE_DIR_ENV", "CACHE_DISABLE_ENV", "CACHE_SCHEMA", "ContextResult",
+    "DEFAULT_WARMUP_FRACTION", "Figure1Result", "Figure2Result",
+    "Figure3Result", "Figure4Result", "ORGANISATION_CONTEXTS",
+    "OriginsResult", "ParallelSuiteRunner", "PrefetcherComparison",
+    "ResultStore", "StreamFinderAgreement", "clear_cache",
+    "default_cache_root", "figure1", "figure2", "figure3", "figure4",
+    "get_store", "prefetcher_ablation", "render_table1", "render_table2",
+    "run_all_contexts", "run_suite", "run_workload_context",
+    "stream_finder_ablation", "stride_sensitivity", "table1", "table2",
+    "table3", "table4", "table5",
 ]

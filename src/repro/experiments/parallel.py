@@ -1,0 +1,109 @@
+"""Process-pool suite runner for the full evaluation sweep.
+
+The evaluation sweeps every workload through both system organisations.
+Individual simulations are single-threaded pure Python, so the sweep
+parallelises perfectly across (workload, organisation) pairs — the unit of
+work is an *organisation* rather than a context because the single-chip
+simulation yields both the ``single-chip`` and ``intra-chip`` bundles in one
+pass.
+
+Workers are ordinary processes (:mod:`concurrent.futures`); each one runs
+:func:`repro.experiments.runner.run_workload_context`, which writes its
+results through to the shared on-disk store, and additionally returns the
+bundles to the parent so the parent's in-process memo is warm afterwards.
+A re-run of the suite is therefore served entirely from the disk cache
+without spawning simulations at all.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..mem.config import DEFAULT_SCALE
+from ..mem.trace import INTRA_CHIP, MULTI_CHIP, SINGLE_CHIP
+from ..workloads import WORKLOAD_NAMES
+from .runner import (ContextResult, DEFAULT_WARMUP_FRACTION, _CACHE,
+                     memo_key, run_workload_context)
+
+#: Contexts produced by one simulation of each organisation.
+ORGANISATION_CONTEXTS: Dict[str, Tuple[str, ...]] = {
+    "multi-chip": (MULTI_CHIP,),
+    "single-chip": (SINGLE_CHIP, INTRA_CHIP),
+}
+
+
+def _run_organisation(job: Tuple) -> Tuple[str, Dict[str, ContextResult]]:
+    """Worker entry point: one (workload, organisation) simulation.
+
+    Module-level so it pickles under both fork and spawn start methods.
+    """
+    (workload, organisation, size, seed, scale, warmup_fraction, streaming,
+     cache_dir) = job
+    results = {}
+    for context in ORGANISATION_CONTEXTS[organisation]:
+        results[context] = run_workload_context(
+            workload, context, size=size, seed=seed, scale=scale,
+            warmup_fraction=warmup_fraction, streaming=streaming,
+            cache_dir=cache_dir)
+    return workload, results
+
+
+class ParallelSuiteRunner:
+    """Fan the evaluation sweep out over a process pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; ``None`` lets :class:`ProcessPoolExecutor` pick
+        (cpu count).  ``1`` runs the jobs inline in this process — useful
+        for tests and for environments where spawning is restricted.
+    streaming:
+        Passed through to the runner: lazy (bounded-memory) generation when
+        True, eager materialisation when False.
+    cache_dir:
+        Optional disk-store root shared by parent and workers.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 streaming: bool = True,
+                 cache_dir: Optional[str] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self.streaming = streaming
+        self.cache_dir = cache_dir
+
+    # ------------------------------------------------------------------ #
+    def _jobs(self, workloads: Iterable[str], size: str, seed: int,
+              scale: int, warmup_fraction: float) -> List[Tuple]:
+        return [(workload, organisation, size, seed, scale, warmup_fraction,
+                 self.streaming, self.cache_dir)
+                for workload in workloads
+                for organisation in ORGANISATION_CONTEXTS]
+
+    def run_suite(self, size: str = "small", seed: int = 42,
+                  scale: int = DEFAULT_SCALE,
+                  workloads: Tuple[str, ...] = WORKLOAD_NAMES,
+                  warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+                  ) -> Dict[str, Dict[str, ContextResult]]:
+        """All ``workloads`` in all contexts; returns {workload: {context: result}}."""
+        jobs = self._jobs(workloads, size, seed, scale, warmup_fraction)
+        merged: Dict[str, Dict[str, ContextResult]] = {w: {} for w in workloads}
+        if self.max_workers == 1:
+            outcomes = map(_run_organisation, jobs)
+            for workload, results in outcomes:
+                merged[workload].update(results)
+        else:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                futures = [pool.submit(_run_organisation, job) for job in jobs]
+                for future in as_completed(futures):
+                    workload, results = future.result()
+                    merged[workload].update(results)
+        # Warm the parent's memo so follow-up figure/table rendering in this
+        # process reuses the returned bundles directly.
+        for workload, results in merged.items():
+            for context, result in results.items():
+                _CACHE[memo_key(workload, context, size, seed, scale,
+                                warmup_fraction)] = result
+        return merged

@@ -1,15 +1,29 @@
 """Experiment runner: workload -> system model -> full analysis bundle.
 
 Every figure and table of the paper is computed from the same per-(workload,
-context) analysis bundle; this module builds those bundles and memoises them
-so the benchmark harness can regenerate all artifacts without re-simulating
-the same configuration repeatedly.
+context) analysis bundle; this module builds those bundles through a
+streaming pipeline and caches them at two levels:
+
+* an **in-process memo** (dict), preserving object identity for repeated
+  calls within one process, and
+* a **versioned on-disk store** (:mod:`repro.experiments.store`), so figure
+  and table regeneration across processes — including the parallel suite
+  runner's workers — never re-simulates a configuration.
+
+Simulation is *streaming* by default: accesses flow from the workload
+generators into the system models chunk-wise, so peak memory is bounded by
+one chunk instead of the whole access trace.  Because the warm-up boundary
+is a fraction of the (not-known-in-advance) trace length, streaming mode
+first makes a cheap counting pass over a fresh workload instance, then
+simulates a second, identical instance; pass ``streaming=False`` to
+materialise the trace in one pass instead (the historical behaviour, ~2x
+the memory for ~half the generation work).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple, Union
 
 from ..core.classification import (ClassificationBreakdown, classify_intrachip,
                                    classify_offchip)
@@ -21,10 +35,11 @@ from ..core.stride import StrideStreamBreakdown, stride_stream_breakdown
 from ..mem.config import DEFAULT_SCALE
 from ..mem.multichip import MultiChipSystem
 from ..mem.singlechip import SingleChipSystem
-from ..mem.trace import (AccessTrace, INTRA_CHIP, MULTI_CHIP, MissTrace,
-                         SINGLE_CHIP)
+from ..mem.trace import (DEFAULT_CHUNK_SIZE, INTRA_CHIP, MULTI_CHIP,
+                         MissTrace, SINGLE_CHIP)
 from ..mem.config import multichip_config, singlechip_config
 from ..workloads import WORKLOAD_NAMES, create_workload
+from .store import ResultStore, disk_cache_disabled
 
 #: Fraction of the access trace used to warm the caches before recording,
 #: mirroring the paper's warm-up of at least 5000 transactions before tracing.
@@ -50,73 +65,103 @@ class ContextResult:
         return len(self.miss_trace)
 
 
-#: Memoised results keyed by (workload, context, size, seed, scale).
-_CACHE: Dict[Tuple[str, str, str, int, int], ContextResult] = {}
+#: Memoised results keyed by (workload, context, size, seed, scale, warmup).
+_CACHE: Dict[Tuple[str, str, str, int, int, float], ContextResult] = {}
 #: Memoised (off-chip, intra-chip) miss traces keyed by the run parameters.
-_TRACE_CACHE: Dict[Tuple[str, str, str, int, int], Dict[str, MissTrace]] = {}
+_TRACE_CACHE: Dict[Tuple[str, str, str, int, int, float],
+                   Dict[str, MissTrace]] = {}
 
 
-def clear_cache() -> None:
-    """Drop all memoised results (tests use this to force regeneration)."""
+def memo_key(workload: str, context: str, size: str, seed: int, scale: int,
+             warmup_fraction: float) -> Tuple[str, str, str, int, int, float]:
+    """In-process memo key; must cover every parameter that affects results."""
+    return (workload, context, size, seed, scale, warmup_fraction)
+
+
+def get_store(cache_dir: Optional[str] = None) -> Optional[ResultStore]:
+    """The disk store the runner should use, or None when disabled.
+
+    ``cache_dir`` overrides the root for this store only; otherwise the
+    ``REPRO_CACHE_DIR``/``~/.cache/repro`` default applies.
+    """
+    if disk_cache_disabled():
+        return None
+    return ResultStore(cache_dir) if cache_dir else ResultStore()
+
+
+def clear_cache(disk: bool = False) -> int:
+    """Drop memoised results; with ``disk=True`` also empty the disk store.
+
+    Returns the number of disk entries removed (0 for memory-only clears).
+    """
     _CACHE.clear()
     _TRACE_CACHE.clear()
+    if disk:
+        store = get_store()
+        if store is not None:
+            return store.clear()
+    return 0
+
+
+def _result_params(workload: str, context: str, size: str, seed: int,
+                   scale: int, warmup_fraction: float) -> Dict[str, object]:
+    """Disk-store key for one analysis bundle."""
+    return {"workload": workload, "context": context, "size": size,
+            "seed": seed, "scale": scale, "warmup": warmup_fraction}
 
 
 def _simulate(workload: str, organisation: str, size: str, seed: int,
-              scale: int, warmup_fraction: float) -> Dict[str, MissTrace]:
-    """Generate the workload trace and run it through one system model."""
-    key = (workload, organisation, size, seed, scale)
+              scale: int, warmup_fraction: float, streaming: bool = True,
+              chunk_size: int = DEFAULT_CHUNK_SIZE) -> Dict[str, MissTrace]:
+    """Generate the workload access stream and run it through one system."""
+    key = memo_key(workload, organisation, size, seed, scale, warmup_fraction)
     if key in _TRACE_CACHE:
         return _TRACE_CACHE[key]
     if organisation == "multi-chip":
         config = multichip_config(scale=scale)
-        system = MultiChipSystem(config)
+        system: Union[MultiChipSystem, SingleChipSystem] = \
+            MultiChipSystem(config)
     elif organisation == "single-chip":
         config = singlechip_config(scale=scale)
         system = SingleChipSystem(config)
     else:
         raise ValueError(f"unknown organisation {organisation!r}")
-    access_trace = create_workload(workload, n_cpus=config.n_cpus,
-                                   seed=seed, size=size).generate()
-    warmup = int(len(access_trace) * max(0.0, min(warmup_fraction, 0.9)))
-    system.set_recording(False)
-    for i, access in enumerate(access_trace):
-        if i == warmup:
-            system.set_recording(True)
-        system.process(access)
-    if warmup >= len(access_trace):
-        system.set_recording(True)
-    if organisation == "multi-chip":
-        traces = {MULTI_CHIP: system.finish()}
+    fraction = max(0.0, min(warmup_fraction, 0.9))
+    if streaming:
+        # Counting pass over a fresh instance to place the warm-up boundary;
+        # workloads are deterministic in (name, n_cpus, seed, size), so the
+        # second instance replays the identical stream.
+        n_accesses = sum(1 for _ in create_workload(
+            workload, n_cpus=config.n_cpus, seed=seed,
+            size=size).iter_accesses())
+        accesses: Iterator = create_workload(
+            workload, n_cpus=config.n_cpus, seed=seed,
+            size=size).iter_accesses()
     else:
-        offchip, intrachip = system.finish()
+        trace = create_workload(workload, n_cpus=config.n_cpus, seed=seed,
+                                size=size).generate()
+        n_accesses = len(trace)
+        accesses = iter(trace)
+    warmup = int(n_accesses * fraction)
+    if organisation == "multi-chip":
+        offchip = system.run_stream(accesses, warmup=warmup,
+                                    chunk_size=chunk_size)
+        traces = {MULTI_CHIP: offchip}
+    else:
+        offchip, intrachip = system.run_stream(accesses, warmup=warmup,
+                                               chunk_size=chunk_size)
         traces = {SINGLE_CHIP: offchip, INTRA_CHIP: intrachip}
     _TRACE_CACHE[key] = traces
     return traces
 
 
-def run_workload_context(workload: str, context: str, size: str = "small",
-                         seed: int = 42, scale: int = DEFAULT_SCALE,
-                         warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
-                         ) -> ContextResult:
-    """Build the full analysis bundle for one workload in one system context.
-
-    ``context`` is one of ``multi-chip``, ``single-chip``, or ``intra-chip``
-    (the latter two come from the same single-chip simulation).
-    """
-    if context not in (MULTI_CHIP, SINGLE_CHIP, INTRA_CHIP):
-        raise ValueError(f"unknown context {context!r}")
-    cache_key = (workload, context, size, seed, scale)
-    if cache_key in _CACHE:
-        return _CACHE[cache_key]
-    organisation = "multi-chip" if context == MULTI_CHIP else "single-chip"
-    traces = _simulate(workload, organisation, size, seed, scale,
-                       warmup_fraction)
-    miss_trace = traces[context]
+def _analyze(workload: str, context: str, miss_trace: MissTrace,
+             ) -> ContextResult:
+    """Build the analysis bundle for one already-simulated miss trace."""
     analysis = analyze_trace(miss_trace)
     classification = (classify_intrachip(miss_trace) if context == INTRA_CHIP
                       else classify_offchip(miss_trace))
-    result = ContextResult(
+    return ContextResult(
         workload=workload,
         context=context,
         miss_trace=miss_trace,
@@ -127,22 +172,68 @@ def run_workload_context(workload: str, context: str, size: str = "small",
         lengths=length_distribution(analysis.occurrences),
         reuse=reuse_distance_distribution(analysis, miss_trace),
     )
+
+
+def run_workload_context(workload: str, context: str, size: str = "small",
+                         seed: int = 42, scale: int = DEFAULT_SCALE,
+                         warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+                         streaming: bool = True,
+                         cache_dir: Optional[str] = None,
+                         ) -> ContextResult:
+    """Build the full analysis bundle for one workload in one system context.
+
+    ``context`` is one of ``multi-chip``, ``single-chip``, or ``intra-chip``
+    (the latter two come from the same single-chip simulation).  Results are
+    memoised in-process and persisted to the versioned disk store; the
+    ``streaming`` flag selects lazy (bounded-memory) versus eager workload
+    generation and does not affect the produced results.
+    """
+    if context not in (MULTI_CHIP, SINGLE_CHIP, INTRA_CHIP):
+        raise ValueError(f"unknown context {context!r}")
+    cache_key = memo_key(workload, context, size, seed, scale,
+                         warmup_fraction)
+    if cache_key in _CACHE:
+        return _CACHE[cache_key]
+    store = get_store(cache_dir)
+    params = _result_params(workload, context, size, seed, scale,
+                            warmup_fraction)
+    if store is not None:
+        cached = store.load("context", params)
+        if cached is not None:
+            _CACHE[cache_key] = cached
+            return cached
+    organisation = "multi-chip" if context == MULTI_CHIP else "single-chip"
+    traces = _simulate(workload, organisation, size, seed, scale,
+                       warmup_fraction, streaming=streaming)
+    result = _analyze(workload, context, traces[context])
     _CACHE[cache_key] = result
+    if store is not None:
+        store.save("context", params, result)
     return result
 
 
 def run_all_contexts(workload: str, size: str = "small", seed: int = 42,
-                     scale: int = DEFAULT_SCALE) -> Dict[str, ContextResult]:
+                     scale: int = DEFAULT_SCALE, streaming: bool = True,
+                     cache_dir: Optional[str] = None,
+                     ) -> Dict[str, ContextResult]:
     """All three contexts for one workload."""
     return {context: run_workload_context(workload, context, size=size,
-                                          seed=seed, scale=scale)
+                                          seed=seed, scale=scale,
+                                          streaming=streaming,
+                                          cache_dir=cache_dir)
             for context in (MULTI_CHIP, SINGLE_CHIP, INTRA_CHIP)}
 
 
 def run_suite(size: str = "small", seed: int = 42,
               scale: int = DEFAULT_SCALE,
               workloads: Tuple[str, ...] = WORKLOAD_NAMES,
+              streaming: bool = True,
               ) -> Dict[str, Dict[str, ContextResult]]:
-    """All workloads in all contexts (the full evaluation sweep)."""
-    return {name: run_all_contexts(name, size=size, seed=seed, scale=scale)
+    """All workloads in all contexts (the full evaluation sweep), serially.
+
+    See :class:`repro.experiments.parallel.ParallelSuiteRunner` for the
+    process-pool version used by ``python -m repro suite``.
+    """
+    return {name: run_all_contexts(name, size=size, seed=seed, scale=scale,
+                                   streaming=streaming)
             for name in workloads}

@@ -1,0 +1,156 @@
+"""Versioned on-disk result store for simulation/analysis bundles.
+
+Simulating a (workload, context) pair is by far the most expensive step of
+regenerating the paper's figures and tables, and the result is fully
+determined by the run parameters.  This module persists those results so a
+second invocation — in the same process, a later process, or a parallel
+worker — never re-simulates.
+
+Layout::
+
+    <root>/v<schema>-<package version>/<kind>/<param slug>-<digest>.pkl
+
+``<root>`` defaults to ``~/.cache/repro`` and can be overridden with the
+``REPRO_CACHE_DIR`` environment variable or per-store with the ``root``
+argument.  Setting ``REPRO_DISABLE_DISK_CACHE=1`` disables the store
+entirely (the in-memory memo in :mod:`repro.experiments.runner` still works).
+
+Versioning rules: entries are namespaced by ``CACHE_SCHEMA`` (bump when the
+pickled payload layout changes) *and* the ``repro`` package version (bumped
+whenever simulation or analysis semantics change).  Either bump orphans old
+entries rather than serving stale results; ``clear()`` removes every version
+directory under the root.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .. import __version__
+
+#: Bump when the on-disk payload layout changes incompatibly.
+CACHE_SCHEMA = 1
+
+#: Environment variable overriding the cache root directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable disabling the disk cache when set to a truthy value.
+CACHE_DISABLE_ENV = "REPRO_DISABLE_DISK_CACHE"
+
+
+def default_cache_root() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+def disk_cache_disabled() -> bool:
+    """True when ``REPRO_DISABLE_DISK_CACHE`` is set to a truthy value."""
+    return os.environ.get(CACHE_DISABLE_ENV, "").lower() in ("1", "true",
+                                                             "yes", "on")
+
+
+def _slug(params: Dict[str, Any]) -> str:
+    """A readable, filesystem-safe, collision-resistant file stem."""
+    canonical = "&".join(f"{k}={params[k]!r}" for k in sorted(params))
+    digest = hashlib.sha256(canonical.encode()).hexdigest()[:12]
+    readable = "-".join(
+        f"{k}={params[k]}" for k in sorted(params)
+        if isinstance(params[k], (str, int, bool)))
+    readable = "".join(c if c.isalnum() or c in "=.-_" else "_"
+                       for c in readable)[:120]
+    return f"{readable}-{digest}" if readable else digest
+
+
+class ResultStore:
+    """Pickle-backed store of computed results, keyed by run parameters.
+
+    Writes are atomic (write to a temp file, then ``os.replace``), so
+    concurrent workers in the parallel suite runner may race on the same key
+    without corrupting entries — last writer wins with identical content.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.version = f"{CACHE_SCHEMA}-{__version__}"
+
+    # ------------------------------------------------------------------ #
+    @property
+    def version_dir(self) -> Path:
+        return self.root / f"v{self.version}"
+
+    def path_for(self, kind: str, params: Dict[str, Any]) -> Path:
+        """The file an entry of ``kind`` with ``params`` lives at."""
+        return self.version_dir / kind / f"{_slug(params)}.pkl"
+
+    # ------------------------------------------------------------------ #
+    def load(self, kind: str, params: Dict[str, Any]) -> Optional[Any]:
+        """Return the stored object, or None on miss or unreadable entry."""
+        path = self.path_for(kind, params)
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except (pickle.UnpicklingError, EOFError, AttributeError, OSError,
+                ImportError):
+            # A corrupt or stale entry is a miss, not an error; drop it so
+            # the fresh result overwrites it.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def save(self, kind: str, params: Dict[str, Any], obj: Any) -> Path:
+        """Atomically persist ``obj`` under its parameter key."""
+        path = self.path_for(kind, params)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def contains(self, kind: str, params: Dict[str, Any]) -> bool:
+        return self.path_for(kind, params).is_file()
+
+    # ------------------------------------------------------------------ #
+    def entries(self) -> List[Path]:
+        """All entry files across every version directory under the root."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p for p in self.root.glob("v*/**/*.pkl") if p.is_file())
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.entries())
+
+    def clear(self) -> int:
+        """Remove every version directory under the root; returns #entries."""
+        removed = len(self.entries())
+        if self.root.is_dir():
+            for child in self.root.glob("v*"):
+                if child.is_dir():
+                    shutil.rmtree(child, ignore_errors=True)
+        return removed
+
+    def describe(self) -> str:
+        n = len(self.entries())
+        return (f"cache root {self.root} (current version v{self.version}): "
+                f"{n} entr{'y' if n == 1 else 'ies'}, "
+                f"{self.size_bytes() / 1024:.1f} KiB")

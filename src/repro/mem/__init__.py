@@ -22,8 +22,9 @@ from .multichip import MultiChipSystem
 from .records import (Access, AccessKind, FunctionRef, IntraChipClass,
                       MissClass, MissRecord, UNKNOWN_FUNCTION)
 from .singlechip import SingleChipSystem
-from .trace import (ALL_CONTEXTS, INTRA_CHIP, MULTI_CHIP, SINGLE_CHIP,
-                    AccessTrace, MissTrace)
+from .stream import StreamingSystemMixin
+from .trace import (ALL_CONTEXTS, DEFAULT_CHUNK_SIZE, INTRA_CHIP, MULTI_CHIP,
+                    SINGLE_CHIP, AccessTrace, MissTrace, iter_chunks)
 
 __all__ = [
     "Access", "AccessKind", "AccessTrace", "AddressSpace", "BlockHistory",
@@ -32,5 +33,5 @@ __all__ = [
     "MultiChipSystem", "PAGE_SIZE", "Region", "SingleChipSystem", "State",
     "SystemConfig", "UNKNOWN_FUNCTION", "multichip_config", "paper_config",
     "scaled_config", "singlechip_config", "ALL_CONTEXTS", "INTRA_CHIP",
-    "MULTI_CHIP", "SINGLE_CHIP",
+    "MULTI_CHIP", "SINGLE_CHIP", "DEFAULT_CHUNK_SIZE", "StreamingSystemMixin", "iter_chunks",
 ]

@@ -18,10 +18,11 @@ from .cache import Cache, State
 from .classify import BlockHistory
 from .config import SystemConfig
 from .records import Access, AccessKind, MissRecord
+from .stream import StreamingSystemMixin
 from .trace import AccessTrace, MissTrace, MULTI_CHIP
 
 
-class MultiChipSystem:
+class MultiChipSystem(StreamingSystemMixin):
     """Trace-driven model of the 16-node multi-chip DSM system."""
 
     def __init__(self, config: SystemConfig) -> None:

@@ -25,6 +25,7 @@ from .cache import Cache, State
 from .classify import BlockHistory
 from .config import SystemConfig
 from .records import Access, AccessKind, IntraChipClass, MissClass, MissRecord
+from .stream import StreamingSystemMixin
 from .trace import AccessTrace, MissTrace, INTRA_CHIP, SINGLE_CHIP
 
 #: Observer id used for chip-level classification (the whole chip acts as a
@@ -32,7 +33,7 @@ from .trace import AccessTrace, MissTrace, INTRA_CHIP, SINGLE_CHIP
 _CHIP = 0
 
 
-class SingleChipSystem:
+class SingleChipSystem(StreamingSystemMixin):
     """Trace-driven model of the 4-core single-chip CMP."""
 
     def __init__(self, config: SystemConfig) -> None:

@@ -1,0 +1,46 @@
+"""Chunk-wise streaming consumption shared by both system models.
+
+:class:`StreamingSystemMixin` adds ``run_stream``/``process_chunk`` on top
+of the per-access ``process``/``set_recording``/``finish`` interface that
+:class:`~repro.mem.multichip.MultiChipSystem` and
+:class:`~repro.mem.singlechip.SingleChipSystem` both implement, so the
+warm-up boundary arithmetic lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from .records import Access
+from .trace import DEFAULT_CHUNK_SIZE, iter_chunks
+
+
+class StreamingSystemMixin:
+    """Consume an access iterator chunk-wise with optional warm-up."""
+
+    def run_stream(self, accesses: Iterable[Access], warmup: int = 0,
+                   chunk_size: int = DEFAULT_CHUNK_SIZE) -> Any:
+        """Process ``accesses`` lazily; returns whatever ``finish`` returns.
+
+        The first ``warmup`` accesses update cache and classification state
+        without producing miss records (recording off), exactly as the eager
+        runner's warm-up slice did.  Memory stays bounded by ``chunk_size``.
+        """
+        self.set_recording(warmup <= 0)
+        seen = 0
+        for chunk in iter_chunks(accesses, chunk_size):
+            if not self.recording and seen + len(chunk) > warmup:
+                head = warmup - seen
+                self.process_chunk(chunk[:head])
+                self.set_recording(True)
+                self.process_chunk(chunk[head:])
+            else:
+                self.process_chunk(chunk)
+            seen += len(chunk)
+        self.set_recording(True)
+        return self.finish()
+
+    def process_chunk(self, accesses: Iterable[Access]) -> None:
+        """Process a batch of accesses in order."""
+        for access in accesses:
+            self.process(access)

@@ -10,10 +10,35 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+from itertools import islice
+from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, TypeVar)
 
 from .records import (Access, FunctionRef, IntraChipClass, MissClass,
                       MissRecord, UNKNOWN_FUNCTION)
+
+_T = TypeVar("_T")
+
+#: Default number of accesses a streaming consumer pulls per batch.
+DEFAULT_CHUNK_SIZE = 4096
+
+
+def iter_chunks(items: Iterable[_T],
+                chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[List[_T]]:
+    """Yield successive lists of up to ``chunk_size`` items from ``items``.
+
+    The building block of the streaming pipeline: workload generators hand
+    accesses to the system models through this, so peak memory is bounded by
+    one chunk instead of the whole trace.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    iterator = iter(items)
+    while True:
+        chunk = list(islice(iterator, chunk_size))
+        if not chunk:
+            return
+        yield chunk
 
 
 @dataclass

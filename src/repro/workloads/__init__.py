@@ -13,11 +13,13 @@ paper's workload names (``Apache``, ``Zeus``, ``OLTP``, ``Qry1``, ``Qry2``,
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Iterator
 
+from ..mem.records import Access
 from ..mem.trace import AccessTrace
-from .base import (Job, KernelHooks, Op, OpStream, TraceBuilder,
-                   WorkloadDriver, copyout_store, dma_write, read, write)
+from .base import (DriverStats, Job, KernelHooks, Op, OpStream, TraceBuilder,
+                   Workload, WorkloadDriver, copyout_store, dma_write, read,
+                   write)
 from .btree import BPlusTree
 from .configs import (SIZE_PRESETS, TABLE1, WORKLOAD_NAMES, ApplicationConfig,
                       get_config, scaled_parameter)
@@ -71,14 +73,26 @@ def generate_trace(name: str, n_cpus: int, seed: int = 42,
     return create_workload(name, n_cpus=n_cpus, seed=seed, size=size).generate()
 
 
+def stream_accesses(name: str, n_cpus: int, seed: int = 42,
+                    size: str = "default") -> Iterator[Access]:
+    """Build a workload and lazily stream its accesses in one call.
+
+    Unlike :func:`generate_trace` nothing is materialised: accesses are
+    yielded as the driver schedules the workload's jobs, so memory stays
+    bounded even for the ``large`` work-volume preset.
+    """
+    return create_workload(name, n_cpus=n_cpus, seed=seed,
+                           size=size).iter_accesses()
+
+
 __all__ = [
     "ApplicationConfig", "BPlusTree", "BufferPool", "ConnectionTable",
-    "CursorPool", "DssWorkload", "FileCache", "IpcChannel", "Job",
-    "KernelConfig", "KernelHooks", "KernelModel", "LockManager",
+    "CursorPool", "DriverStats", "DssWorkload", "FileCache", "IpcChannel",
+    "Job", "KernelConfig", "KernelHooks", "KernelModel", "LockManager",
     "OltpWorkload", "Op", "OpStream", "PackageCache", "PerlPool",
     "PerlProcess", "SIZE_PRESETS", "Sym", "TABLE1", "TraceBuilder",
     "TransactionLog", "TransactionTable", "WORKLOAD_NAMES", "WebWorkload",
-    "WorkloadDriver", "all_functions", "copyout_store", "create_workload",
-    "dma_write", "generate_trace", "get_config", "lookup", "read",
-    "scaled_parameter", "write",
+    "Workload", "WorkloadDriver", "all_functions", "copyout_store",
+    "create_workload", "dma_write", "generate_trace", "get_config", "lookup",
+    "read", "scaled_parameter", "stream_accesses", "write",
 ]

@@ -16,6 +16,7 @@ both private working state and shared structures.
 from __future__ import annotations
 
 import random
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (Callable, Deque, Dict, Generator, Iterable, Iterator,
                     List, NamedTuple, Optional, Sequence, Tuple)
@@ -64,7 +65,13 @@ def copyout_store(addr: int, size: int, fn: FunctionRef, icount: int = 2) -> Op:
 
 
 class TraceBuilder:
-    """Accumulates the access trace and owns the synthetic address space."""
+    """Accumulates the access trace and owns the synthetic address space.
+
+    Emitted accesses go to a pluggable *sink*; by default the sink appends to
+    :attr:`trace` (the historical, materialising behaviour).  The streaming
+    driver temporarily redirects the sink (:meth:`redirect`) so accesses can
+    be yielded to a consumer instead of being retained in memory.
+    """
 
     def __init__(self, n_cpus: int, seed: int = 42) -> None:
         if n_cpus < 1:
@@ -73,13 +80,24 @@ class TraceBuilder:
         self.rng = random.Random(seed)
         self.space = AddressSpace()
         self.trace = AccessTrace()
+        self._sink: Callable[[Access], None] = self.trace.append
 
     def emit(self, cpu: int, op: Op, thread: int = 0) -> None:
-        """Append one op to the trace, attributing it to ``cpu``/``thread``."""
+        """Send one op to the sink, attributing it to ``cpu``/``thread``."""
         actual_cpu = -1 if op.kind == AccessKind.DMA_WRITE else cpu
-        self.trace.append(Access(cpu=actual_cpu, addr=op.addr, size=op.size,
-                                 kind=op.kind, fn=op.fn, thread=thread,
-                                 icount=op.icount))
+        self._sink(Access(cpu=actual_cpu, addr=op.addr, size=op.size,
+                          kind=op.kind, fn=op.fn, thread=thread,
+                          icount=op.icount))
+
+    @contextmanager
+    def redirect(self, sink: Callable[[Access], None]) -> Iterator[None]:
+        """Temporarily send emitted accesses to ``sink`` instead of the trace."""
+        previous = self._sink
+        self._sink = sink
+        try:
+            yield
+        finally:
+            self._sink = previous
 
     def emit_ops(self, cpu: int, ops: Iterable[Op], thread: int = 0) -> int:
         """Append a burst of ops; returns the number emitted."""
@@ -180,41 +198,61 @@ class WorkloadDriver:
 
     # ------------------------------------------------------------------ #
     def run(self, jobs: Sequence[Job]) -> DriverStats:
-        """Run all jobs to completion, interleaving them across CPUs."""
-        run_queue: Deque[Job] = deque(jobs)
-        n_cpus = self.builder.n_cpus
-        current: List[Optional[Job]] = [None] * n_cpus
-        active = True
-        while active:
-            active = False
-            for cpu in range(n_cpus):
-                job = current[cpu]
-                if job is None:
-                    if run_queue:
-                        job = run_queue.popleft()
-                        current[cpu] = job
-                        self.stats.dispatches += 1
-                        self._emit_kernel(cpu, self.kernel.on_dispatch(cpu, job))
-                    else:
-                        # Nothing runnable: the dispatcher scans other CPUs'
-                        # queues looking for work to steal.
-                        if any(c is not None for c in current):
-                            self.stats.idle_scans += 1
-                            self._emit_kernel(cpu, self.kernel.on_idle(cpu))
-                        continue
-                active = True
-                finished = self._run_quantum(cpu, job)
-                if finished:
-                    self.stats.completions += 1
-                    self._emit_kernel(cpu, self.kernel.on_job_complete(cpu, job))
-                    current[cpu] = None
-                else:
-                    self.stats.quantum_expirations += 1
-                    self._emit_kernel(cpu, self.kernel.on_quantum_expire(cpu, job))
-                    if self.migration:
-                        run_queue.append(job)
-                        current[cpu] = None
+        """Run all jobs to completion, materialising into the builder's trace."""
+        trace = self.builder.trace
+        for access in self.iter_run(jobs):
+            trace.append(access)
         return self.stats
+
+    def iter_run(self, jobs: Sequence[Job]) -> Iterator[Access]:
+        """Run all jobs, lazily yielding the access stream.
+
+        Yields exactly the accesses (in exactly the order) that :meth:`run`
+        would append to the builder's trace, but retains nothing: memory use
+        is bounded by one scheduling quantum instead of the whole trace.
+        While the generator is being consumed the builder's sink is
+        redirected, so nothing is appended to ``builder.trace`` either.
+        """
+        pending: List[Access] = []
+        with self.builder.redirect(pending.append):
+            run_queue: Deque[Job] = deque(jobs)
+            n_cpus = self.builder.n_cpus
+            current: List[Optional[Job]] = [None] * n_cpus
+            active = True
+            while active:
+                active = False
+                for cpu in range(n_cpus):
+                    job = current[cpu]
+                    if job is None:
+                        if run_queue:
+                            job = run_queue.popleft()
+                            current[cpu] = job
+                            self.stats.dispatches += 1
+                            self._emit_kernel(cpu, self.kernel.on_dispatch(cpu, job))
+                        else:
+                            # Nothing runnable: the dispatcher scans other CPUs'
+                            # queues looking for work to steal.
+                            if any(c is not None for c in current):
+                                self.stats.idle_scans += 1
+                                self._emit_kernel(cpu, self.kernel.on_idle(cpu))
+                            continue
+                    active = True
+                    finished = self._run_quantum(cpu, job)
+                    if finished:
+                        self.stats.completions += 1
+                        self._emit_kernel(cpu, self.kernel.on_job_complete(cpu, job))
+                        current[cpu] = None
+                    else:
+                        self.stats.quantum_expirations += 1
+                        self._emit_kernel(cpu, self.kernel.on_quantum_expire(cpu, job))
+                        if self.migration:
+                            run_queue.append(job)
+                            current[cpu] = None
+                    if pending:
+                        yield from pending
+                        pending.clear()
+            if pending:
+                yield from pending
 
     # ------------------------------------------------------------------ #
     def _run_quantum(self, cpu: int, job: Job) -> bool:
@@ -238,3 +276,52 @@ class WorkloadDriver:
         for op in ops:
             self.builder.emit(cpu, op)
             self.stats.kernel_ops += 1
+
+
+class Workload:
+    """Base class for the synthetic workload models.
+
+    Subclasses construct their substrate in ``__init__`` (populating
+    :attr:`builder` and :attr:`kernel`) and implement :meth:`jobs`; the base
+    class provides both consumption modes of the access stream:
+
+    * :meth:`iter_accesses` — lazily yields :class:`~repro.mem.records.Access`
+      records as the driver schedules the jobs; nothing is retained, so
+      memory stays bounded regardless of the work-volume preset.
+    * :meth:`generate` — the historical eager API: drains the same stream
+      into ``builder.trace`` and returns the materialised
+      :class:`~repro.mem.trace.AccessTrace`.
+
+    A workload instance is single-shot: both methods consume the same
+    underlying job list and mutate substrate state (RNG, pools, caches), so
+    create a fresh instance for each run.
+    """
+
+    #: Scheduling quantum handed to the driver (ops per dispatch).
+    quantum: int = 80
+
+    builder: TraceBuilder
+    kernel: Optional[KernelHooks]
+
+    #: Stats of the most recent driver created by :meth:`iter_accesses`.
+    last_stats: Optional[DriverStats] = None
+
+    def jobs(self) -> List[Job]:
+        """Build the schedulable job list for one run."""
+        raise NotImplementedError
+
+    def make_driver(self) -> WorkloadDriver:
+        return WorkloadDriver(self.builder, self.kernel, quantum=self.quantum)
+
+    def iter_accesses(self) -> Iterator[Access]:
+        """Lazily generate the access stream (O(quantum) memory)."""
+        driver = self.make_driver()
+        self.last_stats = driver.stats
+        return driver.iter_run(self.jobs())
+
+    def generate(self) -> AccessTrace:
+        """Run the workload eagerly and return the materialised trace."""
+        trace = self.builder.trace
+        for access in self.iter_accesses():
+            trace.append(access)
+        return trace

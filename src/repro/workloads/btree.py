@@ -20,7 +20,7 @@ from typing import Iterator, List, Optional
 
 from ..mem.config import BLOCK_SIZE
 from ..mem.records import FunctionRef
-from .base import Op, TraceBuilder, read, write
+from .base import Op, OpStream, TraceBuilder, read, write
 from .symbols import Sym
 
 
@@ -99,7 +99,7 @@ class BPlusTree:
     # Access generators
     # ------------------------------------------------------------------ #
     def search(self, key: int,
-               fn: FunctionRef = Sym.SQLI_KEY_SEARCH) -> Iterator[Op]:
+               fn: FunctionRef = Sym.SQLI_KEY_SEARCH) -> OpStream:
         """Root-to-leaf traversal with binary search within each node."""
         leaf_index = self._leaf_index(key)
         for node in self._path_to_leaf(leaf_index):
@@ -107,7 +107,7 @@ class BPlusTree:
         yield read(self.leaves[leaf_index], fn, icount=14)
 
     def range_scan(self, start_key: int, n_keys: int,
-                   fn: FunctionRef = Sym.SQLI_SCAN_LEAF) -> Iterator[Op]:
+                   fn: FunctionRef = Sym.SQLI_SCAN_LEAF) -> OpStream:
         """Locate ``start_key`` then walk sibling leaves covering ``n_keys``."""
         yield from self.search(start_key)
         first_leaf = self._leaf_index(start_key)
@@ -117,7 +117,7 @@ class BPlusTree:
             yield read(self.leaves[leaf_index], Sym.SQLI_FETCH_NEXT, icount=10)
 
     def insert(self, key: int,
-               fn: FunctionRef = Sym.SQLI_INSERT) -> Iterator[Op]:
+               fn: FunctionRef = Sym.SQLI_INSERT) -> OpStream:
         """Search to the covering leaf and update it in place (no splits)."""
         leaf_index = self._leaf_index(key)
         for node in self._path_to_leaf(leaf_index):

@@ -26,7 +26,7 @@ from typing import Iterator, List, Optional, Tuple
 
 from ..mem.config import BLOCK_SIZE, PAGE_SIZE
 from ..mem.records import FunctionRef
-from .base import Op, TraceBuilder, read, write
+from .base import Op, OpStream, TraceBuilder, read, write
 from .kernel import KernelModel, copyout
 from .symbols import Sym
 
@@ -137,7 +137,7 @@ class BufferPool:
 
     # ------------------------------------------------------------------ #
     def fix_page(self, page_id: int,
-                 fn: FunctionRef = Sym.SQLB_FIX_PAGE) -> Iterator[Op]:
+                 fn: FunctionRef = Sym.SQLB_FIX_PAGE) -> OpStream:
         """Pin a page in the pool, reading it from disk if necessary."""
         bucket = self.directory[page_id % len(self.directory)]
         yield read(bucket, fn, icount=10)
@@ -161,7 +161,7 @@ class BufferPool:
 
     def scan_page(self, page_id: int, n_rows: int,
                   fn: FunctionRef = Sym.SQLD_ROW_FETCH,
-                  row_bytes: int = 128) -> Iterator[Op]:
+                  row_bytes: int = 128) -> OpStream:
         """Fix a page then read ``n_rows`` sequential rows from it."""
         frame = yield from self.fix_page(page_id)
         offset = 0
@@ -171,7 +171,7 @@ class BufferPool:
             offset += row_bytes
 
     def access_row(self, page_id: int, row_hash: int, update: bool = False,
-                   fn: FunctionRef = Sym.SQLD_ROW_FETCH) -> Iterator[Op]:
+                   fn: FunctionRef = Sym.SQLD_ROW_FETCH) -> OpStream:
         """Fix a page and access (optionally update) one row on it."""
         frame = yield from self.fix_page(page_id)
         slot = (row_hash * 131) % (self.page_size // BLOCK_SIZE)
@@ -191,7 +191,7 @@ class LockManager:
                         for _ in range(n_buckets)]
         self.latch = region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
 
-    def acquire(self, resource: int) -> Iterator[Op]:
+    def acquire(self, resource: int) -> OpStream:
         bucket = self.buckets[resource % len(self.buckets)]
         yield read(self.latch, Sym.SQLO_LOCK, icount=4)
         yield write(self.latch, Sym.SQLO_LOCK, icount=4)
@@ -199,7 +199,7 @@ class LockManager:
         yield write(bucket, Sym.SQLP_LOCK_REQUEST, icount=8)
         yield write(self.latch, Sym.SQLO_LOCK, icount=3)
 
-    def release(self, resource: int) -> Iterator[Op]:
+    def release(self, resource: int) -> OpStream:
         bucket = self.buckets[resource % len(self.buckets)]
         yield read(self.latch, Sym.SQLO_LOCK, icount=4)
         yield write(self.latch, Sym.SQLO_LOCK, icount=4)
@@ -218,13 +218,13 @@ class TransactionTable:
                         for _ in range(n_entries)]
         self.anchor = region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
 
-    def begin(self, xact_id: int) -> Iterator[Op]:
+    def begin(self, xact_id: int) -> OpStream:
         yield read(self.anchor, Sym.SQLP_XACT_TABLE, icount=6)
         yield write(self.anchor, Sym.SQLP_XACT_TABLE, icount=6)
         yield write(self.entries[xact_id % len(self.entries)],
                     Sym.SQLP_XACT_TABLE, icount=8)
 
-    def commit(self, xact_id: int) -> Iterator[Op]:
+    def commit(self, xact_id: int) -> OpStream:
         yield read(self.entries[xact_id % len(self.entries)],
                    Sym.SQLP_XACT_TABLE, icount=6)
         yield write(self.entries[xact_id % len(self.entries)],
@@ -248,7 +248,7 @@ class TransactionLog:
         self._cursor = 0
         self._appends = 0
 
-    def append(self, n_bytes: int = 192) -> Iterator[Op]:
+    def append(self, n_bytes: int = 192) -> OpStream:
         """Append a log record (sequential, strided writes)."""
         yield read(self.anchor, Sym.SQLZ_LOG_WRITE, icount=6)
         yield write(self.anchor, Sym.SQLZ_LOG_WRITE, icount=4)
@@ -274,7 +274,7 @@ class PackageCache:
              for _ in range(blocks_per_section)]
             for _ in range(n_sections)]
 
-    def load_section(self, section_id: int) -> Iterator[Op]:
+    def load_section(self, section_id: int) -> OpStream:
         """``sqlra_get_section``: read the compiled plan for a statement."""
         for block in self.sections[section_id % len(self.sections)]:
             yield read(block, Sym.SQLRA_GET_SECTION, icount=8)
@@ -292,19 +292,19 @@ class CursorPool:
              for _ in range(blocks_per_agent)]
             for _ in range(n_agents)]
 
-    def open(self, agent_id: int) -> Iterator[Op]:
+    def open(self, agent_id: int) -> OpStream:
         blocks = self.agents[agent_id % len(self.agents)]
         yield read(blocks[0], Sym.SQLRR_OPEN, icount=10)
         yield write(blocks[0], Sym.SQLRR_OPEN, icount=8)
         yield write(blocks[1], Sym.SQLRA_CURSOR, icount=6)
 
-    def fetch(self, agent_id: int) -> Iterator[Op]:
+    def fetch(self, agent_id: int) -> OpStream:
         blocks = self.agents[agent_id % len(self.agents)]
         yield read(blocks[1], Sym.SQLRR_FETCH, icount=8)
         yield write(blocks[1], Sym.SQLRA_CURSOR, icount=6)
         yield read(blocks[2], Sym.SQLRR_FETCH, icount=6)
 
-    def commit(self, agent_id: int) -> Iterator[Op]:
+    def commit(self, agent_id: int) -> OpStream:
         blocks = self.agents[agent_id % len(self.agents)]
         yield read(blocks[0], Sym.SQLRR_COMMIT, icount=8)
         yield write(blocks[0], Sym.SQLRR_COMMIT, icount=8)
@@ -324,14 +324,14 @@ class IpcChannel:
              region.alloc(BLOCK_SIZE, align=BLOCK_SIZE))
             for _ in range(n_channels)]
 
-    def receive_request(self, channel_id: int) -> Iterator[Op]:
+    def receive_request(self, channel_id: int) -> OpStream:
         buffers, control = self.channels[channel_id % len(self.channels)]
         yield read(control, Sym.SQLE_AGENT_DISPATCH, icount=8)
         yield write(control, Sym.SQLE_AGENT_DISPATCH, icount=6)
         for block in buffers:
             yield read(block, Sym.SQLE_IPC_RECV, icount=6)
 
-    def send_response(self, channel_id: int) -> Iterator[Op]:
+    def send_response(self, channel_id: int) -> OpStream:
         buffers, control = self.channels[channel_id % len(self.channels)]
         for block in buffers:
             yield write(block, Sym.SQLE_IPC_SEND, icount=6)

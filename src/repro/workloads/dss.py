@@ -20,8 +20,7 @@ from __future__ import annotations
 from typing import Iterator, List
 
 from ..mem.config import BLOCK_SIZE
-from ..mem.trace import AccessTrace
-from .base import Job, Op, TraceBuilder, WorkloadDriver, read, write
+from .base import Job, Op, OpStream, TraceBuilder, Workload, read, write
 from .btree import BPlusTree
 from .configs import ApplicationConfig, get_config, scaled_parameter
 from .db2 import BufferPool, CursorPool, IpcChannel, PackageCache
@@ -29,8 +28,11 @@ from .kernel import KernelConfig, KernelModel
 from .symbols import Sym
 
 
-class DssWorkload:
+class DssWorkload(Workload):
     """One TPC-H-style decision-support query."""
+
+    #: Long quanta: query threads run long stretches between preemptions.
+    quantum = 160
 
     def __init__(self, query: int, n_cpus: int, seed: int = 42,
                  size: str = "default",
@@ -86,7 +88,7 @@ class DssWorkload:
         self._next_page_id += 1
         return page_id
 
-    def _aggregate(self, n_groups: int = 2) -> Iterator[Op]:
+    def _aggregate(self, n_groups: int = 2) -> OpStream:
         """sqlriAggr: update a few group-by buckets."""
         rng = self.builder.rng
         for _ in range(max(1, n_groups)):
@@ -94,7 +96,7 @@ class DssWorkload:
             yield read(bucket, Sym.SQLRI_AGGR, icount=10)
             yield write(bucket, Sym.SQLRI_AGGR, icount=6)
 
-    def _probe_inner(self, key_hint: int) -> Iterator[Op]:
+    def _probe_inner(self, key_hint: int) -> OpStream:
         """Nested-loop probe: index search plus a read of the matching row."""
         assert self.inner_index is not None
         key = key_hint % self.inner_index.n_keys
@@ -107,7 +109,7 @@ class DssWorkload:
     # Query partitions
     # ------------------------------------------------------------------ #
     def _scan_partition(self, partition: int, n_pages: int,
-                        rows_per_page: int, probe_every: int = 0) -> Iterator[Op]:
+                        rows_per_page: int, probe_every: int = 0) -> OpStream:
         """Scan ``n_pages`` fresh fact-table pages, aggregating as we go."""
         yield from self.ipc.receive_request(partition)
         yield from self.cursors.open(partition)
@@ -123,7 +125,7 @@ class DssWorkload:
         yield from self.ipc.send_response(partition)
 
     def _join_partition(self, partition: int, n_outer_pages: int,
-                        rows_per_outer_page: int) -> Iterator[Op]:
+                        rows_per_outer_page: int) -> OpStream:
         """Nested-loop join: every outer row probes the inner index."""
         yield from self.ipc.receive_request(partition)
         yield from self.cursors.open(partition)
@@ -144,7 +146,7 @@ class DssWorkload:
         yield from self.ipc.send_response(partition)
 
     # ------------------------------------------------------------------ #
-    def _make_jobs(self) -> List[Job]:
+    def jobs(self) -> List[Job]:
         params = self.config.model_parameters
         jobs: List[Job] = []
         if self.query == 1:
@@ -181,11 +183,3 @@ class DssWorkload:
                         p, per_partition, rows, probe_every=60),
                     thread=p))
         return jobs
-
-    def generate(self) -> AccessTrace:
-        """Run the query to completion and return the access trace."""
-        jobs = self._make_jobs()
-        # Long quanta: query threads run long stretches between preemptions.
-        driver = WorkloadDriver(self.builder, self.kernel, quantum=160)
-        driver.run(jobs)
-        return self.builder.trace

@@ -21,8 +21,7 @@ from __future__ import annotations
 from typing import Iterator, List
 
 from ..mem.config import BLOCK_SIZE
-from ..mem.trace import AccessTrace
-from .base import Job, Op, TraceBuilder, WorkloadDriver, read, write
+from .base import Job, Op, OpStream, TraceBuilder, Workload, read, write
 from .btree import BPlusTree
 from .configs import ApplicationConfig, get_config, scaled_parameter
 from .db2 import (BufferPool, CursorPool, IpcChannel, LockManager,
@@ -31,8 +30,10 @@ from .kernel import KernelConfig, KernelModel
 from .symbols import Sym
 
 
-class OltpWorkload:
+class OltpWorkload(Workload):
     """TPC-C-like transaction processing over the DB2 substrate."""
+
+    quantum = 80
 
     def __init__(self, n_cpus: int, seed: int = 42, size: str = "default",
                  config: ApplicationConfig = None) -> None:
@@ -101,7 +102,7 @@ class OltpWorkload:
             return rng.randrange(max(1, n_keys // 64))
         return rng.randrange(n_keys)
 
-    def _interpreter_ops(self, agent: int, n_ops: int) -> Iterator[Op]:
+    def _interpreter_ops(self, agent: int, n_ops: int) -> OpStream:
         """sqlri: evaluate predicates / move values through the agent heap."""
         heap = self.agent_heaps[agent % len(self.agent_heaps)]
         section = self.package_cache.sections[agent % len(self.package_cache.sections)]
@@ -111,13 +112,13 @@ class OltpWorkload:
             if i % 3 == 0:
                 yield write(heap[(i + 1) % len(heap)], Sym.SQLRI_EVAL, icount=6)
 
-    def _client_request(self, agent: int) -> Iterator[Op]:
+    def _client_request(self, agent: int) -> OpStream:
         """Receive a client request: poll/read syscalls plus the IPC buffers."""
         yield from self.kernel.syscalls.poll(n_fds_scanned=4)
         yield from self.kernel.syscalls.syscall_read(agent)
         yield from self.ipc.receive_request(agent)
 
-    def _client_response(self, agent: int) -> Iterator[Op]:
+    def _client_response(self, agent: int) -> OpStream:
         """Send the response back: IPC buffers plus the write syscall."""
         yield from self.ipc.send_response(agent)
         yield from self.kernel.syscalls.syscall_write(agent)
@@ -125,7 +126,7 @@ class OltpWorkload:
     # ------------------------------------------------------------------ #
     # Transaction types
     # ------------------------------------------------------------------ #
-    def _new_order(self, xact_id: int, agent: int) -> Iterator[Op]:
+    def _new_order(self, xact_id: int, agent: int) -> OpStream:
         rng = self.builder.rng
         yield from self._client_request(agent)
         yield from self.cursors.open(agent)
@@ -155,7 +156,7 @@ class OltpWorkload:
         yield from self.cursors.commit(agent)
         yield from self._client_response(agent)
 
-    def _payment(self, xact_id: int, agent: int) -> Iterator[Op]:
+    def _payment(self, xact_id: int, agent: int) -> OpStream:
         rng = self.builder.rng
         yield from self._client_request(agent)
         yield from self.cursors.open(agent)
@@ -172,7 +173,7 @@ class OltpWorkload:
         yield from self.cursors.commit(agent)
         yield from self._client_response(agent)
 
-    def _order_status(self, xact_id: int, agent: int) -> Iterator[Op]:
+    def _order_status(self, xact_id: int, agent: int) -> OpStream:
         """Read-only transaction: an index range scan over recent orders."""
         rng = self.builder.rng
         yield from self._client_request(agent)
@@ -201,9 +202,6 @@ class OltpWorkload:
             name = f"order_status[{index}]"
         return Job(name=name, factory=factory, thread=agent)
 
-    def generate(self) -> AccessTrace:
-        """Run the transaction mix and return the access trace."""
-        jobs = [self._make_job(i) for i in range(self.n_transactions)]
-        driver = WorkloadDriver(self.builder, self.kernel, quantum=80)
-        driver.run(jobs)
-        return self.builder.trace
+    def jobs(self) -> List[Job]:
+        """The transaction mix for one run, in submission order."""
+        return [self._make_job(i) for i in range(self.n_transactions)]

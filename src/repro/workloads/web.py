@@ -31,8 +31,7 @@ from __future__ import annotations
 from typing import Iterator, List
 
 from ..mem.config import BLOCK_SIZE, PAGE_SIZE
-from ..mem.trace import AccessTrace
-from .base import Job, Op, TraceBuilder, WorkloadDriver, read, write
+from .base import Job, Op, OpStream, TraceBuilder, Workload, read, write
 from .configs import ApplicationConfig, get_config, scaled_parameter
 from .kernel import KernelConfig, KernelModel, bulk_copy, copyin, copyout
 from .perl import PerlPool
@@ -40,8 +39,10 @@ from .symbols import Sym
 from .webserver import ConnectionTable, FileCache
 
 
-class WebWorkload:
+class WebWorkload(Workload):
     """SPECweb99-style web serving on Apache or Zeus."""
+
+    quantum = 80
 
     def __init__(self, variant: str, n_cpus: int, seed: int = 42,
                  size: str = "default",
@@ -104,7 +105,7 @@ class WebWorkload:
     # ------------------------------------------------------------------ #
     # Request handlers
     # ------------------------------------------------------------------ #
-    def _accept_and_read(self, conn_id: int, request_bytes: int) -> Iterator[Op]:
+    def _accept_and_read(self, conn_id: int, request_bytes: int) -> OpStream:
         """poll + network DMA + read() + copyout into the worker's buffer."""
         yield from self.kernel.syscalls.poll(n_fds_scanned=6)
         socket_buf = self.socket_buffers[conn_id % len(self.socket_buffers)]
@@ -119,7 +120,7 @@ class WebWorkload:
         yield from self.connections.read_request(conn_id, fn=self.read_fn)
 
     def _respond(self, conn_id: int, src_addr: int,
-                 response_bytes: int) -> Iterator[Op]:
+                 response_bytes: int) -> OpStream:
         """write() + user-to-kernel copy + TCP/IP packet assembly."""
         yield from self.kernel.syscalls.syscall_write(conn_id)
         staging = self._out_buffer()
@@ -128,7 +129,7 @@ class WebWorkload:
         yield read(self.connections.connection_struct(conn_id), self.server_fn,
                    icount=8)
 
-    def _dynamic_request(self, conn_id: int, request_id: int) -> Iterator[Op]:
+    def _dynamic_request(self, conn_id: int, request_id: int) -> OpStream:
         """A FastCGI dynamic-content request through a perl worker."""
         rng = self.builder.rng
         yield from self._accept_and_read(conn_id, request_bytes=384)
@@ -150,7 +151,7 @@ class WebWorkload:
         yield from self._respond(conn_id, process.output_address(),
                                  response_bytes=2048 + rng.randrange(4096))
 
-    def _static_request(self, conn_id: int, request_id: int) -> Iterator[Op]:
+    def _static_request(self, conn_id: int, request_id: int) -> OpStream:
         """A static-file request served from the file cache."""
         rng = self.builder.rng
         yield from self._accept_and_read(conn_id, request_bytes=256)
@@ -186,9 +187,6 @@ class WebWorkload:
             name = f"{self.variant}_static[{request_id}]"
         return Job(name=name, factory=factory, thread=conn_id)
 
-    def generate(self) -> AccessTrace:
-        """Serve the request mix and return the access trace."""
-        jobs = [self._make_job(i) for i in range(self.n_requests)]
-        driver = WorkloadDriver(self.builder, self.kernel, quantum=80)
-        driver.run(jobs)
-        return self.builder.trace
+    def jobs(self) -> List[Job]:
+        """The request mix for one run, in arrival order."""
+        return [self._make_job(i) for i in range(self.n_requests)]

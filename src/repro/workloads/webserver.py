@@ -14,7 +14,7 @@ from typing import Iterator, List, Tuple
 
 from ..mem.config import BLOCK_SIZE, PAGE_SIZE
 from ..mem.records import FunctionRef
-from .base import Op, TraceBuilder, dma_write, read, write
+from .base import Op, OpStream, TraceBuilder, dma_write, read, write
 from .kernel import KernelModel, copyout
 from .symbols import Sym
 
@@ -35,7 +35,7 @@ class FileCache:
         self.headers = [region.alloc(BLOCK_SIZE, align=BLOCK_SIZE)
                         for _ in range(n_files)]
 
-    def lookup(self, file_id: int) -> Iterator[Op]:
+    def lookup(self, file_id: int) -> OpStream:
         """segmap/page_lookup for a cached file."""
         file_id %= len(self.files)
         yield read(self.headers[file_id], Sym.SEGMAP_GETMAP, icount=8)
@@ -67,7 +67,7 @@ class ConnectionTable:
 
     # ------------------------------------------------------------------ #
     def network_arrival(self, conn_id: int, n_bytes: int = 512,
-                        target_addr: int = None) -> Iterator[Op]:
+                        target_addr: int = None) -> OpStream:
         """The NIC DMAs an incoming request into a kernel socket buffer.
 
         ``target_addr`` is the kernel socket buffer the packet lands in; when
@@ -80,7 +80,7 @@ class ConnectionTable:
         yield dma_write(target_addr, n_bytes, Sym.SD_INTR)
 
     def read_request(self, conn_id: int,
-                     fn: FunctionRef = None) -> Iterator[Op]:
+                     fn: FunctionRef = None) -> OpStream:
         """The server parses the request from the (just-DMA'd) buffer."""
         fn = fn if fn is not None else self.server_fn
         conn_struct, parse_state, recv_buffer = \

@@ -5,6 +5,9 @@ import pytest
 from repro.mem import (Access, AccessKind, FunctionRef, MissRecord, MissTrace,
                        MULTI_CHIP)
 
+# Disk-cache isolation lives in the repo-root conftest.py (shared with
+# benchmarks/).
+
 
 FN_A = FunctionRef(name="fn_a", module="mod_a", category="Kernel - other activity")
 FN_B = FunctionRef(name="fn_b", module="mod_b", category="Bulk memory copies")

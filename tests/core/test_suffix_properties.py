@@ -1,0 +1,94 @@
+"""Property-style tests for the greedy stream matcher on random inputs.
+
+Every reported match must be a genuine repeat (both copies equal,
+non-overlapping, earlier copy first), the recurring mask must agree with the
+matches, and planted repeated substrings must always be found.
+"""
+
+import random
+
+import pytest
+
+from repro.core.suffix import find_streams_greedy
+
+SEEDS = [1, 2, 3, 4, 5]
+
+
+def random_sequence(seed, length=600, alphabet=12):
+    rng = random.Random(seed)
+    return [rng.randrange(alphabet) for _ in range(length)]
+
+
+class TestMatchSoundness:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_every_match_is_a_real_repeat(self, seed):
+        seq = random_sequence(seed)
+        analysis = find_streams_greedy(seq, min_length=3)
+        for match in analysis.matches:
+            assert match.length >= 3
+            assert match.earlier_start < match.start
+            # The earlier copy ends before the later one starts.
+            assert match.earlier_start + match.length <= match.start
+            later = seq[match.start:match.start + match.length]
+            earlier = seq[match.earlier_start:
+                          match.earlier_start + match.length]
+            assert later == earlier
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_recurring_mask_matches_matches(self, seed):
+        seq = random_sequence(seed)
+        analysis = find_streams_greedy(seq, min_length=3)
+        from_matches = set()
+        for match in analysis.matches:
+            from_matches.update(range(match.start,
+                                      match.start + match.length))
+        flagged = {i for i, flag in enumerate(analysis.recurring) if flag}
+        assert flagged == from_matches
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fraction_bounded(self, seed):
+        analysis = find_streams_greedy(random_sequence(seed), min_length=2)
+        assert 0.0 <= analysis.fraction_recurring <= 1.0
+
+
+class TestPlantedRepeats:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("repeat_length", [3, 8, 40])
+    def test_planted_repeat_is_found(self, seed, repeat_length):
+        """unique prefix + unique filler + replay of a prefix slice."""
+        rng = random.Random(seed)
+        # Unique symbols everywhere, so the only repeat is the planted one.
+        base = list(range(200))
+        rng.shuffle(base)
+        start = rng.randrange(0, 100)
+        planted = base[start:start + repeat_length]
+        seq = base + planted
+        analysis = find_streams_greedy(seq, min_length=repeat_length)
+        replay_positions = range(len(base), len(seq))
+        assert all(analysis.recurring[p] for p in replay_positions)
+        assert any(m.start == len(base) and m.length >= repeat_length
+                   for m in analysis.matches)
+
+    def test_no_false_positives_on_unique_input(self):
+        seq = list(range(500))
+        analysis = find_streams_greedy(seq, min_length=2)
+        assert analysis.matches == []
+        assert analysis.fraction_recurring == 0.0
+
+    def test_whole_sequence_repeat(self):
+        block = [5, 9, 2, 7, 1, 8]
+        analysis = find_streams_greedy(block * 3, min_length=len(block))
+        # Everything after the first block occurrence recurs.
+        assert all(analysis.recurring[len(block):])
+
+    def test_min_length_respected(self):
+        # A single repeated digram shorter than min_length is not a stream.
+        seq = [1, 2] + list(range(10, 20)) + [1, 2] + list(range(30, 40))
+        analysis = find_streams_greedy(seq, min_length=3)
+        assert analysis.matches == []
+
+    def test_empty_and_trivial_inputs(self):
+        assert find_streams_greedy([], min_length=2).matches == []
+        assert find_streams_greedy([7], min_length=2).matches == []
+        with pytest.raises(ValueError):
+            find_streams_greedy([1, 2, 1, 2], min_length=1)

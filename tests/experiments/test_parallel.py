@@ -1,0 +1,72 @@
+"""Parallel suite runner: process-pool sweep + disk-cache-served re-run."""
+
+import pytest
+
+from repro.experiments import ParallelSuiteRunner, runner
+from repro.experiments.parallel import ORGANISATION_CONTEXTS
+from repro.experiments.store import CACHE_DIR_ENV
+from repro.mem.trace import ALL_CONTEXTS
+
+
+@pytest.fixture(autouse=True)
+def _private_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+    runner.clear_cache()
+    yield
+    runner.clear_cache()
+
+
+def test_organisation_contexts_cover_all():
+    covered = [c for contexts in ORGANISATION_CONTEXTS.values()
+               for c in contexts]
+    assert sorted(covered) == sorted(ALL_CONTEXTS)
+
+
+def test_rejects_bad_worker_count():
+    with pytest.raises(ValueError):
+        ParallelSuiteRunner(max_workers=0)
+
+
+def test_inline_suite_matches_serial_runner(tmp_path, monkeypatch):
+    workloads = ("Apache", "Qry1")
+    parallel = ParallelSuiteRunner(max_workers=1).run_suite(
+        size="tiny", workloads=workloads)
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "serial"))
+    runner.clear_cache()
+    serial = runner.run_suite(size="tiny", workloads=workloads)
+    for workload in workloads:
+        for context in ALL_CONTEXTS:
+            assert (parallel[workload][context].n_misses
+                    == serial[workload][context].n_misses)
+
+
+def test_process_pool_small_sweep_and_cached_rerun(monkeypatch):
+    """Acceptance: small-size sweep over the pool; re-run served from disk."""
+    workloads = ("Apache", "OLTP", "Qry1")
+    results = ParallelSuiteRunner(max_workers=2).run_suite(
+        size="small", workloads=workloads)
+    assert set(results) == set(workloads)
+    for workload in workloads:
+        assert set(results[workload]) == set(ALL_CONTEXTS)
+        for context in ALL_CONTEXTS:
+            assert results[workload][context].n_misses > 100
+
+    # The sweep persisted one entry per (workload, context).
+    store = runner.get_store()
+    assert store is not None
+    assert len(store.entries()) == len(workloads) * len(ALL_CONTEXTS)
+
+    # Second invocation: drop the in-memory memo and poison the simulator —
+    # an inline re-run must be served entirely from the disk store.
+    runner.clear_cache()
+
+    def boom(*args, **kwargs):
+        raise AssertionError("re-simulated despite populated disk cache")
+
+    monkeypatch.setattr(runner, "_simulate", boom)
+    rerun = ParallelSuiteRunner(max_workers=1).run_suite(
+        size="small", workloads=workloads)
+    for workload in workloads:
+        for context in ALL_CONTEXTS:
+            assert (rerun[workload][context].n_misses
+                    == results[workload][context].n_misses)

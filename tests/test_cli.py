@@ -1,0 +1,95 @@
+"""CLI smoke tests: ``python -m repro`` subcommands end to end.
+
+The subcommands run in subprocesses (the real user entry point) with the
+disk cache pointed at a per-test temp directory.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = str(REPO_ROOT / "src")
+
+
+def run_cli(args, cache_dir, check=True):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    proc = subprocess.run([sys.executable, "-m", "repro", *args],
+                         capture_output=True, text=True, env=env,
+                         cwd=REPO_ROOT, timeout=600)
+    if check and proc.returncode != 0:
+        raise AssertionError(
+            f"CLI failed ({proc.returncode}):\n{proc.stdout}\n{proc.stderr}")
+    return proc
+
+
+def test_help_lists_subcommands(tmp_path):
+    proc = run_cli(["--help"], tmp_path)
+    for sub in ("run", "suite", "report", "clear-cache"):
+        assert sub in proc.stdout
+
+
+def test_run_prints_bundle_summary(tmp_path):
+    proc = run_cli(["run", "Apache", "multi-chip", "--size", "tiny"],
+                   tmp_path)
+    assert "Apache / multi-chip" in proc.stdout
+    assert "misses:" in proc.stdout
+    assert "in temporal streams:" in proc.stdout
+    # The run persisted its bundle.
+    assert list(Path(tmp_path).glob("v*/context/*.pkl"))
+
+
+def test_run_rejects_unknown_workload(tmp_path):
+    proc = run_cli(["run", "NotAWorkload", "multi-chip", "--size", "tiny"],
+                   tmp_path, check=False)
+    assert proc.returncode != 0
+
+
+def test_suite_then_cached_rerun(tmp_path):
+    args = ["suite", "--size", "tiny", "--workloads", "Apache", "OLTP",
+            "--jobs", "2"]
+    first = run_cli(args, tmp_path)
+    assert "Apache" in first.stdout and "OLTP" in first.stdout
+    entries = list(Path(tmp_path).glob("v*/context/*.pkl"))
+    assert len(entries) == 6  # 2 workloads x 3 contexts
+    mtimes = {p: p.stat().st_mtime_ns for p in entries}
+
+    second = run_cli(args, tmp_path)
+    assert "Apache" in second.stdout
+    # Cache-served: no entry rewritten, none added.
+    entries_after = list(Path(tmp_path).glob("v*/context/*.pkl"))
+    assert len(entries_after) == 6
+    assert {p: p.stat().st_mtime_ns for p in entries_after} == mtimes
+
+
+def test_report_renders_tables(tmp_path):
+    proc = run_cli(["report", "--artifact", "table2"], tmp_path)
+    assert "table2" in proc.stdout
+
+
+def test_report_figure_uses_cache(tmp_path):
+    run_cli(["suite", "--size", "tiny", "--workloads", "Apache",
+             "--jobs", "1"], tmp_path)
+    proc = run_cli(["report", "--artifact", "figure2", "--size", "tiny",
+                    "--workloads", "Apache"], tmp_path)
+    assert "figure2" in proc.stdout
+    assert "Apache" in proc.stdout
+
+
+def test_clear_cache_removes_entries(tmp_path):
+    run_cli(["run", "Zeus", "multi-chip", "--size", "tiny"], tmp_path)
+    assert list(Path(tmp_path).glob("v*/context/*.pkl"))
+    proc = run_cli(["clear-cache"], tmp_path)
+    assert "removed" in proc.stdout
+    assert not list(Path(tmp_path).glob("v*/context/*.pkl"))
+
+
+def test_no_disk_cache_flag(tmp_path):
+    run_cli(["run", "Qry2", "multi-chip", "--size", "tiny",
+             "--no-disk-cache"], tmp_path)
+    assert not list(Path(tmp_path).glob("v*/context/*.pkl"))

@@ -1,0 +1,147 @@
+"""Streaming-vs-eager equivalence for the whole access pipeline.
+
+The streaming pipeline (``Workload.iter_accesses`` -> ``run_stream``) must be
+observationally identical to the historical eager path
+(``Workload.generate`` -> ``run``): same accesses, same order, same miss
+traces, same warm-up behaviour — only the memory profile differs.
+"""
+
+import pytest
+
+from repro.mem import (MultiChipSystem, SingleChipSystem, iter_chunks,
+                       multichip_config, singlechip_config)
+from repro.mem.trace import DEFAULT_CHUNK_SIZE
+from repro.workloads import (WORKLOAD_NAMES, create_workload, generate_trace,
+                             stream_accesses)
+
+
+def _access_key(access):
+    return (access.cpu, access.addr, access.size, access.kind,
+            access.fn.name, access.thread, access.icount)
+
+
+def _miss_key(record):
+    return (record.seq, record.cpu, record.block, record.miss_class,
+            record.fn.name, record.supplier)
+
+
+class TestIterChunks:
+    def test_exact_partition(self):
+        chunks = list(iter_chunks(range(10), 5))
+        assert chunks == [[0, 1, 2, 3, 4], [5, 6, 7, 8, 9]]
+
+    def test_ragged_tail(self):
+        chunks = list(iter_chunks(range(7), 3))
+        assert chunks == [[0, 1, 2], [3, 4, 5], [6]]
+
+    def test_empty(self):
+        assert list(iter_chunks([], 4)) == []
+
+    def test_consumes_lazily(self):
+        def gen():
+            yield from range(100)
+            raise AssertionError("over-consumed")
+
+        first = next(iter_chunks(gen(), 10))
+        assert first == list(range(10))
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            list(iter_chunks(range(3), 0))
+
+
+class TestStreamEqualsEager:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_access_streams_identical(self, name):
+        eager = generate_trace(name, n_cpus=4, size="tiny", seed=11)
+        streamed = list(stream_accesses(name, n_cpus=4, size="tiny", seed=11))
+        assert len(streamed) == len(eager)
+        assert ([_access_key(a) for a in streamed]
+                == [_access_key(a) for a in eager])
+
+    def test_iter_run_does_not_materialise(self):
+        workload = create_workload("Apache", n_cpus=4, size="tiny", seed=5)
+        consumed = sum(1 for _ in workload.iter_accesses())
+        assert consumed > 1000
+        assert len(workload.builder.trace) == 0
+
+    def test_generate_still_materialises(self):
+        workload = create_workload("Apache", n_cpus=4, size="tiny", seed=5)
+        trace = workload.generate()
+        assert trace is workload.builder.trace
+        assert len(trace) > 1000
+
+
+class TestSystemRunStream:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_multichip_miss_traces_identical(self, name):
+        trace = generate_trace(name, n_cpus=16, size="tiny", seed=3)
+        eager = MultiChipSystem(multichip_config()).run(trace)
+        streamed = MultiChipSystem(multichip_config()).run_stream(
+            stream_accesses(name, n_cpus=16, size="tiny", seed=3),
+            chunk_size=997)
+        assert streamed.instructions == eager.instructions
+        assert ([_miss_key(r) for r in streamed]
+                == [_miss_key(r) for r in eager])
+
+    def test_singlechip_miss_traces_identical(self):
+        trace = generate_trace("OLTP", n_cpus=4, size="tiny", seed=3)
+        eager_off, eager_intra = SingleChipSystem(singlechip_config()).run(trace)
+        stream_off, stream_intra = SingleChipSystem(
+            singlechip_config()).run_stream(
+                stream_accesses("OLTP", n_cpus=4, size="tiny", seed=3),
+                chunk_size=512)
+        assert ([_miss_key(r) for r in stream_off]
+                == [_miss_key(r) for r in eager_off])
+        assert ([_miss_key(r) for r in stream_intra]
+                == [_miss_key(r) for r in eager_intra])
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 1000, DEFAULT_CHUNK_SIZE])
+    def test_warmup_boundary_matches_eager_indexing(self, chunk_size):
+        """run_stream's warm-up split reproduces the eager index flip."""
+        trace = generate_trace("Qry1", n_cpus=16, size="tiny", seed=9)
+        warmup = len(trace) // 4
+
+        eager_system = MultiChipSystem(multichip_config())
+        eager_system.set_recording(False)
+        for i, access in enumerate(trace):
+            if i == warmup:
+                eager_system.set_recording(True)
+            eager_system.process(access)
+        eager = eager_system.finish()
+
+        streamed = MultiChipSystem(multichip_config()).run_stream(
+            iter(trace), warmup=warmup, chunk_size=chunk_size)
+        assert streamed.instructions == eager.instructions
+        assert ([_miss_key(r) for r in streamed]
+                == [_miss_key(r) for r in eager])
+
+    def test_warmup_beyond_stream_restores_recording(self):
+        system = MultiChipSystem(multichip_config())
+        result = system.run_stream(iter([]), warmup=10)
+        assert system.recording
+        assert len(result) == 0
+
+
+class TestRunnerStreamingParity:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_bundles_match_in_multichip_context(self, name, monkeypatch):
+        """Streaming and eager runner paths build identical bundles."""
+        from repro.experiments import runner
+
+        def build(streaming):
+            runner.clear_cache()
+            monkeypatch.setenv("REPRO_DISABLE_DISK_CACHE", "1")
+            return runner.run_workload_context(
+                name, "multi-chip", size="tiny", seed=21,
+                streaming=streaming)
+
+        via_stream = build(True)
+        via_eager = build(False)
+        assert via_stream.n_misses == via_eager.n_misses
+        assert ([_miss_key(r) for r in via_stream.miss_trace]
+                == [_miss_key(r) for r in via_eager.miss_trace])
+        assert (via_stream.stream_analysis.fraction_in_streams
+                == via_eager.stream_analysis.fraction_in_streams)
+        assert (via_stream.classification.total_misses
+                == via_eager.classification.total_misses)
