@@ -1,0 +1,140 @@
+"""Generate-vs-replay wall-time benchmark for the trace subsystem.
+
+Measures, per workload, how long one full pass over the access stream takes
+when (a) generated live by the workload models, (b) generated while being
+captured into the columnar trace store (the tee'd first run), and
+(c) replayed from the captured trace — both as columnar epoch chunks (what
+the system models' fast path consumes) and as reconstructed ``Access``
+records.  Emits ``BENCH_trace_replay.json`` so the performance trajectory of
+the replay path is tracked as data, not anecdotes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_trace_replay.py \
+        [--size small] [--seed 42] [--cpus 16] [--repeats 3] \
+        [--workloads Apache OLTP ...] [--out BENCH_trace_replay.json]
+
+The script is standalone on purpose (not pytest-collected): CI runs it after
+the test suite and uploads the JSON as a workflow artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import __version__
+from repro.trace import (DEFAULT_EPOCH_SIZE, TRACE_FORMAT_VERSION, TraceStore,
+                         trace_params)
+from repro.workloads import WORKLOAD_NAMES, create_workload
+
+
+def _timed(fn, repeats: int) -> float:
+    """Best-of-N wall time of ``fn()`` (minimum damps scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_workload(store: TraceStore, name: str, n_cpus: int, seed: int,
+                   size: str, repeats: int) -> dict:
+    params = trace_params(name, n_cpus, seed, size)
+
+    def generate():
+        return sum(1 for _ in create_workload(
+            name, n_cpus=n_cpus, seed=seed, size=size).iter_accesses())
+
+    generate_s = _timed(generate, repeats)
+
+    # Capture pass: generation + tee into the store (the first-run cost).
+    start = time.perf_counter()
+    n_accesses = sum(1 for _ in store.capture(
+        create_workload(name, n_cpus=n_cpus, seed=seed,
+                        size=size).iter_accesses(), params))
+    capture_s = time.perf_counter() - start
+
+    reader = store.open(params)
+    assert reader is not None and reader.n_accesses == n_accesses
+
+    def replay_columnar():
+        return sum(len(chunk) for chunk in reader.iter_epochs())
+
+    def replay_accesses():
+        return sum(1 for _ in reader.iter_accesses())
+
+    replay_columnar_s = _timed(replay_columnar, repeats)
+    replay_accesses_s = _timed(replay_accesses, repeats)
+
+    return {
+        "workload": name,
+        "n_accesses": n_accesses,
+        "n_epochs": reader.n_epochs,
+        "trace_kib": round(reader.size_bytes() / 1024, 1),
+        "generate_s": round(generate_s, 4),
+        "capture_s": round(capture_s, 4),
+        "replay_columnar_s": round(replay_columnar_s, 4),
+        "replay_accesses_s": round(replay_accesses_s, 4),
+        "speedup_columnar": round(generate_s / max(replay_columnar_s, 1e-9), 2),
+        "speedup_accesses": round(generate_s / max(replay_accesses_s, 1e-9), 2),
+        "capture_overhead": round(capture_s / max(generate_s, 1e-9), 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", default="small",
+                        choices=("tiny", "small", "default", "large"))
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--cpus", type=int, default=16)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N timing repeats (default: 3)")
+    parser.add_argument("--workloads", nargs="+",
+                        default=list(WORKLOAD_NAMES), metavar="NAME")
+    parser.add_argument("--out", default="BENCH_trace_replay.json")
+    args = parser.parse_args(argv)
+
+    unknown = [w for w in args.workloads if w not in WORKLOAD_NAMES]
+    if unknown:
+        print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    results = []
+    with tempfile.TemporaryDirectory(prefix="bench-trace-") as root:
+        store = TraceStore(root)
+        for name in args.workloads:
+            row = bench_workload(store, name, args.cpus, args.seed,
+                                 args.size, args.repeats)
+            results.append(row)
+            print(f"{name:<8} {row['n_accesses']:>9,} accesses  "
+                  f"generate {row['generate_s']:.3f}s  "
+                  f"replay {row['replay_accesses_s']:.3f}s "
+                  f"({row['speedup_accesses']:.1f}x; columnar "
+                  f"{row['speedup_columnar']:.1f}x)  "
+                  f"trace {row['trace_kib']:.0f} KiB")
+
+    payload = {
+        "benchmark": "trace_replay",
+        "repro_version": __version__,
+        "trace_format_version": TRACE_FORMAT_VERSION,
+        "epoch_size": DEFAULT_EPOCH_SIZE,
+        "python": platform.python_version(),
+        "params": {"size": args.size, "seed": args.seed, "cpus": args.cpus,
+                   "repeats": args.repeats},
+        "results": results,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out} ({len(results)} workloads)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Shared cache-directory helpers for the on-disk stores.
+
+Both persistent stores — the analysis-bundle :class:`~repro.experiments.store.ResultStore`
+and the access-trace :class:`~repro.trace.store.TraceStore` — live under one
+cache root and obey the same environment controls.  The helpers are factored
+out here (below both stores in the layer diagram) so the trace layer does not
+depend on the experiments layer.
+
+* ``REPRO_CACHE_DIR`` overrides the root (default ``~/.cache/repro``).
+* ``REPRO_DISABLE_DISK_CACHE=1`` disables all on-disk persistence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Any, Dict
+
+#: Environment variable overriding the cache root directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable disabling the disk caches when set to a truthy value.
+CACHE_DISABLE_ENV = "REPRO_DISABLE_DISK_CACHE"
+
+
+def default_cache_root() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+def disk_cache_disabled() -> bool:
+    """True when ``REPRO_DISABLE_DISK_CACHE`` is set to a truthy value."""
+    return os.environ.get(CACHE_DISABLE_ENV, "").lower() in ("1", "true",
+                                                             "yes", "on")
+
+
+def params_slug(params: Dict[str, Any]) -> str:
+    """A readable, filesystem-safe, collision-resistant name for ``params``.
+
+    The digest covers the canonical repr of every parameter; the readable
+    prefix keeps ``ls`` on the cache directory informative.
+    """
+    canonical = "&".join(f"{k}={params[k]!r}" for k in sorted(params))
+    digest = hashlib.sha256(canonical.encode()).hexdigest()[:12]
+    readable = "-".join(
+        f"{k}={params[k]}" for k in sorted(params)
+        if isinstance(params[k], (str, int, bool)))
+    readable = "".join(c if c.isalnum() or c in "=.-_" else "_"
+                       for c in readable)[:120]
+    return f"{readable}-{digest}" if readable else digest

@@ -10,17 +10,24 @@ suite
     process-pool runner; a second invocation is served from the disk cache.
 report
     Render the paper's figures and tables from (cached) suite results.
+trace
+    Manage captured access traces: ``capture`` one ahead of time, ``list``
+    the store, ``info`` for an (optionally epoch-parallel) per-trace
+    breakdown.
 clear-cache
-    Empty the versioned on-disk result store.
+    Empty the versioned on-disk result store *and* the trace store.
 
 All subcommands share ``--size/--seed/--scale`` run parameters and the
-``--cache-dir`` / ``--no-disk-cache`` cache controls.
+``--cache-dir`` / ``--no-disk-cache`` cache controls; ``run`` and ``suite``
+additionally accept ``--replay/--no-replay`` to control access-stream
+capture/replay through the trace store (default: replay).
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import shutil
 import sys
 import time
 from typing import List, Optional, Sequence
@@ -45,6 +52,11 @@ def _add_run_params(parser: argparse.ArgumentParser) -> None:
                              f"{DEFAULT_SCALE})")
     parser.add_argument("--eager", action="store_true",
                         help="materialise access traces instead of streaming")
+    parser.add_argument("--replay", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="capture access streams on first run and replay "
+                             "them from the trace store afterwards "
+                             "(default: --replay)")
 
 
 def _add_cache_params(parser: argparse.ArgumentParser) -> None:
@@ -95,8 +107,47 @@ def build_parser() -> argparse.ArgumentParser:
                           help="workload RNG seed (default: 42)")
     _add_cache_params(p_report)
 
-    p_clear = sub.add_parser("clear-cache",
-                             help="empty the on-disk result store")
+    p_trace = sub.add_parser(
+        "trace", help="manage captured access traces (capture/list/info)")
+    tsub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    t_capture = tsub.add_parser(
+        "capture", help="generate one workload's access stream and store it")
+    t_capture.add_argument("workload",
+                           help=f"one of {', '.join(WORKLOAD_NAMES)}")
+    t_capture.add_argument("--cpus", type=int, default=16, metavar="N",
+                           help="CPUs the stream is interleaved over "
+                                "(16 = multi-chip, 4 = single-chip; "
+                                "default: 16)")
+    t_capture.add_argument("--size", default="small",
+                           choices=("tiny", "small", "default", "large"),
+                           help="work-volume preset (default: small)")
+    t_capture.add_argument("--seed", type=int, default=42,
+                           help="workload RNG seed (default: 42)")
+    t_capture.add_argument("--force", action="store_true",
+                           help="re-capture even if the trace already exists")
+    _add_cache_params(t_capture)
+
+    t_list = tsub.add_parser("list", help="list stored access traces")
+    _add_cache_params(t_list)
+
+    t_info = tsub.add_parser(
+        "info", help="per-epoch breakdown of one stored trace")
+    t_info.add_argument("workload", help=f"one of {', '.join(WORKLOAD_NAMES)}")
+    t_info.add_argument("--cpus", type=int, default=16, metavar="N",
+                        help="CPU count of the stored stream (default: 16)")
+    t_info.add_argument("--size", default="small",
+                        choices=("tiny", "small", "default", "large"),
+                        help="work-volume preset (default: small)")
+    t_info.add_argument("--seed", type=int, default=42,
+                        help="workload RNG seed (default: 42)")
+    t_info.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="processes for the epoch-sharded counting pass "
+                             "(default: cpu count; 1 runs inline)")
+    _add_cache_params(t_info)
+
+    p_clear = sub.add_parser(
+        "clear-cache", help="empty the on-disk result and trace stores")
     p_clear.add_argument("--cache-dir", default=None,
                          help="disk-cache root to clear")
     return parser
@@ -118,7 +169,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         result = run_workload_context(
             args.workload, args.context, size=args.size, seed=args.seed,
             scale=args.scale, streaming=not args.eager,
-            cache_dir=args.cache_dir)
+            cache_dir=args.cache_dir, replay=args.replay)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -156,7 +207,8 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         return 2
     runner = ParallelSuiteRunner(max_workers=args.jobs,
                                  streaming=not args.eager,
-                                 cache_dir=args.cache_dir)
+                                 cache_dir=args.cache_dir,
+                                 replay=args.replay)
     start = time.time()
     results = runner.run_suite(size=args.size, seed=args.seed,
                                scale=args.scale,
@@ -213,17 +265,126 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_capture(args: argparse.Namespace) -> int:
+    from .trace import get_trace_store, trace_params
+    from .workloads import create_workload
+    store = get_trace_store(args.cache_dir)
+    if store is None:
+        print("disk cache is disabled (REPRO_DISABLE_DISK_CACHE set)",
+              file=sys.stderr)
+        return 2
+    params = trace_params(args.workload, args.cpus, args.seed, args.size)
+    if store.contains(params):
+        if not args.force:
+            reader = store.open(params)
+            if reader is not None:
+                print(f"already captured: {reader.describe()}")
+                return 0
+        else:
+            # Drop the existing trace so the fresh capture's commit can
+            # rename into place (commit stands down when the target exists).
+            shutil.rmtree(store.path_for(params), ignore_errors=True)
+    try:
+        workload = create_workload(args.workload, n_cpus=args.cpus,
+                                   seed=args.seed, size=args.size)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    start = time.time()
+    n = sum(1 for _ in store.capture(workload.iter_accesses(), params))
+    elapsed = time.time() - start
+    reader = store.open(params)
+    if reader is None:
+        print("capture failed to commit", file=sys.stderr)
+        return 1
+    print(f"captured {n:,} accesses in {elapsed:.2f}s")
+    print(reader.describe())
+    return 0
+
+
+def _cmd_trace_list(args: argparse.Namespace) -> int:
+    from .trace import TraceCorruptError, TraceReader, get_trace_store
+    store = get_trace_store(args.cache_dir)
+    if store is None:
+        print("disk cache is disabled (REPRO_DISABLE_DISK_CACHE set)",
+              file=sys.stderr)
+        return 2
+    print(store.describe())
+    for path in store.entries():
+        # entries() spans every version directory; traces from other
+        # format/package versions are listed, not readable.
+        try:
+            print(f"  {TraceReader(path).describe()}")
+        except TraceCorruptError:
+            print(f"  {path.parent.name}/{path.name}: "
+                  f"unreadable (other version or corrupt)")
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    from .experiments import ParallelSuiteRunner
+    from .trace import get_trace_store, summarize_chunk, trace_params
+    store = get_trace_store(args.cache_dir)
+    if store is None:
+        print("disk cache is disabled (REPRO_DISABLE_DISK_CACHE set)",
+              file=sys.stderr)
+        return 2
+    if args.jobs is not None and args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    params = trace_params(args.workload, args.cpus, args.seed, args.size)
+    reader = store.open(params)
+    if reader is None:
+        print(f"no stored trace for {params}; run "
+              f"`python -m repro trace capture {args.workload} "
+              f"--cpus {args.cpus} --size {args.size} --seed {args.seed}` "
+              f"or any simulation with replay enabled", file=sys.stderr)
+        return 1
+    print(reader.describe())
+    header = (f"{'epoch':>6}{'accesses':>12}{'instructions':>14}"
+              f"{'blocks':>10}{'reads':>10}{'writes':>10}")
+    print(header)
+    print("-" * len(header))
+    for chunk in reader.iter_epochs():
+        summary = summarize_chunk(chunk)
+        print(f"{chunk.epoch:>6}{summary.n_accesses:>12,}"
+              f"{summary.instructions:>14,}{summary.distinct_blocks:>10,}"
+              f"{summary.kind_counts.get(0, 0):>10,}"
+              f"{summary.kind_counts.get(1, 0):>10,}")
+    start = time.time()
+    merged = ParallelSuiteRunner(max_workers=args.jobs).summarize_trace(reader)
+    elapsed = time.time() - start
+    jobs = "inline" if args.jobs == 1 else f"jobs={args.jobs or 'auto'}"
+    print(f"merged ({jobs}, {elapsed:.2f}s): {merged.describe()}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    handlers = {
+        "capture": _cmd_trace_capture,
+        "list": _cmd_trace_list,
+        "info": _cmd_trace_info,
+    }
+    return handlers[args.trace_command](args)
+
+
 def _cmd_clear_cache(args: argparse.Namespace) -> int:
     from .experiments import clear_cache, get_store
+    from .trace import get_trace_store
     store = get_store(args.cache_dir)
-    if store is None:
+    traces = get_trace_store(args.cache_dir)
+    if store is None and traces is None:
         print("disk cache is disabled (REPRO_DISABLE_DISK_CACHE set)")
         return 0
-    before = store.describe()
-    removed = clear_cache(disk=True) if args.cache_dir is None else \
-        store.clear()
-    print(before)
-    print(f"removed {removed} cached result(s)")
+    for s in (store, traces):
+        if s is not None:
+            print(s.describe())
+    if args.cache_dir is None:
+        removed = clear_cache(disk=True)
+    else:
+        removed = sum(s.clear() for s in (store, traces) if s is not None)
+    print(f"removed {removed} cached entr{'y' if removed == 1 else 'ies'} "
+          f"(results + traces)")
     return 0
 
 
@@ -234,6 +395,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "suite": _cmd_suite,
         "report": _cmd_report,
+        "trace": _cmd_trace,
         "clear-cache": _cmd_clear_cache,
     }
     try:

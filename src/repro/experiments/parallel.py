@@ -13,6 +13,14 @@ results through to the shared on-disk store, and additionally returns the
 bundles to the parent so the parent's in-process memo is warm afterwards.
 A re-run of the suite is therefore served entirely from the disk cache
 without spawning simulations at all.
+
+Captured traces additionally let parallelism drop *below* the
+(workload, organisation) granularity: a trace's self-describing epoch
+segments are independent units, so :meth:`ParallelSuiteRunner.summarize_trace`
+fans a single stream's counting pass out per-epoch — each worker decodes
+exactly one segment — and folds the per-epoch summaries back together in
+epoch order, which makes the merge deterministic regardless of completion
+order.
 """
 
 from __future__ import annotations
@@ -22,6 +30,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..mem.config import DEFAULT_SCALE
 from ..mem.trace import INTRA_CHIP, MULTI_CHIP, SINGLE_CHIP
+from ..trace import (EpochSummary, TraceReader, merge_summaries,
+                     summarize_trace_epoch)
 from ..workloads import WORKLOAD_NAMES
 from .runner import (ContextResult, DEFAULT_WARMUP_FRACTION, _CACHE,
                      memo_key, run_workload_context)
@@ -39,14 +49,25 @@ def _run_organisation(job: Tuple) -> Tuple[str, Dict[str, ContextResult]]:
     Module-level so it pickles under both fork and spawn start methods.
     """
     (workload, organisation, size, seed, scale, warmup_fraction, streaming,
-     cache_dir) = job
+     cache_dir, replay) = job
     results = {}
     for context in ORGANISATION_CONTEXTS[organisation]:
         results[context] = run_workload_context(
             workload, context, size=size, seed=seed, scale=scale,
             warmup_fraction=warmup_fraction, streaming=streaming,
-            cache_dir=cache_dir)
+            cache_dir=cache_dir, replay=replay)
     return workload, results
+
+
+def _summarize_epoch_job(job: Tuple) -> Tuple[int, EpochSummary]:
+    """Worker entry point: summarise one epoch segment of one trace.
+
+    Module-level so it pickles under both fork and spawn start methods; the
+    worker opens the trace directory and decodes only its own segment.
+    """
+    trace_path, epoch_index, block_bits = job
+    return summarize_trace_epoch(trace_path, epoch_index,
+                                 block_bits=block_bits)
 
 
 class ParallelSuiteRunner:
@@ -63,22 +84,27 @@ class ParallelSuiteRunner:
         True, eager materialisation when False.
     cache_dir:
         Optional disk-store root shared by parent and workers.
+    replay:
+        Passed through to the runner: capture/replay access streams via the
+        trace store when True (default), always re-generate when False.
     """
 
     def __init__(self, max_workers: Optional[int] = None,
                  streaming: bool = True,
-                 cache_dir: Optional[str] = None) -> None:
+                 cache_dir: Optional[str] = None,
+                 replay: bool = True) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers
         self.streaming = streaming
         self.cache_dir = cache_dir
+        self.replay = replay
 
     # ------------------------------------------------------------------ #
     def _jobs(self, workloads: Iterable[str], size: str, seed: int,
               scale: int, warmup_fraction: float) -> List[Tuple]:
         return [(workload, organisation, size, seed, scale, warmup_fraction,
-                 self.streaming, self.cache_dir)
+                 self.streaming, self.cache_dir, self.replay)
                 for workload in workloads
                 for organisation in ORGANISATION_CONTEXTS]
 
@@ -107,3 +133,27 @@ class ParallelSuiteRunner:
                 _CACHE[memo_key(workload, context, size, seed, scale,
                                 warmup_fraction)] = result
         return merged
+
+    # ------------------------------------------------------------------ #
+    def summarize_trace(self, reader: TraceReader,
+                        block_bits: int = 6) -> EpochSummary:
+        """Epoch-sharded counting pass over one captured trace.
+
+        Fans the trace's epoch segments out over the process pool (one
+        segment per task, each worker decodes only its own segment) and
+        merges the per-epoch :class:`~repro.trace.epoch.EpochSummary`
+        objects in epoch order, so the result is identical to the
+        sequential :func:`repro.trace.epoch.summarize_trace` no matter the
+        completion order.  This is parallelism *below* single-simulation
+        granularity: one stream, many workers.
+        """
+        jobs = [(str(reader.path), index, block_bits)
+                for index in range(reader.n_epochs)]
+        if self.max_workers == 1 or len(jobs) <= 1:
+            pairs = [_summarize_epoch_job(job) for job in jobs]
+        else:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                futures = [pool.submit(_summarize_epoch_job, job)
+                           for job in jobs]
+                pairs = [future.result() for future in as_completed(futures)]
+        return merge_summaries(pairs)

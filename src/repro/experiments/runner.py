@@ -18,6 +18,16 @@ first makes a cheap counting pass over a fresh workload instance, then
 simulates a second, identical instance; pass ``streaming=False`` to
 materialise the trace in one pass instead (the historical behaviour, ~2x
 the memory for ~half the generation work).
+
+With ``replay=True`` (the default) the counting pass doubles as **trace
+capture**: the generated stream is tee'd into the columnar
+:class:`~repro.trace.store.TraceStore`, the simulation pass replays the
+just-captured trace instead of generating a second time, and every later
+simulation of the same ``(workload, n_cpus, seed, size)`` stream — any
+warm-up fraction, any cache scale, either pass — replays from disk without
+touching the generators at all.  Replayed epochs reach the system models as
+columnar chunks, enabling the vectorised block-address fast path in
+:meth:`repro.mem.stream.StreamingSystemMixin.process_chunk`.
 """
 
 from __future__ import annotations
@@ -38,6 +48,7 @@ from ..mem.singlechip import SingleChipSystem
 from ..mem.trace import (DEFAULT_CHUNK_SIZE, INTRA_CHIP, MULTI_CHIP,
                          MissTrace, SINGLE_CHIP)
 from ..mem.config import multichip_config, singlechip_config
+from ..trace import get_trace_store, trace_params
 from ..workloads import WORKLOAD_NAMES, create_workload
 from .store import ResultStore, disk_cache_disabled
 
@@ -90,17 +101,23 @@ def get_store(cache_dir: Optional[str] = None) -> Optional[ResultStore]:
 
 
 def clear_cache(disk: bool = False) -> int:
-    """Drop memoised results; with ``disk=True`` also empty the disk store.
+    """Drop memoised results; with ``disk=True`` also empty the disk stores.
 
-    Returns the number of disk entries removed (0 for memory-only clears).
+    Covers both persistent stores — analysis bundles *and* captured access
+    traces.  Returns the number of disk entries removed (0 for memory-only
+    clears).
     """
     _CACHE.clear()
     _TRACE_CACHE.clear()
+    removed = 0
     if disk:
         store = get_store()
         if store is not None:
-            return store.clear()
-    return 0
+            removed += store.clear()
+        traces = get_trace_store()
+        if traces is not None:
+            removed += traces.clear()
+    return removed
 
 
 def _result_params(workload: str, context: str, size: str, seed: int,
@@ -112,8 +129,15 @@ def _result_params(workload: str, context: str, size: str, seed: int,
 
 def _simulate(workload: str, organisation: str, size: str, seed: int,
               scale: int, warmup_fraction: float, streaming: bool = True,
-              chunk_size: int = DEFAULT_CHUNK_SIZE) -> Dict[str, MissTrace]:
-    """Generate the workload access stream and run it through one system."""
+              chunk_size: int = DEFAULT_CHUNK_SIZE, replay: bool = True,
+              cache_dir: Optional[str] = None) -> Dict[str, MissTrace]:
+    """Run the workload access stream through one system organisation.
+
+    With ``replay`` enabled the stream comes from the columnar trace store
+    whenever a capture exists; on a first run, the counting pass captures
+    the stream as a side effect and the simulation pass replays it, so the
+    generators run at most once per distinct stream.
+    """
     key = memo_key(workload, organisation, size, seed, scale, warmup_fraction)
     if key in _TRACE_CACHE:
         return _TRACE_CACHE[key]
@@ -127,29 +151,57 @@ def _simulate(workload: str, organisation: str, size: str, seed: int,
     else:
         raise ValueError(f"unknown organisation {organisation!r}")
     fraction = max(0.0, min(warmup_fraction, 0.9))
-    if streaming:
+
+    trace_store = get_trace_store(cache_dir) if replay else None
+    stream_key = trace_params(workload, config.n_cpus, seed, size)
+    reader = trace_store.open(stream_key) if trace_store is not None else None
+
+    epochs: Optional[Iterator] = None
+    accesses: Optional[Iterator] = None
+    if reader is not None:
+        # Replay: length and stream both come from disk; the generators are
+        # never instantiated.  This supersedes both streaming and eager
+        # generation — the replayed stream is identical by construction.
+        n_accesses = reader.n_accesses
+        epochs = reader.iter_epochs()
+    elif streaming:
         # Counting pass over a fresh instance to place the warm-up boundary;
         # workloads are deterministic in (name, n_cpus, seed, size), so the
-        # second instance replays the identical stream.
-        n_accesses = sum(1 for _ in create_workload(
-            workload, n_cpus=config.n_cpus, seed=seed,
-            size=size).iter_accesses())
-        accesses: Iterator = create_workload(
-            workload, n_cpus=config.n_cpus, seed=seed,
-            size=size).iter_accesses()
+        # second pass replays the identical stream.  With a trace store the
+        # counting pass is tee'd through a CaptureWriter, and the second
+        # pass replays the capture instead of re-generating.
+        counted = create_workload(workload, n_cpus=config.n_cpus, seed=seed,
+                                  size=size).iter_accesses()
+        if trace_store is not None:
+            counted = trace_store.capture(counted, stream_key)
+        n_accesses = sum(1 for _ in counted)
+        reader = (trace_store.open(stream_key)
+                  if trace_store is not None else None)
+        if reader is not None:
+            epochs = reader.iter_epochs()
+        else:
+            accesses = create_workload(
+                workload, n_cpus=config.n_cpus, seed=seed,
+                size=size).iter_accesses()
     else:
         trace = create_workload(workload, n_cpus=config.n_cpus, seed=seed,
                                 size=size).generate()
         n_accesses = len(trace)
         accesses = iter(trace)
+        if trace_store is not None:
+            # Eager mode generated the stream anyway; capture it for free so
+            # later runs (streaming or eager) replay from disk.
+            accesses = trace_store.capture(accesses, stream_key)
     warmup = int(n_accesses * fraction)
-    if organisation == "multi-chip":
-        offchip = system.run_stream(accesses, warmup=warmup,
-                                    chunk_size=chunk_size)
-        traces = {MULTI_CHIP: offchip}
+    if epochs is not None:
+        results = system.run_chunks(epochs, warmup=warmup)
     else:
-        offchip, intrachip = system.run_stream(accesses, warmup=warmup,
-                                               chunk_size=chunk_size)
+        results = system.run_stream(accesses, warmup=warmup,
+                                    chunk_size=chunk_size)
+    if organisation == "multi-chip":
+        traces = {MULTI_CHIP: results}
+    else:
+        offchip, intrachip = results
         traces = {SINGLE_CHIP: offchip, INTRA_CHIP: intrachip}
     _TRACE_CACHE[key] = traces
     return traces
@@ -179,14 +231,16 @@ def run_workload_context(workload: str, context: str, size: str = "small",
                          warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
                          streaming: bool = True,
                          cache_dir: Optional[str] = None,
+                         replay: bool = True,
                          ) -> ContextResult:
     """Build the full analysis bundle for one workload in one system context.
 
     ``context`` is one of ``multi-chip``, ``single-chip``, or ``intra-chip``
     (the latter two come from the same single-chip simulation).  Results are
     memoised in-process and persisted to the versioned disk store; the
-    ``streaming`` flag selects lazy (bounded-memory) versus eager workload
-    generation and does not affect the produced results.
+    ``streaming`` and ``replay`` flags select how the access stream is
+    produced (lazy vs eager generation; trace-store capture/replay vs always
+    generating) and do not affect the produced results.
     """
     if context not in (MULTI_CHIP, SINGLE_CHIP, INTRA_CHIP):
         raise ValueError(f"unknown context {context!r}")
@@ -204,7 +258,8 @@ def run_workload_context(workload: str, context: str, size: str = "small",
             return cached
     organisation = "multi-chip" if context == MULTI_CHIP else "single-chip"
     traces = _simulate(workload, organisation, size, seed, scale,
-                       warmup_fraction, streaming=streaming)
+                       warmup_fraction, streaming=streaming, replay=replay,
+                       cache_dir=cache_dir)
     result = _analyze(workload, context, traces[context])
     _CACHE[cache_key] = result
     if store is not None:
@@ -214,20 +269,20 @@ def run_workload_context(workload: str, context: str, size: str = "small",
 
 def run_all_contexts(workload: str, size: str = "small", seed: int = 42,
                      scale: int = DEFAULT_SCALE, streaming: bool = True,
-                     cache_dir: Optional[str] = None,
+                     cache_dir: Optional[str] = None, replay: bool = True,
                      ) -> Dict[str, ContextResult]:
     """All three contexts for one workload."""
     return {context: run_workload_context(workload, context, size=size,
                                           seed=seed, scale=scale,
                                           streaming=streaming,
-                                          cache_dir=cache_dir)
+                                          cache_dir=cache_dir, replay=replay)
             for context in (MULTI_CHIP, SINGLE_CHIP, INTRA_CHIP)}
 
 
 def run_suite(size: str = "small", seed: int = 42,
               scale: int = DEFAULT_SCALE,
               workloads: Tuple[str, ...] = WORKLOAD_NAMES,
-              streaming: bool = True,
+              streaming: bool = True, replay: bool = True,
               ) -> Dict[str, Dict[str, ContextResult]]:
     """All workloads in all contexts (the full evaluation sweep), serially.
 
@@ -235,5 +290,5 @@ def run_suite(size: str = "small", seed: int = 42,
     process-pool version used by ``python -m repro suite``.
     """
     return {name: run_all_contexts(name, size=size, seed=seed, scale=scale,
-                                   streaming=streaming)
+                                   streaming=streaming, replay=replay)
             for name in workloads}

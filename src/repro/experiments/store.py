@@ -24,50 +24,22 @@ directory under the root.
 
 from __future__ import annotations
 
-import hashlib
 import os
 import pickle
 import shutil
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from .. import __version__
+# Shared cache-root helpers live in repro.cachedir (also used by the trace
+# store); re-exported here under their historical names.
+from ..cachedir import (CACHE_DIR_ENV, CACHE_DISABLE_ENV, default_cache_root,
+                        disk_cache_disabled, params_slug as _slug)
 
 #: Bump when the on-disk payload layout changes incompatibly.
 CACHE_SCHEMA = 1
-
-#: Environment variable overriding the cache root directory.
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
-
-#: Environment variable disabling the disk cache when set to a truthy value.
-CACHE_DISABLE_ENV = "REPRO_DISABLE_DISK_CACHE"
-
-
-def default_cache_root() -> Path:
-    """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
-    env = os.environ.get(CACHE_DIR_ENV)
-    if env:
-        return Path(env).expanduser()
-    return Path.home() / ".cache" / "repro"
-
-
-def disk_cache_disabled() -> bool:
-    """True when ``REPRO_DISABLE_DISK_CACHE`` is set to a truthy value."""
-    return os.environ.get(CACHE_DISABLE_ENV, "").lower() in ("1", "true",
-                                                             "yes", "on")
-
-
-def _slug(params: Dict[str, Any]) -> str:
-    """A readable, filesystem-safe, collision-resistant file stem."""
-    canonical = "&".join(f"{k}={params[k]!r}" for k in sorted(params))
-    digest = hashlib.sha256(canonical.encode()).hexdigest()[:12]
-    readable = "-".join(
-        f"{k}={params[k]}" for k in sorted(params)
-        if isinstance(params[k], (str, int, bool)))
-    readable = "".join(c if c.isalnum() or c in "=.-_" else "_"
-                       for c in readable)[:120]
-    return f"{readable}-{digest}" if readable else digest
 
 
 class ResultStore:
@@ -101,9 +73,15 @@ class ResultStore:
         except FileNotFoundError:
             return None
         except (pickle.UnpicklingError, EOFError, AttributeError, OSError,
-                ImportError):
-            # A corrupt or stale entry is a miss, not an error; drop it so
-            # the fresh result overwrites it.
+                ImportError, IndexError, ValueError) as exc:
+            # A corrupt, truncated, or stale entry is a miss, not an error:
+            # drop it (so a fresh result overwrites it), warn so operators
+            # notice recurring corruption, and let the caller re-simulate
+            # instead of aborting a whole suite mid-run.
+            warnings.warn(
+                f"dropping unreadable cache entry {path} "
+                f"({type(exc).__name__}: {exc}); it will be recomputed",
+                RuntimeWarning, stacklevel=2)
             try:
                 path.unlink()
             except OSError:

@@ -1,0 +1,154 @@
+"""Streaming capture of access streams into the columnar trace format.
+
+:class:`CaptureWriter` consumes one :class:`~repro.mem.records.Access` at a
+time, buffering at most one epoch in memory; every ``epoch_size`` accesses a
+compressed segment file is flushed to disk, so capture adds O(epoch) memory
+to whatever pipeline it is tee'd into.
+
+Writers stage everything in a temporary sibling directory and only
+:meth:`~CaptureWriter.commit` it into place with an atomic rename, so a
+crashed or abandoned capture never leaves a half-written trace where a
+reader could find it, and concurrent workers capturing the same key race
+benignly (first rename wins, the loser discards its copy).
+
+:func:`capture_stream` is the tee used by the experiment runner: it yields
+the accesses of an underlying iterator unchanged while writing them through
+a ``CaptureWriter`` as a side effect, committing only when the source is
+exhausted.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, Optional
+
+from ..mem.records import Access
+from .format import (ColumnBuilder, DEFAULT_EPOCH_SIZE, FunctionTable,
+                     TRACE_FORMAT_VERSION, TraceMeta, segment_name,
+                     write_segment)
+
+
+class CaptureWriter:
+    """Write an access stream into a (staged) columnar trace directory."""
+
+    def __init__(self, dest: os.PathLike, params: Dict[str, object],
+                 epoch_size: int = DEFAULT_EPOCH_SIZE) -> None:
+        if epoch_size < 1:
+            raise ValueError("epoch_size must be >= 1")
+        self.dest = Path(dest)
+        self.params = dict(params)
+        self.epoch_size = epoch_size
+        self.functions = FunctionTable()
+        self._builder = ColumnBuilder(self.functions)
+        self._segments: list = []
+        self._n_accesses = 0
+        self._closed = False
+        self.dest.parent.mkdir(parents=True, exist_ok=True)
+        self._staging = Path(tempfile.mkdtemp(
+            dir=self.dest.parent, prefix=f".{self.dest.name}.tmp-"))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_accesses(self) -> int:
+        return self._n_accesses
+
+    def write(self, access: Access) -> None:
+        """Append one access, flushing a segment at each epoch boundary."""
+        if self._closed:
+            raise ValueError("capture writer is closed")
+        self._builder.append(access)
+        self._n_accesses += 1
+        if len(self._builder) >= self.epoch_size:
+            self._flush_segment()
+
+    def write_all(self, accesses: Iterable[Access]) -> int:
+        """Append every access of ``accesses``; returns the number written."""
+        before = self._n_accesses
+        for access in accesses:
+            self.write(access)
+        return self._n_accesses - before
+
+    def _flush_segment(self) -> None:
+        columns = self._builder.arrays()
+        index = len(self._segments)
+        write_segment(self._staging / segment_name(index), columns)
+        mask = columns["cpu"] >= 0
+        self._segments.append({
+            "n": int(len(columns["addr"])),
+            "instructions": int(columns["icount"][mask].sum()),
+        })
+        self._builder.clear()
+
+    # ------------------------------------------------------------------ #
+    def commit(self) -> Optional[Path]:
+        """Finalise the trace and rename it into place.
+
+        Returns the final trace directory, or ``None`` when another writer
+        committed the same destination first (their content is identical by
+        construction, so losing the race is not an error).
+        """
+        if self._closed:
+            raise ValueError("capture writer is closed")
+        if len(self._builder):
+            self._flush_segment()
+        meta = TraceMeta(
+            format_version=TRACE_FORMAT_VERSION,
+            params=self.params,
+            epoch_size=self.epoch_size,
+            n_accesses=self._n_accesses,
+            # The per-segment masked sums are the single source of truth.
+            instructions=sum(s["instructions"] for s in self._segments),
+            segments=self._segments,
+            functions=self.functions,
+        )
+        meta.dump(self._staging)
+        self._closed = True
+        try:
+            os.rename(self._staging, self.dest)
+        except OSError:
+            # Destination already exists (concurrent capture won the race)
+            # or cannot be renamed to; discard our staged copy.
+            shutil.rmtree(self._staging, ignore_errors=True)
+            return self.dest if self.dest.is_dir() else None
+        return self.dest
+
+    def abort(self) -> None:
+        """Discard the staged capture without publishing anything."""
+        if not self._closed:
+            self._closed = True
+            shutil.rmtree(self._staging, ignore_errors=True)
+
+    # -- context manager -------------------------------------------------- #
+    def __enter__(self) -> "CaptureWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            if not self._closed:
+                self.commit()
+        else:
+            self.abort()
+
+
+def capture_stream(accesses: Iterable[Access],
+                   writer: CaptureWriter) -> Iterator[Access]:
+    """Tee ``accesses`` through ``writer``: yield each access unchanged.
+
+    The capture is committed only when the source iterator is exhausted; if
+    the consumer abandons the stream early (or an error propagates), the
+    staged trace is discarded — a partial trace must never be published.
+    """
+    try:
+        for access in accesses:
+            writer.write(access)
+            yield access
+    except BaseException:
+        writer.abort()
+        raise
+    else:
+        writer.commit()
+    finally:
+        writer.abort()  # no-op after commit; cleans up on early close

@@ -1,0 +1,116 @@
+"""Replay captured columnar traces as access streams or epoch chunks.
+
+:class:`TraceReader` opens a trace directory written by
+:class:`~repro.trace.capture.CaptureWriter` and exposes three views:
+
+* :meth:`~TraceReader.iter_epochs` — one :class:`~repro.trace.format.ColumnarChunk`
+  per epoch segment, decoded lazily (O(epoch) memory).  This is the fast
+  path: the system models consume the chunks' vectorised block-address
+  columns directly, and parallel consumers can map over epochs.
+* :meth:`~TraceReader.iter_accesses` — a flat iterator of reconstructed
+  :class:`~repro.mem.records.Access` records, drop-in compatible with
+  ``Workload.iter_accesses()``.
+* :meth:`~TraceReader.epoch` — random access to one epoch, which is what a
+  per-epoch pool worker loads (nothing else is touched).
+"""
+
+from __future__ import annotations
+
+import os
+import zipfile
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+from ..mem.records import Access
+from .format import (ColumnarChunk, META_NAME, TRACE_FORMAT_VERSION,
+                     TraceMeta, read_segment, segment_name)
+
+
+class TraceCorruptError(RuntimeError):
+    """A trace directory is unreadable or inconsistent with its header."""
+
+
+def is_trace_dir(path: os.PathLike) -> bool:
+    """True when ``path`` looks like a committed trace directory."""
+    return (Path(path) / META_NAME).is_file()
+
+
+class TraceReader:
+    """Read-only view of one committed columnar trace directory."""
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = Path(path)
+        try:
+            self.meta = TraceMeta.load(self.path)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise TraceCorruptError(f"unreadable trace {self.path}: {exc}") \
+                from exc
+        if self.meta.format_version != TRACE_FORMAT_VERSION:
+            raise TraceCorruptError(
+                f"trace {self.path} has format version "
+                f"{self.meta.format_version}, expected {TRACE_FORMAT_VERSION}")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def params(self) -> Dict[str, object]:
+        return self.meta.params
+
+    @property
+    def n_accesses(self) -> int:
+        return self.meta.n_accesses
+
+    @property
+    def instructions(self) -> int:
+        return self.meta.instructions
+
+    @property
+    def n_epochs(self) -> int:
+        return self.meta.n_epochs
+
+    def __len__(self) -> int:
+        return self.meta.n_accesses
+
+    # ------------------------------------------------------------------ #
+    def epoch(self, index: int) -> ColumnarChunk:
+        """Decode one epoch segment into a :class:`ColumnarChunk`."""
+        if not 0 <= index < self.meta.n_epochs:
+            raise IndexError(f"epoch {index} out of range "
+                             f"[0, {self.meta.n_epochs})")
+        path = self.path / segment_name(index)
+        try:
+            columns = read_segment(path)
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+            raise TraceCorruptError(
+                f"unreadable segment {path}: {exc}") from exc
+        chunk = ColumnarChunk(columns=columns, functions=self.meta.functions,
+                              epoch=index)
+        expected = self.meta.segments[index]["n"]
+        if len(chunk) != expected:
+            raise TraceCorruptError(
+                f"segment {path} holds {len(chunk)} accesses, header "
+                f"says {expected}")
+        return chunk
+
+    def iter_epochs(self, start: int = 0,
+                    stop: Optional[int] = None) -> Iterator[ColumnarChunk]:
+        """Lazily decode epochs ``[start, stop)`` in order."""
+        stop = self.meta.n_epochs if stop is None else stop
+        for index in range(start, stop):
+            yield self.epoch(index)
+
+    def iter_accesses(self) -> Iterator[Access]:
+        """Reconstructed accesses in capture order (O(epoch) memory)."""
+        for chunk in self.iter_epochs():
+            yield from chunk
+
+    # ------------------------------------------------------------------ #
+    def size_bytes(self) -> int:
+        """On-disk footprint of the trace directory."""
+        return sum(p.stat().st_size for p in self.path.iterdir()
+                   if p.is_file())
+
+    def describe(self) -> str:
+        return (f"{self.path.name}: {self.n_accesses:,} accesses, "
+                f"{self.n_epochs} epoch(s) of {self.meta.epoch_size:,}, "
+                f"{self.instructions:,} instructions, "
+                f"{self.size_bytes() / 1024:.1f} KiB")

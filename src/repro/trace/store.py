@@ -1,0 +1,155 @@
+"""Content-addressed on-disk store of captured access traces.
+
+Sits alongside the analysis-bundle store under the same cache root::
+
+    <root>/traces/v<format>-<package version>/<param slug>-<digest>/
+        meta.json
+        seg-00000.npz
+        ...
+
+A trace is keyed by everything that determines the access stream —
+``(workload, n_cpus, seed, size)`` — *not* by warm-up fraction, cache scale,
+or system organisation beyond its CPU count: any simulation over the same
+stream replays the same trace.  Entries are namespaced by the trace format
+version **and** the package version (workload generator semantics change
+with releases), so either bump orphans old traces rather than replaying
+stale streams.
+
+Module-level :data:`STATS` counts hits/misses/captures for this process;
+tests and the CLI use it to prove a run was served from disk instead of
+re-generating.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from .. import __version__
+from ..cachedir import default_cache_root, disk_cache_disabled, params_slug
+from ..mem.records import Access
+from .capture import CaptureWriter, capture_stream
+from .format import DEFAULT_EPOCH_SIZE, TRACE_FORMAT_VERSION
+from .replay import TraceCorruptError, TraceReader, is_trace_dir
+
+#: Subdirectory of the cache root holding all trace versions.
+TRACES_SUBDIR = "traces"
+
+
+@dataclass
+class TraceStoreStats:
+    """Process-wide counters over every :class:`TraceStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    captures: int = 0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.captures = 0
+
+
+#: Shared counters (all stores in this process).
+STATS = TraceStoreStats()
+
+
+def trace_params(workload: str, n_cpus: int, seed: int,
+                 size: str) -> Dict[str, Any]:
+    """The canonical key of one access stream."""
+    return {"workload": workload, "n_cpus": n_cpus, "seed": seed,
+            "size": size}
+
+
+class TraceStore:
+    """Directory-per-trace store under ``<cache root>/traces``."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        base = Path(root) if root is not None else default_cache_root()
+        self.root = base / TRACES_SUBDIR
+        self.version = f"{TRACE_FORMAT_VERSION}-{__version__}"
+
+    # ------------------------------------------------------------------ #
+    @property
+    def version_dir(self) -> Path:
+        return self.root / f"v{self.version}"
+
+    def path_for(self, params: Dict[str, Any]) -> Path:
+        """The directory a trace with ``params`` lives at."""
+        return self.version_dir / params_slug(params)
+
+    def contains(self, params: Dict[str, Any]) -> bool:
+        return is_trace_dir(self.path_for(params))
+
+    # ------------------------------------------------------------------ #
+    def open(self, params: Dict[str, Any]) -> Optional[TraceReader]:
+        """A reader for the stored trace, or ``None`` on miss.
+
+        A corrupt entry (unreadable header, format-version mismatch) is
+        deleted and treated as a miss so the next capture replaces it.
+        """
+        path = self.path_for(params)
+        if not is_trace_dir(path):
+            STATS.misses += 1
+            return None
+        try:
+            reader = TraceReader(path)
+        except TraceCorruptError:
+            shutil.rmtree(path, ignore_errors=True)
+            STATS.misses += 1
+            return None
+        STATS.hits += 1
+        return reader
+
+    def writer(self, params: Dict[str, Any],
+               epoch_size: int = DEFAULT_EPOCH_SIZE) -> CaptureWriter:
+        """A staged :class:`CaptureWriter` publishing at ``path_for(params)``."""
+        return CaptureWriter(self.path_for(params), params,
+                             epoch_size=epoch_size)
+
+    def capture(self, accesses: Iterable[Access], params: Dict[str, Any],
+                epoch_size: int = DEFAULT_EPOCH_SIZE) -> Iterator[Access]:
+        """Tee ``accesses`` into the store; yields the stream unchanged.
+
+        The trace is committed when the stream is exhausted (see
+        :func:`~repro.trace.capture.capture_stream`).
+        """
+        STATS.captures += 1
+        return capture_stream(accesses, self.writer(params,
+                                                    epoch_size=epoch_size))
+
+    # ------------------------------------------------------------------ #
+    def entries(self) -> List[Path]:
+        """All committed trace directories across every version."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p for p in self.root.glob("v*/*")
+                      if p.is_dir() and is_trace_dir(p))
+
+    def size_bytes(self) -> int:
+        return sum(f.stat().st_size
+                   for trace in self.entries()
+                   for f in trace.iterdir() if f.is_file())
+
+    def clear(self) -> int:
+        """Remove every version directory; returns the number of traces."""
+        removed = len(self.entries())
+        if self.root.is_dir():
+            for child in self.root.glob("v*"):
+                if child.is_dir():
+                    shutil.rmtree(child, ignore_errors=True)
+        return removed
+
+    def describe(self) -> str:
+        n = len(self.entries())
+        return (f"trace store {self.root} (current version "
+                f"v{self.version}): {n} trace{'' if n == 1 else 's'}, "
+                f"{self.size_bytes() / 1024:.1f} KiB")
+
+
+def get_trace_store(cache_dir: Optional[str] = None) -> Optional[TraceStore]:
+    """The trace store to use, or ``None`` when disk caching is disabled."""
+    if disk_cache_disabled():
+        return None
+    return TraceStore(cache_dir) if cache_dir else TraceStore()

@@ -17,9 +17,9 @@ from typing import Callable, Dict, Iterator
 
 from ..mem.records import Access
 from ..mem.trace import AccessTrace
-from .base import (DriverStats, Job, KernelHooks, Op, OpStream, TraceBuilder,
-                   Workload, WorkloadDriver, copyout_store, dma_write, read,
-                   write)
+from .base import (GENERATION_STATS, DriverStats, GenerationStats, Job,
+                   KernelHooks, Op, OpStream, TraceBuilder, Workload,
+                   WorkloadDriver, copyout_store, dma_write, read, write)
 from .btree import BPlusTree
 from .configs import (SIZE_PRESETS, TABLE1, WORKLOAD_NAMES, ApplicationConfig,
                       get_config, scaled_parameter)
@@ -87,7 +87,8 @@ def stream_accesses(name: str, n_cpus: int, seed: int = 42,
 
 __all__ = [
     "ApplicationConfig", "BPlusTree", "BufferPool", "ConnectionTable",
-    "CursorPool", "DriverStats", "DssWorkload", "FileCache", "IpcChannel",
+    "CursorPool", "DriverStats", "DssWorkload", "FileCache",
+    "GENERATION_STATS", "GenerationStats", "IpcChannel",
     "Job", "KernelConfig", "KernelHooks", "KernelModel", "LockManager",
     "OltpWorkload", "Op", "OpStream", "PackageCache", "PerlPool",
     "PerlProcess", "SIZE_PRESETS", "Sym", "TABLE1", "TraceBuilder",

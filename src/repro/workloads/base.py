@@ -28,6 +28,27 @@ from ..mem.records import Access, AccessKind, FunctionRef, UNKNOWN_FUNCTION
 from ..mem.trace import AccessTrace
 
 
+@dataclass
+class GenerationStats:
+    """Process-wide count of workload generator runs.
+
+    Every :meth:`Workload.iter_accesses` call (and therefore every
+    :meth:`Workload.generate`) increments :attr:`runs`.  The trace
+    capture/replay layer exists to keep this number at one per distinct
+    ``(workload, n_cpus, seed, size)`` stream; tests assert on it to prove a
+    simulation was served by replay instead of re-generating.
+    """
+
+    runs: int = 0
+
+    def reset(self) -> None:
+        self.runs = 0
+
+
+#: Shared counter covering every workload instance in this process.
+GENERATION_STATS = GenerationStats()
+
+
 class Op(NamedTuple):
     """One memory operation yielded by a workload generator."""
 
@@ -315,6 +336,7 @@ class Workload:
 
     def iter_accesses(self) -> Iterator[Access]:
         """Lazily generate the access stream (O(quantum) memory)."""
+        GENERATION_STATS.runs += 1
         driver = self.make_driver()
         self.last_stats = driver.stats
         return driver.iter_run(self.jobs())

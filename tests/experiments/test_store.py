@@ -9,6 +9,7 @@ from repro.experiments import runner
 from repro.experiments.store import (CACHE_DIR_ENV, CACHE_DISABLE_ENV,
                                      ResultStore, default_cache_root,
                                      disk_cache_disabled)
+from repro.trace import get_trace_store
 
 PARAMS = {"workload": "Apache", "context": "multi-chip", "size": "tiny",
           "seed": 42, "scale": 64, "warmup": 0.25}
@@ -54,8 +55,20 @@ class TestResultStore:
         store = ResultStore(tmp_path)
         path = store.save("context", PARAMS, "payload")
         path.write_bytes(b"not a pickle")
-        assert store.load("context", PARAMS) is None
+        with pytest.warns(RuntimeWarning, match="unreadable cache entry"):
+            assert store.load("context", PARAMS) is None
         assert not path.exists()
+
+    def test_truncated_entry_is_a_miss_and_removed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.save("context", PARAMS, {"value": list(range(1000))})
+        path.write_bytes(path.read_bytes()[:40])  # truncate mid-payload
+        with pytest.warns(RuntimeWarning, match="will be recomputed"):
+            assert store.load("context", PARAMS) is None
+        assert not path.exists()
+        # The next save/load cycle recovers normally.
+        store.save("context", PARAMS, "fresh")
+        assert store.load("context", PARAMS) == "fresh"
 
     def test_clear_reports_entry_count(self, tmp_path):
         store = ResultStore(tmp_path)
@@ -127,9 +140,12 @@ class TestRunnerDiskCache:
 
     def test_clear_cache_disk_flag(self):
         runner.run_workload_context("Apache", "multi-chip", size="tiny")
-        assert runner.clear_cache(disk=True) == 1
+        # One analysis bundle plus the captured access trace.
+        assert runner.clear_cache(disk=True) == 2
         store = runner.get_store()
         assert store is not None and store.entries() == []
+        traces = get_trace_store()
+        assert traces is not None and traces.entries() == []
 
     def test_disabled_store_still_computes(self, monkeypatch):
         monkeypatch.setenv(CACHE_DISABLE_ENV, "1")

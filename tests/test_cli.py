@@ -30,7 +30,7 @@ def run_cli(args, cache_dir, check=True):
 
 def test_help_lists_subcommands(tmp_path):
     proc = run_cli(["--help"], tmp_path)
-    for sub in ("run", "suite", "report", "clear-cache"):
+    for sub in ("run", "suite", "report", "trace", "clear-cache"):
         assert sub in proc.stdout
 
 
@@ -84,9 +84,82 @@ def test_report_figure_uses_cache(tmp_path):
 def test_clear_cache_removes_entries(tmp_path):
     run_cli(["run", "Zeus", "multi-chip", "--size", "tiny"], tmp_path)
     assert list(Path(tmp_path).glob("v*/context/*.pkl"))
+    assert list(Path(tmp_path).glob("traces/v*/*/meta.json"))
     proc = run_cli(["clear-cache"], tmp_path)
     assert "removed" in proc.stdout
     assert not list(Path(tmp_path).glob("v*/context/*.pkl"))
+    # clear-cache covers captured traces too.
+    assert not list(Path(tmp_path).glob("traces/v*/*/meta.json"))
+
+
+def test_trace_capture_list_info(tmp_path):
+    proc = run_cli(["trace", "capture", "Apache", "--size", "tiny",
+                    "--cpus", "4", "--seed", "3"], tmp_path)
+    assert "captured" in proc.stdout
+    assert list(Path(tmp_path).glob("traces/v*/*/meta.json"))
+
+    again = run_cli(["trace", "capture", "Apache", "--size", "tiny",
+                     "--cpus", "4", "--seed", "3"], tmp_path)
+    assert "already captured" in again.stdout
+
+    listing = run_cli(["trace", "list"], tmp_path)
+    assert "workload=Apache" in listing.stdout
+    assert "1 trace" in listing.stdout
+
+    info = run_cli(["trace", "info", "Apache", "--size", "tiny",
+                    "--cpus", "4", "--seed", "3", "--jobs", "2"], tmp_path)
+    assert "epoch" in info.stdout
+    assert "merged" in info.stdout
+
+
+def test_trace_capture_force_replaces_existing(tmp_path):
+    args = ["trace", "capture", "Zeus", "--size", "tiny", "--cpus", "4"]
+    run_cli(args, tmp_path)
+    meta = next(Path(tmp_path).glob("traces/v*/*/meta.json"))
+    before = meta.stat().st_mtime_ns
+    forced = run_cli([*args, "--force"], tmp_path)
+    assert "captured" in forced.stdout and "already" not in forced.stdout
+    metas = list(Path(tmp_path).glob("traces/v*/*/meta.json"))
+    assert len(metas) == 1
+    assert metas[0].stat().st_mtime_ns != before  # actually re-captured
+
+
+def test_trace_list_tolerates_foreign_versions(tmp_path):
+    run_cli(["trace", "capture", "Qry2", "--size", "tiny", "--cpus", "4"],
+            tmp_path)
+    # Simulate a trace left behind by another format/package version.
+    stale = Path(tmp_path) / "traces" / "v0-0.0.1" / "old-trace"
+    stale.mkdir(parents=True)
+    (stale / "meta.json").write_text("{}")
+    proc = run_cli(["trace", "list"], tmp_path)
+    assert "workload=Qry2" in proc.stdout
+    assert "unreadable" in proc.stdout
+
+
+def test_trace_info_missing_trace_fails(tmp_path):
+    proc = run_cli(["trace", "info", "OLTP", "--size", "tiny"], tmp_path,
+                   check=False)
+    assert proc.returncode == 1
+    assert "no stored trace" in proc.stderr
+
+
+def test_run_replay_produces_identical_results(tmp_path):
+    base = ["run", "Qry1", "multi-chip", "--size", "tiny"]
+    replayed = run_cli(base, tmp_path)  # capture on first run
+    # The access trace was captured alongside the result bundle.
+    assert list(Path(tmp_path).glob("traces/v*/*/meta.json"))
+    fresh = run_cli([*base, "--no-replay", "--no-disk-cache"], tmp_path)
+
+    def misses(stdout):
+        return [l for l in stdout.splitlines() if "misses:" in l]
+
+    assert misses(replayed.stdout) == misses(fresh.stdout)
+
+
+def test_suite_replay_flag_roundtrip(tmp_path):
+    run_cli(["suite", "--size", "tiny", "--workloads", "Apache",
+             "--jobs", "1", "--no-replay"], tmp_path)
+    assert not list(Path(tmp_path).glob("traces/v*/*/meta.json"))
 
 
 def test_no_disk_cache_flag(tmp_path):

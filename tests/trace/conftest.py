@@ -1,0 +1,33 @@
+"""Shared helpers for the trace-subsystem tests."""
+
+import pytest
+
+from repro.mem import Access, AccessKind, FunctionRef
+
+FN_X = FunctionRef(name="fn_x", module="mod_x", category="Kernel - other activity")
+FN_Y = FunctionRef(name="fn_y", module="mod_y", category="Bulk memory copies")
+
+
+def make_accesses(n=10, stride=64, fn=FN_X):
+    """A deterministic little access stream exercising every column."""
+    out = []
+    for i in range(n):
+        kind = AccessKind.WRITE if i % 3 == 0 else AccessKind.READ
+        cpu = -1 if i % 7 == 6 else i % 4
+        if cpu < 0:
+            kind = AccessKind.DMA_WRITE
+        out.append(Access(cpu=cpu, addr=0x1000 + i * stride,
+                          size=8 if i % 2 else 128, kind=kind,
+                          fn=fn if i % 2 else FN_Y, thread=i % 5,
+                          icount=i % 9))
+    return out
+
+
+def access_key(access):
+    return (access.cpu, access.addr, access.size, access.kind,
+            access.fn, access.thread, access.icount)
+
+
+@pytest.fixture
+def accesses():
+    return make_accesses(100)

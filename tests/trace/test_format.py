@@ -1,0 +1,132 @@
+"""Columnar trace format: encoding, chunk views, header round trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.mem import Access, AccessKind, FunctionRef, UNKNOWN_FUNCTION
+from repro.trace import ColumnarChunk, FunctionTable, TraceMeta
+from repro.trace.format import (COLUMN_DTYPES, COLUMNS, TRACE_FORMAT_VERSION,
+                                read_segment, segment_name, write_segment)
+
+from .conftest import FN_X, FN_Y, access_key, make_accesses
+
+
+class TestFunctionTable:
+    def test_intern_is_idempotent(self):
+        table = FunctionTable()
+        a = table.intern(FN_X)
+        b = table.intern(FN_Y)
+        assert a != b
+        assert table.intern(FN_X) == a
+        assert len(table) == 2
+        assert table.ref(a) == FN_X and table.ref(b) == FN_Y
+
+    def test_json_round_trip(self):
+        table = FunctionTable()
+        for fn in (FN_X, FN_Y, UNKNOWN_FUNCTION):
+            table.intern(fn)
+        clone = FunctionTable.from_json(
+            json.loads(json.dumps(table.to_json())))
+        assert len(clone) == 3
+        for i in range(3):
+            assert clone.ref(i) == table.ref(i)
+
+
+class TestColumnarChunk:
+    def test_round_trips_accesses(self, accesses):
+        chunk = ColumnarChunk.from_accesses(accesses)
+        assert len(chunk) == len(accesses)
+        assert [access_key(a) for a in chunk] == \
+            [access_key(a) for a in accesses]
+
+    def test_column_dtypes(self, accesses):
+        chunk = ColumnarChunk.from_accesses(accesses)
+        for name in COLUMNS:
+            assert chunk.columns[name].dtype == COLUMN_DTYPES[name]
+
+    def test_slice_is_columnar_and_ordered(self, accesses):
+        chunk = ColumnarChunk.from_accesses(accesses)
+        head, tail = chunk[:33], chunk[33:]
+        assert isinstance(head, ColumnarChunk)
+        assert len(head) + len(tail) == len(chunk)
+        assert ([access_key(a) for a in head] + [access_key(a) for a in tail]
+                == [access_key(a) for a in accesses])
+
+    def test_integer_indexing_rejected(self, accesses):
+        with pytest.raises(TypeError):
+            ColumnarChunk.from_accesses(accesses)[0]
+
+    def test_ragged_columns_rejected(self, accesses):
+        chunk = ColumnarChunk.from_accesses(accesses)
+        bad = dict(chunk.columns)
+        bad["cpu"] = bad["cpu"][:-1]
+        with pytest.raises(ValueError, match="ragged"):
+            ColumnarChunk(columns=bad, functions=chunk.functions)
+
+    def test_block_spans_match_scalar_arithmetic(self, accesses):
+        chunk = ColumnarChunk.from_accesses(accesses)
+        first, last = chunk.block_spans(64)
+        for access, f, l in zip(accesses, first.tolist(), last.tolist()):
+            expect_first = access.addr - access.addr % 64
+            end = access.addr + max(access.size, 1) - 1
+            expect_last = end - end % 64
+            assert (f, l) == (expect_first, expect_last)
+
+    def test_block_spans_require_power_of_two(self, accesses):
+        chunk = ColumnarChunk.from_accesses(accesses)
+        with pytest.raises(ValueError, match="power of two"):
+            chunk.block_spans(48)
+
+    def test_block_addresses_shift(self):
+        chunk = ColumnarChunk.from_accesses(
+            [Access(cpu=0, addr=a) for a in (0, 63, 64, 130)])
+        assert chunk.block_addresses(6).tolist() == [0, 0, 1, 2]
+
+    def test_recorded_instructions_excludes_dma(self):
+        chunk = ColumnarChunk.from_accesses([
+            Access(cpu=0, addr=0, icount=5),
+            Access(cpu=-1, addr=64, kind=AccessKind.DMA_WRITE, icount=7),
+            Access(cpu=1, addr=128, icount=3),
+        ])
+        assert chunk.recorded_instructions() == 8
+
+    def test_shared_function_table_interning(self, accesses):
+        table = FunctionTable()
+        a = ColumnarChunk.from_accesses(accesses[:50], functions=table)
+        b = ColumnarChunk.from_accesses(accesses[50:], functions=table)
+        assert a.functions is b.functions
+        assert len(table) == 2  # FN_X and FN_Y only
+
+
+class TestSegmentIO:
+    def test_write_read_round_trip(self, tmp_path, accesses):
+        chunk = ColumnarChunk.from_accesses(accesses)
+        path = tmp_path / segment_name(0)
+        write_segment(path, chunk.columns)
+        back = read_segment(path)
+        for name in COLUMNS:
+            assert np.array_equal(back[name], chunk.columns[name])
+
+    def test_segment_names_sort_in_epoch_order(self):
+        names = [segment_name(i) for i in (0, 1, 10, 100, 2)]
+        assert sorted(names) == [segment_name(i) for i in (0, 1, 2, 10, 100)]
+
+
+class TestTraceMeta:
+    def test_json_round_trip(self, tmp_path):
+        table = FunctionTable()
+        table.intern(FN_X)
+        meta = TraceMeta(format_version=TRACE_FORMAT_VERSION,
+                         params={"workload": "Apache", "n_cpus": 4,
+                                 "seed": 1, "size": "tiny"},
+                         epoch_size=128, n_accesses=300, instructions=900,
+                         segments=[{"n": 128, "instructions": 400},
+                                   {"n": 128, "instructions": 400},
+                                   {"n": 44, "instructions": 100}],
+                         functions=table)
+        meta.dump(tmp_path)
+        back = TraceMeta.load(tmp_path)
+        assert back.to_json() == meta.to_json()
+        assert back.n_epochs == 3

@@ -1,0 +1,114 @@
+"""TraceStore: keying, hit/miss stats, corruption handling, clearing."""
+
+import pytest
+
+from repro.trace import (STATS, TraceStore, get_trace_store, trace_params)
+from repro.trace.format import META_NAME
+
+from .conftest import access_key, make_accesses
+
+PARAMS = trace_params("Apache", 4, 42, "tiny")
+
+
+@pytest.fixture(autouse=True)
+def _reset_stats():
+    STATS.reset()
+    yield
+    STATS.reset()
+
+
+def _capture(store, params, n=100):
+    accesses = make_accesses(n)
+    drained = list(store.capture(iter(accesses), params, epoch_size=32))
+    assert len(drained) == n
+    return accesses
+
+
+class TestTraceStore:
+    def test_miss_then_hit(self, tmp_path):
+        store = TraceStore(tmp_path)
+        assert store.open(PARAMS) is None
+        accesses = _capture(store, PARAMS)
+        reader = store.open(PARAMS)
+        assert reader is not None
+        assert [access_key(a) for a in reader.iter_accesses()] == \
+            [access_key(a) for a in accesses]
+        assert STATS.misses == 1 and STATS.hits == 1 and STATS.captures == 1
+
+    def test_distinct_params_are_distinct_traces(self, tmp_path):
+        store = TraceStore(tmp_path)
+        other = trace_params("Apache", 4, 43, "tiny")
+        _capture(store, PARAMS, n=10)
+        _capture(store, other, n=20)
+        assert store.open(PARAMS).n_accesses == 10
+        assert store.open(other).n_accesses == 20
+        assert len(store.entries()) == 2
+
+    def test_key_covers_stream_parameters(self):
+        base = trace_params("Apache", 16, 42, "small")
+        assert base == {"workload": "Apache", "n_cpus": 16, "seed": 42,
+                        "size": "small"}
+        store = TraceStore("/nonexistent")
+        paths = {store.path_for(trace_params(w, c, s, z))
+                 for w in ("Apache", "OLTP")
+                 for c in (4, 16)
+                 for s in (1, 2)
+                 for z in ("tiny", "small")}
+        assert len(paths) == 16
+
+    def test_corrupt_trace_is_a_miss_and_removed(self, tmp_path):
+        store = TraceStore(tmp_path)
+        _capture(store, PARAMS)
+        path = store.path_for(PARAMS)
+        (path / META_NAME).write_text("garbage")
+        assert store.open(PARAMS) is None
+        assert not path.exists()
+        # Re-capture recovers.
+        _capture(store, PARAMS)
+        assert store.open(PARAMS) is not None
+
+    def test_version_namespacing(self, tmp_path):
+        store = TraceStore(tmp_path)
+        _capture(store, PARAMS)
+        bumped = TraceStore(tmp_path)
+        bumped.version = "999-0.0.0"
+        assert bumped.open(PARAMS) is None  # other version's trace invisible
+
+    def test_clear_removes_all_versions(self, tmp_path):
+        store = TraceStore(tmp_path)
+        _capture(store, PARAMS)
+        _capture(store, trace_params("OLTP", 4, 1, "tiny"))
+        assert store.clear() == 2
+        assert store.entries() == []
+        assert store.open(PARAMS) is None
+
+    def test_size_and_describe(self, tmp_path):
+        store = TraceStore(tmp_path)
+        assert store.size_bytes() == 0
+        assert "0 traces" in store.describe()
+        _capture(store, PARAMS)
+        assert store.size_bytes() > 0
+        assert "1 trace" in store.describe()
+
+    def test_lives_under_traces_subdir(self, tmp_path):
+        store = TraceStore(tmp_path)
+        _capture(store, PARAMS)
+        assert (tmp_path / "traces").is_dir()
+        # Nothing leaks into the result-store namespace (root/v*).
+        assert not list(tmp_path.glob("v*"))
+
+
+class TestGetTraceStore:
+    def test_disabled_by_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_DISK_CACHE", "1")
+        assert get_trace_store() is None
+
+    def test_cache_dir_override(self, tmp_path):
+        store = get_trace_store(str(tmp_path))
+        assert store is not None
+        assert store.root == tmp_path / "traces"
+
+    def test_env_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-root"))
+        store = get_trace_store()
+        assert store.root == tmp_path / "env-root" / "traces"
