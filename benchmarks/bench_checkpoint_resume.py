@@ -1,0 +1,214 @@
+"""Checkpoint/resume and epoch-sharded parallel-simulation benchmark.
+
+Measures, per workload, what the checkpoint subsystem buys on a captured
+trace:
+
+* ``serial_s`` — one full serial simulation pass (replay, no checkpoints):
+  the baseline every other number is compared against.
+* ``serial_ckpt_s`` — the same pass while writing snapshots at the default
+  adaptive stride (~12 evenly-spaced epoch boundaries — the first-run cost;
+  the checkpoints it leaves behind power everything below).
+* ``resume_latest_s`` — rerunning the finished configuration: the run
+  restores the final checkpoint and simulates zero epochs.
+* ``resume_half_s`` — resuming a run interrupted at the halfway boundary:
+  only the second half is simulated.
+* ``parallel_s`` — epoch-sharded parallel simulation over the stored
+  checkpoints (``ParallelSuiteRunner.simulate_trace``): every shard restores
+  its boundary snapshot and simulates only its own epoch range; the merge is
+  verified bit-identical to the serial pass before the time is reported.
+
+Emits ``BENCH_checkpoint_resume.json`` so the trajectory of the resume and
+parallel paths is tracked as data, not anecdotes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_checkpoint_resume.py \
+        [--size large] [--seed 42] [--workloads Apache ...] \
+        [--organisation multi-chip] [--shards N] \
+        [--out BENCH_checkpoint_resume.json]
+
+The script is standalone on purpose (not pytest-collected): CI runs it after
+the test suite and uploads the JSON as a workflow artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import __version__
+from repro.checkpoint import (CHECKPOINT_FORMAT_VERSION, CheckpointStore,
+                              checkpoint_params, simulate_replay)
+from repro.experiments import ParallelSuiteRunner
+from repro.experiments.runner import _build_system
+from repro.trace import TraceStore, trace_params
+from repro.workloads import WORKLOAD_NAMES, create_workload
+
+WARMUP_FRACTION = 0.25
+
+
+def _trace_checksum(trace) -> tuple:
+    """A cheap, order-sensitive fingerprint of one miss trace."""
+    return (len(trace), trace.instructions,
+            sum((record.seq + 1) * record.block for record in trace),
+            sum(record.cpu for record in trace))
+
+
+def bench_workload(root: str, name: str, organisation: str, seed: int,
+                   size: str, scale: int, shards: int) -> dict:
+    system = _build_system(organisation, scale)
+    n_cpus = system.config.n_cpus
+    stream_key = trace_params(name, n_cpus, seed, size)
+    traces = TraceStore(root)
+    checkpoints = CheckpointStore(root)
+
+    # Capture once; every measured pass below replays from disk.
+    start = time.perf_counter()
+    n_accesses = sum(1 for _ in traces.capture(
+        create_workload(name, n_cpus=n_cpus, seed=seed,
+                        size=size).iter_accesses(), stream_key))
+    capture_s = time.perf_counter() - start
+    reader = traces.open(stream_key)
+    assert reader is not None and reader.n_accesses == n_accesses
+    warmup = int(n_accesses * WARMUP_FRACTION)
+    ckpt_key = checkpoint_params(name, n_cpus, seed, size, organisation,
+                                 scale, WARMUP_FRACTION,
+                                 epoch_size=reader.meta.epoch_size)
+
+    # Baseline: serial replay without checkpoints.
+    serial_system = _build_system(organisation, scale)
+    start = time.perf_counter()
+    simulate_replay(serial_system, reader, warmup=warmup)
+    serial_s = time.perf_counter() - start
+    reference = {context: _trace_checksum(trace)
+                 for context, trace in serial_system.miss_traces().items()}
+
+    # Serial replay writing snapshots at the default adaptive stride.
+    start = time.perf_counter()
+    simulate_replay(_build_system(organisation, scale), reader,
+                    warmup=warmup, store=checkpoints, params=ckpt_key,
+                    resume=False)
+    serial_ckpt_s = time.perf_counter() - start
+
+    # Rerun of the finished configuration: restore the final checkpoint.
+    start = time.perf_counter()
+    resumed = _build_system(organisation, scale)
+    simulate_replay(resumed, reader, warmup=warmup, store=checkpoints,
+                    params=ckpt_key)
+    resume_latest_s = time.perf_counter() - start
+    assert {context: _trace_checksum(trace) for context, trace
+            in resumed.miss_traces().items()} == reference
+
+    # Interrupted at the halfway boundary, then resumed to completion (a
+    # sibling store keeps the half-run's checkpoints apart from the full
+    # run's, which already cover every boundary).
+    half_store = CheckpointStore(Path(root) / "half-bench")
+    half = max(1, reader.n_epochs // 2)
+    simulate_replay(_build_system(organisation, scale), reader,
+                    warmup=warmup, store=half_store, params=ckpt_key,
+                    stop_epoch=half)
+    start = time.perf_counter()
+    half_resumed = _build_system(organisation, scale)
+    simulate_replay(half_resumed, reader, warmup=warmup, store=half_store,
+                    params=ckpt_key)
+    resume_half_s = time.perf_counter() - start
+    assert {context: _trace_checksum(trace) for context, trace
+            in half_resumed.miss_traces().items()} == reference
+
+    # Epoch-sharded parallel simulation over the stored checkpoints.
+    runner = ParallelSuiteRunner(max_workers=shards, cache_dir=root)
+    start = time.perf_counter()
+    sharded = runner.simulate_trace(name, organisation, size=size, seed=seed,
+                                    scale=scale,
+                                    warmup_fraction=WARMUP_FRACTION,
+                                    shards=shards)
+    parallel_s = time.perf_counter() - start
+    merged = {context: _trace_checksum(trace)
+              for context, trace in sharded.items()}
+    assert merged == reference, (
+        f"parallel merge diverged from serial: {merged} != {reference}")
+
+    return {
+        "workload": name,
+        "organisation": organisation,
+        "n_accesses": n_accesses,
+        "n_epochs": reader.n_epochs,
+        "checkpoint_kib": round(checkpoints.size_bytes() / 1024, 1),
+        "capture_s": round(capture_s, 4),
+        "serial_s": round(serial_s, 4),
+        "serial_ckpt_s": round(serial_ckpt_s, 4),
+        "checkpoint_overhead": round(serial_ckpt_s / max(serial_s, 1e-9), 2),
+        "resume_latest_s": round(resume_latest_s, 4),
+        "resume_half_s": round(resume_half_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "parallel_shards": shards,
+        "speedup_parallel": round(serial_s / max(parallel_s, 1e-9), 2),
+        "speedup_resume_latest": round(
+            serial_s / max(resume_latest_s, 1e-9), 2),
+        "speedup_resume_half": round(serial_s / max(resume_half_s, 1e-9), 2),
+        "parallel_matches_serial": True,  # asserted above
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", default="large",
+                        choices=("tiny", "small", "default", "large"))
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--organisation", default="multi-chip",
+                        choices=("multi-chip", "single-chip"))
+    parser.add_argument("--scale", type=int, default=64)
+    parser.add_argument("--shards", type=int, default=None,
+                        help="parallel shard count (default: cpu count, "
+                             "capped at 8)")
+    parser.add_argument("--workloads", nargs="+", default=["Apache"],
+                        metavar="NAME")
+    parser.add_argument("--out", default="BENCH_checkpoint_resume.json")
+    args = parser.parse_args(argv)
+
+    unknown = [w for w in args.workloads if w not in WORKLOAD_NAMES]
+    if unknown:
+        print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    shards = args.shards or min(os.cpu_count() or 2, 8)
+
+    results = []
+    for name in args.workloads:
+        with tempfile.TemporaryDirectory(prefix="bench-ckpt-") as root:
+            row = bench_workload(root, name, args.organisation, args.seed,
+                                 args.size, args.scale, shards)
+        results.append(row)
+        print(f"{name:<8} {row['n_accesses']:>9,} accesses "
+              f"{row['n_epochs']:>4} epochs  "
+              f"serial {row['serial_s']:.2f}s  "
+              f"ckpt-overhead {row['checkpoint_overhead']:.2f}x  "
+              f"resume {row['resume_latest_s']:.2f}s "
+              f"({row['speedup_resume_latest']:.1f}x)  "
+              f"parallel[{shards}] {row['parallel_s']:.2f}s "
+              f"({row['speedup_parallel']:.1f}x)")
+
+    payload = {
+        "benchmark": "checkpoint_resume",
+        "repro_version": __version__,
+        "checkpoint_format_version": CHECKPOINT_FORMAT_VERSION,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "params": {"size": args.size, "seed": args.seed,
+                   "organisation": args.organisation, "scale": args.scale,
+                   "shards": shards, "warmup": WARMUP_FRACTION},
+        "results": results,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out} ({len(results)} workloads)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Checkpoint subsystem: epoch-boundary snapshots of full system state.
+
+The simulation pass over a captured trace is strictly sequential — cache
+contents, coherence state, and classification history at epoch *k* depend on
+every epoch before it.  This package makes that state a first-class,
+persistable artifact, in the spirit of checkpointed sampling (TurboSMARTS /
+SimFlex): the memory models expose ``snapshot()``/``restore()`` returning
+plain, versioned state dicts, and this package stores them compressed under
+the shared cache root so that
+
+* an interrupted run **resumes** from the latest epoch boundary instead of
+  re-simulating from access zero, bit-identically, and
+* once a serial pass has left checkpoints behind, *re*-simulation fans out
+  **in parallel** across epoch ranges — each shard restores its starting
+  checkpoint and the per-range miss records merge deterministically in
+  epoch order (``ParallelSuiteRunner.simulate_trace``).
+
+* :mod:`~repro.checkpoint.format` — versioned gzip-pickle encoding of one
+  snapshot payload.
+* :mod:`~repro.checkpoint.store` — :class:`CheckpointStore`,
+  content-addressed under ``<cache root>/checkpoints``, with process-wide
+  save/load/resume counters and a warn-and-drop policy for corrupt files.
+* :mod:`~repro.checkpoint.replay` — :func:`simulate_replay` (resumable
+  checkpointed replay) and :func:`simulate_epoch_range` (one parallel
+  shard).
+
+Layering: this package depends on the mem and trace layers only; the
+experiments layer builds on it, never the other way around.
+"""
+
+from .format import (CHECKPOINT_FORMAT_VERSION, CheckpointCorruptError,
+                     checkpoint_name, decode_checkpoint, encode_checkpoint,
+                     parse_checkpoint_name)
+from .replay import (DEFAULT_CHECKPOINT_TARGET, accesses_before,
+                     simulate_epoch_range, simulate_replay)
+from .store import (CHECKPOINTS_SUBDIR, CheckpointStore, CheckpointStoreStats,
+                    STATS, checkpoint_params, get_checkpoint_store)
+
+__all__ = [
+    "CHECKPOINTS_SUBDIR", "CHECKPOINT_FORMAT_VERSION", "CheckpointCorruptError",
+    "CheckpointStore", "CheckpointStoreStats", "DEFAULT_CHECKPOINT_TARGET",
+    "STATS", "accesses_before", "checkpoint_name", "checkpoint_params",
+    "decode_checkpoint", "encode_checkpoint", "get_checkpoint_store",
+    "parse_checkpoint_name", "simulate_epoch_range", "simulate_replay",
+]

@@ -1,0 +1,100 @@
+"""Versioned, compressed on-disk encoding of system snapshots.
+
+A checkpoint file holds one gzip-compressed pickle of a plain-structure
+payload::
+
+    {"format_version": 1,
+     "params": {...},        # the CheckpointStore key that owns this file
+     "epoch": 7,             # state after replaying epochs [0, 7)
+     "state": {...}}         # a system model's snapshot() dict
+
+The ``state`` dicts come from the ``snapshot()`` methods of the memory
+models (:class:`~repro.mem.multichip.MultiChipSystem`,
+:class:`~repro.mem.singlechip.SingleChipSystem`) and the prefetchers; they
+contain only builtin containers and scalars, so the pickle payload is stable
+across refactors of the model classes.  Bump
+:data:`CHECKPOINT_FORMAT_VERSION` whenever the payload layout or any
+``snapshot()`` schema changes incompatibly — the store namespaces entries by
+this version (and the package version), so old checkpoints are orphaned
+rather than restored into incompatible models.
+
+gzip frames are written with ``mtime=0`` so encoding the same state twice
+produces byte-identical files (checkpoints written by a rerun or a parallel
+worker race benignly).
+"""
+
+from __future__ import annotations
+
+import gzip
+import pickle
+from typing import Any, Dict, Tuple
+
+#: Bump when the checkpoint payload layout (or any snapshot schema) changes
+#: incompatibly.
+CHECKPOINT_FORMAT_VERSION = 1
+
+#: File-name suffix of one committed checkpoint.
+CHECKPOINT_SUFFIX = ".ckpt.gz"
+
+
+class CheckpointCorruptError(RuntimeError):
+    """A checkpoint file is unreadable or inconsistent with its header."""
+
+
+def checkpoint_name(epoch: int) -> str:
+    """File name of the checkpoint taken at epoch boundary ``epoch``."""
+    if epoch < 0:
+        raise ValueError("checkpoint epoch must be >= 0")
+    return f"epoch-{epoch:06d}{CHECKPOINT_SUFFIX}"
+
+
+def parse_checkpoint_name(name: str) -> int:
+    """Epoch index encoded in a checkpoint file name, or -1 when foreign."""
+    if not (name.startswith("epoch-") and name.endswith(CHECKPOINT_SUFFIX)):
+        return -1
+    digits = name[len("epoch-"):-len(CHECKPOINT_SUFFIX)]
+    return int(digits) if digits.isdigit() else -1
+
+
+def encode_checkpoint(params: Dict[str, Any], epoch: int,
+                      state: Dict[str, Any]) -> bytes:
+    """Serialise one snapshot into a compressed checkpoint blob."""
+    payload = {
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "params": dict(params),
+        "epoch": int(epoch),
+        "state": state,
+    }
+    raw = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    # Low compression level: checkpoint writes sit on the simulation's
+    # critical path, and system snapshots compress well even at level 1.
+    return gzip.compress(raw, compresslevel=1, mtime=0)
+
+
+def decode_checkpoint(blob: bytes) -> Tuple[Dict[str, Any], int,
+                                            Dict[str, Any]]:
+    """Decode a checkpoint blob into ``(params, epoch, state)``.
+
+    Raises :class:`CheckpointCorruptError` on any defect — truncated gzip
+    frame, unpicklable payload, missing keys, or a format-version mismatch —
+    so callers have exactly one error to turn into a warn-and-drop.
+    """
+    try:
+        payload = pickle.loads(gzip.decompress(blob))
+        version = int(payload["format_version"])
+        params = dict(payload["params"])
+        epoch = int(payload["epoch"])
+        state = payload["state"]
+    except (OSError, EOFError, KeyError, TypeError, ValueError,
+            pickle.UnpicklingError, AttributeError, ImportError,
+            IndexError) as exc:
+        raise CheckpointCorruptError(
+            f"unreadable checkpoint payload: {exc}") from exc
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise CheckpointCorruptError(
+            f"checkpoint has format version {version}, expected "
+            f"{CHECKPOINT_FORMAT_VERSION}")
+    if not isinstance(state, dict):
+        raise CheckpointCorruptError(
+            f"checkpoint state is {type(state).__name__}, expected dict")
+    return params, epoch, state

@@ -1,0 +1,248 @@
+"""Content-addressed on-disk store of epoch-boundary system checkpoints.
+
+Sits alongside the trace and result stores under the same cache root::
+
+    <root>/checkpoints/v<format>-<package version>/<param slug>/
+        epoch-000004.ckpt.gz
+        epoch-000008.ckpt.gz
+        ...
+
+A checkpoint run is keyed by everything that determines system state at an
+epoch boundary: the trace key ``(workload, n_cpus, seed, size)`` — epochs
+are defined by the captured trace — plus the system organisation, the cache
+scale, and the warm-up fraction (recording on/off changes the statistics a
+snapshot carries).  Entries are namespaced by the checkpoint format version
+**and** the package version (model semantics change with releases), so
+either bump orphans old checkpoints rather than restoring stale state.
+
+Corrupt or truncated checkpoint files are a *miss*, not an error: ``load``
+warns, unlinks the file, and returns ``None`` so the caller re-simulates
+(mirroring ``ResultStore.load``); ``latest`` transparently falls back to the
+next older epoch.
+
+Module-level :data:`STATS` counts saves/loads/misses/resumes for this
+process; tests and the CLI use it to prove a run resumed from disk instead
+of simulating from the start.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import __version__
+from ..cachedir import default_cache_root, disk_cache_disabled, params_slug
+from ..trace.format import DEFAULT_EPOCH_SIZE
+from .format import (CHECKPOINT_FORMAT_VERSION, CheckpointCorruptError,
+                     checkpoint_name, decode_checkpoint, encode_checkpoint,
+                     parse_checkpoint_name)
+
+#: Subdirectory of the cache root holding all checkpoint versions.
+CHECKPOINTS_SUBDIR = "checkpoints"
+
+
+@dataclass
+class CheckpointStoreStats:
+    """Process-wide counters over every :class:`CheckpointStore` instance."""
+
+    saves: int = 0
+    loads: int = 0
+    misses: int = 0
+    #: Simulations that restored a checkpoint instead of starting fresh.
+    resumes: int = 0
+    #: Corrupt files dropped by ``load``.
+    drops: int = 0
+
+    def reset(self) -> None:
+        self.saves = self.loads = self.misses = self.resumes = self.drops = 0
+
+
+#: Shared counters (all stores in this process).
+STATS = CheckpointStoreStats()
+
+
+def checkpoint_params(workload: str, n_cpus: int, seed: int, size: str,
+                      organisation: str, scale: int, warmup: float,
+                      epoch_size: int = DEFAULT_EPOCH_SIZE) -> Dict[str, Any]:
+    """The canonical key of one checkpointed simulation run.
+
+    ``epoch_size`` is the segmentation of the captured trace the epochs are
+    counted in — a checkpoint's epoch index is only meaningful relative to
+    one segmentation, so a re-capture at a different epoch size must never
+    restore the old run's snapshots.  Callers with a reader in hand pass
+    ``reader.meta.epoch_size``.
+    """
+    return {"workload": workload, "n_cpus": n_cpus, "seed": seed,
+            "size": size, "organisation": organisation, "scale": scale,
+            "warmup": warmup, "epoch_size": epoch_size}
+
+
+class CheckpointStore:
+    """Directory-per-run store under ``<cache root>/checkpoints``."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        base = Path(root) if root is not None else default_cache_root()
+        self.root = base / CHECKPOINTS_SUBDIR
+        self.version = f"{CHECKPOINT_FORMAT_VERSION}-{__version__}"
+
+    # ------------------------------------------------------------------ #
+    @property
+    def version_dir(self) -> Path:
+        return self.root / f"v{self.version}"
+
+    def path_for(self, params: Dict[str, Any]) -> Path:
+        """The directory the checkpoints of one run live in."""
+        return self.version_dir / params_slug(params)
+
+    def file_for(self, params: Dict[str, Any], epoch: int) -> Path:
+        return self.path_for(params) / checkpoint_name(epoch)
+
+    # ------------------------------------------------------------------ #
+    def save(self, params: Dict[str, Any], epoch: int,
+             state: Dict[str, Any]) -> Path:
+        """Atomically persist one snapshot at epoch boundary ``epoch``.
+
+        Writes to a temporary sibling and ``os.replace``s it into place, so
+        concurrent writers of the same (identical-by-construction) state
+        race benignly.
+        """
+        path = self.file_for(params, epoch)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = encode_checkpoint(params, epoch, state)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        STATS.saves += 1
+        return path
+
+    def load(self, params: Dict[str, Any],
+             epoch: int) -> Optional[Dict[str, Any]]:
+        """The snapshot state at ``epoch``, or ``None`` on miss.
+
+        A corrupt or truncated file is dropped with a warning and treated
+        as a miss, so an interrupted writer can never wedge later runs.
+        """
+        path = self.file_for(params, epoch)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            STATS.misses += 1
+            return None
+        except OSError as exc:
+            self._drop(path, exc)
+            return None
+        try:
+            _, stored_epoch, state = decode_checkpoint(blob)
+            if stored_epoch != epoch:
+                raise CheckpointCorruptError(
+                    f"file {path.name} holds epoch {stored_epoch}")
+        except CheckpointCorruptError as exc:
+            self._drop(path, exc)
+            return None
+        STATS.loads += 1
+        return state
+
+    def _drop(self, path: Path, exc: Exception) -> None:
+        warnings.warn(
+            f"dropping unreadable checkpoint {path} "
+            f"({type(exc).__name__}: {exc}); the run will simulate from an "
+            f"earlier epoch instead", RuntimeWarning, stacklevel=3)
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        STATS.drops += 1
+        STATS.misses += 1
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def epochs_in(run_dir: Path) -> List[int]:
+        """Sorted epoch boundaries stored in one run directory."""
+        if not run_dir.is_dir():
+            return []
+        found = (parse_checkpoint_name(p.name) for p in run_dir.iterdir()
+                 if p.is_file())
+        return sorted(epoch for epoch in found if epoch >= 0)
+
+    def epochs(self, params: Dict[str, Any]) -> List[int]:
+        """Sorted epoch boundaries with a stored checkpoint for this run."""
+        return self.epochs_in(self.path_for(params))
+
+    def latest(self, params: Dict[str, Any],
+               max_epoch: Optional[int] = None
+               ) -> Optional[Tuple[int, Dict[str, Any]]]:
+        """The newest loadable checkpoint ``(epoch, state)``, or ``None``.
+
+        ``max_epoch`` bounds the search (inclusive) — a resume must not
+        restore state from beyond the range it intends to simulate.  Corrupt
+        files encountered on the way are dropped and the next older epoch is
+        tried, so one bad file degrades resume granularity instead of
+        failing the run.
+        """
+        for epoch in reversed(self.epochs(params)):
+            if max_epoch is not None and epoch > max_epoch:
+                continue
+            state = self.load(params, epoch)
+            if state is not None:
+                return epoch, state
+        return None
+
+    def drop_run(self, params: Dict[str, Any]) -> int:
+        """Remove every checkpoint of one run; returns the number removed."""
+        run_dir = self.path_for(params)
+        removed = len(self.epochs(params))
+        shutil.rmtree(run_dir, ignore_errors=True)
+        return removed
+
+    # ------------------------------------------------------------------ #
+    def runs(self) -> List[Path]:
+        """All run directories holding checkpoints, across every version."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p for p in self.root.glob("v*/*") if p.is_dir())
+
+    def entries(self) -> List[Path]:
+        """All checkpoint files across every version directory."""
+        return sorted(p for run in self.runs() for p in run.iterdir()
+                      if p.is_file() and parse_checkpoint_name(p.name) >= 0)
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.entries())
+
+    def clear(self) -> int:
+        """Remove every version directory; returns the number of files."""
+        removed = len(self.entries())
+        if self.root.is_dir():
+            for child in self.root.glob("v*"):
+                if child.is_dir():
+                    shutil.rmtree(child, ignore_errors=True)
+        return removed
+
+    def describe(self) -> str:
+        n = len(self.entries())
+        runs = len(self.runs())
+        return (f"checkpoint store {self.root} (current version "
+                f"v{self.version}): {n} checkpoint{'' if n == 1 else 's'} "
+                f"across {runs} run{'' if runs == 1 else 's'}, "
+                f"{self.size_bytes() / 1024:.1f} KiB")
+
+
+def get_checkpoint_store(cache_dir: Optional[str] = None
+                         ) -> Optional[CheckpointStore]:
+    """The checkpoint store to use, or ``None`` when disk caching is off."""
+    if disk_cache_disabled():
+        return None
+    return CheckpointStore(cache_dir) if cache_dir else CheckpointStore()

@@ -14,13 +14,19 @@ trace
     Manage captured access traces: ``capture`` one ahead of time, ``list``
     the store, ``info`` for an (optionally epoch-parallel) per-trace
     breakdown.
+checkpoint
+    Manage epoch-boundary system checkpoints: ``list`` the store, ``info``
+    for one run's stored epochs and resume point.
 clear-cache
-    Empty the versioned on-disk result store *and* the trace store.
+    Empty the versioned on-disk result store, the trace store, *and* the
+    checkpoint store.
 
 All subcommands share ``--size/--seed/--scale`` run parameters and the
 ``--cache-dir`` / ``--no-disk-cache`` cache controls; ``run`` and ``suite``
 additionally accept ``--replay/--no-replay`` to control access-stream
-capture/replay through the trace store (default: replay).
+capture/replay through the trace store (default: replay) and
+``--checkpoint/--no-checkpoint`` / ``--resume/--no-resume`` to control
+epoch-boundary snapshots and resuming from them (default: both on).
 """
 
 from __future__ import annotations
@@ -57,6 +63,15 @@ def _add_run_params(parser: argparse.ArgumentParser) -> None:
                         help="capture access streams on first run and replay "
                              "them from the trace store afterwards "
                              "(default: --replay)")
+    parser.add_argument("--checkpoint", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="write epoch-boundary system snapshots during "
+                             "replayed simulations (default: --checkpoint)")
+    parser.add_argument("--resume", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="resume a replayed simulation from its latest "
+                             "stored checkpoint instead of simulating from "
+                             "access zero (default: --resume)")
 
 
 def _add_cache_params(parser: argparse.ArgumentParser) -> None:
@@ -146,8 +161,36 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: cpu count; 1 runs inline)")
     _add_cache_params(t_info)
 
+    p_ckpt = sub.add_parser(
+        "checkpoint",
+        help="manage epoch-boundary system checkpoints (list/info)")
+    ksub = p_ckpt.add_subparsers(dest="checkpoint_command", required=True)
+
+    k_list = ksub.add_parser("list", help="list stored checkpoint runs")
+    _add_cache_params(k_list)
+
+    k_info = ksub.add_parser(
+        "info", help="per-epoch checkpoint breakdown of one run")
+    k_info.add_argument("workload", help=f"one of {', '.join(WORKLOAD_NAMES)}")
+    k_info.add_argument("--organisation", default="multi-chip",
+                        choices=("multi-chip", "single-chip"),
+                        help="system organisation (default: multi-chip)")
+    k_info.add_argument("--size", default="small",
+                        choices=("tiny", "small", "default", "large"),
+                        help="work-volume preset (default: small)")
+    k_info.add_argument("--seed", type=int, default=42,
+                        help="workload RNG seed (default: 42)")
+    k_info.add_argument("--scale", type=int, default=DEFAULT_SCALE,
+                        help=f"cache scale-down factor (default: "
+                             f"{DEFAULT_SCALE})")
+    k_info.add_argument("--warmup", type=float, default=None, metavar="FRAC",
+                        help="warm-up fraction of the run (default: the "
+                             "runner's default)")
+    _add_cache_params(k_info)
+
     p_clear = sub.add_parser(
-        "clear-cache", help="empty the on-disk result and trace stores")
+        "clear-cache",
+        help="empty the on-disk result, trace, and checkpoint stores")
     p_clear.add_argument("--cache-dir", default=None,
                          help="disk-cache root to clear")
     return parser
@@ -169,7 +212,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         result = run_workload_context(
             args.workload, args.context, size=args.size, seed=args.seed,
             scale=args.scale, streaming=not args.eager,
-            cache_dir=args.cache_dir, replay=args.replay)
+            cache_dir=args.cache_dir, replay=args.replay,
+            checkpoint=args.checkpoint, resume=args.resume)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -208,7 +252,9 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     runner = ParallelSuiteRunner(max_workers=args.jobs,
                                  streaming=not args.eager,
                                  cache_dir=args.cache_dir,
-                                 replay=args.replay)
+                                 replay=args.replay,
+                                 checkpoint=args.checkpoint,
+                                 resume=args.resume)
     start = time.time()
     results = runner.run_suite(size=args.size, seed=args.seed,
                                scale=args.scale,
@@ -368,23 +414,103 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return handlers[args.trace_command](args)
 
 
+def _cmd_checkpoint_list(args: argparse.Namespace) -> int:
+    from .checkpoint import get_checkpoint_store
+    store = get_checkpoint_store(args.cache_dir)
+    if store is None:
+        print("disk cache is disabled (REPRO_DISABLE_DISK_CACHE set)",
+              file=sys.stderr)
+        return 2
+    print(store.describe())
+    for run_dir in store.runs():
+        epochs = store.epochs_in(run_dir)
+        size_kib = sum(p.stat().st_size for p in run_dir.iterdir()
+                       if p.is_file()) / 1024
+        span = (f"epochs {epochs[0]}..{epochs[-1]}" if epochs else "empty")
+        print(f"  {run_dir.name}: {len(epochs)} checkpoint"
+              f"{'' if len(epochs) == 1 else 's'} ({span}), "
+              f"{size_kib:.1f} KiB")
+    return 0
+
+
+def _cmd_checkpoint_info(args: argparse.Namespace) -> int:
+    from .checkpoint import checkpoint_params, get_checkpoint_store
+    from .experiments import DEFAULT_WARMUP_FRACTION
+    from .experiments.runner import clamp_warmup_fraction
+    from .mem.config import multichip_config, singlechip_config
+    from .trace import get_trace_store, trace_params
+    store = get_checkpoint_store(args.cache_dir)
+    if store is None:
+        print("disk cache is disabled (REPRO_DISABLE_DISK_CACHE set)",
+              file=sys.stderr)
+        return 2
+    config = (multichip_config() if args.organisation == "multi-chip"
+              else singlechip_config())
+    n_cpus = config.n_cpus
+    warmup = clamp_warmup_fraction(DEFAULT_WARMUP_FRACTION
+                                   if args.warmup is None else args.warmup)
+    # The checkpoint key includes the captured trace's epoch segmentation.
+    kwargs = {}
+    traces = get_trace_store(args.cache_dir)
+    reader = (traces.open(trace_params(args.workload, n_cpus, args.seed,
+                                       args.size))
+              if traces is not None else None)
+    if reader is not None:
+        kwargs["epoch_size"] = reader.meta.epoch_size
+    params = checkpoint_params(args.workload, n_cpus, args.seed, args.size,
+                               args.organisation, args.scale, warmup,
+                               **kwargs)
+    epochs = store.epochs(params)
+    if not epochs:
+        print(f"no checkpoints for {params}; run "
+              f"`python -m repro run {args.workload} {args.organisation} "
+              f"--size {args.size}` (with replay enabled) to create them",
+              file=sys.stderr)
+        return 1
+    run_dir = store.path_for(params)
+    print(f"{args.workload} / {args.organisation} (size={args.size}, "
+          f"seed={args.seed}, scale={args.scale}, warmup={warmup}) — "
+          f"{len(epochs)} checkpoint{'' if len(epochs) == 1 else 's'}")
+    header = f"{'epoch':>8}{'size (KiB)':>14}"
+    print(header)
+    print("-" * len(header))
+    for epoch in epochs:
+        size_kib = store.file_for(params, epoch).stat().st_size / 1024
+        print(f"{epoch:>8}{size_kib:>14.1f}")
+    print(f"resume point: epoch {epochs[-1]} "
+          f"(a `run` of this configuration restores it and simulates only "
+          f"the remaining epochs)")
+    return 0
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    handlers = {
+        "list": _cmd_checkpoint_list,
+        "info": _cmd_checkpoint_info,
+    }
+    return handlers[args.checkpoint_command](args)
+
+
 def _cmd_clear_cache(args: argparse.Namespace) -> int:
+    from .checkpoint import get_checkpoint_store
     from .experiments import clear_cache, get_store
     from .trace import get_trace_store
     store = get_store(args.cache_dir)
     traces = get_trace_store(args.cache_dir)
-    if store is None and traces is None:
+    checkpoints = get_checkpoint_store(args.cache_dir)
+    if store is None and traces is None and checkpoints is None:
         print("disk cache is disabled (REPRO_DISABLE_DISK_CACHE set)")
         return 0
-    for s in (store, traces):
+    for s in (store, traces, checkpoints):
         if s is not None:
             print(s.describe())
     if args.cache_dir is None:
         removed = clear_cache(disk=True)
     else:
-        removed = sum(s.clear() for s in (store, traces) if s is not None)
+        removed = sum(s.clear() for s in (store, traces, checkpoints)
+                      if s is not None)
     print(f"removed {removed} cached entr{'y' if removed == 1 else 'ies'} "
-          f"(results + traces)")
+          f"(results + traces + checkpoints)")
     return 0
 
 
@@ -396,6 +522,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "suite": _cmd_suite,
         "report": _cmd_report,
         "trace": _cmd_trace,
+        "checkpoint": _cmd_checkpoint,
         "clear-cache": _cmd_clear_cache,
     }
     try:

@@ -32,9 +32,12 @@ columnar chunks, enabling the vectorised block-address fast path in
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple, Union
 
+from ..checkpoint import (checkpoint_params, get_checkpoint_store,
+                          simulate_replay)
 from ..core.classification import (ClassificationBreakdown, classify_intrachip,
                                    classify_offchip)
 from ..core.lengths import LengthDistribution, length_distribution
@@ -48,13 +51,24 @@ from ..mem.singlechip import SingleChipSystem
 from ..mem.trace import (DEFAULT_CHUNK_SIZE, INTRA_CHIP, MULTI_CHIP,
                          MissTrace, SINGLE_CHIP)
 from ..mem.config import multichip_config, singlechip_config
-from ..trace import get_trace_store, trace_params
+from ..trace import TraceCorruptError, get_trace_store, trace_params
 from ..workloads import WORKLOAD_NAMES, create_workload
 from .store import ResultStore, disk_cache_disabled
 
 #: Fraction of the access trace used to warm the caches before recording,
 #: mirroring the paper's warm-up of at least 5000 transactions before tracing.
 DEFAULT_WARMUP_FRACTION = 0.25
+
+
+def clamp_warmup_fraction(fraction: float) -> float:
+    """The effective warm-up fraction for a requested one.
+
+    Every site that turns a warm-up fraction into a warm-up access count —
+    or into a checkpoint-store key — must clamp identically, or the serial
+    pass, the shard workers, and the CLI would compute different keys for
+    the same run.
+    """
+    return max(0.0, min(fraction, 0.9))
 
 
 @dataclass
@@ -103,9 +117,9 @@ def get_store(cache_dir: Optional[str] = None) -> Optional[ResultStore]:
 def clear_cache(disk: bool = False) -> int:
     """Drop memoised results; with ``disk=True`` also empty the disk stores.
 
-    Covers both persistent stores — analysis bundles *and* captured access
-    traces.  Returns the number of disk entries removed (0 for memory-only
-    clears).
+    Covers all three persistent stores — analysis bundles, captured access
+    traces, and epoch-boundary checkpoints.  Returns the number of disk
+    entries removed (0 for memory-only clears).
     """
     _CACHE.clear()
     _TRACE_CACHE.clear()
@@ -117,6 +131,9 @@ def clear_cache(disk: bool = False) -> int:
         traces = get_trace_store()
         if traces is not None:
             removed += traces.clear()
+        checkpoints = get_checkpoint_store()
+        if checkpoints is not None:
+            removed += checkpoints.clear()
     return removed
 
 
@@ -127,43 +144,82 @@ def _result_params(workload: str, context: str, size: str, seed: int,
             "seed": seed, "scale": scale, "warmup": warmup_fraction}
 
 
+def _build_system(organisation: str, scale: int
+                  ) -> Union[MultiChipSystem, SingleChipSystem]:
+    """A fresh system model for one organisation at one cache scale."""
+    if organisation == "multi-chip":
+        return MultiChipSystem(multichip_config(scale=scale))
+    if organisation == "single-chip":
+        return SingleChipSystem(singlechip_config(scale=scale))
+    raise ValueError(f"unknown organisation {organisation!r}")
+
+
 def _simulate(workload: str, organisation: str, size: str, seed: int,
               scale: int, warmup_fraction: float, streaming: bool = True,
               chunk_size: int = DEFAULT_CHUNK_SIZE, replay: bool = True,
-              cache_dir: Optional[str] = None) -> Dict[str, MissTrace]:
+              cache_dir: Optional[str] = None, checkpoint: bool = True,
+              resume: bool = True) -> Dict[str, MissTrace]:
     """Run the workload access stream through one system organisation.
 
     With ``replay`` enabled the stream comes from the columnar trace store
     whenever a capture exists; on a first run, the counting pass captures
     the stream as a side effect and the simulation pass replays it, so the
     generators run at most once per distinct stream.
+
+    Replayed simulations additionally write epoch-boundary checkpoints
+    (full system snapshots) and, with ``resume``, restore the latest one
+    and simulate only the remaining epochs — an interrupted run costs only
+    the epochs past its last checkpoint, bit-identically.  A trace whose
+    segments turn out corrupt mid-replay is dropped with a warning and the
+    run falls back to re-generating the stream (one retry).
     """
     key = memo_key(workload, organisation, size, seed, scale, warmup_fraction)
     if key in _TRACE_CACHE:
         return _TRACE_CACHE[key]
-    if organisation == "multi-chip":
-        config = multichip_config(scale=scale)
-        system: Union[MultiChipSystem, SingleChipSystem] = \
-            MultiChipSystem(config)
-    elif organisation == "single-chip":
-        config = singlechip_config(scale=scale)
-        system = SingleChipSystem(config)
-    else:
-        raise ValueError(f"unknown organisation {organisation!r}")
-    fraction = max(0.0, min(warmup_fraction, 0.9))
+    try:
+        traces = _simulate_once(
+            workload, organisation, size, seed, scale, warmup_fraction,
+            streaming=streaming, chunk_size=chunk_size, replay=replay,
+            cache_dir=cache_dir, checkpoint=checkpoint, resume=resume)
+    except TraceCorruptError as exc:
+        warnings.warn(
+            f"captured trace for {workload} is corrupt mid-replay ({exc}); "
+            f"dropping it and re-generating the stream", RuntimeWarning,
+            stacklevel=2)
+        trace_store = get_trace_store(cache_dir)
+        if trace_store is not None:
+            config = (multichip_config(scale=scale)
+                      if organisation == "multi-chip"
+                      else singlechip_config(scale=scale))
+            trace_store.drop(trace_params(workload, config.n_cpus, seed,
+                                          size))
+        traces = _simulate_once(
+            workload, organisation, size, seed, scale, warmup_fraction,
+            streaming=streaming, chunk_size=chunk_size, replay=False,
+            cache_dir=cache_dir, checkpoint=checkpoint, resume=resume)
+    _TRACE_CACHE[key] = traces
+    return traces
+
+
+def _simulate_once(workload: str, organisation: str, size: str, seed: int,
+                   scale: int, warmup_fraction: float, streaming: bool,
+                   chunk_size: int, replay: bool, cache_dir: Optional[str],
+                   checkpoint: bool, resume: bool) -> Dict[str, MissTrace]:
+    """One simulation attempt (see :func:`_simulate` for the retry wrapper)."""
+    system = _build_system(organisation, scale)
+    config = system.config
+    fraction = clamp_warmup_fraction(warmup_fraction)
 
     trace_store = get_trace_store(cache_dir) if replay else None
     stream_key = trace_params(workload, config.n_cpus, seed, size)
     reader = trace_store.open(stream_key) if trace_store is not None else None
 
-    epochs: Optional[Iterator] = None
     accesses: Optional[Iterator] = None
     if reader is not None:
         # Replay: length and stream both come from disk; the generators are
         # never instantiated.  This supersedes both streaming and eager
         # generation — the replayed stream is identical by construction.
         n_accesses = reader.n_accesses
-        epochs = reader.iter_epochs()
     elif streaming:
         # Counting pass over a fresh instance to place the warm-up boundary;
         # workloads are deterministic in (name, n_cpus, seed, size), so the
@@ -177,9 +233,7 @@ def _simulate(workload: str, organisation: str, size: str, seed: int,
         n_accesses = sum(1 for _ in counted)
         reader = (trace_store.open(stream_key)
                   if trace_store is not None else None)
-        if reader is not None:
-            epochs = reader.iter_epochs()
-        else:
+        if reader is None:
             accesses = create_workload(
                 workload, n_cpus=config.n_cpus, seed=seed,
                 size=size).iter_accesses()
@@ -193,18 +247,23 @@ def _simulate(workload: str, organisation: str, size: str, seed: int,
             # later runs (streaming or eager) replay from disk.
             accesses = trace_store.capture(accesses, stream_key)
     warmup = int(n_accesses * fraction)
-    if epochs is not None:
-        results = system.run_chunks(epochs, warmup=warmup)
+    if reader is not None:
+        # Checkpointed replay: snapshots at epoch boundaries, resume from
+        # the latest one when the same run left checkpoints behind.
+        ckpt_store = get_checkpoint_store(cache_dir) if checkpoint else None
+        ckpt_key = checkpoint_params(workload, config.n_cpus, seed, size,
+                                     organisation, scale, fraction,
+                                     epoch_size=reader.meta.epoch_size)
+        results = simulate_replay(system, reader, warmup=warmup,
+                                  store=ckpt_store, params=ckpt_key,
+                                  resume=resume)
     else:
         results = system.run_stream(accesses, warmup=warmup,
                                     chunk_size=chunk_size)
     if organisation == "multi-chip":
-        traces = {MULTI_CHIP: results}
-    else:
-        offchip, intrachip = results
-        traces = {SINGLE_CHIP: offchip, INTRA_CHIP: intrachip}
-    _TRACE_CACHE[key] = traces
-    return traces
+        return {MULTI_CHIP: results}
+    offchip, intrachip = results
+    return {SINGLE_CHIP: offchip, INTRA_CHIP: intrachip}
 
 
 def _analyze(workload: str, context: str, miss_trace: MissTrace,
@@ -231,16 +290,18 @@ def run_workload_context(workload: str, context: str, size: str = "small",
                          warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
                          streaming: bool = True,
                          cache_dir: Optional[str] = None,
-                         replay: bool = True,
+                         replay: bool = True, checkpoint: bool = True,
+                         resume: bool = True,
                          ) -> ContextResult:
     """Build the full analysis bundle for one workload in one system context.
 
     ``context`` is one of ``multi-chip``, ``single-chip``, or ``intra-chip``
     (the latter two come from the same single-chip simulation).  Results are
     memoised in-process and persisted to the versioned disk store; the
-    ``streaming`` and ``replay`` flags select how the access stream is
-    produced (lazy vs eager generation; trace-store capture/replay vs always
-    generating) and do not affect the produced results.
+    ``streaming``, ``replay``, ``checkpoint``, and ``resume`` flags select
+    how the access stream is produced and whether replayed simulations
+    write/restore epoch-boundary checkpoints — none of them affect the
+    produced results (a resumed run is bit-identical by construction).
     """
     if context not in (MULTI_CHIP, SINGLE_CHIP, INTRA_CHIP):
         raise ValueError(f"unknown context {context!r}")
@@ -259,7 +320,8 @@ def run_workload_context(workload: str, context: str, size: str = "small",
     organisation = "multi-chip" if context == MULTI_CHIP else "single-chip"
     traces = _simulate(workload, organisation, size, seed, scale,
                        warmup_fraction, streaming=streaming, replay=replay,
-                       cache_dir=cache_dir)
+                       cache_dir=cache_dir, checkpoint=checkpoint,
+                       resume=resume)
     result = _analyze(workload, context, traces[context])
     _CACHE[cache_key] = result
     if store is not None:
@@ -270,12 +332,15 @@ def run_workload_context(workload: str, context: str, size: str = "small",
 def run_all_contexts(workload: str, size: str = "small", seed: int = 42,
                      scale: int = DEFAULT_SCALE, streaming: bool = True,
                      cache_dir: Optional[str] = None, replay: bool = True,
+                     checkpoint: bool = True, resume: bool = True,
                      ) -> Dict[str, ContextResult]:
     """All three contexts for one workload."""
     return {context: run_workload_context(workload, context, size=size,
                                           seed=seed, scale=scale,
                                           streaming=streaming,
-                                          cache_dir=cache_dir, replay=replay)
+                                          cache_dir=cache_dir, replay=replay,
+                                          checkpoint=checkpoint,
+                                          resume=resume)
             for context in (MULTI_CHIP, SINGLE_CHIP, INTRA_CHIP)}
 
 
@@ -283,6 +348,7 @@ def run_suite(size: str = "small", seed: int = 42,
               scale: int = DEFAULT_SCALE,
               workloads: Tuple[str, ...] = WORKLOAD_NAMES,
               streaming: bool = True, replay: bool = True,
+              checkpoint: bool = True, resume: bool = True,
               ) -> Dict[str, Dict[str, ContextResult]]:
     """All workloads in all contexts (the full evaluation sweep), serially.
 
@@ -290,5 +356,6 @@ def run_suite(size: str = "small", seed: int = 42,
     process-pool version used by ``python -m repro suite``.
     """
     return {name: run_all_contexts(name, size=size, seed=seed, scale=scale,
-                                   streaming=streaming, replay=replay)
+                                   streaming=streaming, replay=replay,
+                                   checkpoint=checkpoint, resume=resume)
             for name in workloads}

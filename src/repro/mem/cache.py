@@ -109,6 +109,18 @@ class Cache:
         cache_set[block] = state
         return victim
 
+    def record_hits(self, block: int, count: int) -> None:
+        """Account ``count`` consecutive hits on a resident block at once.
+
+        Equivalent to calling :meth:`lookup` ``count`` times on a block that
+        is already most-recently-used: the hit counter advances by ``count``
+        and the block ends up MRU.  Raises ``KeyError`` when the block is not
+        resident (callers must have established residency first).
+        """
+        cache_set = self._sets[self._set_index(block)]
+        cache_set.move_to_end(block)
+        self.hits += count
+
     def set_state(self, block: int, state: State) -> None:
         """Change the state of a resident block (or drop it if INVALID)."""
         cache_set = self._sets[self._set_index(block)]
@@ -154,3 +166,47 @@ class Cache:
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "evictions": self.evictions}
+
+    # ------------------------------------------------------------------ #
+    # Snapshot / restore
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, object]:
+        """Full cache state as plain (picklable, version-stable) structures.
+
+        Per set, resident blocks are listed in LRU order (first = least
+        recently used) with their coherence state, so :meth:`restore`
+        reconstructs recency exactly; the hit/miss/eviction counters ride
+        along so restored statistics continue seamlessly.
+        """
+        return {
+            "sets": [[[int(block), int(state)] for block, state in
+                      cache_set.items()] for cache_set in self._sets],
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Replace the cache contents with a :meth:`snapshot` state dict.
+
+        The snapshot must match this cache's geometry (set count and
+        associativity); a mismatch raises ``ValueError`` before any state is
+        mutated.
+        """
+        sets = state["sets"]
+        if len(sets) != self.n_sets:
+            raise ValueError(
+                f"snapshot has {len(sets)} sets, {self.name} has "
+                f"{self.n_sets}")
+        new_sets: List["OrderedDict[int, State]"] = []
+        for index, entries in enumerate(sets):
+            if len(entries) > self.assoc:
+                raise ValueError(
+                    f"snapshot set {index} holds {len(entries)} blocks, "
+                    f"{self.name} is {self.assoc}-way")
+            new_sets.append(OrderedDict(
+                (int(block), State(int(value))) for block, value in entries))
+        self._sets = new_sets
+        self.hits = int(state["hits"])
+        self.misses = int(state["misses"])
+        self.evictions = int(state["evictions"])

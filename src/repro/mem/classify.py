@@ -59,6 +59,18 @@ class BlockHistory:
         self._last_access[(observer, block)] = seq
         self._touched.add(block)
 
+    def record_accesses(self, observer: int, block: int, count: int) -> None:
+        """Record ``count`` consecutive accesses by ``observer`` to ``block``.
+
+        Equivalent to calling :meth:`record_access` ``count`` times: the
+        clock advances by ``count`` and the (observer, block) recency lands
+        on the final tick (intermediate values are unobservable).  Used by
+        the batched same-block fast path in the system models.
+        """
+        self._clock += count
+        self._last_access[(observer, block)] = self._clock
+        self._touched.add(block)
+
     def record_io_write(self, block: int) -> None:
         """Record a DMA or copyout (non-allocating) store to ``block``."""
         seq = self._tick()
@@ -85,6 +97,38 @@ class BlockHistory:
         if io_seq > since:
             return MissClass.IO_COHERENCE
         return MissClass.REPLACEMENT
+
+    # ------------------------------------------------------------------ #
+    # Snapshot / restore
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, object]:
+        """Full history state as plain, deterministic structures.
+
+        Entries are sorted so two histories that would classify every future
+        miss identically produce byte-identical snapshots regardless of the
+        insertion order their dicts happened to accumulate.
+        """
+        return {
+            "clock": self._clock,
+            "cpu_writes": sorted([block, seq, writer] for block, (seq, writer)
+                                 in self._last_cpu_write.items()),
+            "io_writes": sorted([block, seq] for block, seq
+                                in self._last_io_write.items()),
+            "accesses": sorted([observer, block, seq] for (observer, block),
+                               seq in self._last_access.items()),
+            "touched": sorted(self._touched),
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Replace the history with a :meth:`snapshot` state dict."""
+        self._clock = int(state["clock"])
+        self._last_cpu_write = {int(block): (int(seq), int(writer))
+                                for block, seq, writer in state["cpu_writes"]}
+        self._last_io_write = {int(block): int(seq)
+                               for block, seq in state["io_writes"]}
+        self._last_access = {(int(observer), int(block)): int(seq)
+                             for observer, block, seq in state["accesses"]}
+        self._touched = set(state["touched"])
 
     # ------------------------------------------------------------------ #
     # Introspection helpers (used by tests)

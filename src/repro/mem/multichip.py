@@ -12,7 +12,7 @@ timing-free: accesses are processed in program order with no stalls.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from .cache import Cache, State
 from .classify import BlockHistory
@@ -78,6 +78,57 @@ class MultiChipSystem(StreamingSystemMixin):
         self._offchip.instructions = self._instructions
         return self._offchip
 
+    def miss_traces(self) -> Dict[str, MissTrace]:
+        """The accumulated miss traces keyed by context name."""
+        return {MULTI_CHIP: self.offchip}
+
+    # ------------------------------------------------------------------ #
+    # Snapshot / restore
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, object]:
+        """Full system state as plain structures (see checkpoint subsystem).
+
+        Captures every cache (per-block MSI state in LRU order), the
+        classification history, the accumulated off-chip miss trace, and the
+        instruction/recording bookkeeping: restoring it and continuing the
+        run is bit-identical to never having stopped.
+        """
+        return {
+            "model": MULTI_CHIP,
+            "n_cpus": self.n_nodes,
+            "block_size": self.block_size,
+            "l1s": [cache.snapshot() for cache in self.l1s],
+            "l2s": [cache.snapshot() for cache in self.l2s],
+            "history": self.history.snapshot(),
+            "offchip": self._offchip.state_dict(),
+            "instructions": self._instructions,
+            "recording": self.recording,
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Replace the system state with a :meth:`snapshot` state dict.
+
+        The snapshot must come from the same organisation and geometry;
+        mismatches raise ``ValueError``.
+        """
+        if state.get("model") != MULTI_CHIP:
+            raise ValueError(f"snapshot is for model {state.get('model')!r}, "
+                             f"not {MULTI_CHIP!r}")
+        if (int(state["n_cpus"]) != self.n_nodes
+                or int(state["block_size"]) != self.block_size):
+            raise ValueError(
+                f"snapshot geometry ({state['n_cpus']} cpus, "
+                f"{state['block_size']}B blocks) does not match this system "
+                f"({self.n_nodes} cpus, {self.block_size}B blocks)")
+        for cache, cache_state in zip(self.l1s, state["l1s"]):
+            cache.restore(cache_state)
+        for cache, cache_state in zip(self.l2s, state["l2s"]):
+            cache.restore(cache_state)
+        self.history.restore(state["history"])
+        self._offchip = MissTrace.from_state_dict(state["offchip"])
+        self._instructions = int(state["instructions"])
+        self.recording = bool(state["recording"])
+
     # ------------------------------------------------------------------ #
     # Per-block protocol actions
     # ------------------------------------------------------------------ #
@@ -138,6 +189,16 @@ class MultiChipSystem(StreamingSystemMixin):
             self.l1s[node].invalidate(block)
             self.l2s[node].invalidate(block)
         self.history.record_io_write(block)
+
+    def _process_read_hits(self, node: int, block: int, count: int) -> None:
+        """Batched tail of a same-block read run that is guaranteed to hit.
+
+        Equivalent to ``count`` further :meth:`_cpu_read` calls on a block
+        already resident (and MRU) in ``node``'s L1: the hit counter and the
+        history clock advance by ``count`` with no per-access Python loop.
+        """
+        self.l1s[node].record_hits(block, count)
+        self.history.record_accesses(node, block, count)
 
     # ------------------------------------------------------------------ #
     @staticmethod

@@ -19,7 +19,7 @@ invalidate the L1s).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from .cache import Cache, State
 from .classify import BlockHistory
@@ -95,6 +95,60 @@ class SingleChipSystem(StreamingSystemMixin):
     def intrachip(self) -> MissTrace:
         self._intrachip.instructions = self._instructions
         return self._intrachip
+
+    def miss_traces(self) -> Dict[str, MissTrace]:
+        """The accumulated miss traces keyed by context name."""
+        return {SINGLE_CHIP: self.offchip, INTRA_CHIP: self.intrachip}
+
+    # ------------------------------------------------------------------ #
+    # Snapshot / restore
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, object]:
+        """Full system state as plain structures (see checkpoint subsystem).
+
+        Captures the per-core L1s and shared L2 (per-block MOSI state in LRU
+        order), both classification histories, both accumulated miss traces,
+        and the instruction/recording bookkeeping: restoring it and
+        continuing the run is bit-identical to never having stopped.
+        """
+        return {
+            "model": SINGLE_CHIP,
+            "n_cpus": self.n_cores,
+            "block_size": self.block_size,
+            "l1s": [cache.snapshot() for cache in self.l1s],
+            "l2": self.l2.snapshot(),
+            "chip_history": self.chip_history.snapshot(),
+            "core_history": self.core_history.snapshot(),
+            "offchip": self._offchip.state_dict(),
+            "intrachip": self._intrachip.state_dict(),
+            "instructions": self._instructions,
+            "recording": self.recording,
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Replace the system state with a :meth:`snapshot` state dict.
+
+        The snapshot must come from the same organisation and geometry;
+        mismatches raise ``ValueError``.
+        """
+        if state.get("model") != SINGLE_CHIP:
+            raise ValueError(f"snapshot is for model {state.get('model')!r}, "
+                             f"not {SINGLE_CHIP!r}")
+        if (int(state["n_cpus"]) != self.n_cores
+                or int(state["block_size"]) != self.block_size):
+            raise ValueError(
+                f"snapshot geometry ({state['n_cpus']} cpus, "
+                f"{state['block_size']}B blocks) does not match this system "
+                f"({self.n_cores} cpus, {self.block_size}B blocks)")
+        for cache, cache_state in zip(self.l1s, state["l1s"]):
+            cache.restore(cache_state)
+        self.l2.restore(state["l2"])
+        self.chip_history.restore(state["chip_history"])
+        self.core_history.restore(state["core_history"])
+        self._offchip = MissTrace.from_state_dict(state["offchip"])
+        self._intrachip = MissTrace.from_state_dict(state["intrachip"])
+        self._instructions = int(state["instructions"])
+        self.recording = bool(state["recording"])
 
     # ------------------------------------------------------------------ #
     # Per-block protocol actions
@@ -182,6 +236,17 @@ class SingleChipSystem(StreamingSystemMixin):
         self.l2.invalidate(block)
         self.core_history.record_io_write(block)
         self.chip_history.record_io_write(block)
+
+    def _process_read_hits(self, core: int, block: int, count: int) -> None:
+        """Batched tail of a same-block read run that is guaranteed to hit.
+
+        Equivalent to ``count`` further :meth:`_cpu_read` calls on a block
+        already resident (and MRU) in ``core``'s L1: the hit counter and
+        both history clocks advance by ``count`` with no per-access loop.
+        """
+        self.l1s[core].record_hits(block, count)
+        self.core_history.record_accesses(core, block, count)
+        self.chip_history.record_accesses(_CHIP, block, count)
 
     # ------------------------------------------------------------------ #
     def _fill_l1(self, core: int, block: int, state: State) -> None:

@@ -11,18 +11,32 @@ Chunks are normally plain lists of :class:`~repro.mem.records.Access`, but
 ``block_spans``/``recorded_instructions`` interface of
 :class:`repro.trace.format.ColumnarChunk`): for those, the per-access block
 arithmetic and instruction counting are lifted out of the inner loop into
-vectorised whole-column numpy operations.  The fast path leans on two
-internals both system models share — ``self._instructions`` and
-``self._process_block`` — and is regression-tested to be access-for-access
-identical to the scalar path.
+vectorised whole-column numpy operations, and consecutive single-block reads
+of the same block by the same CPU — ubiquitous in pointer-chasing workloads —
+are collapsed into one protocol action plus a batched hit count
+(``_process_read_hits``), so the per-access Python loop only runs once per
+*distinct* (cpu, block) run.  The fast path leans on internals both system
+models share — ``self._instructions``, ``self._process_block``, and
+``self._process_read_hits`` — and is regression-tested to be
+access-for-access identical to the scalar path.
+
+``run_chunks`` also accepts a starting offset (``seen``) and a per-chunk
+callback (``on_chunk``); together these are what the checkpoint subsystem
+builds on — a resumed run continues the warm-up bookkeeping mid-stream, and
+the callback saves an epoch-boundary snapshot after each replayed chunk.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sized
+from typing import Any, Callable, Iterable, Optional, Sized
 
-from .records import Access
+import numpy as np
+
+from .records import Access, AccessKind
 from .trace import DEFAULT_CHUNK_SIZE, iter_chunks
+
+_READ = int(AccessKind.READ)
+_IFETCH = int(AccessKind.IFETCH)
 
 
 class StreamingSystemMixin:
@@ -39,16 +53,25 @@ class StreamingSystemMixin:
         return self.run_chunks(iter_chunks(accesses, chunk_size),
                                warmup=warmup)
 
-    def run_chunks(self, chunks: Iterable[Sized], warmup: int = 0) -> Any:
+    def run_chunks(self, chunks: Iterable[Sized], warmup: int = 0,
+                   seen: int = 0,
+                   on_chunk: Optional[Callable[[Any, int], None]] = None
+                   ) -> Any:
         """Process pre-chunked accesses (lists or columnar epoch chunks).
 
         This is the replay entry point: feeding it
         ``TraceReader.iter_epochs()`` simulates a captured trace without
         materialising ``Access`` lists, splitting the warm-up boundary
         inside an epoch by (zero-copy) chunk slicing.
+
+        ``seen`` is the number of accesses already processed before the
+        first chunk (non-zero when resuming from a checkpoint mid-trace);
+        the warm-up boundary is honoured relative to the whole stream.
+        ``on_chunk(chunk, seen_after)`` is invoked after each chunk is fully
+        processed — the checkpoint writer hooks in here to snapshot system
+        state at epoch boundaries.
         """
-        self.set_recording(warmup <= 0)
-        seen = 0
+        self.set_recording(warmup <= seen)
         for chunk in chunks:
             if not self.recording and seen + len(chunk) > warmup:
                 head = warmup - seen
@@ -58,6 +81,8 @@ class StreamingSystemMixin:
             else:
                 self.process_chunk(chunk)
             seen += len(chunk)
+            if on_chunk is not None:
+                on_chunk(chunk, seen)
         self.set_recording(True)
         return self.finish()
 
@@ -65,24 +90,47 @@ class StreamingSystemMixin:
         """Process a batch of accesses in order.
 
         Columnar chunks take the vectorised path: block spans for the whole
-        chunk come from one shifted-compare over the address column, and
-        instruction counting is a single masked sum instead of a per-access
-        branch.
+        chunk come from one shifted-compare over the address column,
+        instruction counting is a single masked sum, and runs of same-block
+        single-block reads by one CPU are batched — the first access of a
+        run goes through the full protocol (after which the block is
+        guaranteed resident and MRU in that CPU's L1) and the tail becomes
+        one ``_process_read_hits`` call.
         """
         spans = getattr(accesses, "block_spans", None)
         if spans is None:
             for access in accesses:
                 self.process(access)
             return
+        if len(accesses) == 0:
+            return
         if self.recording:
             self._instructions += accesses.recorded_instructions()
         block_size = self.block_size
         first, last = spans(block_size)
+        cpu = accesses.columns["cpu"]
+        kind = accesses.columns["kind"]
+        # A run tail is batchable when every access is a single-block CPU
+        # read of the same block by the same CPU as its predecessor.
+        batchable = (((kind == _READ) | (kind == _IFETCH))
+                     & (first == last) & (cpu >= 0))
+        continues = np.zeros(len(accesses), dtype=bool)
+        continues[1:] = (batchable[1:] & batchable[:-1]
+                         & (first[1:] == first[:-1]) & (cpu[1:] == cpu[:-1]))
+        starts = np.flatnonzero(~continues)
+        run_firsts = accesses.accesses_at(starts)
+        first_l = first[starts].tolist()
+        last_l = last[starts].tolist()
+        cpu_l = cpu[starts].tolist()
+        starts_l = starts.tolist()
+        ends_l = starts_l[1:] + [len(accesses)]
         process_block = self._process_block
-        for access, block, stop in zip(accesses, first.tolist(),
-                                       last.tolist()):
+        for access, block, stop, start, end, core in zip(
+                run_firsts, first_l, last_l, starts_l, ends_l, cpu_l):
             while True:
                 process_block(access, block)
                 if block >= stop:
                     break
                 block += block_size
+            if end - start > 1:
+                self._process_read_hits(core, stop, end - start - 1)

@@ -134,6 +134,45 @@ class MissTrace:
                                            supplier=r.supplier))
         return filtered
 
+    # -- snapshot / restore ------------------------------------------------- #
+    def state_dict(self) -> Dict[str, object]:
+        """The trace as plain structures (for system checkpoints).
+
+        Function attribution is interned — each distinct
+        :class:`FunctionRef` appears once — so the state stays compact even
+        for long miss traces.
+        """
+        fn_ids: Dict[FunctionRef, int] = {}
+        functions: List[List[str]] = []
+        records: List[List] = []
+        for r in self.records:
+            fn_id = fn_ids.get(r.fn)
+            if fn_id is None:
+                fn_id = fn_ids[r.fn] = len(functions)
+                functions.append([r.fn.name, r.fn.module, r.fn.category])
+            records.append([r.seq, r.cpu, r.block, int(r.miss_class), fn_id,
+                            r.supplier])
+        return {"context": self.context, "instructions": self.instructions,
+                "functions": functions, "records": records}
+
+    @classmethod
+    def from_state_dict(cls, state: Dict[str, object]) -> "MissTrace":
+        """Rebuild a trace from :meth:`state_dict` output.
+
+        Miss classes are restored to the enum matching the context, so a
+        restored trace is field-identical to the one that was snapshotted.
+        """
+        context = str(state["context"])
+        class_type = IntraChipClass if context == INTRA_CHIP else MissClass
+        functions = [FunctionRef(name=name, module=module, category=category)
+                     for name, module, category in state["functions"]]
+        trace = cls(context, instructions=int(state["instructions"]))
+        for seq, cpu, block, miss_class, fn_id, supplier in state["records"]:
+            trace.append(MissRecord(seq=seq, cpu=cpu, block=block,
+                                    miss_class=class_type(miss_class),
+                                    fn=functions[fn_id], supplier=supplier))
+        return trace
+
     # -- serialization ------------------------------------------------------ #
     def to_jsonl(self, path: str) -> None:
         """Write the trace as JSON-lines (one record per line)."""

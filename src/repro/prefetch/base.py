@@ -32,6 +32,25 @@ class Prefetcher:
         """Consume one miss and return the block addresses to prefetch."""
         raise NotImplementedError
 
+    def snapshot(self) -> Dict[str, object]:
+        """Full predictor state as plain, deterministic structures.
+
+        Implementations must tag the state with their ``name`` so
+        :meth:`restore` can reject a snapshot from a different prefetcher
+        family; the checkpoint subsystem persists these dicts alongside the
+        system-model state.
+        """
+        raise NotImplementedError
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Replace the predictor state with a :meth:`snapshot` state dict."""
+        raise NotImplementedError
+
+    def _check_snapshot_name(self, state: Dict[str, object]) -> None:
+        if state.get("name") != self.name:
+            raise ValueError(f"snapshot is for prefetcher "
+                             f"{state.get('name')!r}, not {self.name!r}")
+
 
 @dataclass
 class CoverageResult:

@@ -146,6 +146,24 @@ class ColumnarChunk:
                          kind=AccessKind(kind), fn=ref(fn_id),
                          thread=thread, icount=icount)
 
+    def accesses_at(self, indices: np.ndarray) -> List[Access]:
+        """Reconstruct only the accesses at ``indices`` (in index order).
+
+        The batched same-block fast path needs a materialised ``Access`` for
+        the *first* element of each run only (function attribution on a
+        miss); gathering just those rows skips reconstructing the runs'
+        tails entirely.
+        """
+        ref = self.functions.ref
+        cols = self.columns
+        rows = zip(cols["cpu"][indices].tolist(), cols["addr"][indices].tolist(),
+                   cols["size"][indices].tolist(), cols["kind"][indices].tolist(),
+                   cols["fn"][indices].tolist(), cols["thread"][indices].tolist(),
+                   cols["icount"][indices].tolist())
+        return [Access(cpu=cpu, addr=addr, size=size, kind=AccessKind(kind),
+                       fn=ref(fn_id), thread=thread, icount=icount)
+                for cpu, addr, size, kind, fn_id, thread, icount in rows]
+
     # -- vectorised views ------------------------------------------------- #
     def block_addresses(self, block_bits: int) -> np.ndarray:
         """Block index of each access's first byte (``addr >> block_bits``)."""

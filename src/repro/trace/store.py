@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import os
 import shutil
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional
@@ -87,7 +88,11 @@ class TraceStore:
         """A reader for the stored trace, or ``None`` on miss.
 
         A corrupt entry (unreadable header, format-version mismatch) is
-        deleted and treated as a miss so the next capture replaces it.
+        dropped with a warning and treated as a miss so the next capture
+        replaces it instead of a stale entry failing every later run.
+        Segment files are validated lazily on decode; a consumer that hits
+        a corrupt segment mid-replay should :meth:`drop` the trace and fall
+        back to generation (see the experiment runner).
         """
         path = self.path_for(params)
         if not is_trace_dir(path):
@@ -95,12 +100,22 @@ class TraceStore:
             return None
         try:
             reader = TraceReader(path)
-        except TraceCorruptError:
+        except TraceCorruptError as exc:
+            warnings.warn(
+                f"dropping corrupt trace {path} ({exc}); the stream will be "
+                f"re-generated and re-captured", RuntimeWarning, stacklevel=2)
             shutil.rmtree(path, ignore_errors=True)
             STATS.misses += 1
             return None
         STATS.hits += 1
         return reader
+
+    def drop(self, params: Dict[str, Any]) -> bool:
+        """Remove one stored trace (corrupt-segment recovery); True if it existed."""
+        path = self.path_for(params)
+        existed = path.is_dir()
+        shutil.rmtree(path, ignore_errors=True)
+        return existed
 
     def writer(self, params: Dict[str, Any],
                epoch_size: int = DEFAULT_EPOCH_SIZE) -> CaptureWriter:

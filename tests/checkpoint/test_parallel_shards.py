@@ -1,0 +1,69 @@
+"""Epoch-sharded parallel simulation must match serial simulation exactly."""
+
+import pytest
+
+from repro.experiments import ParallelSuiteRunner, runner
+from repro.experiments.parallel import _shard_starts
+from repro.mem.trace import INTRA_CHIP, MULTI_CHIP, SINGLE_CHIP
+
+from .test_resume import assert_traces_equal
+
+SIM = dict(size="tiny", seed=42)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _clean_memo():
+    yield
+    runner.clear_cache()
+
+
+def _serial_traces(organisation):
+    """Reference serial simulation (also seeds trace + checkpoints)."""
+    return runner._simulate("Apache", organisation, "tiny", 42, 64, 0.25)
+
+
+class TestShardStarts:
+    def test_no_checkpoints_is_one_serial_shard(self):
+        assert _shard_starts(10, [], 4) == [0]
+
+    def test_even_cuts_snap_to_available(self):
+        assert _shard_starts(12, [3, 6, 9], 4) == [0, 3, 6, 9]
+        assert _shard_starts(12, [5], 4) == [0, 5]
+        assert _shard_starts(12, list(range(1, 12)), 2) == [0, 6]
+
+    def test_single_shard_requested(self):
+        assert _shard_starts(12, [3, 6], 1) == [0]
+
+
+class TestSimulateTrace:
+    @pytest.mark.parametrize("organisation,contexts", [
+        ("multi-chip", (MULTI_CHIP,)),
+        ("single-chip", (SINGLE_CHIP, INTRA_CHIP)),
+    ])
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_parallel_matches_serial(self, organisation, contexts, workers):
+        serial = _serial_traces(organisation)
+        sharded = ParallelSuiteRunner(max_workers=workers).simulate_trace(
+            "Apache", organisation, shards=3, **SIM)
+        assert set(sharded) == set(contexts)
+        for context in contexts:
+            assert_traces_equal(sharded[context], serial[context])
+
+    def test_unknown_organisation_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelSuiteRunner(max_workers=1).simulate_trace(
+                "Apache", "mega-chip", **SIM)
+
+    def test_missing_trace_rejected(self):
+        with pytest.raises(LookupError):
+            ParallelSuiteRunner(max_workers=1).simulate_trace(
+                "Apache", "multi-chip", size="tiny", seed=987654)
+
+    def test_no_checkpoints_degrades_to_serial(self):
+        from repro.checkpoint import get_checkpoint_store
+        serial = _serial_traces("multi-chip")
+        ckpts = get_checkpoint_store()
+        ckpts.clear()
+        sharded = ParallelSuiteRunner(max_workers=2).simulate_trace(
+            "Apache", "multi-chip", shards=4, **SIM)
+        assert_traces_equal(sharded[MULTI_CHIP], serial[MULTI_CHIP])

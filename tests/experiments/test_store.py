@@ -9,6 +9,7 @@ from repro.experiments import runner
 from repro.experiments.store import (CACHE_DIR_ENV, CACHE_DISABLE_ENV,
                                      ResultStore, default_cache_root,
                                      disk_cache_disabled)
+from repro.checkpoint import get_checkpoint_store
 from repro.trace import get_trace_store
 
 PARAMS = {"workload": "Apache", "context": "multi-chip", "size": "tiny",
@@ -140,12 +141,17 @@ class TestRunnerDiskCache:
 
     def test_clear_cache_disk_flag(self):
         runner.run_workload_context("Apache", "multi-chip", size="tiny")
-        # One analysis bundle plus the captured access trace.
-        assert runner.clear_cache(disk=True) == 2
+        # One analysis bundle, the captured access trace, and the run's
+        # epoch-boundary checkpoints.
+        checkpoints = get_checkpoint_store()
+        n_checkpoints = len(checkpoints.entries())
+        assert n_checkpoints >= 1
+        assert runner.clear_cache(disk=True) == 2 + n_checkpoints
         store = runner.get_store()
         assert store is not None and store.entries() == []
         traces = get_trace_store()
         assert traces is not None and traces.entries() == []
+        assert checkpoints.entries() == []
 
     def test_disabled_store_still_computes(self, monkeypatch):
         monkeypatch.setenv(CACHE_DISABLE_ENV, "1")

@@ -1,0 +1,61 @@
+"""Columnar fast path with batched same-block runs == per-access path.
+
+PR 2 vectorised the block arithmetic; this extends the fast path *into* the
+cache models by collapsing runs of same-block reads into one protocol
+action plus a batched hit count.  The system-state snapshots make the
+equivalence check total: every cache line, LRU position, history tick, and
+miss record must match.
+"""
+
+import random
+
+import pytest
+
+from repro.mem.config import scaled_config
+from repro.mem.multichip import MultiChipSystem
+from repro.mem.singlechip import SingleChipSystem
+from repro.trace.format import ColumnarChunk
+
+from ..checkpoint.conftest import random_accesses
+
+
+def _systems(organisation):
+    config = scaled_config(n_cpus=4, scale=512)
+    factory = (MultiChipSystem if organisation == "multi-chip"
+               else SingleChipSystem)
+    return factory(config), factory(config)
+
+
+@pytest.mark.parametrize("organisation", ["multi-chip", "single-chip"])
+@pytest.mark.parametrize("seed", range(4))
+def test_columnar_batched_path_matches_scalar(organisation, seed):
+    rng = random.Random(seed)
+    stream = random_accesses(rng, n=800, n_cpus=4)
+    chunk = ColumnarChunk.from_accesses(stream)
+
+    scalar, columnar = _systems(organisation)
+    for access in stream:
+        scalar.process(access)
+    columnar.process_chunk(chunk)
+
+    assert columnar.snapshot() == scalar.snapshot()
+
+
+@pytest.mark.parametrize("organisation", ["multi-chip", "single-chip"])
+def test_pure_run_stream(organisation):
+    """A stream that is almost entirely one batchable run."""
+    rng = random.Random(9)
+    stream = random_accesses(rng, n=5, n_cpus=2, n_blocks=1)
+    chunk = ColumnarChunk.from_accesses(stream)
+    scalar, columnar = _systems(organisation)
+    for access in stream:
+        scalar.process(access)
+    columnar.process_chunk(chunk)
+    assert columnar.snapshot() == scalar.snapshot()
+
+
+@pytest.mark.parametrize("organisation", ["multi-chip", "single-chip"])
+def test_empty_chunk_is_a_noop(organisation):
+    scalar, columnar = _systems(organisation)
+    columnar.process_chunk(ColumnarChunk.from_accesses([]))
+    assert columnar.snapshot() == scalar.snapshot()

@@ -30,7 +30,8 @@ def run_cli(args, cache_dir, check=True):
 
 def test_help_lists_subcommands(tmp_path):
     proc = run_cli(["--help"], tmp_path)
-    for sub in ("run", "suite", "report", "trace", "clear-cache"):
+    for sub in ("run", "suite", "report", "trace", "checkpoint",
+                "clear-cache"):
         assert sub in proc.stdout
 
 
@@ -85,11 +86,13 @@ def test_clear_cache_removes_entries(tmp_path):
     run_cli(["run", "Zeus", "multi-chip", "--size", "tiny"], tmp_path)
     assert list(Path(tmp_path).glob("v*/context/*.pkl"))
     assert list(Path(tmp_path).glob("traces/v*/*/meta.json"))
+    assert list(Path(tmp_path).glob("checkpoints/v*/*/epoch-*.ckpt.gz"))
     proc = run_cli(["clear-cache"], tmp_path)
     assert "removed" in proc.stdout
     assert not list(Path(tmp_path).glob("v*/context/*.pkl"))
-    # clear-cache covers captured traces too.
+    # clear-cache covers captured traces and checkpoints too.
     assert not list(Path(tmp_path).glob("traces/v*/*/meta.json"))
+    assert not list(Path(tmp_path).glob("checkpoints/v*/*/epoch-*.ckpt.gz"))
 
 
 def test_trace_capture_list_info(tmp_path):
@@ -166,3 +169,47 @@ def test_no_disk_cache_flag(tmp_path):
     run_cli(["run", "Qry2", "multi-chip", "--size", "tiny",
              "--no-disk-cache"], tmp_path)
     assert not list(Path(tmp_path).glob("v*/context/*.pkl"))
+
+
+def test_run_writes_checkpoints_and_checkpoint_list_info(tmp_path):
+    run_cli(["run", "Apache", "multi-chip", "--size", "tiny"], tmp_path)
+    files = list(Path(tmp_path).glob("checkpoints/v*/*/epoch-*.ckpt.gz"))
+    assert files  # epoch-boundary snapshots written during the run
+
+    listing = run_cli(["checkpoint", "list"], tmp_path)
+    assert "checkpoint store" in listing.stdout
+    assert "workload=Apache" in listing.stdout
+
+    info = run_cli(["checkpoint", "info", "Apache",
+                    "--organisation", "multi-chip", "--size", "tiny"],
+                   tmp_path)
+    assert "epoch" in info.stdout
+    assert "resume point" in info.stdout
+
+
+def test_run_no_checkpoint_flag(tmp_path):
+    run_cli(["run", "Apache", "multi-chip", "--size", "tiny",
+             "--no-checkpoint"], tmp_path)
+    assert not list(Path(tmp_path).glob("checkpoints/v*/*/epoch-*.ckpt.gz"))
+
+
+def test_checkpoint_info_missing_run_fails(tmp_path):
+    proc = run_cli(["checkpoint", "info", "OLTP", "--size", "tiny"],
+                   tmp_path, check=False)
+    assert proc.returncode == 1
+    assert "no checkpoints" in proc.stderr
+
+
+def test_run_resume_is_bit_identical(tmp_path):
+    base = ["run", "Qry1", "multi-chip", "--size", "tiny"]
+    first = run_cli(base, tmp_path)
+    # Drop the result bundles but keep the trace and its checkpoints: the
+    # rerun restores the final checkpoint instead of resimulating.
+    for entry in Path(tmp_path).glob("v*/context/*.pkl"):
+        entry.unlink()
+    resumed = run_cli(base, tmp_path)
+
+    def misses(stdout):
+        return [line for line in stdout.splitlines() if "misses" in line]
+
+    assert misses(first.stdout) == misses(resumed.stdout)

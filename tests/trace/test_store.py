@@ -61,7 +61,8 @@ class TestTraceStore:
         _capture(store, PARAMS)
         path = store.path_for(PARAMS)
         (path / META_NAME).write_text("garbage")
-        assert store.open(PARAMS) is None
+        with pytest.warns(RuntimeWarning, match="corrupt trace"):
+            assert store.open(PARAMS) is None
         assert not path.exists()
         # Re-capture recovers.
         _capture(store, PARAMS)
