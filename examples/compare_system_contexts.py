@@ -14,7 +14,7 @@ Run with:  python examples/compare_system_contexts.py [small|default]
 
 import sys
 
-from repro.experiments import run_all_contexts
+from repro.api import Session
 from repro.mem import MissClass
 from repro.mem.trace import INTRA_CHIP, MULTI_CHIP, SINGLE_CHIP
 
@@ -39,9 +39,10 @@ def describe(result) -> str:
 
 def main() -> None:
     size = sys.argv[1] if len(sys.argv) > 1 else "small"
+    session = Session()
     for workload in ("Apache", "Qry1"):
         print(f"\n=== {workload} (size={size}) ===")
-        results = run_all_contexts(workload, size=size)
+        results = session.run_all(workload, size=size)
         for context in (MULTI_CHIP, SINGLE_CHIP, INTRA_CHIP):
             print(f"  {context:<12s} {describe(results[context])}")
 

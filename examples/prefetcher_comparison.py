@@ -10,17 +10,18 @@ prefetcher models in :mod:`repro.prefetch`.
 Run with:  python examples/prefetcher_comparison.py
 """
 
-from repro.experiments import run_workload_context
+from repro.api import Session
 from repro.mem.trace import MULTI_CHIP
 from repro.prefetch import (StridePrefetcher, TemporalPrefetcher,
                             evaluate_coverage)
 
 
 def main() -> None:
+    session = Session()
     print(f"{'workload':>10s} {'temporal cov':>14s} {'stride cov':>12s} "
           f"{'winner':>10s}")
     for workload in ("Apache", "Zeus", "OLTP", "Qry1", "Qry17"):
-        result = run_workload_context(workload, MULTI_CHIP, size="small")
+        result = session.run(workload, MULTI_CHIP, size="small")
         trace = result.miss_trace
         temporal = evaluate_coverage(TemporalPrefetcher(depth=8), trace)
         stride = evaluate_coverage(StridePrefetcher(degree=4), trace)
@@ -30,7 +31,7 @@ def main() -> None:
 
     print("\nDepth sensitivity on OLTP (why fixed depths are a compromise, "
           "Section 4.4):")
-    result = run_workload_context("OLTP", MULTI_CHIP, size="small")
+    result = session.run("OLTP", MULTI_CHIP, size="small")
     for depth in (1, 2, 4, 8, 16, 32):
         coverage = evaluate_coverage(TemporalPrefetcher(depth=depth),
                                      result.miss_trace)

@@ -17,10 +17,15 @@ The library has four layers:
   of the paper's evaluation, plus :mod:`repro.prefetch` with temporal and
   stride prefetcher models used for the ablation studies.
 
+On top sits :mod:`repro.api` — the composition layer: a :class:`Session`
+facade owning the cache root, stores, and parallelism policy; plugin
+registries for workloads/systems/prefetchers/analyses; and declarative
+:class:`ExperimentSpec` grids resolved into executable stage DAGs.
+
 Quick start::
 
-    from repro.experiments import run_workload_context
-    result = run_workload_context("Apache", "multi-chip", size="small")
+    from repro.api import Session
+    result = Session().run("Apache", "multi-chip", size="small")
     print(result.stream_analysis.fraction_in_streams)
 """
 

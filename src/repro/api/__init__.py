@@ -1,0 +1,43 @@
+"""Declarative experiment API: the :class:`Session` facade, plugin
+registries, :class:`ExperimentSpec` plans, and their stage DAGs.
+
+This package is the composition layer over the rest of the library:
+
+* :mod:`~repro.api.registry` — decorator-based plugin registries for
+  workloads, system organisations, prefetchers, and analyses; every axis of
+  the evaluation grid is extensible without editing core.
+* :mod:`~repro.api.session` — :class:`Session`, owning the cache root, the
+  three on-disk stores, and the parallelism/pipeline policy; the historical
+  module-level store singletons delegate to the process default session.
+* :mod:`~repro.api.spec` — :class:`ExperimentSpec`, a declarative
+  workload x organisation x scale x warmup grid plus requested prefetchers
+  and analyses, loadable from TOML or a dict.
+* :mod:`~repro.api.plan` — :func:`build_plan` resolving a spec into an
+  explicit capture -> summarize -> simulate -> analyze -> render DAG, and
+  :func:`execute_plan` running it with replay, checkpoint resume, and
+  epoch-sharded parallel simulation per cell.
+
+Quick start::
+
+    from repro.api import ExperimentSpec, Session
+
+    session = Session(max_workers=4)
+    spec = ExperimentSpec.from_toml("experiment.toml")
+    outcome = session.execute(spec)
+    print(outcome.render("figure2"))
+"""
+
+from .plan import Plan, PlanResult, Stage, build_plan, execute_plan
+from .registry import (ANALYSES, PREFETCHERS, Registry, SYSTEMS, WORKLOADS,
+                       register_analysis, register_prefetcher,
+                       register_system, register_workload)
+from .session import Session, get_default_session, set_default_session
+from .spec import Cell, ExperimentSpec, SIZE_NAMES, SpecError
+
+__all__ = [
+    "ANALYSES", "Cell", "ExperimentSpec", "PREFETCHERS", "Plan",
+    "PlanResult", "Registry", "SIZE_NAMES", "SYSTEMS", "Session",
+    "SpecError", "Stage", "WORKLOADS", "build_plan", "execute_plan",
+    "get_default_session", "register_analysis", "register_prefetcher",
+    "register_system", "register_workload", "set_default_session",
+]

@@ -1,0 +1,329 @@
+"""Explicit stage DAGs resolved from declarative specs.
+
+:func:`build_plan` turns an :class:`~repro.api.spec.ExperimentSpec` into a
+:class:`Plan` — an ordered DAG of :class:`Stage` objects covering the whole
+pipeline for every grid cell::
+
+    capture:<workload>@<n_cpus>cpu            one per distinct access stream
+      -> summarize:<workload>@<n_cpus>cpu     epoch-sharded counting pass
+        -> simulate:<workload>/<organisation>@scale,warmup   one per cell
+          -> analyze:<workload>/<context>@scale,warmup       one per context
+            -> prefetch:<name>:<cell context>                per prefetcher
+            -> render:<analysis>                             per analysis
+
+The DAG is *explicit* — ``repro spec plan`` prints it, tests assert on it —
+while execution batches stages of the same kind for efficiency: simulate
+stages go through :meth:`ParallelSuiteRunner.run_suite`, which fans out over
+the process pool per (workload, organisation) and drops *below* that
+granularity by epoch-sharding any simulation whose captured trace already
+has boundary checkpoints.  Replay, checkpoint resume, and the result store
+are all engaged per cell automatically via the session policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from .registry import ANALYSES, PREFETCHERS, SYSTEMS
+from .spec import ExperimentSpec
+
+#: Stage kinds in pipeline order.
+STAGE_KINDS = ("capture", "summarize", "simulate", "analyze", "prefetch",
+               "render")
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One node of the pipeline DAG."""
+
+    key: str
+    kind: str
+    params: Dict[str, Any]
+    deps: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        deps = f"  <- {', '.join(self.deps)}" if self.deps else ""
+        return f"{self.key}{deps}"
+
+
+class Plan:
+    """An ordered, dependency-checked DAG of pipeline stages."""
+
+    def __init__(self, spec: ExperimentSpec) -> None:
+        self.spec = spec
+        self.stages: Dict[str, Stage] = {}
+
+    # ------------------------------------------------------------------ #
+    def add(self, stage: Stage) -> Stage:
+        if stage.key in self.stages:
+            raise ValueError(f"duplicate stage key {stage.key!r}")
+        for dep in stage.deps:
+            if dep not in self.stages:
+                raise ValueError(
+                    f"stage {stage.key!r} depends on unknown/later stage "
+                    f"{dep!r} (stages must be added in topological order)")
+        self.stages[stage.key] = stage
+        return stage
+
+    def stage(self, key: str) -> Stage:
+        return self.stages[key]
+
+    def order(self) -> List[Stage]:
+        """Stages in execution (topological) order."""
+        return list(self.stages.values())
+
+    def by_kind(self, kind: str) -> List[Stage]:
+        return [s for s in self.stages.values() if s.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def describe(self) -> str:
+        lines = [self.spec.describe(),
+                 f"plan: {len(self.stages)} stages ("
+                 + ", ".join(f"{len(self.by_kind(kind))} {kind}"
+                             for kind in STAGE_KINDS
+                             if self.by_kind(kind)) + ")"]
+        for kind in STAGE_KINDS:
+            stages = self.by_kind(kind)
+            if not stages:
+                continue
+            lines.append(f"[{kind}]")
+            lines.extend(f"  {stage.describe()}" for stage in stages)
+        if self.by_kind("render"):
+            lines.append(
+                "note: some analyses have fixed requirements beyond the "
+                "grid (figure1 spans both organisations; tables 3-5 and "
+                "the ablations use the paper's workload sets) and will "
+                "simulate those extra cells serially when rendered.")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    def run(self, session) -> "PlanResult":
+        """Execute every stage through ``session``; see :func:`execute_plan`."""
+        return execute_plan(self, session)
+
+
+@dataclass
+class PlanResult:
+    """Everything a plan execution produced, keyed like the DAG."""
+
+    spec: ExperimentSpec
+    plan: Plan
+    #: (workload, context, scale, warmup) -> ContextResult bundle.
+    bundles: Dict[Tuple[str, str, int, float], Any] = field(default_factory=dict)
+    #: (prefetcher, workload, context, scale, warmup) -> CoverageResult.
+    coverage: Dict[Tuple[str, str, str, int, float], Any] = field(
+        default_factory=dict)
+    #: render-stage key -> artifact object (``.render()`` or ``str``).
+    artifacts: Dict[str, Any] = field(default_factory=dict)
+    #: per-stream EpochSummary from the summarize stages.
+    summaries: Dict[Tuple[str, int], Any] = field(default_factory=dict)
+    #: stage key -> "ran" | "cached" | "skipped".
+    statuses: Dict[str, str] = field(default_factory=dict)
+
+    def artifact(self, name: str) -> Any:
+        """The artifact for one analysis name (any scale/warmup suffix)."""
+        if name in self.artifacts:
+            return self.artifacts[name]
+        matches = [key for key in self.artifacts
+                   if key == name or key.startswith(f"{name}@")]
+        if not matches:
+            raise KeyError(f"no artifact {name!r}; have: "
+                           f"{', '.join(self.artifacts) or '(none)'}")
+        return self.artifacts[matches[0]]
+
+    def render(self, name: str) -> str:
+        artifact = self.artifact(name)
+        return artifact.render() if hasattr(artifact, "render") else str(artifact)
+
+    def render_all(self) -> Dict[str, str]:
+        return {key: (value.render() if hasattr(value, "render")
+                      else str(value))
+                for key, value in self.artifacts.items()}
+
+
+# --------------------------------------------------------------------------- #
+# plan construction
+# --------------------------------------------------------------------------- #
+def _combo_suffix(spec: ExperimentSpec, scale: int, warmup: float) -> str:
+    """Disambiguating suffix for per-(scale, warmup) stage keys."""
+    if len(spec.scales) * len(spec.warmups) == 1:
+        return ""
+    return f"@scale{scale}-warmup{warmup:g}"
+
+
+def build_plan(spec: ExperimentSpec) -> Plan:
+    """Resolve ``spec`` into the explicit stage DAG described above."""
+    spec = spec.resolved()
+    spec.ensure_valid()
+    plan = Plan(spec)
+
+    # One capture + summarize per distinct access stream.  A stream is keyed
+    # by (workload, n_cpus): both organisations of one workload share a
+    # stream only when their CPU counts coincide.
+    stream_keys: Dict[Tuple[str, int], Tuple[str, str]] = {}
+    for workload in spec.workloads:
+        for organisation in spec.organisations:
+            n_cpus = SYSTEMS.get(organisation).n_cpus
+            if (workload, n_cpus) in stream_keys:
+                continue
+            capture_key = f"capture:{workload}@{n_cpus}cpu"
+            summarize_key = f"summarize:{workload}@{n_cpus}cpu"
+            params = {"workload": workload, "n_cpus": n_cpus,
+                      "seed": spec.seed, "size": spec.size}
+            plan.add(Stage(capture_key, "capture", dict(params)))
+            plan.add(Stage(summarize_key, "summarize", dict(params),
+                           deps=(capture_key,)))
+            stream_keys[(workload, n_cpus)] = (capture_key, summarize_key)
+
+    # One simulate per grid cell; one analyze per cell context.
+    analyze_keys: Dict[Tuple[int, float], List[str]] = {}
+    for cell in spec.cells():
+        system = SYSTEMS.get(cell.organisation)
+        stream = stream_keys[(cell.workload, system.n_cpus)]
+        sim_key = (f"simulate:{cell.workload}/{cell.organisation}"
+                   f"@scale{cell.scale}-warmup{cell.warmup:g}")
+        plan.add(Stage(sim_key, "simulate",
+                       {"workload": cell.workload,
+                        "organisation": cell.organisation,
+                        "scale": cell.scale, "warmup": cell.warmup,
+                        "size": spec.size, "seed": spec.seed},
+                       deps=stream))
+        for context in system.contexts:
+            ana_key = (f"analyze:{cell.workload}/{context}"
+                       f"@scale{cell.scale}-warmup{cell.warmup:g}")
+            plan.add(Stage(ana_key, "analyze",
+                           {"workload": cell.workload, "context": context,
+                            "scale": cell.scale, "warmup": cell.warmup,
+                            "size": spec.size, "seed": spec.seed},
+                           deps=(sim_key,)))
+            analyze_keys.setdefault((cell.scale, cell.warmup),
+                                    []).append(ana_key)
+            for prefetcher in spec.prefetchers:
+                plan.add(Stage(
+                    f"prefetch:{prefetcher}:{cell.workload}/{context}"
+                    f"@scale{cell.scale}-warmup{cell.warmup:g}",
+                    "prefetch",
+                    {"prefetcher": prefetcher, "workload": cell.workload,
+                     "context": context, "scale": cell.scale,
+                     "warmup": cell.warmup},
+                    deps=(ana_key,)))
+
+    # One render per analysis per (scale, warmup) combination: an analysis
+    # consumes the whole grid slice at one cache scale and warm-up.
+    for scale in spec.scales:
+        for warmup in spec.warmups:
+            deps = tuple(analyze_keys.get((scale, warmup), ()))
+            for analysis in spec.analyses:
+                key = f"render:{analysis}{_combo_suffix(spec, scale, warmup)}"
+                plan.add(Stage(key, "render",
+                               {"analysis": analysis, "scale": scale,
+                                "warmup": warmup},
+                               deps=deps))
+    return plan
+
+
+# --------------------------------------------------------------------------- #
+# plan execution
+# --------------------------------------------------------------------------- #
+def execute_plan(plan: Plan, session) -> PlanResult:
+    """Run every stage of ``plan`` through ``session``.
+
+    Stage batching: captures run serially (each is one generator pass,
+    performed at most once per distinct stream), summaries fan epochs over
+    the session's pool, simulations go through the suite runner (pool plus
+    epoch sharding below it), and analyses/prefetch/render stages consume
+    the simulated bundles from the memo/disk store.
+    """
+    from ..prefetch.base import evaluate_coverage
+    from ..trace.store import trace_params
+
+    spec = plan.spec
+    result = PlanResult(spec=spec, plan=plan)
+    runner = session.parallel_runner()
+
+    # -- capture (fanned over the pool: generation passes overlap) ------ #
+    capture_stages = plan.by_kind("capture")
+    if session.trace_store is None or not session.replay:
+        for stage in capture_stages:
+            result.statuses[stage.key] = "skipped"
+    elif capture_stages:
+        statuses = runner.capture_streams(
+            [(stage.params["workload"], stage.params["n_cpus"])
+             for stage in capture_stages],
+            seed=spec.seed, size=spec.size)
+        for stage in capture_stages:
+            result.statuses[stage.key] = statuses[
+                (stage.params["workload"], stage.params["n_cpus"])]
+
+    # -- summarize ------------------------------------------------------ #
+    for stage in plan.by_kind("summarize"):
+        store = session.trace_store
+        reader = (store.open(trace_params(
+            stage.params["workload"], stage.params["n_cpus"],
+            stage.params["seed"], stage.params["size"]))
+            if store is not None and session.replay else None)
+        if reader is None:
+            result.statuses[stage.key] = "skipped"
+            continue
+        result.summaries[(stage.params["workload"],
+                          stage.params["n_cpus"])] = \
+            runner.summarize_trace(reader)
+        result.statuses[stage.key] = "ran"
+
+    # -- simulate + analyze --------------------------------------------- #
+    from ..experiments.runner import _result_params, clamp_warmup_fraction
+    store = session.result_store
+    for stage in plan.by_kind("analyze"):
+        params = _result_params(
+            stage.params["workload"], stage.params["context"],
+            stage.params["size"], stage.params["seed"],
+            stage.params["scale"],
+            clamp_warmup_fraction(stage.params["warmup"]))
+        result.statuses[stage.key] = (
+            "cached" if store is not None and store.contains("context", params)
+            else "ran")
+    # A simulate stage only "ran" if at least one of its contexts' bundles
+    # was absent from the memo/disk store when the suite started.
+    for stage in plan.by_kind("simulate"):
+        sim_key = stage.key
+        dependents = [s for s in plan.by_kind("analyze")
+                      if sim_key in s.deps]
+        result.statuses[sim_key] = (
+            "cached" if dependents and all(
+                result.statuses[s.key] == "cached" for s in dependents)
+            else "ran")
+    combos = sorted({(cell.scale, cell.warmup) for cell in spec.cells()})
+    for scale, warmup in combos:
+        merged = runner.run_suite(
+            size=spec.size, seed=spec.seed, scale=scale,
+            workloads=spec.workloads, warmup_fraction=warmup,
+            organisations=spec.organisations)
+        for workload, contexts in merged.items():
+            for context, bundle in contexts.items():
+                result.bundles[(workload, context, scale, warmup)] = bundle
+
+    # -- prefetch -------------------------------------------------------- #
+    for stage in plan.by_kind("prefetch"):
+        factory = PREFETCHERS.get(stage.params["prefetcher"])
+        bundle = result.bundles[(stage.params["workload"],
+                                 stage.params["context"],
+                                 stage.params["scale"],
+                                 stage.params["warmup"])]
+        result.coverage[(stage.params["prefetcher"],
+                         stage.params["workload"], stage.params["context"],
+                         stage.params["scale"], stage.params["warmup"])] = \
+            evaluate_coverage(factory(), bundle.miss_trace)
+        result.statuses[stage.key] = "ran"
+
+    # -- render ---------------------------------------------------------- #
+    for stage in plan.by_kind("render"):
+        adapter = ANALYSES.get(stage.params["analysis"])
+        name = stage.key[len("render:"):]
+        result.artifacts[name] = adapter(
+            session=session, spec=spec, scale=stage.params["scale"],
+            warmup_fraction=stage.params["warmup"])
+        result.statuses[stage.key] = "ran"
+    return result

@@ -1,0 +1,252 @@
+"""The :class:`Session` facade: one object owning stores and policy.
+
+Before this module existed, every entry point reached the persistence layer
+through module-level singletons (``get_trace_store()``,
+``get_checkpoint_store()``, ``runner.get_store()``) and threaded five policy
+flags (``streaming``/``replay``/``checkpoint``/``resume``/``cache_dir``)
+through each call.  A :class:`Session` bundles all of that:
+
+* the **cache root** (explicit, or resolved from ``REPRO_CACHE_DIR`` at
+  access time so environment changes — e.g. test isolation — keep working),
+* the three **stores** (analysis bundles, captured traces, checkpoints),
+* the **parallelism policy** (``max_workers``) and the pipeline policy
+  flags.
+
+The legacy singletons remain as thin delegates to the process-wide *default
+session* (:func:`get_default_session`), so existing call sites keep their
+behaviour while new code composes sessions explicitly::
+
+    from repro.api import Session
+
+    session = Session(cache_dir="/tmp/cache", max_workers=4)
+    result = session.run("Apache", "multi-chip", size="small")
+    plan = session.plan(spec)        # declarative grid -> stage DAG
+    outcome = plan.run(session)
+
+Store accessors return ``None`` when ``REPRO_DISABLE_DISK_CACHE`` is set,
+mirroring the singletons they replace.  Store objects are constructed per
+access — they are cheap path holders — so a session never caches a stale
+root.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, TYPE_CHECKING
+
+from ..cachedir import default_cache_root, disk_cache_disabled
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle-free type hints only
+    from ..checkpoint.store import CheckpointStore
+    from ..experiments.parallel import ParallelSuiteRunner
+    from ..experiments.runner import ContextResult
+    from ..experiments.store import ResultStore
+    from ..trace.store import TraceStore
+    from .plan import Plan, PlanResult
+    from .spec import ExperimentSpec
+
+#: Sentinel distinguishing "not passed" from an explicit ``None`` override.
+_UNSET = object()
+
+
+class Session:
+    """Facade over the capture -> simulate -> analyze -> render pipeline.
+
+    Parameters
+    ----------
+    cache_dir:
+        Root for all three stores; ``None`` resolves ``REPRO_CACHE_DIR`` /
+        ``~/.cache/repro`` at each access.
+    max_workers:
+        Process-pool width for suite sweeps and epoch-sharded simulation;
+        ``None`` lets the executor pick (cpu count), ``1`` runs inline.
+    streaming / replay / checkpoint / resume:
+        Pipeline policy, with the same meaning as the historical per-call
+        flags (see :mod:`repro.experiments.runner`).
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None,
+                 max_workers: Optional[int] = None, streaming: bool = True,
+                 replay: bool = True, checkpoint: bool = True,
+                 resume: bool = True) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.max_workers = max_workers
+        self.streaming = streaming
+        self.replay = replay
+        self.checkpoint = checkpoint
+        self.resume = resume
+
+    # ------------------------------------------------------------------ #
+    # roots and stores
+    # ------------------------------------------------------------------ #
+    @property
+    def cache_root(self) -> Path:
+        """The directory all three stores live under."""
+        if self.cache_dir is not None:
+            return Path(self.cache_dir).expanduser()
+        return default_cache_root()
+
+    @property
+    def disk_cache_enabled(self) -> bool:
+        return not disk_cache_disabled()
+
+    @property
+    def result_store(self) -> Optional["ResultStore"]:
+        """The analysis-bundle store, or ``None`` when disk caching is off."""
+        if not self.disk_cache_enabled:
+            return None
+        from ..experiments.store import ResultStore
+        return ResultStore(self.cache_dir) if self.cache_dir else ResultStore()
+
+    @property
+    def trace_store(self) -> Optional["TraceStore"]:
+        """The captured-access-trace store, or ``None`` when disk caching is off."""
+        if not self.disk_cache_enabled:
+            return None
+        from ..trace.store import TraceStore
+        return TraceStore(self.cache_dir) if self.cache_dir else TraceStore()
+
+    @property
+    def checkpoint_store(self) -> Optional["CheckpointStore"]:
+        """The epoch-boundary snapshot store, or ``None`` when disk caching is off."""
+        if not self.disk_cache_enabled:
+            return None
+        from ..checkpoint.store import CheckpointStore
+        return (CheckpointStore(self.cache_dir) if self.cache_dir
+                else CheckpointStore())
+
+    # ------------------------------------------------------------------ #
+    def with_options(self, cache_dir: Any = _UNSET,
+                     max_workers: Any = _UNSET, streaming: Any = _UNSET,
+                     replay: Any = _UNSET, checkpoint: Any = _UNSET,
+                     resume: Any = _UNSET) -> "Session":
+        """A copy of this session with the given fields overridden."""
+        return Session(
+            cache_dir=self.cache_dir if cache_dir is _UNSET else cache_dir,
+            max_workers=(self.max_workers if max_workers is _UNSET
+                         else max_workers),
+            streaming=self.streaming if streaming is _UNSET else streaming,
+            replay=self.replay if replay is _UNSET else replay,
+            checkpoint=self.checkpoint if checkpoint is _UNSET else checkpoint,
+            resume=self.resume if resume is _UNSET else resume)
+
+    # ------------------------------------------------------------------ #
+    # pipeline entry points
+    # ------------------------------------------------------------------ #
+    def run(self, workload: str, context: str, *, size: str = "small",
+            seed: int = 42, scale: Optional[int] = None,
+            warmup_fraction: Optional[float] = None) -> "ContextResult":
+        """The full analysis bundle for one (workload, context) cell."""
+        from ..experiments import runner
+        return runner.run_context(
+            workload, context, size=size, seed=seed,
+            scale=runner.DEFAULT_SCALE if scale is None else scale,
+            warmup_fraction=(runner.DEFAULT_WARMUP_FRACTION
+                             if warmup_fraction is None else warmup_fraction),
+            session=self)
+
+    def run_all(self, workload: str, *, size: str = "small", seed: int = 42,
+                scale: Optional[int] = None,
+                warmup_fraction: Optional[float] = None
+                ) -> Dict[str, "ContextResult"]:
+        """All three contexts for one workload."""
+        from ..mem.trace import ALL_CONTEXTS
+        return {context: self.run(workload, context, size=size, seed=seed,
+                                  scale=scale,
+                                  warmup_fraction=warmup_fraction)
+                for context in ALL_CONTEXTS}
+
+    def suite(self, *, size: str = "small", seed: int = 42,
+              scale: Optional[int] = None,
+              warmup_fraction: Optional[float] = None,
+              workloads: Optional[Tuple[str, ...]] = None,
+              organisations: Optional[Tuple[str, ...]] = None,
+              ) -> Dict[str, Dict[str, "ContextResult"]]:
+        """The evaluation sweep over this session's process pool.
+
+        Fans out per (workload, organisation) and — when a captured trace
+        has boundary checkpoints — shards single simulations across epoch
+        ranges (see :meth:`ParallelSuiteRunner.run_suite`).
+        """
+        from ..experiments import runner
+        from ..workloads import WORKLOAD_NAMES
+        return self.parallel_runner().run_suite(
+            size=size, seed=seed,
+            scale=runner.DEFAULT_SCALE if scale is None else scale,
+            workloads=tuple(workloads) if workloads else WORKLOAD_NAMES,
+            warmup_fraction=(runner.DEFAULT_WARMUP_FRACTION
+                             if warmup_fraction is None else warmup_fraction),
+            organisations=organisations)
+
+    def parallel_runner(self) -> "ParallelSuiteRunner":
+        """A :class:`ParallelSuiteRunner` configured from this session."""
+        from ..experiments.parallel import ParallelSuiteRunner
+        return ParallelSuiteRunner(
+            max_workers=self.max_workers, streaming=self.streaming,
+            cache_dir=self.cache_dir, replay=self.replay,
+            checkpoint=self.checkpoint, resume=self.resume)
+
+    # ------------------------------------------------------------------ #
+    # declarative plans
+    # ------------------------------------------------------------------ #
+    def plan(self, spec: "ExperimentSpec") -> "Plan":
+        """Resolve a declarative spec into an explicit stage DAG."""
+        from .plan import build_plan
+        return build_plan(spec)
+
+    def execute(self, spec_or_plan: Any) -> "PlanResult":
+        """Plan (if needed) and execute a spec; returns the plan outcome."""
+        from .plan import Plan
+        plan = (spec_or_plan if isinstance(spec_or_plan, Plan)
+                else self.plan(spec_or_plan))
+        return plan.run(self)
+
+    # ------------------------------------------------------------------ #
+    def clear_caches(self, disk: bool = False) -> int:
+        """Drop in-process memos; with ``disk`` also empty this root's stores."""
+        from ..experiments import runner
+        runner._CACHE.clear()
+        runner._TRACE_CACHE.clear()
+        removed = 0
+        if disk:
+            for store in (self.result_store, self.trace_store,
+                          self.checkpoint_store):
+                if store is not None:
+                    removed += store.clear()
+        return removed
+
+    def describe(self) -> str:
+        policy = ", ".join(
+            f"{name}={getattr(self, name)}"
+            for name in ("streaming", "replay", "checkpoint", "resume"))
+        workers = ("auto" if self.max_workers is None else self.max_workers)
+        return (f"session at {self.cache_root} (workers={workers}, {policy}, "
+                f"disk cache {'on' if self.disk_cache_enabled else 'off'})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Session {self.describe()}>"
+
+
+#: The process-wide default session the legacy singletons delegate to.
+_DEFAULT_SESSION: Optional[Session] = None
+
+
+def get_default_session() -> Session:
+    """The process-wide default :class:`Session` (created on first use)."""
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = Session()
+    return _DEFAULT_SESSION
+
+
+def set_default_session(session: Optional[Session]) -> Optional[Session]:
+    """Replace the default session; returns the previous one.
+
+    Passing ``None`` resets to a freshly-constructed default on next use.
+    """
+    global _DEFAULT_SESSION
+    previous = _DEFAULT_SESSION
+    _DEFAULT_SESSION = session
+    return previous

@@ -36,7 +36,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from .. import __version__
-from ..cachedir import default_cache_root, disk_cache_disabled, params_slug
+from ..cachedir import default_cache_root, params_slug
 from ..trace.format import DEFAULT_EPOCH_SIZE
 from .format import (CHECKPOINT_FORMAT_VERSION, CheckpointCorruptError,
                      checkpoint_name, decode_checkpoint, encode_checkpoint,
@@ -242,7 +242,13 @@ class CheckpointStore:
 
 def get_checkpoint_store(cache_dir: Optional[str] = None
                          ) -> Optional[CheckpointStore]:
-    """The checkpoint store to use, or ``None`` when disk caching is off."""
-    if disk_cache_disabled():
-        return None
-    return CheckpointStore(cache_dir) if cache_dir else CheckpointStore()
+    """The checkpoint store to use, or ``None`` when disk caching is off.
+
+    Thin delegate to the default :class:`~repro.api.session.Session`'s
+    checkpoint store; ``cache_dir`` overrides the root for this store only.
+    """
+    from ..api.session import get_default_session
+    session = get_default_session()
+    if cache_dir:
+        session = session.with_options(cache_dir=cache_dir)
+    return session.checkpoint_store

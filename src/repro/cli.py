@@ -5,11 +5,18 @@ Subcommands
 run
     One (workload, context) pair through the streaming pipeline; prints the
     bundle's headline numbers (misses, MPKI, stream fractions, top classes).
+    With ``--spec FILE`` runs every cell of a declarative experiment spec.
 suite
     The full evaluation sweep (all workloads x all contexts) over the
     process-pool runner; a second invocation is served from the disk cache.
+    With ``--spec FILE`` the sweep grid comes from the spec.
 report
     Render the paper's figures and tables from (cached) suite results.
+    With ``--spec FILE`` renders the spec's requested analyses.
+spec
+    Work with declarative experiment specs: ``validate`` a TOML file,
+    ``plan`` to print the capture -> simulate -> analyze -> render stage
+    DAG it resolves to (without executing anything).
 trace
     Manage captured access traces: ``capture`` one ahead of time, ``list``
     the store, ``info`` for an (optionally epoch-parallel) per-trace
@@ -21,10 +28,12 @@ clear-cache
     Empty the versioned on-disk result store, the trace store, *and* the
     checkpoint store.
 
-All subcommands share ``--size/--seed/--scale`` run parameters and the
-``--cache-dir`` / ``--no-disk-cache`` cache controls; ``run`` and ``suite``
-additionally accept ``--replay/--no-replay`` to control access-stream
-capture/replay through the trace store (default: replay) and
+Every execution subcommand builds a :class:`repro.api.Session` from its
+flags and drives the pipeline through it.  All subcommands share
+``--size/--seed/--scale`` run parameters and the ``--cache-dir`` /
+``--no-disk-cache`` cache controls; ``run`` and ``suite`` additionally
+accept ``--replay/--no-replay`` to control access-stream capture/replay
+through the trace store (default: replay) and
 ``--checkpoint/--no-checkpoint`` / ``--resume/--no-resume`` to control
 epoch-boundary snapshots and resuming from them (default: both on).
 """
@@ -90,9 +99,18 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser(
-        "run", help="simulate and analyse one workload in one context")
-    p_run.add_argument("workload", help=f"one of {', '.join(WORKLOAD_NAMES)}")
-    p_run.add_argument("context", choices=ALL_CONTEXTS)
+        "run", help="simulate and analyse one workload in one context "
+                    "(or every cell of a --spec)")
+    p_run.add_argument("workload", nargs="?", default=None,
+                       help=f"one of {', '.join(WORKLOAD_NAMES)}")
+    p_run.add_argument("context", nargs="?", default=None,
+                       choices=ALL_CONTEXTS)
+    p_run.add_argument("--spec", default=None, metavar="FILE",
+                       help="declarative experiment spec (TOML); replaces "
+                            "the positional workload/context")
+    p_run.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes for --spec execution "
+                            "(default: cpu count; 1 runs inline)")
     _add_run_params(p_run)
     _add_cache_params(p_run)
 
@@ -103,6 +121,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite.add_argument("--jobs", type=int, default=None, metavar="N",
                          help="worker processes (default: cpu count; 1 runs "
                               "inline without a pool)")
+    p_suite.add_argument("--spec", default=None, metavar="FILE",
+                         help="declarative experiment spec (TOML); the sweep "
+                              "grid comes from the spec instead of the flags")
     _add_run_params(p_suite)
     _add_cache_params(p_suite)
 
@@ -113,6 +134,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="which artifact to render (default: all)")
     p_report.add_argument("--workloads", nargs="+",
                           default=list(WORKLOAD_NAMES), metavar="NAME")
+    p_report.add_argument("--spec", default=None, metavar="FILE",
+                          help="declarative experiment spec (TOML); renders "
+                               "the spec's requested analyses")
+    p_report.add_argument("--jobs", type=int, default=None, metavar="N",
+                          help="worker processes for --spec execution")
     # The figure/table drivers expose size and seed only; no --scale/--eager
     # here, so the report always matches a suite run at the same size/seed.
     p_report.add_argument("--size", default="small",
@@ -121,6 +147,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--seed", type=int, default=42,
                           help="workload RNG seed (default: 42)")
     _add_cache_params(p_report)
+
+    p_spec = sub.add_parser(
+        "spec", help="validate or plan a declarative experiment spec")
+    ssub = p_spec.add_subparsers(dest="spec_command", required=True)
+    s_validate = ssub.add_parser(
+        "validate", help="parse a spec file and report every problem")
+    s_validate.add_argument("file", help="spec file (TOML)")
+    s_plan = ssub.add_parser(
+        "plan", help="print the stage DAG a spec resolves to (no execution)")
+    s_plan.add_argument("file", help="spec file (TOML)")
 
     p_trace = sub.add_parser(
         "trace", help="manage captured access traces (capture/list/info)")
@@ -205,23 +241,76 @@ def _apply_cache_flags(args: argparse.Namespace) -> None:
         os.environ[CACHE_DIR_ENV] = args.cache_dir
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    from .experiments import run_workload_context
-    start = time.time()
-    try:
-        result = run_workload_context(
-            args.workload, args.context, size=args.size, seed=args.seed,
-            scale=args.scale, streaming=not args.eager,
-            cache_dir=args.cache_dir, replay=args.replay,
-            checkpoint=args.checkpoint, resume=args.resume)
-    except KeyError as exc:
-        print(f"error: {exc.args[0]}", file=sys.stderr)
+def _bad_jobs(args: argparse.Namespace) -> bool:
+    """Report and reject a non-positive ``--jobs`` before building a session."""
+    if getattr(args, "jobs", None) is not None and args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return True
+    return False
+
+
+def _session_from_args(args: argparse.Namespace):
+    """Build the :class:`repro.api.Session` an execution subcommand uses."""
+    from .api import Session
+    return Session(cache_dir=getattr(args, "cache_dir", None),
+                   max_workers=getattr(args, "jobs", None),
+                   streaming=not getattr(args, "eager", False),
+                   replay=getattr(args, "replay", True),
+                   checkpoint=getattr(args, "checkpoint", True),
+                   resume=getattr(args, "resume", True))
+
+
+def _spec_flag_conflicts(args: argparse.Namespace, parser_defaults: dict,
+                         flags: Sequence[str]) -> int:
+    """Reject run-parameter flags combined with ``--spec``.
+
+    The spec is the single source of truth for the grid; silently ignoring
+    an explicit ``--size``/``--seed``/... would run a different
+    configuration than the user asked for.  Flags still at their parser
+    default are indistinguishable from "not passed" and are accepted.
+    """
+    conflicting = [flag for flag in flags
+                   if getattr(args, flag, None) != parser_defaults[flag]]
+    if conflicting:
+        names = ", ".join(f"--{flag.replace('_', '-')}"
+                          for flag in conflicting)
+        print(f"error: {names} cannot be combined with --spec (the spec "
+              f"file defines the grid; edit it instead)", file=sys.stderr)
         return 2
-    elapsed = time.time() - start
+    return 0
+
+
+#: Parser defaults for the flags --spec supersedes, per subcommand (must
+#: match the add_argument defaults in build_parser).
+_RUN_SPEC_DEFAULTS = {"size": "small", "seed": 42, "scale": DEFAULT_SCALE,
+                      "workload": None, "context": None}
+_SUITE_SPEC_DEFAULTS = {"size": "small", "seed": 42, "scale": DEFAULT_SCALE,
+                        "workloads": list(WORKLOAD_NAMES)}
+_REPORT_SPEC_DEFAULTS = {"size": "small", "seed": 42, "artifact": "all",
+                         "workloads": list(WORKLOAD_NAMES)}
+
+
+def _load_spec(path: str):
+    """Parse and validate a spec file; prints errors and returns None on failure."""
+    from .api import ExperimentSpec, SpecError
+    try:
+        spec = ExperimentSpec.from_toml(path)
+        spec.ensure_valid()
+    except (OSError, SpecError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+    return spec
+
+
+def _print_bundle(workload: str, context: str, result, size: str, seed: int,
+                  scale: int, elapsed: Optional[float] = None,
+                  warmup: Optional[float] = None) -> None:
     trace = result.miss_trace
-    print(f"{args.workload} / {args.context}  "
-          f"(size={args.size}, seed={args.seed}, scale={args.scale}) "
-          f"[{elapsed:.2f}s]")
+    timing = f" [{elapsed:.2f}s]" if elapsed is not None else ""
+    warm = f", warmup={warmup:g}" if warmup is not None else ""
+    print(f"{workload} / {context}  "
+          f"(size={size}, seed={seed}, scale={scale}{warm})"
+          f"{timing}")
     print(f"  misses:              {result.n_misses:,}")
     print(f"  instructions:        {trace.instructions:,}")
     print(f"  misses/kilo-instr:   "
@@ -236,44 +325,117 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for cls, count in sorted(trace.class_counts().items(),
                              key=lambda kv: -kv[1]):
         print(f"    class {cls}: {count:,} ({count / total:.1%})")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if _bad_jobs(args):
+        return 2
+    session = _session_from_args(args)
+    if args.spec is not None:
+        if _spec_flag_conflicts(args, _RUN_SPEC_DEFAULTS,
+                                tuple(_RUN_SPEC_DEFAULTS)):
+            return 2
+        spec = _load_spec(args.spec)
+        if spec is None:
+            return 2
+        spec = spec.resolved()
+        start = time.time()
+        outcome = session.execute(spec)
+        elapsed = time.time() - start
+        for (workload, context, scale, warmup), result in sorted(
+                outcome.bundles.items()):
+            _print_bundle(workload, context, result, spec.size, spec.seed,
+                          scale, warmup=warmup)
+            print()
+        print(f"{len(outcome.bundles)} cell bundle"
+              f"{'' if len(outcome.bundles) == 1 else 's'} in {elapsed:.2f}s")
+        return 0
+    if args.workload is None or args.context is None:
+        print("error: run needs WORKLOAD and CONTEXT (or --spec FILE)",
+              file=sys.stderr)
+        return 2
+    start = time.time()
+    try:
+        result = session.run(args.workload, args.context, size=args.size,
+                             seed=args.seed, scale=args.scale)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    _print_bundle(args.workload, args.context, result, args.size, args.seed,
+                  args.scale, time.time() - start)
     return 0
 
 
-def _cmd_suite(args: argparse.Namespace) -> int:
-    from .experiments import ParallelSuiteRunner
-    unknown = [w for w in args.workloads if w not in WORKLOAD_NAMES]
-    if unknown:
-        print(f"unknown workloads: {', '.join(unknown)} "
-              f"(known: {', '.join(WORKLOAD_NAMES)})", file=sys.stderr)
-        return 2
-    if args.jobs is not None and args.jobs < 1:
-        print("error: --jobs must be >= 1", file=sys.stderr)
-        return 2
-    runner = ParallelSuiteRunner(max_workers=args.jobs,
-                                 streaming=not args.eager,
-                                 cache_dir=args.cache_dir,
-                                 replay=args.replay,
-                                 checkpoint=args.checkpoint,
-                                 resume=args.resume)
-    start = time.time()
-    results = runner.run_suite(size=args.size, seed=args.seed,
-                               scale=args.scale,
-                               workloads=tuple(args.workloads))
-    elapsed = time.time() - start
-    jobs = "inline" if args.jobs == 1 else f"jobs={args.jobs or 'auto'}"
-    print(f"suite: {len(args.workloads)} workloads x {len(ALL_CONTEXTS)} "
-          f"contexts (size={args.size}, {jobs}) in {elapsed:.1f}s")
-    header = f"{'workload':<10}" + "".join(f"{c:>14}" for c in ALL_CONTEXTS)
+def _print_suite_table(workloads, contexts, results, size, jobs_label,
+                       elapsed) -> None:
+    print(f"suite: {len(workloads)} workloads x {len(contexts)} "
+          f"contexts (size={size}, {jobs_label}) in {elapsed:.1f}s")
+    header = f"{'workload':<10}" + "".join(f"{c:>14}" for c in contexts)
     print(header)
     print("-" * len(header))
-    for workload in args.workloads:
+    for workload in workloads:
         row = f"{workload:<10}"
-        for context in ALL_CONTEXTS:
+        for context in contexts:
             result = results[workload][context]
             row += f"{result.n_misses:>14,}"
         print(row)
     print("(cells are recorded read misses; results persisted to the disk "
           "cache)")
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    if _bad_jobs(args):
+        return 2
+    session = _session_from_args(args)
+    jobs = "inline" if args.jobs == 1 else f"jobs={args.jobs or 'auto'}"
+    if args.spec is not None:
+        if _spec_flag_conflicts(args, _SUITE_SPEC_DEFAULTS,
+                                tuple(_SUITE_SPEC_DEFAULTS)):
+            return 2
+        from .experiments.parallel import spec_contexts
+        spec = _load_spec(args.spec)
+        if spec is None:
+            return 2
+        spec = spec.resolved()
+        start = time.time()
+        outcome = session.execute(spec)
+        elapsed = time.time() - start
+        contexts = spec_contexts(spec)
+        # One table per (scale, warmup) combination of the grid.
+        for scale in spec.scales:
+            for warmup in spec.warmups:
+                if len(spec.scales) * len(spec.warmups) > 1:
+                    print(f"--- scale={scale}, warmup={warmup:g} ---")
+                results = {workload: {context: outcome.bundles[
+                               (workload, context, scale, warmup)]
+                           for context in contexts}
+                           for workload in spec.workloads}
+                _print_suite_table(spec.workloads, contexts, results,
+                                   spec.size, jobs, elapsed)
+        return 0
+    unknown = [w for w in args.workloads if w not in WORKLOAD_NAMES]
+    if unknown:
+        print(f"unknown workloads: {', '.join(unknown)} "
+              f"(known: {', '.join(WORKLOAD_NAMES)})", file=sys.stderr)
+        return 2
+    start = time.time()
+    results = session.suite(size=args.size, seed=args.seed, scale=args.scale,
+                            workloads=tuple(args.workloads))
+    _print_suite_table(args.workloads, ALL_CONTEXTS, results, args.size,
+                       jobs, time.time() - start)
+    return 0
+
+
+def _cmd_spec(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.file)
+    if spec is None:
+        return 2
+    if args.spec_command == "validate":
+        print(f"OK: {spec.describe()}")
+        return 0
+    # plan: print the resolved stage DAG without executing anything.
+    from .api import build_plan
+    print(build_plan(spec).describe())
     return 0
 
 
@@ -281,6 +443,26 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments import (figure1, figure2, figure3, figure4,
                               render_table1, render_table2, table3, table4,
                               table5)
+    if _bad_jobs(args):
+        return 2
+    if args.spec is not None:
+        if _spec_flag_conflicts(args, _REPORT_SPEC_DEFAULTS,
+                                tuple(_REPORT_SPEC_DEFAULTS)):
+            return 2
+        spec = _load_spec(args.spec)
+        if spec is None:
+            return 2
+        session = _session_from_args(args)
+        outcome = session.execute(spec)
+        if not outcome.artifacts:
+            print("spec requests no analyses; add e.g. "
+                  "`analyses = [\"figure2\"]`", file=sys.stderr)
+            return 2
+        for name, text in outcome.render_all().items():
+            print(f"==== {name} " + "=" * max(0, 66 - len(name)))
+            print(text)
+            print()
+        return 0
     unknown = [w for w in args.workloads if w not in WORKLOAD_NAMES]
     if unknown:
         print(f"unknown workloads: {', '.join(unknown)} "
@@ -521,6 +703,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "suite": _cmd_suite,
         "report": _cmd_report,
+        "spec": _cmd_spec,
         "trace": _cmd_trace,
         "checkpoint": _cmd_checkpoint,
         "clear-cache": _cmd_clear_cache,

@@ -21,8 +21,9 @@ from .figure2 import Figure2Result, figure2
 from .figure3 import Figure3Result, figure3
 from .figure4 import Figure4Result, figure4
 from .parallel import ORGANISATION_CONTEXTS, ParallelSuiteRunner
-from .runner import (ContextResult, DEFAULT_WARMUP_FRACTION, clear_cache,
-                     get_store, run_all_contexts, run_suite,
+from .runner import (ContextResult, DEFAULT_WARMUP_FRACTION,
+                     clamp_warmup_fraction, clear_cache, get_store,
+                     run_all_contexts, run_context, run_suite,
                      run_workload_context)
 from .store import (CACHE_DIR_ENV, CACHE_DISABLE_ENV, CACHE_SCHEMA,
                     ResultStore, default_cache_root)
@@ -36,8 +37,9 @@ __all__ = [
     "OriginsResult", "ParallelSuiteRunner", "PrefetcherComparison",
     "ResultStore", "StreamFinderAgreement", "clear_cache",
     "default_cache_root", "figure1", "figure2", "figure3", "figure4",
-    "get_store", "prefetcher_ablation", "render_table1", "render_table2",
-    "run_all_contexts", "run_suite", "run_workload_context",
+    "clamp_warmup_fraction", "get_store", "prefetcher_ablation",
+    "render_table1", "render_table2",
+    "run_all_contexts", "run_context", "run_suite", "run_workload_context",
     "stream_finder_ablation", "stride_sensitivity", "table1", "table2",
     "table3", "table4", "table5",
 ]

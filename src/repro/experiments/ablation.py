@@ -18,12 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from ..api.registry import register_analysis
 from ..core.stride import stride_stream_breakdown
 from ..core.suffix import find_streams_greedy
+from ..mem.config import DEFAULT_SCALE
 from ..mem.trace import MULTI_CHIP
 from ..prefetch import (CoverageResult, StridePrefetcher, TemporalPrefetcher,
                         evaluate_coverage)
-from .runner import ContextResult, run_workload_context
+from .runner import DEFAULT_WARMUP_FRACTION, run_context
 
 
 @dataclass
@@ -44,11 +46,15 @@ class PrefetcherComparison:
 def prefetcher_ablation(workloads: Tuple[str, ...] = ("Apache", "OLTP", "Qry1"),
                         context: str = MULTI_CHIP, size: str = "small",
                         seed: int = 42, depth: int = 8,
-                        degree: int = 4) -> List[PrefetcherComparison]:
+                        degree: int = 4, scale: int = DEFAULT_SCALE,
+                        warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+                        session=None) -> List[PrefetcherComparison]:
     """A1: temporal-streaming vs stride prefetcher coverage per workload."""
     comparisons: List[PrefetcherComparison] = []
     for workload in workloads:
-        result = run_workload_context(workload, context, size=size, seed=seed)
+        result = run_context(workload, context, size=size, seed=seed,
+                             scale=scale, warmup_fraction=warmup_fraction,
+                             session=session)
         temporal = evaluate_coverage(TemporalPrefetcher(depth=depth),
                                      result.miss_trace)
         stride = evaluate_coverage(StridePrefetcher(degree=degree),
@@ -76,11 +82,15 @@ class StreamFinderAgreement:
 
 def stream_finder_ablation(workloads: Tuple[str, ...] = ("Apache", "OLTP"),
                            context: str = MULTI_CHIP, size: str = "small",
-                           seed: int = 42) -> List[StreamFinderAgreement]:
+                           seed: int = 42, scale: int = DEFAULT_SCALE,
+                           warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+                           session=None) -> List[StreamFinderAgreement]:
     """A2: cross-validate the SEQUITUR stream fraction with a greedy matcher."""
     results: List[StreamFinderAgreement] = []
     for workload in workloads:
-        result = run_workload_context(workload, context, size=size, seed=seed)
+        result = run_context(workload, context, size=size, seed=seed,
+                             scale=scale, warmup_fraction=warmup_fraction,
+                             session=session)
         greedy = find_streams_greedy(result.miss_trace.addresses())
         results.append(StreamFinderAgreement(
             workload=workload, context=context,
@@ -92,9 +102,12 @@ def stream_finder_ablation(workloads: Tuple[str, ...] = ("Apache", "OLTP"),
 def stride_sensitivity(workload: str = "Qry1", context: str = MULTI_CHIP,
                        size: str = "small", seed: int = 42,
                        confidences: Tuple[int, ...] = (1, 2, 4),
-                       ) -> Dict[int, float]:
+                       scale: int = DEFAULT_SCALE,
+                       warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+                       session=None) -> Dict[int, float]:
     """A3: strided miss fraction vs stride-detector confidence threshold."""
-    result = run_workload_context(workload, context, size=size, seed=seed)
+    result = run_context(workload, context, size=size, seed=seed, scale=scale,
+                         warmup_fraction=warmup_fraction, session=session)
     out: Dict[int, float] = {}
     for confidence in confidences:
         breakdown = stride_stream_breakdown(result.miss_trace,
@@ -102,3 +115,33 @@ def stride_sensitivity(workload: str = "Qry1", context: str = MULTI_CHIP,
                                             min_confidence=confidence)
         out[confidence] = breakdown.fraction_strided
     return out
+
+
+# --------------------------------------------------------------------------- #
+# Spec adapters: the ablations join the registered-analysis grid alongside
+# the paper's figures and tables.
+# --------------------------------------------------------------------------- #
+@register_analysis("ablation-prefetchers", aliases=("a1",))
+def _prefetcher_ablation_analysis(session, spec, scale: int,
+                                  warmup_fraction: float
+                                  ) -> List[PrefetcherComparison]:
+    return prefetcher_ablation(size=spec.size, seed=spec.seed, scale=scale,
+                               warmup_fraction=warmup_fraction,
+                               session=session)
+
+
+@register_analysis("ablation-stream-finders", aliases=("a2",))
+def _stream_finder_analysis(session, spec, scale: int,
+                            warmup_fraction: float
+                            ) -> List[StreamFinderAgreement]:
+    return stream_finder_ablation(size=spec.size, seed=spec.seed, scale=scale,
+                                  warmup_fraction=warmup_fraction,
+                                  session=session)
+
+
+@register_analysis("ablation-stride-sensitivity", aliases=("a3",))
+def _stride_sensitivity_analysis(session, spec, scale: int,
+                                 warmup_fraction: float) -> Dict[int, float]:
+    return stride_sensitivity(size=spec.size, seed=spec.seed, scale=scale,
+                              warmup_fraction=warmup_fraction,
+                              session=session)

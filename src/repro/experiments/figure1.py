@@ -14,12 +14,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+from ..api.registry import register_analysis
 from ..core.classification import ClassificationBreakdown
 from ..core.report import (format_intrachip_classification,
                            format_offchip_classification)
+from ..mem.config import DEFAULT_SCALE
 from ..mem.trace import INTRA_CHIP, MULTI_CHIP, SINGLE_CHIP
 from ..workloads.configs import WORKLOAD_NAMES
-from .runner import run_workload_context
+from .runner import DEFAULT_WARMUP_FRACTION, run_context
 
 
 @dataclass
@@ -49,17 +51,32 @@ class Figure1Result:
 
 
 def figure1(size: str = "small", seed: int = 42,
-            workloads: Tuple[str, ...] = WORKLOAD_NAMES) -> Figure1Result:
+            workloads: Tuple[str, ...] = WORKLOAD_NAMES,
+            scale: int = DEFAULT_SCALE,
+            warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+            session=None) -> Figure1Result:
     """Regenerate Figure 1 for the given workloads."""
     offchip: Dict[str, Dict[str, ClassificationBreakdown]] = {}
     intrachip: Dict[str, ClassificationBreakdown] = {}
     for workload in workloads:
         offchip[workload] = {}
         for context in (MULTI_CHIP, SINGLE_CHIP):
-            result = run_workload_context(workload, context, size=size,
-                                          seed=seed)
+            result = run_context(workload, context, size=size, seed=seed,
+                                 scale=scale,
+                                 warmup_fraction=warmup_fraction,
+                                 session=session)
             offchip[workload][context] = result.classification
-        intra = run_workload_context(workload, INTRA_CHIP, size=size,
-                                     seed=seed)
+        intra = run_context(workload, INTRA_CHIP, size=size, seed=seed,
+                            scale=scale, warmup_fraction=warmup_fraction,
+                            session=session)
         intrachip[workload] = intra.classification
     return Figure1Result(offchip=offchip, intrachip=intrachip)
+
+
+@register_analysis("figure1")
+def _figure1_analysis(session, spec, scale: int,
+                      warmup_fraction: float) -> Figure1Result:
+    """Spec adapter: Figure 1 over one (scale, warmup) slice of the grid."""
+    return figure1(size=spec.size, seed=spec.seed, workloads=spec.workloads,
+                   scale=scale, warmup_fraction=warmup_fraction,
+                   session=session)

@@ -10,11 +10,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+from ..api.registry import register_analysis
 from ..core.report import format_stream_fractions
 from ..core.streams import StreamAnalysis
+from ..mem.config import DEFAULT_SCALE
 from ..mem.trace import ALL_CONTEXTS
 from ..workloads.configs import WORKLOAD_NAMES
-from .runner import run_workload_context
+from .runner import DEFAULT_WARMUP_FRACTION, run_context
 
 
 @dataclass
@@ -37,13 +39,28 @@ class Figure2Result:
 
 def figure2(size: str = "small", seed: int = 42,
             workloads: Tuple[str, ...] = WORKLOAD_NAMES,
-            contexts: Tuple[str, ...] = ALL_CONTEXTS) -> Figure2Result:
+            contexts: Tuple[str, ...] = ALL_CONTEXTS,
+            scale: int = DEFAULT_SCALE,
+            warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+            session=None) -> Figure2Result:
     """Regenerate Figure 2 for the given workloads and contexts."""
     analyses: Dict[str, Dict[str, StreamAnalysis]] = {}
     for workload in workloads:
         analyses[workload] = {}
         for context in contexts:
-            result = run_workload_context(workload, context, size=size,
-                                          seed=seed)
+            result = run_context(workload, context, size=size, seed=seed,
+                                 scale=scale,
+                                 warmup_fraction=warmup_fraction,
+                                 session=session)
             analyses[workload][context] = result.stream_analysis
     return Figure2Result(analyses=analyses)
+
+
+@register_analysis("figure2")
+def _figure2_analysis(session, spec, scale: int,
+                      warmup_fraction: float) -> Figure2Result:
+    """Spec adapter: Figure 2 over one (scale, warmup) slice of the grid."""
+    from .parallel import spec_contexts
+    return figure2(size=spec.size, seed=spec.seed, workloads=spec.workloads,
+                   contexts=spec_contexts(spec), scale=scale,
+                   warmup_fraction=warmup_fraction, session=session)

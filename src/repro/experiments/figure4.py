@@ -13,12 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+from ..api.registry import register_analysis
 from ..core.lengths import LengthDistribution
 from ..core.report import format_length_cdf, format_reuse_pdf
 from ..core.reuse import ReuseDistanceDistribution
+from ..mem.config import DEFAULT_SCALE
 from ..mem.trace import ALL_CONTEXTS
 from ..workloads.configs import WORKLOAD_NAMES
-from .runner import run_workload_context
+from .runner import DEFAULT_WARMUP_FRACTION, run_context
 
 
 @dataclass
@@ -50,7 +52,10 @@ class Figure4Result:
 
 def figure4(size: str = "small", seed: int = 42,
             workloads: Tuple[str, ...] = WORKLOAD_NAMES,
-            contexts: Tuple[str, ...] = ALL_CONTEXTS) -> Figure4Result:
+            contexts: Tuple[str, ...] = ALL_CONTEXTS,
+            scale: int = DEFAULT_SCALE,
+            warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+            session=None) -> Figure4Result:
     """Regenerate Figure 4 for the given workloads and contexts."""
     lengths: Dict[str, Dict[str, LengthDistribution]] = {}
     reuse: Dict[str, Dict[str, ReuseDistanceDistribution]] = {}
@@ -58,8 +63,20 @@ def figure4(size: str = "small", seed: int = 42,
         lengths[workload] = {}
         reuse[workload] = {}
         for context in contexts:
-            result = run_workload_context(workload, context, size=size,
-                                          seed=seed)
+            result = run_context(workload, context, size=size, seed=seed,
+                                 scale=scale,
+                                 warmup_fraction=warmup_fraction,
+                                 session=session)
             lengths[workload][context] = result.lengths
             reuse[workload][context] = result.reuse
     return Figure4Result(lengths=lengths, reuse=reuse)
+
+
+@register_analysis("figure4")
+def _figure4_analysis(session, spec, scale: int,
+                      warmup_fraction: float) -> Figure4Result:
+    """Spec adapter: Figure 4 over one (scale, warmup) slice of the grid."""
+    from .parallel import spec_contexts
+    return figure4(size=spec.size, seed=spec.seed, workloads=spec.workloads,
+                   contexts=spec_contexts(spec), scale=scale,
+                   warmup_fraction=warmup_fraction, session=session)

@@ -8,11 +8,18 @@ simulation yields both the ``single-chip`` and ``intra-chip`` bundles in one
 pass.
 
 Workers are ordinary processes (:mod:`concurrent.futures`); each one runs
-:func:`repro.experiments.runner.run_workload_context`, which writes its
-results through to the shared on-disk store, and additionally returns the
-bundles to the parent so the parent's in-process memo is warm afterwards.
-A re-run of the suite is therefore served entirely from the disk cache
-without spawning simulations at all.
+:func:`repro.experiments.runner.run_context` under a worker-local
+:class:`~repro.api.session.Session`, which writes its results through to the
+shared on-disk store, and additionally returns the bundles to the parent so
+the parent's in-process memo is warm afterwards.  A re-run of the suite is
+therefore served entirely from the disk cache without spawning simulations
+at all.
+
+Cells whose captured trace already carries epoch-boundary checkpoints skip
+the one-worker-per-organisation path entirely: :meth:`ParallelSuiteRunner.run_suite`
+simulates them via epoch-sharded :meth:`~ParallelSuiteRunner.simulate_trace`
+(each shard restores its boundary snapshot), so the sweep parallelises
+*below* (workload, organisation) granularity whenever snapshots exist.
 
 Captured traces additionally let parallelism drop *below* the
 (workload, organisation) granularity: a trace's self-describing epoch
@@ -38,22 +45,42 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..api.registry import SYSTEMS
+from ..api.session import Session
 from ..checkpoint import (checkpoint_params, get_checkpoint_store,
                           simulate_epoch_range)
 from ..mem.config import DEFAULT_SCALE
-from ..mem.trace import INTRA_CHIP, MULTI_CHIP, MissTrace, SINGLE_CHIP
+from ..mem.trace import MissTrace
 from ..trace import (EpochSummary, TraceReader, get_trace_store,
                      merge_summaries, summarize_trace_epoch, trace_params)
 from ..workloads import WORKLOAD_NAMES
 from .runner import (ContextResult, DEFAULT_WARMUP_FRACTION, _CACHE,
-                     _build_system, clamp_warmup_fraction, memo_key,
-                     run_workload_context)
+                     _analyze, _build_system, _result_params,
+                     clamp_warmup_fraction, get_store as runner_get_store,
+                     memo_key, run_context)
 
-#: Contexts produced by one simulation of each organisation.
-ORGANISATION_CONTEXTS: Dict[str, Tuple[str, ...]] = {
-    "multi-chip": (MULTI_CHIP,),
-    "single-chip": (SINGLE_CHIP, INTRA_CHIP),
-}
+
+def organisation_contexts() -> Dict[str, Tuple[str, ...]]:
+    """Contexts produced by one simulation of each registered organisation.
+
+    Computed from the system registry on every call so organisations added
+    via :func:`repro.api.registry.register_system` after import time join
+    the sweep (the module-level :data:`ORGANISATION_CONTEXTS` snapshot below
+    is kept for back-compat with import-time consumers).
+    """
+    return {name: SYSTEMS.get(name).contexts for name in SYSTEMS.names()}
+
+
+#: Import-time snapshot of :func:`organisation_contexts` (back-compat).
+ORGANISATION_CONTEXTS: Dict[str, Tuple[str, ...]] = organisation_contexts()
+
+
+def spec_contexts(spec) -> Tuple[str, ...]:
+    """The contexts an :class:`~repro.api.spec.ExperimentSpec` grid covers."""
+    contexts = organisation_contexts()
+    return tuple(context
+                 for organisation in spec.resolved().organisations
+                 for context in contexts[organisation])
 
 
 def _run_organisation(job: Tuple) -> Tuple[str, Dict[str, ContextResult]]:
@@ -63,14 +90,38 @@ def _run_organisation(job: Tuple) -> Tuple[str, Dict[str, ContextResult]]:
     """
     (workload, organisation, size, seed, scale, warmup_fraction, streaming,
      cache_dir, replay, checkpoint, resume) = job
+    session = Session(cache_dir=cache_dir, streaming=streaming,
+                      replay=replay, checkpoint=checkpoint, resume=resume)
     results = {}
-    for context in ORGANISATION_CONTEXTS[organisation]:
-        results[context] = run_workload_context(
+    for context in organisation_contexts()[organisation]:
+        results[context] = run_context(
             workload, context, size=size, seed=seed, scale=scale,
-            warmup_fraction=warmup_fraction, streaming=streaming,
-            cache_dir=cache_dir, replay=replay, checkpoint=checkpoint,
-            resume=resume)
+            warmup_fraction=warmup_fraction, session=session)
     return workload, results
+
+
+def _capture_stream_job(job: Tuple) -> Tuple[Tuple[str, int], str]:
+    """Worker entry point: capture one workload access stream to the store.
+
+    Module-level so it pickles under both fork and spawn start methods.
+    Returns ``((workload, n_cpus), status)`` where status is ``cached`` when
+    the trace already existed or ``ran`` after a fresh capture (committed
+    atomically, so concurrent captures of the same stream race benignly).
+    """
+    workload, n_cpus, seed, size, cache_dir = job
+    from ..workloads import create_workload
+    store = get_trace_store(cache_dir)
+    key = (workload, n_cpus)
+    if store is None:
+        return key, "skipped"
+    params = trace_params(workload, n_cpus, seed, size)
+    if store.contains(params):
+        return key, "cached"
+    accesses = create_workload(workload, n_cpus=n_cpus, seed=seed,
+                               size=size).iter_accesses()
+    for _ in store.capture(accesses, params):
+        pass
+    return key, "ran"
 
 
 def _simulate_shard_job(job: Tuple) -> Tuple[int, Dict[str, list], int]:
@@ -146,31 +197,125 @@ class ParallelSuiteRunner:
 
     # ------------------------------------------------------------------ #
     def _jobs(self, workloads: Iterable[str], size: str, seed: int,
-              scale: int, warmup_fraction: float) -> List[Tuple]:
+              scale: int, warmup_fraction: float,
+              organisations: Tuple[str, ...]) -> List[Tuple]:
         return [(workload, organisation, size, seed, scale, warmup_fraction,
                  self.streaming, self.cache_dir, self.replay,
                  self.checkpoint, self.resume)
                 for workload in workloads
-                for organisation in ORGANISATION_CONTEXTS]
+                for organisation in organisations]
+
+    def _shardable(self, workload: str, organisation: str, size: str,
+                   seed: int, scale: int, warmup_fraction: float) -> bool:
+        """True when this (workload, organisation) cell should be simulated
+        via epoch-sharded parallel simulation instead of one pool worker.
+
+        Sharding pays off exactly when real simulation work remains *and*
+        the boundary snapshots to split it are already on disk: the analysis
+        bundle is absent from memo and disk store, a captured trace exists,
+        and at least one interior epoch checkpoint is stored.  Everything
+        else (cache hits, first-ever runs that still have to capture) stays
+        on the one-worker-per-organisation path.
+        """
+        if not (self.replay and self.resume) or self.max_workers == 1:
+            return False
+        store = runner_get_store(self.cache_dir)
+        if store is None:
+            return False
+        contexts = organisation_contexts()[organisation]
+        cached = 0
+        for context in contexts:
+            if memo_key(workload, context, size, seed, scale,
+                        warmup_fraction) in _CACHE:
+                cached += 1
+            elif store.contains("context", _result_params(
+                    workload, context, size, seed, scale, warmup_fraction)):
+                cached += 1
+        if cached == len(contexts):
+            return False
+        trace_store = get_trace_store(self.cache_dir)
+        ckpt_store = get_checkpoint_store(self.cache_dir)
+        if trace_store is None or ckpt_store is None:
+            return False
+        n_cpus = SYSTEMS.get(organisation).n_cpus
+        reader = trace_store.open(trace_params(workload, n_cpus, seed, size))
+        if reader is None:
+            return False
+        params = checkpoint_params(workload, n_cpus, seed, size, organisation,
+                                   scale, warmup_fraction,
+                                   epoch_size=reader.meta.epoch_size)
+        return any(0 < epoch < reader.n_epochs
+                   for epoch in ckpt_store.epochs(params))
+
+    def _run_sharded(self, workload: str, organisation: str, size: str,
+                     seed: int, scale: int, warmup_fraction: float
+                     ) -> Dict[str, ContextResult]:
+        """Simulate one cell epoch-sharded, then analyse and persist it.
+
+        The bundle written here is byte-for-byte what the serial
+        :func:`~repro.experiments.runner.run_context` path would produce:
+        :meth:`simulate_trace` is verified bit-identical to a serial
+        simulation, and the analysis is a pure function of the miss trace.
+        """
+        traces = self.simulate_trace(workload, organisation, size=size,
+                                     seed=seed, scale=scale,
+                                     warmup_fraction=warmup_fraction)
+        store = runner_get_store(self.cache_dir)
+        results: Dict[str, ContextResult] = {}
+        for context in organisation_contexts()[organisation]:
+            result = _analyze(workload, context, traces[context])
+            if store is not None:
+                store.save("context",
+                           _result_params(workload, context, size, seed,
+                                          scale, warmup_fraction), result)
+            results[context] = result
+        return results
 
     def run_suite(self, size: str = "small", seed: int = 42,
                   scale: int = DEFAULT_SCALE,
                   workloads: Tuple[str, ...] = WORKLOAD_NAMES,
                   warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+                  organisations: Optional[Tuple[str, ...]] = None,
                   ) -> Dict[str, Dict[str, ContextResult]]:
-        """All ``workloads`` in all contexts; returns {workload: {context: result}}."""
-        jobs = self._jobs(workloads, size, seed, scale, warmup_fraction)
+        """All ``workloads`` in all contexts; returns {workload: {context: result}}.
+
+        Cells whose captured trace already has boundary checkpoints (from
+        any earlier run of the same configuration) are simulated via
+        epoch-sharded :meth:`simulate_trace` — parallelism *below*
+        (workload, organisation) granularity — while the rest fan out one
+        organisation per pool worker; both paths produce bit-identical
+        bundles.  ``organisations`` restricts the sweep (default: every
+        registered organisation).
+        """
+        warmup_fraction = clamp_warmup_fraction(warmup_fraction)
+        known = organisation_contexts()
+        if organisations is None:
+            organisations = tuple(known)
+        for organisation in organisations:
+            if organisation not in known:
+                raise ValueError(f"unknown organisation {organisation!r}")
+        jobs = self._jobs(workloads, size, seed, scale, warmup_fraction,
+                          organisations)
+        sharded = [job for job in jobs if self._shardable(*job[:6])]
+        pooled = [job for job in jobs if job not in sharded]
         merged: Dict[str, Dict[str, ContextResult]] = {w: {} for w in workloads}
-        if self.max_workers == 1:
-            outcomes = map(_run_organisation, jobs)
+        if self.max_workers == 1 or not pooled:
+            outcomes = map(_run_organisation, pooled)
             for workload, results in outcomes:
                 merged[workload].update(results)
         else:
             with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                futures = [pool.submit(_run_organisation, job) for job in jobs]
+                futures = [pool.submit(_run_organisation, job)
+                           for job in pooled]
                 for future in as_completed(futures):
                     workload, results = future.result()
                     merged[workload].update(results)
+        # Sharded cells run in the parent: each call fans its epoch ranges
+        # out over its own pool, so running them one after another keeps the
+        # workers busy without nesting pools.
+        for job in sharded:
+            workload = job[0]
+            merged[workload].update(self._run_sharded(*job[:6]))
         # Warm the parent's memo so follow-up figure/table rendering in this
         # process reuses the returned bundles directly.
         for workload, results in merged.items():
@@ -178,6 +323,24 @@ class ParallelSuiteRunner:
                 _CACHE[memo_key(workload, context, size, seed, scale,
                                 warmup_fraction)] = result
         return merged
+
+    # ------------------------------------------------------------------ #
+    def capture_streams(self, streams: Sequence[Tuple[str, int]], seed: int,
+                        size: str) -> Dict[Tuple[str, int], str]:
+        """Capture several ``(workload, n_cpus)`` access streams concurrently.
+
+        Streams that already exist in the trace store are left untouched
+        (``cached``); the rest generate and capture in pool workers, so a
+        cold plan execution overlaps its generation passes the same way the
+        flag-driven suite path does.  Returns ``{stream: status}``.
+        """
+        jobs = [(workload, n_cpus, seed, size, self.cache_dir)
+                for workload, n_cpus in streams]
+        if self.max_workers == 1 or len(jobs) <= 1:
+            return dict(map(_capture_stream_job, jobs))
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = [pool.submit(_capture_stream_job, job) for job in jobs]
+            return dict(future.result() for future in as_completed(futures))
 
     # ------------------------------------------------------------------ #
     def summarize_trace(self, reader: TraceReader,
@@ -228,7 +391,7 @@ class ParallelSuiteRunner:
 
         Returns ``{context: MissTrace}`` for the organisation's contexts.
         """
-        if organisation not in ORGANISATION_CONTEXTS:
+        if organisation not in organisation_contexts():
             raise ValueError(f"unknown organisation {organisation!r}")
         trace_store = get_trace_store(self.cache_dir)
         if trace_store is None:
@@ -272,7 +435,7 @@ class ParallelSuiteRunner:
                 (str(reader.path), organisation, scale, fraction, 0,
                  reader.n_epochs, self.cache_dir))]
         outcomes.sort(key=lambda outcome: outcome[0])
-        contexts = ORGANISATION_CONTEXTS[organisation]
+        contexts = organisation_contexts()[organisation]
         merged = {context: MissTrace(context) for context in contexts}
         for _, deltas, instructions in outcomes:
             for context in contexts:

@@ -36,6 +36,8 @@ import warnings
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple, Union
 
+from ..api.registry import SYSTEMS
+from ..api.session import Session, get_default_session
 from ..checkpoint import (checkpoint_params, get_checkpoint_store,
                           simulate_replay)
 from ..core.classification import (ClassificationBreakdown, classify_intrachip,
@@ -45,15 +47,14 @@ from ..core.modules import ModuleBreakdown, module_breakdown
 from ..core.reuse import ReuseDistanceDistribution, reuse_distance_distribution
 from ..core.streams import StreamAnalysis, analyze_trace
 from ..core.stride import StrideStreamBreakdown, stride_stream_breakdown
-from ..mem.config import DEFAULT_SCALE
+from ..mem.config import DEFAULT_SCALE, multichip_config, singlechip_config
 from ..mem.multichip import MultiChipSystem
 from ..mem.singlechip import SingleChipSystem
 from ..mem.trace import (DEFAULT_CHUNK_SIZE, INTRA_CHIP, MULTI_CHIP,
                          MissTrace, SINGLE_CHIP)
-from ..mem.config import multichip_config, singlechip_config
 from ..trace import TraceCorruptError, get_trace_store, trace_params
 from ..workloads import WORKLOAD_NAMES, create_workload
-from .store import ResultStore, disk_cache_disabled
+from .store import ResultStore
 
 #: Fraction of the access trace used to warm the caches before recording,
 #: mirroring the paper's warm-up of at least 5000 transactions before tracing.
@@ -106,35 +107,24 @@ def memo_key(workload: str, context: str, size: str, seed: int, scale: int,
 def get_store(cache_dir: Optional[str] = None) -> Optional[ResultStore]:
     """The disk store the runner should use, or None when disabled.
 
-    ``cache_dir`` overrides the root for this store only; otherwise the
-    ``REPRO_CACHE_DIR``/``~/.cache/repro`` default applies.
+    Thin delegate to the default :class:`~repro.api.session.Session`'s
+    result store; ``cache_dir`` overrides the root for this store only.
     """
-    if disk_cache_disabled():
-        return None
-    return ResultStore(cache_dir) if cache_dir else ResultStore()
+    session = get_default_session()
+    if cache_dir:
+        session = session.with_options(cache_dir=cache_dir)
+    return session.result_store
 
 
 def clear_cache(disk: bool = False) -> int:
     """Drop memoised results; with ``disk=True`` also empty the disk stores.
 
-    Covers all three persistent stores — analysis bundles, captured access
-    traces, and epoch-boundary checkpoints.  Returns the number of disk
-    entries removed (0 for memory-only clears).
+    Thin delegate to :meth:`repro.api.session.Session.clear_caches` on the
+    default session, which covers all three persistent stores — analysis
+    bundles, captured access traces, and epoch-boundary checkpoints.
+    Returns the number of disk entries removed (0 for memory-only clears).
     """
-    _CACHE.clear()
-    _TRACE_CACHE.clear()
-    removed = 0
-    if disk:
-        store = get_store()
-        if store is not None:
-            removed += store.clear()
-        traces = get_trace_store()
-        if traces is not None:
-            removed += traces.clear()
-        checkpoints = get_checkpoint_store()
-        if checkpoints is not None:
-            removed += checkpoints.clear()
-    return removed
+    return get_default_session().clear_caches(disk=disk)
 
 
 def _result_params(workload: str, context: str, size: str, seed: int,
@@ -147,11 +137,11 @@ def _result_params(workload: str, context: str, size: str, seed: int,
 def _build_system(organisation: str, scale: int
                   ) -> Union[MultiChipSystem, SingleChipSystem]:
     """A fresh system model for one organisation at one cache scale."""
-    if organisation == "multi-chip":
-        return MultiChipSystem(multichip_config(scale=scale))
-    if organisation == "single-chip":
-        return SingleChipSystem(singlechip_config(scale=scale))
-    raise ValueError(f"unknown organisation {organisation!r}")
+    try:
+        factory = SYSTEMS.get(organisation)
+    except KeyError as exc:
+        raise ValueError(exc.args[0]) from None
+    return factory(scale=scale)
 
 
 def _simulate(workload: str, organisation: str, size: str, seed: int,
@@ -173,6 +163,7 @@ def _simulate(workload: str, organisation: str, size: str, seed: int,
     segments turn out corrupt mid-replay is dropped with a warning and the
     run falls back to re-generating the stream (one retry).
     """
+    warmup_fraction = clamp_warmup_fraction(warmup_fraction)
     key = memo_key(workload, organisation, size, seed, scale, warmup_fraction)
     if key in _TRACE_CACHE:
         return _TRACE_CACHE[key]
@@ -208,7 +199,9 @@ def _simulate_once(workload: str, organisation: str, size: str, seed: int,
     """One simulation attempt (see :func:`_simulate` for the retry wrapper)."""
     system = _build_system(organisation, scale)
     config = system.config
-    fraction = clamp_warmup_fraction(warmup_fraction)
+    # The fraction was clamped by the caller (every key-building site goes
+    # through clamp_warmup_fraction so serial, shard, and CLI keys agree).
+    fraction = warmup_fraction
 
     trace_store = get_trace_store(cache_dir) if replay else None
     stream_key = trace_params(workload, config.n_cpus, seed, size)
@@ -285,6 +278,63 @@ def _analyze(workload: str, context: str, miss_trace: MissTrace,
     )
 
 
+def run_context(workload: str, context: str, *, size: str = "small",
+                seed: int = 42, scale: int = DEFAULT_SCALE,
+                warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+                session: Optional[Session] = None) -> ContextResult:
+    """Build the full analysis bundle for one workload in one system context.
+
+    ``context`` is one of ``multi-chip``, ``single-chip``, or ``intra-chip``
+    (the latter two come from the same single-chip simulation).  Results are
+    memoised in-process and persisted to the versioned disk store.  The
+    ``session`` (default: the process-wide default session) supplies the
+    cache root and the streaming/replay/checkpoint/resume policy — none of
+    which affect the produced results (a resumed run is bit-identical by
+    construction).  This is the engine behind
+    :meth:`repro.api.session.Session.run`.
+    """
+    session = session if session is not None else get_default_session()
+    # Route the context to the registered organisation that produces it, so
+    # systems added via @register_system are runnable without edits here.
+    organisation = next((name for name in SYSTEMS.names()
+                         if context in SYSTEMS.get(name).contexts), None)
+    if organisation is None:
+        known = [ctx for name in SYSTEMS.names()
+                 for ctx in SYSTEMS.get(name).contexts]
+        raise ValueError(f"unknown context {context!r}; available: "
+                         f"{', '.join(known)}")
+    warmup_fraction = clamp_warmup_fraction(warmup_fraction)
+    cache_key = memo_key(workload, context, size, seed, scale,
+                         warmup_fraction)
+    if cache_key in _CACHE:
+        return _CACHE[cache_key]
+    store = session.result_store
+    params = _result_params(workload, context, size, seed, scale,
+                            warmup_fraction)
+    if store is not None:
+        cached = store.load("context", params)
+        if cached is not None:
+            _CACHE[cache_key] = cached
+            return cached
+    traces = _simulate(workload, organisation, size, seed, scale,
+                       warmup_fraction, streaming=session.streaming,
+                       replay=session.replay, cache_dir=session.cache_dir,
+                       checkpoint=session.checkpoint, resume=session.resume)
+    result = _analyze(workload, context, traces[context])
+    _CACHE[cache_key] = result
+    if store is not None:
+        store.save("context", params, result)
+    return result
+
+
+def _legacy_session(streaming: bool, cache_dir: Optional[str], replay: bool,
+                    checkpoint: bool, resume: bool) -> Session:
+    """A session carrying the historical per-call policy flags."""
+    return get_default_session().with_options(
+        cache_dir=cache_dir, streaming=streaming, replay=replay,
+        checkpoint=checkpoint, resume=resume)
+
+
 def run_workload_context(workload: str, context: str, size: str = "small",
                          seed: int = 42, scale: int = DEFAULT_SCALE,
                          warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
@@ -293,40 +343,20 @@ def run_workload_context(workload: str, context: str, size: str = "small",
                          replay: bool = True, checkpoint: bool = True,
                          resume: bool = True,
                          ) -> ContextResult:
-    """Build the full analysis bundle for one workload in one system context.
+    """Deprecated: use :meth:`repro.api.session.Session.run`.
 
-    ``context`` is one of ``multi-chip``, ``single-chip``, or ``intra-chip``
-    (the latter two come from the same single-chip simulation).  Results are
-    memoised in-process and persisted to the versioned disk store; the
-    ``streaming``, ``replay``, ``checkpoint``, and ``resume`` flags select
-    how the access stream is produced and whether replayed simulations
-    write/restore epoch-boundary checkpoints — none of them affect the
-    produced results (a resumed run is bit-identical by construction).
+    Kept as a back-compat shim delegating to the default session; results
+    are identical to the new API by construction.
     """
-    if context not in (MULTI_CHIP, SINGLE_CHIP, INTRA_CHIP):
-        raise ValueError(f"unknown context {context!r}")
-    cache_key = memo_key(workload, context, size, seed, scale,
-                         warmup_fraction)
-    if cache_key in _CACHE:
-        return _CACHE[cache_key]
-    store = get_store(cache_dir)
-    params = _result_params(workload, context, size, seed, scale,
-                            warmup_fraction)
-    if store is not None:
-        cached = store.load("context", params)
-        if cached is not None:
-            _CACHE[cache_key] = cached
-            return cached
-    organisation = "multi-chip" if context == MULTI_CHIP else "single-chip"
-    traces = _simulate(workload, organisation, size, seed, scale,
-                       warmup_fraction, streaming=streaming, replay=replay,
-                       cache_dir=cache_dir, checkpoint=checkpoint,
-                       resume=resume)
-    result = _analyze(workload, context, traces[context])
-    _CACHE[cache_key] = result
-    if store is not None:
-        store.save("context", params, result)
-    return result
+    warnings.warn(
+        "run_workload_context is deprecated; use repro.api.Session.run "
+        "(or repro.experiments.runner.run_context)", DeprecationWarning,
+        stacklevel=2)
+    return run_context(
+        workload, context, size=size, seed=seed, scale=scale,
+        warmup_fraction=warmup_fraction,
+        session=_legacy_session(streaming, cache_dir, replay, checkpoint,
+                                resume))
 
 
 def run_all_contexts(workload: str, size: str = "small", seed: int = 42,
@@ -334,13 +364,14 @@ def run_all_contexts(workload: str, size: str = "small", seed: int = 42,
                      cache_dir: Optional[str] = None, replay: bool = True,
                      checkpoint: bool = True, resume: bool = True,
                      ) -> Dict[str, ContextResult]:
-    """All three contexts for one workload."""
-    return {context: run_workload_context(workload, context, size=size,
-                                          seed=seed, scale=scale,
-                                          streaming=streaming,
-                                          cache_dir=cache_dir, replay=replay,
-                                          checkpoint=checkpoint,
-                                          resume=resume)
+    """Deprecated: use :meth:`repro.api.session.Session.run_all`."""
+    warnings.warn(
+        "run_all_contexts is deprecated; use repro.api.Session.run_all",
+        DeprecationWarning, stacklevel=2)
+    session = _legacy_session(streaming, cache_dir, replay, checkpoint,
+                              resume)
+    return {context: run_context(workload, context, size=size, seed=seed,
+                                 scale=scale, session=session)
             for context in (MULTI_CHIP, SINGLE_CHIP, INTRA_CHIP)}
 
 
@@ -350,12 +381,17 @@ def run_suite(size: str = "small", seed: int = 42,
               streaming: bool = True, replay: bool = True,
               checkpoint: bool = True, resume: bool = True,
               ) -> Dict[str, Dict[str, ContextResult]]:
-    """All workloads in all contexts (the full evaluation sweep), serially.
+    """Deprecated: use :meth:`repro.api.session.Session.suite` (pooled) or
+    loop :func:`run_context` for a serial sweep.
 
     See :class:`repro.experiments.parallel.ParallelSuiteRunner` for the
     process-pool version used by ``python -m repro suite``.
     """
-    return {name: run_all_contexts(name, size=size, seed=seed, scale=scale,
-                                   streaming=streaming, replay=replay,
-                                   checkpoint=checkpoint, resume=resume)
+    warnings.warn(
+        "run_suite is deprecated; use repro.api.Session.suite",
+        DeprecationWarning, stacklevel=2)
+    session = _legacy_session(streaming, None, replay, checkpoint, resume)
+    return {name: {context: run_context(name, context, size=size, seed=seed,
+                                        scale=scale, session=session)
+                   for context in (MULTI_CHIP, SINGLE_CHIP, INTRA_CHIP)}
             for name in workloads}

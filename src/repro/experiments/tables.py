@@ -14,11 +14,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from ..api.registry import register_analysis
 from ..core.modules import CATEGORIES, Category, ModuleBreakdown
 from ..core.report import _format_table, format_module_table, pct
+from ..mem.config import DEFAULT_SCALE
 from ..mem.trace import ALL_CONTEXTS
 from ..workloads.configs import TABLE1, ApplicationConfig, WORKLOAD_NAMES
-from .runner import run_workload_context
+from .runner import DEFAULT_WARMUP_FRACTION, run_context
 
 
 # --------------------------------------------------------------------------- #
@@ -102,30 +104,79 @@ class OriginsResult:
 
 
 def _origins(title: str, scope: str, workloads: Tuple[str, ...], size: str,
-             seed: int) -> OriginsResult:
+             seed: int, scale: int = DEFAULT_SCALE,
+             warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+             session=None) -> OriginsResult:
     breakdowns: Dict[str, Dict[str, ModuleBreakdown]] = {}
     for workload in workloads:
         breakdowns[workload] = {}
         for context in ALL_CONTEXTS:
-            result = run_workload_context(workload, context, size=size,
-                                          seed=seed)
+            result = run_context(workload, context, size=size, seed=seed,
+                                 scale=scale,
+                                 warmup_fraction=warmup_fraction,
+                                 session=session)
             breakdowns[workload][context] = result.modules
     return OriginsResult(title=title, scope=scope, breakdowns=breakdowns)
 
 
-def table3(size: str = "small", seed: int = 42) -> OriginsResult:
+def table3(size: str = "small", seed: int = 42, scale: int = DEFAULT_SCALE,
+           warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+           session=None) -> OriginsResult:
     """Table 3: temporal stream origins in the Web applications."""
     return _origins("Table 3: temporal stream origins in Web applications",
-                    "web", ("Apache", "Zeus"), size, seed)
+                    "web", ("Apache", "Zeus"), size, seed, scale=scale,
+                    warmup_fraction=warmup_fraction, session=session)
 
 
-def table4(size: str = "small", seed: int = 42) -> OriginsResult:
+def table4(size: str = "small", seed: int = 42, scale: int = DEFAULT_SCALE,
+           warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+           session=None) -> OriginsResult:
     """Table 4: temporal stream origins in OLTP (DB2)."""
     return _origins("Table 4: temporal stream origins in OLTP (DB2)",
-                    "db2", ("OLTP",), size, seed)
+                    "db2", ("OLTP",), size, seed, scale=scale,
+                    warmup_fraction=warmup_fraction, session=session)
 
 
-def table5(size: str = "small", seed: int = 42) -> OriginsResult:
+def table5(size: str = "small", seed: int = 42, scale: int = DEFAULT_SCALE,
+           warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+           session=None) -> OriginsResult:
     """Table 5: temporal stream origins in DSS (DB2)."""
     return _origins("Table 5: temporal stream origins in DSS (DB2)",
-                    "db2", ("Qry1", "Qry2", "Qry17"), size, seed)
+                    "db2", ("Qry1", "Qry2", "Qry17"), size, seed, scale=scale,
+                    warmup_fraction=warmup_fraction, session=session)
+
+
+# --------------------------------------------------------------------------- #
+# Spec adapters.  Tables 1-2 are static configuration artifacts; Tables 3-5
+# use the paper's fixed per-class workload sets (independent of the spec's
+# workload axis) so their output matches the legacy ``report`` command.
+# --------------------------------------------------------------------------- #
+@register_analysis("table1")
+def _table1_analysis(session, spec, scale: int, warmup_fraction: float) -> str:
+    return render_table1()
+
+
+@register_analysis("table2")
+def _table2_analysis(session, spec, scale: int, warmup_fraction: float) -> str:
+    return render_table2()
+
+
+@register_analysis("table3")
+def _table3_analysis(session, spec, scale: int,
+                     warmup_fraction: float) -> OriginsResult:
+    return table3(size=spec.size, seed=spec.seed, scale=scale,
+                  warmup_fraction=warmup_fraction, session=session)
+
+
+@register_analysis("table4")
+def _table4_analysis(session, spec, scale: int,
+                     warmup_fraction: float) -> OriginsResult:
+    return table4(size=spec.size, seed=spec.seed, scale=scale,
+                  warmup_fraction=warmup_fraction, session=session)
+
+
+@register_analysis("table5")
+def _table5_analysis(session, spec, scale: int,
+                     warmup_fraction: float) -> OriginsResult:
+    return table5(size=spec.size, seed=spec.seed, scale=scale,
+                  warmup_fraction=warmup_fraction, session=session)

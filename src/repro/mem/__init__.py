@@ -12,6 +12,7 @@ Public API
 * configuration helpers in :mod:`repro.mem.config`
 """
 
+from ..api.registry import register_system
 from .addrspace import AddressSpace, Region
 from .cache import Cache, State
 from .classify import BlockHistory
@@ -26,8 +27,34 @@ from .stream import StreamingSystemMixin
 from .trace import (ALL_CONTEXTS, DEFAULT_CHUNK_SIZE, INTRA_CHIP, MULTI_CHIP,
                     SINGLE_CHIP, AccessTrace, MissTrace, iter_chunks)
 
+# --------------------------------------------------------------------------- #
+# Registry entries: the paper's two system organisations.  The attributes on
+# each factory describe the organisation to planners (CPU count determines
+# the access stream; contexts are the analysis bundles one simulation yields).
+# --------------------------------------------------------------------------- #
+@register_system("multi-chip", aliases=("multichip", "dsm"))
+def build_multichip(scale: int = DEFAULT_SCALE) -> MultiChipSystem:
+    """16-node distributed shared memory system (MSI protocol)."""
+    return MultiChipSystem(multichip_config(scale=scale))
+
+
+build_multichip.n_cpus = 16
+build_multichip.contexts = (MULTI_CHIP,)
+
+
+@register_system("single-chip", aliases=("singlechip", "cmp"))
+def build_singlechip(scale: int = DEFAULT_SCALE) -> SingleChipSystem:
+    """4-core CMP with a shared L2 (MOSI protocol, Piranha-style)."""
+    return SingleChipSystem(singlechip_config(scale=scale))
+
+
+build_singlechip.n_cpus = 4
+build_singlechip.contexts = (SINGLE_CHIP, INTRA_CHIP)
+
+
 __all__ = [
     "Access", "AccessKind", "AccessTrace", "AddressSpace", "BlockHistory",
+    "build_multichip", "build_singlechip",
     "BLOCK_SIZE", "Cache", "CacheConfig", "DEFAULT_SCALE", "FunctionRef",
     "IntraChipClass", "MissClass", "MissRecord", "MissTrace",
     "MultiChipSystem", "PAGE_SIZE", "Region", "SingleChipSystem", "State",

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..api.registry import register_prefetcher
 from ..mem.config import BLOCK_SIZE
 from ..mem.records import MissRecord
 from .base import Prefetcher
@@ -25,6 +26,7 @@ class _StrideState:
     confidence: int = 0
 
 
+@register_prefetcher("stride", aliases=("pc-stride",))
 class StridePrefetcher(Prefetcher):
     """Classic PC-indexed stride prefetcher with a confidence counter."""
 

@@ -17,10 +17,12 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, List
 
+from ..api.registry import register_prefetcher
 from ..mem.records import MissRecord
 from .base import Prefetcher
 
 
+@register_prefetcher("temporal", aliases=("tms", "temporal-streaming"))
 class TemporalPrefetcher(Prefetcher):
     """Global-history-buffer temporal streaming prefetcher."""
 

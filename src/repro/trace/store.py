@@ -30,7 +30,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 from .. import __version__
-from ..cachedir import default_cache_root, disk_cache_disabled, params_slug
+from ..cachedir import default_cache_root, params_slug
 from ..mem.records import Access
 from .capture import CaptureWriter, capture_stream
 from .format import DEFAULT_EPOCH_SIZE, TRACE_FORMAT_VERSION
@@ -164,7 +164,13 @@ class TraceStore:
 
 
 def get_trace_store(cache_dir: Optional[str] = None) -> Optional[TraceStore]:
-    """The trace store to use, or ``None`` when disk caching is disabled."""
-    if disk_cache_disabled():
-        return None
-    return TraceStore(cache_dir) if cache_dir else TraceStore()
+    """The trace store to use, or ``None`` when disk caching is disabled.
+
+    Thin delegate to the default :class:`~repro.api.session.Session`'s
+    trace store; ``cache_dir`` overrides the root for this store only.
+    """
+    from ..api.session import get_default_session
+    session = get_default_session()
+    if cache_dir:
+        session = session.with_options(cache_dir=cache_dir)
+    return session.trace_store

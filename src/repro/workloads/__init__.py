@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterator
 
+from ..api.registry import WORKLOADS, register_workload
 from ..mem.records import Access
 from ..mem.trace import AccessTrace
 from .base import (GENERATION_STATS, DriverStats, GenerationStats, Job,
@@ -34,15 +35,53 @@ from .web import WebWorkload
 from .webserver import ConnectionTable, FileCache
 
 
+# --------------------------------------------------------------------------- #
+# Registry entries: each factory builds one paper workload.  Registering here
+# (rather than via an if/elif chain in create_workload) lets external code add
+# workloads with @register_workload and have them picked up by specs, plans,
+# and the CLI without touching this package.
+# --------------------------------------------------------------------------- #
+@register_workload("Apache")
+def _apache(n_cpus: int, seed: int = 42, size: str = "default") -> WebWorkload:
+    return WebWorkload("apache", n_cpus=n_cpus, seed=seed, size=size)
+
+
+@register_workload("Zeus")
+def _zeus(n_cpus: int, seed: int = 42, size: str = "default") -> WebWorkload:
+    return WebWorkload("zeus", n_cpus=n_cpus, seed=seed, size=size)
+
+
+@register_workload("OLTP", aliases=("db2", "tpcc", "tpc-c"))
+def _oltp(n_cpus: int, seed: int = 42, size: str = "default") -> OltpWorkload:
+    return OltpWorkload(n_cpus=n_cpus, seed=seed, size=size)
+
+
+@register_workload("Qry1", aliases=("q1", "query1"))
+def _qry1(n_cpus: int, seed: int = 42, size: str = "default") -> DssWorkload:
+    return DssWorkload(1, n_cpus=n_cpus, seed=seed, size=size)
+
+
+@register_workload("Qry2", aliases=("q2", "query2"))
+def _qry2(n_cpus: int, seed: int = 42, size: str = "default") -> DssWorkload:
+    return DssWorkload(2, n_cpus=n_cpus, seed=seed, size=size)
+
+
+@register_workload("Qry17", aliases=("q17", "query17"))
+def _qry17(n_cpus: int, seed: int = 42, size: str = "default") -> DssWorkload:
+    return DssWorkload(17, n_cpus=n_cpus, seed=seed, size=size)
+
+
 def create_workload(name: str, n_cpus: int, seed: int = 42,
                     size: str = "default"):
-    """Instantiate a workload model by its paper name.
+    """Instantiate a workload model by its registered name.
 
     Parameters
     ----------
     name:
-        One of ``Apache``, ``Zeus``, ``OLTP``, ``Qry1``, ``Qry2``, ``Qry17``
-        (case-insensitive).
+        A name or alias in :data:`repro.api.registry.WORKLOADS` — the paper
+        names ``Apache``, ``Zeus``, ``OLTP``, ``Qry1``, ``Qry2``, ``Qry17``
+        (case-insensitive) plus anything registered via
+        :func:`repro.api.registry.register_workload`.
     n_cpus:
         Number of processors the workload's threads are interleaved over
         (16 for the multi-chip system, 4 for the single-chip CMP).
@@ -51,20 +90,8 @@ def create_workload(name: str, n_cpus: int, seed: int = 42,
     size:
         Work-volume preset: ``tiny``, ``small``, ``default``, or ``large``.
     """
-    key = name.lower()
-    if key == "apache":
-        return WebWorkload("apache", n_cpus=n_cpus, seed=seed, size=size)
-    if key == "zeus":
-        return WebWorkload("zeus", n_cpus=n_cpus, seed=seed, size=size)
-    if key in ("oltp", "db2", "tpcc", "tpc-c"):
-        return OltpWorkload(n_cpus=n_cpus, seed=seed, size=size)
-    if key in ("qry1", "q1", "query1"):
-        return DssWorkload(1, n_cpus=n_cpus, seed=seed, size=size)
-    if key in ("qry2", "q2", "query2"):
-        return DssWorkload(2, n_cpus=n_cpus, seed=seed, size=size)
-    if key in ("qry17", "q17", "query17"):
-        return DssWorkload(17, n_cpus=n_cpus, seed=seed, size=size)
-    raise KeyError(f"unknown workload {name!r}; known names: {WORKLOAD_NAMES}")
+    factory = WORKLOADS.get(name)  # KeyError lists the registered names
+    return factory(n_cpus=n_cpus, seed=seed, size=size)
 
 
 def generate_trace(name: str, n_cpus: int, seed: int = 42,

@@ -1,0 +1,144 @@
+"""Session facade: store ownership, singleton delegation, legacy shims."""
+
+import warnings
+
+import pytest
+
+from repro.api import Session, get_default_session, set_default_session
+from repro.checkpoint import get_checkpoint_store
+from repro.experiments import runner
+from repro.experiments.store import CACHE_DISABLE_ENV
+from repro.mem.trace import ALL_CONTEXTS, MULTI_CHIP
+from repro.trace import get_trace_store
+
+
+class TestStores:
+    def test_stores_share_one_root(self, private_cache):
+        session = Session(cache_dir=str(private_cache))
+        assert session.cache_root == private_cache
+        assert session.result_store.root == private_cache
+        assert session.trace_store.root == private_cache / "traces"
+        assert session.checkpoint_store.root == private_cache / "checkpoints"
+
+    def test_default_root_tracks_environment(self, private_cache):
+        # cache_dir=None resolves REPRO_CACHE_DIR at access time, so the
+        # default session keeps working across environment changes.
+        session = Session()
+        assert session.cache_root == private_cache
+
+    def test_disk_cache_disabled_yields_no_stores(self, private_cache,
+                                                  monkeypatch):
+        monkeypatch.setenv(CACHE_DISABLE_ENV, "1")
+        session = Session(cache_dir=str(private_cache))
+        assert session.result_store is None
+        assert session.trace_store is None
+        assert session.checkpoint_store is None
+        assert not session.disk_cache_enabled
+
+    def test_with_options_overrides_selectively(self):
+        session = Session(max_workers=4, replay=False)
+        derived = session.with_options(replay=True)
+        assert derived.replay is True
+        assert derived.max_workers == 4
+        assert session.replay is False  # original untouched
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            Session(max_workers=0)
+
+
+class TestSingletonDelegation:
+    def test_legacy_accessors_delegate_to_default_session(self, private_cache):
+        default = get_default_session()
+        assert get_trace_store().root == default.trace_store.root
+        assert get_checkpoint_store().root == default.checkpoint_store.root
+        assert runner.get_store().root == default.result_store.root
+
+    def test_legacy_accessors_honour_cache_dir(self, private_cache, tmp_path):
+        other = tmp_path / "elsewhere"
+        assert get_trace_store(str(other)).root == other / "traces"
+        assert runner.get_store(str(other)).root == other
+
+    def test_set_default_session_swaps_and_restores(self, private_cache,
+                                                    tmp_path):
+        replacement = Session(cache_dir=str(tmp_path / "swap"))
+        previous = set_default_session(replacement)
+        try:
+            assert get_default_session() is replacement
+            assert get_trace_store().root == replacement.trace_store.root
+        finally:
+            set_default_session(previous)
+
+
+class TestRun:
+    def test_session_run_matches_memoised_engine(self, private_cache):
+        session = Session()
+        first = session.run("Apache", MULTI_CHIP, size="tiny")
+        second = runner.run_context("Apache", MULTI_CHIP, size="tiny")
+        assert second is first  # same memo, same engine
+        assert first.n_misses > 0
+
+    def test_run_all_covers_contexts(self, private_cache):
+        results = Session().run_all("Apache", size="tiny")
+        assert set(results) == set(ALL_CONTEXTS)
+
+
+class TestLegacyShims:
+    def test_run_workload_context_warns_and_matches(self, private_cache):
+        session_result = Session().run("Apache", MULTI_CHIP, size="tiny")
+        with pytest.warns(DeprecationWarning, match="run_workload_context"):
+            legacy = runner.run_workload_context("Apache", MULTI_CHIP,
+                                                 size="tiny")
+        assert legacy is session_result
+
+    def test_run_all_contexts_warns_and_matches(self, private_cache):
+        new = Session().run_all("OLTP", size="tiny")
+        with pytest.warns(DeprecationWarning, match="run_all_contexts"):
+            legacy = runner.run_all_contexts("OLTP", size="tiny")
+        assert set(legacy) == set(new)
+        for context in new:
+            assert legacy[context] is new[context]
+
+    def test_run_suite_warns_and_matches(self, private_cache):
+        with pytest.warns(DeprecationWarning, match="run_suite"):
+            legacy = runner.run_suite(size="tiny", workloads=("Qry1",))
+        # The pooled suite returns equal bundles (pool workers pickle their
+        # results back, so object identity is not preserved).
+        new = Session(max_workers=2).suite(size="tiny", workloads=("Qry1",))
+        for context, result in legacy["Qry1"].items():
+            fresh = new["Qry1"][context]
+            assert fresh.n_misses == result.n_misses
+            assert ([r.block for r in fresh.miss_trace]
+                    == [r.block for r in result.miss_trace])
+
+    def test_shim_results_identical_cold_vs_new_api(self, tmp_path,
+                                                    monkeypatch):
+        # Two cold caches: the deprecated path and the Session path must
+        # produce identical bundles, not just identical memo objects.
+        from repro.experiments.store import CACHE_DIR_ENV
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "legacy"))
+        runner.clear_cache()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = runner.run_workload_context("Zeus", MULTI_CHIP,
+                                                 size="tiny")
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "session"))
+        runner.clear_cache()
+        fresh = Session().run("Zeus", MULTI_CHIP, size="tiny")
+        runner.clear_cache()
+        assert fresh.n_misses == legacy.n_misses
+        assert ([r.block for r in fresh.miss_trace]
+                == [r.block for r in legacy.miss_trace])
+        assert (fresh.stream_analysis.fraction_in_streams
+                == legacy.stream_analysis.fraction_in_streams)
+
+
+class TestWarmupClamping:
+    def test_out_of_range_fractions_share_one_key(self, private_cache):
+        # Satellite fix: every key-building site clamps identically, so a
+        # fraction beyond the clamp range hits the same memo/disk entry.
+        a = Session().run("Apache", MULTI_CHIP, size="tiny",
+                          warmup_fraction=0.95)
+        b = Session().run("Apache", MULTI_CHIP, size="tiny",
+                          warmup_fraction=7.0)
+        assert b is a  # both clamp to 0.9 and share the memo entry

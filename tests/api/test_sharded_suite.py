@@ -1,0 +1,111 @@
+"""Satellite: the suite path epoch-shards simulations when checkpoints exist.
+
+A serial run leaves a captured trace plus epoch-boundary checkpoints behind.
+When the result bundles are then lost (deleted, or never computed because the
+run was interrupted after checkpointing), ``ParallelSuiteRunner.run_suite``
+must re-simulate via epoch-sharded ``simulate_trace`` — not via one pool
+worker per organisation — and the resulting bundles must be bit-identical to
+the serial ones.
+"""
+
+import pytest
+
+from repro.experiments import ParallelSuiteRunner, parallel, runner
+from repro.mem.trace import ALL_CONTEXTS
+
+
+def _suite_reference(workloads):
+    """Serial bundles (also seeds traces, checkpoints, and disk entries)."""
+    return {workload: {context: runner.run_context(workload, context,
+                                                   size="tiny")
+                       for context in ALL_CONTEXTS}
+            for workload in workloads}
+
+
+def _delete_result_bundles(cache_dir):
+    removed = 0
+    for path in cache_dir.glob("v*/context/*.pkl"):
+        path.unlink()
+        removed += 1
+    return removed
+
+
+def test_suite_uses_sharded_simulation_when_checkpoints_exist(
+        private_cache, monkeypatch):
+    workloads = ("Apache",)
+    reference = _suite_reference(workloads)
+    assert _delete_result_bundles(private_cache) == len(ALL_CONTEXTS)
+    runner.clear_cache()
+
+    # Poison the per-organisation worker path: with checkpoints on disk the
+    # suite must go through the epoch-sharded path instead.
+    def boom(job):
+        raise AssertionError(
+            f"suite fell back to the unsharded worker path for {job[:2]}")
+
+    monkeypatch.setattr(parallel, "_run_organisation", boom)
+    suite = ParallelSuiteRunner(max_workers=2)
+    results = suite.run_suite(size="tiny", workloads=workloads)
+
+    for workload in workloads:
+        for context in ALL_CONTEXTS:
+            got = results[workload][context]
+            want = reference[workload][context]
+            assert got.n_misses == want.n_misses
+            assert got.miss_trace.instructions == want.miss_trace.instructions
+            assert ([(r.seq, r.cpu, r.block, r.miss_class)
+                     for r in got.miss_trace]
+                    == [(r.seq, r.cpu, r.block, r.miss_class)
+                        for r in want.miss_trace])
+            assert (got.stream_analysis.fraction_in_streams
+                    == want.stream_analysis.fraction_in_streams)
+
+
+def test_sharded_suite_repersists_bundles(private_cache, monkeypatch):
+    workloads = ("OLTP",)
+    _suite_reference(workloads)
+    _delete_result_bundles(private_cache)
+    runner.clear_cache()
+    ParallelSuiteRunner(max_workers=2).run_suite(size="tiny",
+                                                 workloads=workloads)
+    # The sharded path wrote the bundles back under the runner's own keys.
+    assert len(list(private_cache.glob("v*/context/*.pkl"))) \
+        == len(ALL_CONTEXTS)
+    runner.clear_cache()
+
+    def boom(*args, **kwargs):
+        raise AssertionError("re-simulated despite repersisted bundles")
+
+    monkeypatch.setattr(runner, "_simulate", boom)
+    rerun = ParallelSuiteRunner(max_workers=1).run_suite(size="tiny",
+                                                         workloads=workloads)
+    assert rerun["OLTP"]["multi-chip"].n_misses > 0
+
+
+def test_cached_cells_skip_sharding(private_cache):
+    # With bundles on disk nothing is shardable; the suite serves the cache.
+    workloads = ("Qry1",)
+    _suite_reference(workloads)
+    runner.clear_cache()
+    suite = ParallelSuiteRunner(max_workers=2)
+    for organisation in parallel.ORGANISATION_CONTEXTS:
+        assert not suite._shardable("Qry1", organisation, "tiny", 42, 64,
+                                    0.25)
+
+
+def test_inline_runner_never_shards(private_cache):
+    workloads = ("Apache",)
+    _suite_reference(workloads)
+    _delete_result_bundles(private_cache)
+    runner.clear_cache()
+    suite = ParallelSuiteRunner(max_workers=1)
+    assert not suite._shardable("Apache", "multi-chip", "tiny", 42, 64, 0.25)
+    results = suite.run_suite(size="tiny", workloads=workloads)
+    assert results["Apache"]["multi-chip"].n_misses > 0
+
+
+def test_suite_rejects_unknown_organisation(private_cache):
+    with pytest.raises(ValueError, match="mega-chip"):
+        ParallelSuiteRunner(max_workers=1).run_suite(
+            size="tiny", workloads=("Apache",),
+            organisations=("mega-chip",))

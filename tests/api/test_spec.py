@@ -1,0 +1,135 @@
+"""ExperimentSpec: construction, validation, the grid, and TOML loading."""
+
+import pytest
+
+from repro.api import Cell, ExperimentSpec, SpecError
+from repro.experiments.runner import DEFAULT_WARMUP_FRACTION
+from repro.mem.config import DEFAULT_SCALE
+from repro.workloads import WORKLOAD_NAMES
+
+
+class TestConstruction:
+    def test_defaults_resolve_to_full_grid(self):
+        spec = ExperimentSpec().resolved()
+        assert spec.workloads == WORKLOAD_NAMES
+        assert spec.organisations == ("multi-chip", "single-chip")
+        assert spec.scales == (DEFAULT_SCALE,)
+        assert spec.warmups == (DEFAULT_WARMUP_FRACTION,)
+
+    def test_from_dict_accepts_scalars_for_lists(self):
+        spec = ExperimentSpec.from_dict(
+            {"workloads": "Apache", "scales": 32, "warmups": 0.1})
+        assert spec.workloads == ("Apache",)
+        assert spec.scales == (32,)
+        assert spec.warmups == (0.1,)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(SpecError, match="unknown key 'workload'"):
+            ExperimentSpec.from_dict({"workload": ["Apache"]})
+
+    def test_to_dict_roundtrip(self):
+        spec = ExperimentSpec(name="x", workloads=("Apache",),
+                              organisations=("multi-chip",), size="tiny",
+                              analyses=("figure2",))
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestAliases:
+    def test_aliases_canonicalised_in_resolved(self):
+        spec = ExperimentSpec(workloads=("db2",),
+                              organisations=("multichip",),
+                              prefetchers=("tms",), analyses=("a1",))
+        resolved = spec.resolved()
+        assert resolved.workloads == ("OLTP",)
+        assert resolved.organisations == ("multi-chip",)
+        assert resolved.prefetchers == ("temporal",)
+        assert resolved.analyses == ("ablation-prefetchers",)
+        assert spec.validate() == []
+
+    def test_alias_spec_is_plannable(self):
+        from repro.api import build_plan
+        plan = build_plan(ExperimentSpec(size="tiny", workloads=("db2",),
+                                         organisations=("multichip",)))
+        assert "simulate:OLTP/multi-chip@scale64-warmup0.25" in plan.stages
+
+    def test_alias_duplicating_canonical_rejected(self):
+        errors = ExperimentSpec(
+            organisations=("multi-chip", "multichip")).validate()
+        assert any("duplicate" in error for error in errors)
+
+
+class TestGrid:
+    def test_cells_are_the_full_product(self):
+        spec = ExperimentSpec(workloads=("Apache", "OLTP"),
+                              organisations=("multi-chip", "single-chip"),
+                              scales=(64, 32), warmups=(0.25,))
+        cells = spec.cells()
+        assert len(cells) == 2 * 2 * 2
+        assert Cell("Apache", "multi-chip", 32, 0.25) in cells
+        assert Cell("OLTP", "single-chip", 64, 0.25) in cells
+
+
+class TestValidation:
+    def test_valid_spec_has_no_errors(self):
+        spec = ExperimentSpec(workloads=("Apache",),
+                              organisations=("multi-chip",), size="tiny",
+                              prefetchers=("temporal",),
+                              analyses=("figure2",))
+        assert spec.validate() == []
+        assert spec.ensure_valid() is spec
+
+    def test_every_problem_is_collected(self):
+        spec = ExperimentSpec(workloads=("Apache", "NotAWorkload"),
+                              organisations=("mega-chip",),
+                              size="enormous", scales=(0,),
+                              warmups=(1.5,),
+                              prefetchers=("psychic",),
+                              analyses=("figure9",))
+        errors = spec.validate()
+        joined = "\n".join(errors)
+        for fragment in ("NotAWorkload", "mega-chip", "enormous", "psychic",
+                         "figure9", "scale must be >= 1",
+                         "fraction must be in [0, 0.9]"):
+            assert fragment in joined, f"missing {fragment!r} in {joined}"
+        with pytest.raises(SpecError) as exc:
+            spec.ensure_valid()
+        assert len(exc.value.errors) == len(errors)
+
+    def test_duplicate_axis_entries_rejected(self):
+        spec = ExperimentSpec(workloads=("Apache", "Apache"))
+        assert any("duplicate" in error for error in spec.validate())
+
+    def test_unknown_entries_list_available(self):
+        errors = ExperimentSpec(analyses=("figure9",)).validate()
+        assert any("figure2" in error for error in errors)
+
+
+class TestToml:
+    def test_from_toml(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "grid.toml"
+        path.write_text(
+            'size = "tiny"\n'
+            'workloads = ["Apache"]\n'
+            'organisations = ["multi-chip"]\n'
+            'analyses = ["figure2"]\n')
+        spec = ExperimentSpec.from_toml(path)
+        assert spec.name == "grid"  # defaults to the file stem
+        assert spec.workloads == ("Apache",)
+        assert spec.validate() == []
+
+    def test_from_toml_parse_error(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "broken.toml"
+        path.write_text("workloads = [unterminated\n")
+        with pytest.raises(SpecError, match="TOML parse error"):
+            ExperimentSpec.from_toml(path)
+
+    def test_example_spec_is_valid(self):
+        pytest.importorskip("tomllib")
+        from pathlib import Path
+        example = (Path(__file__).resolve().parents[2] / "examples"
+                   / "spec_tiny.toml")
+        spec = ExperimentSpec.from_toml(example)
+        assert spec.validate() == []
+        assert spec.name == "tiny-smoke"

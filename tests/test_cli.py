@@ -213,3 +213,91 @@ def test_run_resume_is_bit_identical(tmp_path):
         return [line for line in stdout.splitlines() if "misses" in line]
 
     assert misses(first.stdout) == misses(resumed.stdout)
+
+
+# --------------------------------------------------------------------------- #
+# Declarative specs (--spec and the `spec` subcommand)
+# --------------------------------------------------------------------------- #
+SPEC_TOML = """\
+name = "cli-spec"
+size = "tiny"
+workloads = ["Apache"]
+organisations = ["multi-chip", "single-chip"]
+analyses = ["figure2"]
+"""
+
+
+def _write_spec(tmp_path, text=SPEC_TOML):
+    pytest.importorskip("tomllib")  # TOML specs need Python 3.11+
+    path = Path(tmp_path) / "spec.toml"
+    path.write_text(text)
+    return str(path)
+
+
+def test_spec_validate_ok(tmp_path):
+    spec = _write_spec(tmp_path)
+    proc = run_cli(["spec", "validate", spec], tmp_path)
+    assert "OK:" in proc.stdout
+    assert "cli-spec" in proc.stdout
+
+
+def test_spec_validate_reports_every_error(tmp_path):
+    spec = _write_spec(tmp_path, SPEC_TOML.replace("Apache", "NotAWorkload")
+                       .replace("figure2", "figure9"))
+    proc = run_cli(["spec", "validate", spec], tmp_path, check=False)
+    assert proc.returncode == 2
+    assert "NotAWorkload" in proc.stderr
+    assert "figure9" in proc.stderr
+
+
+def test_spec_plan_prints_stage_dag(tmp_path):
+    spec = _write_spec(tmp_path)
+    proc = run_cli(["spec", "plan", spec], tmp_path)
+    for fragment in ("capture:Apache@16cpu", "simulate:Apache/multi-chip",
+                     "analyze:Apache/intra-chip", "render:figure2"):
+        assert fragment in proc.stdout
+    # Planning must not execute anything.
+    assert not list(Path(tmp_path).glob("v*/context/*.pkl"))
+
+
+def test_suite_with_spec_runs_grid(tmp_path):
+    spec = _write_spec(tmp_path)
+    proc = run_cli(["suite", "--spec", spec, "--jobs", "1"], tmp_path)
+    assert "Apache" in proc.stdout
+    assert len(list(Path(tmp_path).glob("v*/context/*.pkl"))) == 3
+
+
+def test_report_with_spec_renders_requested_analyses(tmp_path):
+    spec = _write_spec(tmp_path)
+    proc = run_cli(["report", "--spec", spec, "--jobs", "1"], tmp_path)
+    assert "figure2" in proc.stdout
+    assert "Apache / multi-chip" in proc.stdout
+
+
+def test_run_with_spec_prints_every_cell(tmp_path):
+    spec = _write_spec(tmp_path)
+    proc = run_cli(["run", "--spec", spec, "--jobs", "1"], tmp_path)
+    assert "Apache / multi-chip" in proc.stdout
+    assert "Apache / intra-chip" in proc.stdout
+    assert "3 cell bundles" in proc.stdout
+
+
+def test_run_without_workload_or_spec_fails(tmp_path):
+    proc = run_cli(["run"], tmp_path, check=False)
+    assert proc.returncode == 2
+    assert "--spec" in proc.stderr
+
+
+def test_spec_conflicts_with_run_parameter_flags(tmp_path):
+    spec = _write_spec(tmp_path)
+    proc = run_cli(["suite", "--spec", spec, "--size", "large"], tmp_path,
+                   check=False)
+    assert proc.returncode == 2
+    assert "--size" in proc.stderr and "--spec" in proc.stderr
+    proc = run_cli(["run", "Apache", "multi-chip", "--spec", spec], tmp_path,
+                   check=False)
+    assert proc.returncode == 2
+    proc = run_cli(["report", "--spec", spec, "--artifact", "figure3"],
+                   tmp_path, check=False)
+    assert proc.returncode == 2
+    assert "--artifact" in proc.stderr
