@@ -14,30 +14,43 @@ This package is the composition layer over the rest of the library:
   and analyses, loadable from TOML or a dict.
 * :mod:`~repro.api.plan` — :func:`build_plan` resolving a spec into an
   explicit capture -> summarize -> simulate -> analyze -> render DAG, and
-  :func:`execute_plan` running it with replay, checkpoint resume, and
-  epoch-sharded parallel simulation per cell.
+  :func:`execute_plan`, the event-driven scheduler submitting each stage to
+  an execution backend the moment its dependencies land (with replay,
+  checkpoint resume, and epoch-sharded simulation per cell).
+* :mod:`~repro.api.executor` — the :class:`Executor` protocol plus the four
+  built-in backends (``serial``/``thread``/``process``/``dispatch``); new
+  backends plug in via :func:`register_executor`.
 
 Quick start::
 
     from repro.api import ExperimentSpec, Session
 
-    session = Session(max_workers=4)
+    session = Session(max_workers=4, executor="process")
     spec = ExperimentSpec.from_toml("experiment.toml")
     outcome = session.execute(spec)
     print(outcome.render("figure2"))
 """
 
-from .plan import Plan, PlanResult, Stage, build_plan, execute_plan
-from .registry import (ANALYSES, PREFETCHERS, Registry, SYSTEMS, WORKLOADS,
-                       register_analysis, register_prefetcher,
-                       register_system, register_workload)
+from .executor import (DispatchExecutor, EXECUTOR_NAMES, Executor,
+                       ExecutorSetupError, ProcessExecutor, SerialExecutor,
+                       ThreadExecutor, resolve_executor)
+from .plan import (EventLog, Plan, PlanEvents, PlanExecutionError, PlanResult,
+                   Stage, build_plan, execute_plan)
+from .registry import (ANALYSES, EXECUTORS, PREFETCHERS, Registry, SYSTEMS,
+                       WORKLOADS, register_analysis, register_executor,
+                       register_prefetcher, register_system,
+                       register_workload)
 from .session import Session, get_default_session, set_default_session
 from .spec import Cell, ExperimentSpec, SIZE_NAMES, SpecError
 
 __all__ = [
-    "ANALYSES", "Cell", "ExperimentSpec", "PREFETCHERS", "Plan",
-    "PlanResult", "Registry", "SIZE_NAMES", "SYSTEMS", "Session",
-    "SpecError", "Stage", "WORKLOADS", "build_plan", "execute_plan",
-    "get_default_session", "register_analysis", "register_prefetcher",
-    "register_system", "register_workload", "set_default_session",
+    "ANALYSES", "Cell", "DispatchExecutor", "EXECUTOR_NAMES", "EXECUTORS",
+    "EventLog", "ExperimentSpec", "Executor", "ExecutorSetupError",
+    "PREFETCHERS", "Plan",
+    "PlanEvents", "PlanExecutionError", "PlanResult", "ProcessExecutor",
+    "Registry", "SIZE_NAMES", "SYSTEMS", "SerialExecutor", "Session",
+    "SpecError", "Stage", "ThreadExecutor", "WORKLOADS", "build_plan",
+    "execute_plan", "get_default_session", "register_analysis",
+    "register_executor", "register_prefetcher", "register_system",
+    "register_workload", "resolve_executor", "set_default_session",
 ]

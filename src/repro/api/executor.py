@@ -1,0 +1,520 @@
+"""Pluggable execution backends for stage-DAG plans.
+
+A plan (:mod:`repro.api.plan`) is *what* runs — an explicit DAG of pipeline
+stages.  An :class:`Executor` is *how* it runs: the event-driven scheduler in
+:func:`~repro.api.plan.execute_plan` hands each *ready* stage (all
+dependencies landed) to the backend and gets a
+:class:`concurrent.futures.Future` back; everything about pools, processes,
+and work-item serialisation lives behind that boundary.
+
+Four backends ship, all registered in :data:`repro.api.registry.EXECUTORS`
+(so ``Session(executor="process")``, ``--executor process``, and
+``@register_executor`` all resolve through one namespace):
+
+``serial``
+    Runs every stage inline, in submission (topological) order — the
+    reference semantics and the default.  Because it executes in the parent
+    process, a simulate stage may still drop *below* stage granularity and
+    epoch-shard itself over a process pool when boundary checkpoints exist
+    (the historical ``ParallelSuiteRunner`` behaviour, now a stage-internal
+    detail).
+``thread``
+    A :class:`~concurrent.futures.ThreadPoolExecutor`.  Stages share the
+    parent's memo and stores directly; useful when stages are dominated by
+    replay I/O or the vectorised numpy paths that release the GIL.
+``process``
+    A :class:`~concurrent.futures.ProcessPoolExecutor` — independent grid
+    cells (and capture passes) genuinely overlap.  Workers write through the
+    shared on-disk stores and return their payloads to the parent, exactly
+    like the historical suite pool this backend absorbed.
+``dispatch``
+    The stepping stone to multi-host execution: each ready stage is
+    serialised to a **JSON work item** under ``<cache>/dispatch/``, executed
+    by a worker that sees *only* that JSON plus the shared cache root, and
+    acknowledged through a ``*.done.json`` receipt; the parent then replays
+    the stage's artifacts from the shared stores rather than receiving
+    in-memory objects.  Any scheduler that can ship a JSON file to a machine
+    mounting the same cache root can substitute for the local worker pool.
+
+The module-level :func:`run_stage` is the single worker entry point every
+backend funnels through, so a stage computes the same payload no matter
+where it runs — the backends are interchangeable by construction, and the
+CI smoke job asserts bit-identical plan artifacts across all four.
+
+Two submission levels:
+
+* :meth:`Executor.submit` — one *stage*; the executor runs
+  :func:`run_stage` wherever it sees fit and :meth:`Executor.finalize`
+  turns the future's raw value into ``(status, payload)``.
+* :meth:`Executor.submit_call` — one picklable ``fn(*args)``; the raw
+  fan-out primitive :class:`~repro.experiments.parallel.ParallelSuiteRunner`
+  uses for sub-stage work (per-epoch summaries, epoch-range shards).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from abc import ABC, abstractmethod
+from concurrent.futures import (Future, ProcessPoolExecutor,
+                                ThreadPoolExecutor)
+from typing import Any, Dict, Optional, Tuple, TYPE_CHECKING
+
+from .registry import EXECUTORS, SYSTEMS, register_executor
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from .plan import Plan, Stage
+    from .session import Session
+
+#: The names the built-in backends register under (CLI choices).
+EXECUTOR_NAMES = ("serial", "thread", "process", "dispatch")
+
+
+class ExecutorSetupError(RuntimeError):
+    """A backend cannot run under the bound session's configuration.
+
+    Distinct from plain ``RuntimeError`` so callers (e.g. the CLI) can
+    report a configuration problem as a one-liner without also swallowing
+    unrelated runtime failures like a broken worker pool.
+    """
+
+#: Stage kinds a backend executes; the scheduler runs the remaining kinds
+#: (analyze/prefetch/render) inline because they are pure bookkeeping over
+#: payloads it already holds.
+BACKEND_KINDS = ("capture", "summarize", "simulate")
+
+
+def session_config(session: "Session", shard: bool = False) -> Dict[str, Any]:
+    """The picklable/JSON-able policy a stage needs to run anywhere.
+
+    ``shard`` marks that the stage executes in the parent process and may
+    therefore open its own process pool for epoch-sharded simulation.
+    """
+    return {"cache_dir": session.cache_dir,
+            "streaming": session.streaming,
+            "replay": session.replay,
+            "checkpoint": session.checkpoint,
+            "resume": session.resume,
+            "max_workers": session.max_workers,
+            "shard": bool(shard)}
+
+
+def _config_session(config: Dict[str, Any]) -> "Session":
+    from .session import Session
+    return Session(cache_dir=config.get("cache_dir"),
+                   streaming=config.get("streaming", True),
+                   replay=config.get("replay", True),
+                   checkpoint=config.get("checkpoint", True),
+                   resume=config.get("resume", True))
+
+
+# --------------------------------------------------------------------------- #
+# stage work functions (module-level so they pickle under fork and spawn)
+# --------------------------------------------------------------------------- #
+def _stage_capture(params: Dict[str, Any],
+                   config: Dict[str, Any]) -> Tuple[str, None]:
+    """Capture one workload access stream into the shared trace store."""
+    from ..trace import get_trace_store, trace_params
+    from ..workloads import create_workload
+    store = (get_trace_store(config.get("cache_dir"))
+             if config.get("replay", True) else None)
+    if store is None:
+        return "skipped", None
+    key = trace_params(params["workload"], params["n_cpus"], params["seed"],
+                       params["size"])
+    if store.contains(key):
+        return "cached", None
+    accesses = create_workload(params["workload"], n_cpus=params["n_cpus"],
+                               seed=params["seed"],
+                               size=params["size"]).iter_accesses()
+    for _ in store.capture(accesses, key):
+        pass
+    return "ran", None
+
+
+def _stage_summarize(params: Dict[str, Any],
+                     config: Dict[str, Any]) -> Tuple[str, Any]:
+    """Counting pass over one captured stream; returns its EpochSummary."""
+    from ..trace import get_trace_store, trace_params
+    from ..trace.epoch import summarize_trace
+    store = (get_trace_store(config.get("cache_dir"))
+             if config.get("replay", True) else None)
+    reader = (store.open(trace_params(params["workload"], params["n_cpus"],
+                                      params["seed"], params["size"]))
+              if store is not None else None)
+    if reader is None:
+        return "skipped", None
+    if config.get("shard") and config.get("max_workers") != 1 \
+            and reader.n_epochs > 1:
+        # Stage-internal epoch sharding: only when this stage already runs
+        # in the parent process (nesting pools inside workers is a hazard).
+        from ..experiments.parallel import ParallelSuiteRunner
+        runner = ParallelSuiteRunner(max_workers=config.get("max_workers"),
+                                     cache_dir=config.get("cache_dir"))
+        return "ran", runner.summarize_trace(reader)
+    return "ran", summarize_trace(reader)
+
+
+def _stage_simulate(params: Dict[str, Any],
+                    config: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
+    """Simulate one grid cell; returns per-context statuses and bundles.
+
+    The per-context status ("cached" vs "ran") is decided *before* running,
+    so an analyze stage can report whether its bundle pre-existed in the
+    memo/disk store — the same contract the batched suite path used to
+    provide.  Epoch-sharded simulation stays available as a stage-internal
+    detail when the stage executes in the parent (``config["shard"]``).
+    """
+    from ..experiments.runner import (bundle_status, clamp_warmup_fraction,
+                                      run_context)
+    workload = params["workload"]
+    organisation = params["organisation"]
+    scale, size, seed = params["scale"], params["size"], params["seed"]
+    warmup = clamp_warmup_fraction(params["warmup"])
+    session = _config_session(config)
+    store = session.result_store
+    contexts = SYSTEMS.get(organisation).contexts
+    statuses = {context: bundle_status(workload, context, size, seed, scale,
+                                       warmup, store=store)
+                for context in contexts}
+    if config.get("shard") and config.get("max_workers") != 1:
+        from ..experiments.parallel import ParallelSuiteRunner
+        runner = ParallelSuiteRunner(
+            max_workers=config.get("max_workers"),
+            streaming=session.streaming, cache_dir=session.cache_dir,
+            replay=session.replay, checkpoint=session.checkpoint,
+            resume=session.resume)
+        if runner._shardable(workload, organisation, size, seed, scale,
+                             warmup):
+            bundles = runner._run_sharded(workload, organisation, size, seed,
+                                          scale, warmup)
+            return _merge_statuses(statuses), {"statuses": statuses,
+                                               "bundles": bundles}
+    bundles = {context: run_context(workload, context, size=size, seed=seed,
+                                    scale=scale, warmup_fraction=warmup,
+                                    session=session)
+               for context in contexts}
+    return _merge_statuses(statuses), {"statuses": statuses,
+                                       "bundles": bundles}
+
+
+def _merge_statuses(statuses: Dict[str, str]) -> str:
+    """A simulate stage only "ran" if at least one context had real work."""
+    return ("cached" if statuses and all(s == "cached"
+                                         for s in statuses.values())
+            else "ran")
+
+
+_STAGE_FNS = {"capture": _stage_capture,
+              "summarize": _stage_summarize,
+              "simulate": _stage_simulate}
+
+
+def run_stage(kind: str, params: Dict[str, Any],
+              config: Dict[str, Any]) -> Tuple[str, Any]:
+    """Execute one backend-run stage; returns ``(status, payload)``.
+
+    The single entry point every backend funnels through — inline, in a
+    pool worker, or deserialised from a dispatch work item — so a stage's
+    result is a pure function of ``(kind, params, config)`` and backends
+    stay interchangeable.
+    """
+    try:
+        fn = _STAGE_FNS[kind]
+    except KeyError:
+        raise ValueError(f"no backend work function for stage kind {kind!r} "
+                         f"(backend kinds: {', '.join(_STAGE_FNS)})") from None
+    return fn(params, config)
+
+
+# --------------------------------------------------------------------------- #
+# the Executor protocol
+# --------------------------------------------------------------------------- #
+class Executor(ABC):
+    """How a plan's ready stages turn into running work.
+
+    Lifecycle: the scheduler calls :meth:`bind` once with the session (and
+    the plan, for backends that want to pre-provision), then any number of
+    :meth:`submit`/:meth:`submit_call`, then :meth:`shutdown` (or uses the
+    executor as a context manager).  ``submit`` returns a
+    :class:`concurrent.futures.Future` so heterogeneous backends compose
+    with :func:`concurrent.futures.wait`.
+    """
+
+    #: Registry name; set by subclasses.
+    name = "base"
+    #: Whether submitted stages run in the parent process, which permits
+    #: stage-internal pool use (epoch sharding).
+    runs_in_parent = False
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        #: Explicit construction-time budget; ``None`` defers to the bound
+        #: session, re-resolved on every bind so a reused instance follows
+        #: each session's worker budget instead of pinning the first one.
+        self._own_max_workers = max_workers
+        self.max_workers = max_workers
+        self._config: Dict[str, Any] = {}
+
+    # -- lifecycle ------------------------------------------------------- #
+    def bind(self, session: "Session", plan: Optional["Plan"] = None) -> None:
+        """Adopt the session policy stages will run under."""
+        self.max_workers = (self._own_max_workers
+                            if self._own_max_workers is not None
+                            else session.max_workers)
+        self._config = session_config(session, shard=self.runs_in_parent)
+        self._config["max_workers"] = self.max_workers
+
+    def shutdown(self) -> None:
+        """Release pools/resources; the executor may not be reused after."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- submission ------------------------------------------------------ #
+    @abstractmethod
+    def submit_call(self, fn, *args) -> Future:
+        """Run ``fn(*args)`` under this backend; the raw fan-out primitive."""
+
+    def submit(self, stage: "Stage") -> Future:
+        """Run one ready stage; resolve the future via :meth:`finalize`."""
+        return self.submit_call(run_stage, stage.kind, dict(stage.params),
+                                dict(self._config))
+
+    def finalize(self, stage: "Stage", value: Any) -> Tuple[str, Any]:
+        """Turn a completed future's raw value into ``(status, payload)``."""
+        return value
+
+    def describe(self) -> str:
+        workers = "auto" if self.max_workers is None else self.max_workers
+        return f"{self.name} executor (workers={workers})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+def _completed_future(fn, *args) -> Future:
+    """Run ``fn`` now; wrap its outcome in an already-settled Future."""
+    future: Future = Future()
+    try:
+        future.set_result(fn(*args))
+    except BaseException as exc:  # noqa: BLE001 - future carries it
+        future.set_exception(exc)
+    return future
+
+
+@register_executor("serial", aliases=("inline",))
+class SerialExecutor(Executor):
+    """Run every stage inline, in submission order (the reference backend).
+
+    Executing in the parent keeps the historical semantics exactly: one
+    stage at a time, deterministic order, and epoch-sharded simulation
+    below stage granularity whenever boundary checkpoints make it pay.
+    """
+
+    name = "serial"
+    runs_in_parent = True
+
+    def submit_call(self, fn, *args) -> Future:
+        return _completed_future(fn, *args)
+
+
+@register_executor("thread")
+class ThreadExecutor(Executor):
+    """Overlap stages on a thread pool sharing the parent's memo/stores."""
+
+    name = "thread"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__(max_workers)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def submit_call(self, fn, *args) -> Future:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix="repro-stage")
+        return self._pool.submit(fn, *args)
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+@register_executor("process")
+class ProcessExecutor(Executor):
+    """Overlap stages on a process pool writing through the shared stores.
+
+    This backend absorbs the pool the historical ``ParallelSuiteRunner``
+    owned: the suite runner now fans its sub-stage jobs out through
+    :meth:`submit_call` on exactly this class.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__(max_workers)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def submit_call(self, fn, *args) -> Future:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool.submit(fn, *args)
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+# --------------------------------------------------------------------------- #
+# dispatch: JSON work items against a shared cache root
+# --------------------------------------------------------------------------- #
+def _summary_to_json(summary) -> Dict[str, Any]:
+    return {"first_epoch": summary.first_epoch,
+            "last_epoch": summary.last_epoch,
+            "n_accesses": summary.n_accesses,
+            "instructions": summary.instructions,
+            "kind_counts": {str(k): v
+                            for k, v in summary.kind_counts.items()},
+            "cpu_counts": {str(k): v for k, v in summary.cpu_counts.items()},
+            "distinct_blocks": summary.distinct_blocks}
+
+
+def _summary_from_json(data: Dict[str, Any]):
+    from ..trace.epoch import EpochSummary
+    return EpochSummary(
+        first_epoch=data["first_epoch"], last_epoch=data["last_epoch"],
+        n_accesses=data["n_accesses"], instructions=data["instructions"],
+        kind_counts={int(k): v for k, v in data["kind_counts"].items()},
+        cpu_counts={int(k): v for k, v in data["cpu_counts"].items()},
+        distinct_blocks=data["distinct_blocks"])
+
+
+def execute_work_item(item_path: str) -> str:
+    """Run one serialised stage; returns the path of its ``done`` receipt.
+
+    The worker contract of the dispatch backend: everything it needs is in
+    the work-item JSON (stage key/kind/params plus the session policy) and
+    the shared cache root the policy points at.  Bulk artifacts — captured
+    traces, checkpoints, analysis bundles — land in the shared stores; the
+    receipt carries only statuses and small JSON-able payloads, so this
+    function can run on any host mounting the cache root.
+    """
+    with open(item_path, "r", encoding="utf-8") as fh:
+        item = json.load(fh)
+    status, payload = run_stage(item["kind"], item["params"], item["config"])
+    done: Dict[str, Any] = {"stage": item["stage"], "kind": item["kind"],
+                            "status": status}
+    if item["kind"] == "summarize" and payload is not None:
+        done["summary"] = _summary_to_json(payload)
+    elif item["kind"] == "simulate":
+        done["statuses"] = payload["statuses"]
+    done_path = item_path[:-len(".json")] + ".done.json"
+    tmp_path = done_path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as fh:
+        json.dump(done, fh, indent=2)
+    os.replace(tmp_path, done_path)
+    return done_path
+
+
+@register_executor("dispatch")
+class DispatchExecutor(ProcessExecutor):
+    """Serialise ready stages to JSON work items; replay artifacts from disk.
+
+    The stepping stone to multi-host execution: the parent writes each
+    ready stage as ``<cache>/dispatch/<run>/item-NNNN.json``, a worker
+    executes it from the JSON alone (here: a local process pool standing in
+    for remote hosts), and the parent recovers the stage's artifacts from
+    the **shared cache root** — analysis bundles from the result store,
+    statuses and epoch summaries from the ``*.done.json`` receipt — never
+    from worker memory.  Requires the disk cache; work-item and receipt
+    files are left in place as an audit trail of the run.
+    """
+
+    name = "dispatch"
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 work_dir: Optional[str] = None) -> None:
+        super().__init__(max_workers)
+        self.work_dir = work_dir
+        self._run_dir: Optional[str] = None
+        self._counter = 0
+
+    def bind(self, session: "Session", plan: Optional["Plan"] = None) -> None:
+        super().bind(session, plan)
+        if not session.disk_cache_enabled:
+            raise ExecutorSetupError(
+                "the dispatch executor shares work through the disk cache; "
+                "unset REPRO_DISABLE_DISK_CACHE or pick another backend")
+        root = (self.work_dir if self.work_dir is not None
+                else str(session.cache_root / "dispatch"))
+        os.makedirs(root, exist_ok=True)
+        name = (plan.spec.name if plan is not None else "plan")
+        safe = "".join(c if c.isalnum() or c in "-_" else "-" for c in name)
+        self._run_dir = tempfile.mkdtemp(prefix=f"{safe}-", dir=root)
+        self._session = session
+
+    def submit(self, stage: "Stage") -> Future:
+        if self._run_dir is None:
+            raise RuntimeError("DispatchExecutor.submit before bind()")
+        self._counter += 1
+        item_path = os.path.join(
+            self._run_dir,
+            f"item-{self._counter:04d}-{stage.kind}.json")
+        item = {"stage": stage.key, "kind": stage.kind,
+                "params": dict(stage.params), "config": dict(self._config)}
+        with open(item_path, "w", encoding="utf-8") as fh:
+            json.dump(item, fh, indent=2)
+        return self.submit_call(execute_work_item, item_path)
+
+    def finalize(self, stage: "Stage", value: Any) -> Tuple[str, Any]:
+        with open(value, "r", encoding="utf-8") as fh:
+            done = json.load(fh)
+        status = done["status"]
+        if stage.kind == "summarize":
+            return status, (_summary_from_json(done["summary"])
+                            if "summary" in done else None)
+        if stage.kind == "simulate":
+            return status, {"statuses": done["statuses"],
+                            "bundles": self._replay_bundles(stage)}
+        return status, None
+
+    def _replay_bundles(self, stage: "Stage") -> Dict[str, Any]:
+        """Load the cell's bundles back from the shared result store."""
+        from ..experiments.runner import _result_params, clamp_warmup_fraction
+        params = stage.params
+        store = self._session.result_store
+        warmup = clamp_warmup_fraction(params["warmup"])
+        bundles = {}
+        for context in SYSTEMS.get(params["organisation"]).contexts:
+            bundle = store.load("context", _result_params(
+                params["workload"], context, params["size"], params["seed"],
+                params["scale"], warmup)) if store is not None else None
+            if bundle is None:
+                raise RuntimeError(
+                    f"dispatch worker reported {stage.key} done but its "
+                    f"{context} bundle is missing from the shared store")
+            bundles[context] = bundle
+        return bundles
+
+
+def resolve_executor(policy: Any, session: "Session") -> Executor:
+    """The :class:`Executor` instance a policy value denotes.
+
+    ``policy`` may be an executor instance (used as-is), a registered name
+    (instantiated with the session's worker budget), or ``None`` (the
+    session's own ``executor`` policy, default ``serial``).
+    """
+    if policy is None:
+        policy = getattr(session, "executor", None) or "serial"
+    if isinstance(policy, Executor):
+        return policy
+    factory = EXECUTORS.get(policy)
+    return factory(max_workers=session.max_workers)

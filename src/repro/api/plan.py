@@ -11,19 +11,26 @@ pipeline for every grid cell::
             -> prefetch:<name>:<cell context>                per prefetcher
             -> render:<analysis>                             per analysis
 
-The DAG is *explicit* — ``repro spec plan`` prints it, tests assert on it —
-while execution batches stages of the same kind for efficiency: simulate
-stages go through :meth:`ParallelSuiteRunner.run_suite`, which fans out over
-the process pool per (workload, organisation) and drops *below* that
-granularity by epoch-sharding any simulation whose captured trace already
-has boundary checkpoints.  Replay, checkpoint resume, and the result store
-are all engaged per cell automatically via the session policy.
+The DAG is *explicit* — ``repro spec plan`` prints it (``--format json|dot``
+exports it for external schedulers), tests assert on it — and execution is
+**event-driven**: :func:`execute_plan` tracks stage dependencies, hands each
+stage to the session's :class:`~repro.api.executor.Executor` backend the
+moment its dependencies land, and fires :class:`PlanEvents` lifecycle
+callbacks (``on_stage_start``/``finish``/``error``) as futures settle.  With
+an overlapping backend (``thread``/``process``/``dispatch``) independent
+(scale, warmup) combos run concurrently and render stages start as soon as
+their analyze dependencies land, instead of waiting for the whole grid.
+Replay, checkpoint resume, and the result store are engaged per cell
+automatically via the session policy; a failed stage cancels (never runs)
+its transitive dependents while independent branches finish.
 """
 
 from __future__ import annotations
 
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, wait
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from .registry import ANALYSES, PREFETCHERS, SYSTEMS
 from .spec import ExperimentSpec
@@ -100,9 +107,99 @@ class Plan:
         return "\n".join(lines)
 
     # ------------------------------------------------------------------ #
-    def run(self, session) -> "PlanResult":
+    # exports for external schedulers
+    # ------------------------------------------------------------------ #
+    def to_json(self, indent: int = 2) -> str:
+        """The DAG as JSON: spec, then stages with kind/params/deps."""
+        import json
+        return json.dumps(
+            {"spec": self.spec.resolved().to_dict(),
+             "stages": [{"key": stage.key, "kind": stage.kind,
+                         "params": dict(stage.params),
+                         "deps": list(stage.deps)}
+                        for stage in self.order()]},
+            indent=indent)
+
+    def to_dot(self) -> str:
+        """The DAG in Graphviz ``dot`` form (one node per stage)."""
+        colors = {"capture": "lightblue", "summarize": "lightcyan",
+                  "simulate": "khaki", "analyze": "palegreen",
+                  "prefetch": "plum", "render": "lightsalmon"}
+        lines = [f'digraph "{self.spec.name}" {{', "  rankdir=LR;",
+                 '  node [shape=box, style=filled, fontname="monospace"];']
+        for stage in self.order():
+            fill = colors.get(stage.kind, "white")
+            lines.append(f'  "{stage.key}" [fillcolor={fill}];')
+        for stage in self.order():
+            lines.extend(f'  "{dep}" -> "{stage.key}";'
+                         for dep in stage.deps)
+        lines.append("}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    def run(self, session, executor=None, events: "PlanEvents" = None,
+            raise_errors: bool = True) -> "PlanResult":
         """Execute every stage through ``session``; see :func:`execute_plan`."""
-        return execute_plan(self, session)
+        return execute_plan(self, session, executor=executor, events=events,
+                            raise_errors=raise_errors)
+
+
+class PlanEvents:
+    """Lifecycle callbacks the scheduler fires as stages move.
+
+    Subclass and override what you care about (all default to no-ops), or
+    use :class:`EventLog` to record the sequence for assertions.  Callbacks
+    run in the scheduler thread, between future waits — keep them cheap.
+    """
+
+    def on_stage_start(self, stage: Stage) -> None:
+        """``stage`` was handed to the backend (or began running inline)."""
+
+    def on_stage_finish(self, stage: Stage, status: str) -> None:
+        """``stage`` settled with ``status`` (ran/cached/skipped)."""
+
+    def on_stage_error(self, stage: Stage, error: BaseException) -> None:
+        """``stage`` raised; its transitive dependents will be skipped."""
+
+
+class EventLog(PlanEvents):
+    """Record ``("start"|"finish"|"error", stage_key, detail)`` tuples."""
+
+    def __init__(self) -> None:
+        self.events: List[Tuple[str, str, Any]] = []
+
+    def on_stage_start(self, stage: Stage) -> None:
+        self.events.append(("start", stage.key, None))
+
+    def on_stage_finish(self, stage: Stage, status: str) -> None:
+        self.events.append(("finish", stage.key, status))
+
+    def on_stage_error(self, stage: Stage, error: BaseException) -> None:
+        self.events.append(("error", stage.key, error))
+
+    def index(self, event: str, key: str) -> int:
+        """Position of the first ``(event, key, *)`` entry (KeyError if absent)."""
+        for position, entry in enumerate(self.events):
+            if entry[0] == event and entry[1] == key:
+                return position
+        raise KeyError(f"no {event!r} event for stage {key!r}")
+
+
+class PlanExecutionError(RuntimeError):
+    """One or more stages failed; ``result`` holds the partial outcome.
+
+    Independent branches of the DAG still completed — their bundles and
+    artifacts are in ``result`` — while everything downstream of a failed
+    stage is marked ``skipped`` and was never run.
+    """
+
+    def __init__(self, result: "PlanResult") -> None:
+        self.result = result
+        failed = sorted(result.errors)
+        first = result.errors[failed[0]]
+        super().__init__(
+            f"{len(failed)} stage(s) failed "
+            f"({', '.join(failed)}); first error: {first!r}")
 
 
 @dataclass
@@ -120,18 +217,33 @@ class PlanResult:
     artifacts: Dict[str, Any] = field(default_factory=dict)
     #: per-stream EpochSummary from the summarize stages.
     summaries: Dict[Tuple[str, int], Any] = field(default_factory=dict)
-    #: stage key -> "ran" | "cached" | "skipped".
+    #: stage key -> "ran" | "cached" | "skipped" | "failed".
     statuses: Dict[str, str] = field(default_factory=dict)
+    #: stage key -> the exception a failed stage raised.
+    errors: Dict[str, BaseException] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when no stage failed (skipped-by-policy stages are fine)."""
+        return not self.errors
 
     def artifact(self, name: str) -> Any:
-        """The artifact for one analysis name (any scale/warmup suffix)."""
+        """The artifact for one analysis name (any scale/warmup suffix).
+
+        Raises ``KeyError`` listing the available artifact names on a miss,
+        and listing the matching candidates when a bare analysis name is
+        ambiguous across several (scale, warmup) combos.
+        """
         if name in self.artifacts:
             return self.artifacts[name]
-        matches = [key for key in self.artifacts
-                   if key == name or key.startswith(f"{name}@")]
+        matches = sorted(key for key in self.artifacts
+                         if key.startswith(f"{name}@"))
         if not matches:
-            raise KeyError(f"no artifact {name!r}; have: "
-                           f"{', '.join(self.artifacts) or '(none)'}")
+            raise KeyError(f"no artifact {name!r}; available: "
+                           f"{', '.join(sorted(self.artifacts)) or '(none)'}")
+        if len(matches) > 1:
+            raise KeyError(f"ambiguous artifact {name!r}; matches: "
+                           f"{', '.join(matches)} (pass a full name)")
         return self.artifacts[matches[0]]
 
     def render(self, name: str) -> str:
@@ -139,9 +251,22 @@ class PlanResult:
         return artifact.render() if hasattr(artifact, "render") else str(artifact)
 
     def render_all(self) -> Dict[str, str]:
-        return {key: (value.render() if hasattr(value, "render")
-                      else str(value))
-                for key, value in self.artifacts.items()}
+        """Every artifact rendered, in plan order.
+
+        The artifacts dict fills in stage *completion* order, which an
+        overlapping backend makes nondeterministic; rendering follows the
+        plan's render-stage order so output is stable run to run.
+        """
+        ordered = [stage.key[len("render:"):]
+                   for stage in self.plan.by_kind("render")]
+        keys = [key for key in ordered if key in self.artifacts]
+        keys += [key for key in self.artifacts if key not in ordered]
+        rendered = {}
+        for key in keys:
+            value = self.artifacts[key]
+            rendered[key] = (value.render() if hasattr(value, "render")
+                             else str(value))
+        return rendered
 
 
 # --------------------------------------------------------------------------- #
@@ -226,104 +351,148 @@ def build_plan(spec: ExperimentSpec) -> Plan:
 
 
 # --------------------------------------------------------------------------- #
-# plan execution
+# plan execution: the event-driven scheduler
 # --------------------------------------------------------------------------- #
-def execute_plan(plan: Plan, session) -> PlanResult:
-    """Run every stage of ``plan`` through ``session``.
+def _run_inline_stage(stage: Stage, session, payloads: Dict[str, Any],
+                      result: PlanResult) -> Tuple[str, Any]:
+    """Execute one parent-side stage (analyze/prefetch/render).
 
-    Stage batching: captures run serially (each is one generator pass,
-    performed at most once per distinct stream), summaries fan epochs over
-    the session's pool, simulations go through the suite runner (pool plus
-    epoch sharding below it), and analyses/prefetch/render stages consume
-    the simulated bundles from the memo/disk store.
+    These stages are bookkeeping over payloads the scheduler already holds
+    (simulated bundles, analysis adapters over the warm memo), so shipping
+    them to a backend would move the data both ways for no work; they run
+    inline between future waits instead.
     """
-    from ..prefetch.base import evaluate_coverage
-    from ..trace.store import trace_params
+    params = stage.params
+    if stage.kind == "analyze":
+        sim = payloads[stage.deps[0]]
+        context = params["context"]
+        return sim["statuses"][context], sim["bundles"][context]
+    if stage.kind == "prefetch":
+        from ..prefetch.base import evaluate_coverage
+        factory = PREFETCHERS.get(params["prefetcher"])
+        bundle = payloads[stage.deps[0]]
+        return "ran", evaluate_coverage(factory(), bundle.miss_trace)
+    if stage.kind == "render":
+        adapter = ANALYSES.get(params["analysis"])
+        return "ran", adapter(session=session, spec=result.spec,
+                              scale=params["scale"],
+                              warmup_fraction=params["warmup"])
+    raise ValueError(f"no inline handler for stage kind {stage.kind!r}")
 
-    spec = plan.spec
-    result = PlanResult(spec=spec, plan=plan)
-    runner = session.parallel_runner()
 
-    # -- capture (fanned over the pool: generation passes overlap) ------ #
-    capture_stages = plan.by_kind("capture")
-    if session.trace_store is None or not session.replay:
-        for stage in capture_stages:
-            result.statuses[stage.key] = "skipped"
-    elif capture_stages:
-        statuses = runner.capture_streams(
-            [(stage.params["workload"], stage.params["n_cpus"])
-             for stage in capture_stages],
-            seed=spec.seed, size=spec.size)
-        for stage in capture_stages:
-            result.statuses[stage.key] = statuses[
-                (stage.params["workload"], stage.params["n_cpus"])]
+def _record_payload(stage: Stage, status: str, payload: Any,
+                    result: PlanResult) -> None:
+    """File a finished stage's payload under the right PlanResult index."""
+    params = stage.params
+    if stage.kind == "summarize" and payload is not None:
+        result.summaries[(params["workload"], params["n_cpus"])] = payload
+    elif stage.kind == "simulate" and payload is not None:
+        # Warm the parent memo so render adapters (and later sessions in
+        # this process) reuse the bundles without touching the disk store.
+        from ..experiments.runner import _CACHE, clamp_warmup_fraction, \
+            memo_key
+        warmup = clamp_warmup_fraction(params["warmup"])
+        for context, bundle in payload["bundles"].items():
+            _CACHE[memo_key(params["workload"], context, params["size"],
+                            params["seed"], params["scale"],
+                            warmup)] = bundle
+    elif stage.kind == "analyze":
+        result.bundles[(params["workload"], params["context"],
+                        params["scale"], params["warmup"])] = payload
+    elif stage.kind == "prefetch":
+        result.coverage[(params["prefetcher"], params["workload"],
+                         params["context"], params["scale"],
+                         params["warmup"])] = payload
+    elif stage.kind == "render":
+        result.artifacts[stage.key[len("render:"):]] = payload
 
-    # -- summarize ------------------------------------------------------ #
-    for stage in plan.by_kind("summarize"):
-        store = session.trace_store
-        reader = (store.open(trace_params(
-            stage.params["workload"], stage.params["n_cpus"],
-            stage.params["seed"], stage.params["size"]))
-            if store is not None and session.replay else None)
-        if reader is None:
-            result.statuses[stage.key] = "skipped"
-            continue
-        result.summaries[(stage.params["workload"],
-                          stage.params["n_cpus"])] = \
-            runner.summarize_trace(reader)
-        result.statuses[stage.key] = "ran"
 
-    # -- simulate + analyze --------------------------------------------- #
-    from ..experiments.runner import _result_params, clamp_warmup_fraction
-    store = session.result_store
-    for stage in plan.by_kind("analyze"):
-        params = _result_params(
-            stage.params["workload"], stage.params["context"],
-            stage.params["size"], stage.params["seed"],
-            stage.params["scale"],
-            clamp_warmup_fraction(stage.params["warmup"]))
-        result.statuses[stage.key] = (
-            "cached" if store is not None and store.contains("context", params)
-            else "ran")
-    # A simulate stage only "ran" if at least one of its contexts' bundles
-    # was absent from the memo/disk store when the suite started.
-    for stage in plan.by_kind("simulate"):
-        sim_key = stage.key
-        dependents = [s for s in plan.by_kind("analyze")
-                      if sim_key in s.deps]
-        result.statuses[sim_key] = (
-            "cached" if dependents and all(
-                result.statuses[s.key] == "cached" for s in dependents)
-            else "ran")
-    combos = sorted({(cell.scale, cell.warmup) for cell in spec.cells()})
-    for scale, warmup in combos:
-        merged = runner.run_suite(
-            size=spec.size, seed=spec.seed, scale=scale,
-            workloads=spec.workloads, warmup_fraction=warmup,
-            organisations=spec.organisations)
-        for workload, contexts in merged.items():
-            for context, bundle in contexts.items():
-                result.bundles[(workload, context, scale, warmup)] = bundle
+def execute_plan(plan: Plan, session, executor=None,
+                 events: Optional[PlanEvents] = None,
+                 raise_errors: bool = True) -> PlanResult:
+    """Run every stage of ``plan`` through ``session``, event-driven.
 
-    # -- prefetch -------------------------------------------------------- #
-    for stage in plan.by_kind("prefetch"):
-        factory = PREFETCHERS.get(stage.params["prefetcher"])
-        bundle = result.bundles[(stage.params["workload"],
-                                 stage.params["context"],
-                                 stage.params["scale"],
-                                 stage.params["warmup"])]
-        result.coverage[(stage.params["prefetcher"],
-                         stage.params["workload"], stage.params["context"],
-                         stage.params["scale"], stage.params["warmup"])] = \
-            evaluate_coverage(factory(), bundle.miss_trace)
-        result.statuses[stage.key] = "ran"
+    The scheduler tracks dependency counts and submits each stage to the
+    ``executor`` backend (an :class:`~repro.api.executor.Executor` instance,
+    a registered name, or ``None`` for the session's ``executor`` policy)
+    the moment its dependencies land; ``events`` callbacks fire on every
+    start/finish/error.  Generation and simulation stages run on the
+    backend; analyze/prefetch/render stages run inline in the parent over
+    the payloads the backend returned.
 
-    # -- render ---------------------------------------------------------- #
-    for stage in plan.by_kind("render"):
-        adapter = ANALYSES.get(stage.params["analysis"])
-        name = stage.key[len("render:"):]
-        result.artifacts[name] = adapter(
-            session=session, spec=spec, scale=stage.params["scale"],
-            warmup_fraction=stage.params["warmup"])
-        result.statuses[stage.key] = "ran"
+    A stage that raises is marked ``failed`` (its exception lands in
+    ``result.errors``), its transitive dependents are cancelled without
+    running (``skipped``), and every independent branch still completes.
+    With ``raise_errors`` (the default) a :class:`PlanExecutionError`
+    carrying the partial :class:`PlanResult` is raised at the end.
+    """
+    from .executor import BACKEND_KINDS, resolve_executor
+
+    events = events if events is not None else PlanEvents()
+    result = PlanResult(spec=plan.spec, plan=plan)
+    payloads: Dict[str, Any] = {}
+
+    remaining = {key: set(stage.deps) for key, stage in plan.stages.items()}
+    dependents: Dict[str, List[str]] = {}
+    for stage in plan.stages.values():
+        for dep in stage.deps:
+            dependents.setdefault(dep, []).append(stage.key)
+    ready = deque(key for key, deps in remaining.items() if not deps)
+    pending: Dict[Future, Stage] = {}
+
+    def settle(stage: Stage, status: str, payload: Any) -> None:
+        result.statuses[stage.key] = status
+        payloads[stage.key] = payload
+        _record_payload(stage, status, payload, result)
+        events.on_stage_finish(stage, status)
+        for dep_key in dependents.get(stage.key, ()):
+            remaining[dep_key].discard(stage.key)
+            if not remaining[dep_key]:
+                ready.append(dep_key)
+
+    def fail(stage: Stage, error: BaseException) -> None:
+        result.statuses[stage.key] = "failed"
+        result.errors[stage.key] = error
+        events.on_stage_error(stage, error)
+        # Cancel the whole downstream cone: those stages never run.
+        cone = deque(dependents.get(stage.key, ()))
+        while cone:
+            key = cone.popleft()
+            if result.statuses.get(key) == "skipped":
+                continue
+            result.statuses[key] = "skipped"
+            events.on_stage_finish(plan.stages[key], "skipped")
+            cone.extend(dependents.get(key, ()))
+
+    with resolve_executor(executor, session) as backend:
+        backend.bind(session, plan)
+        while ready or pending:
+            while ready:
+                stage = plan.stages[ready.popleft()]
+                events.on_stage_start(stage)
+                if stage.kind in BACKEND_KINDS:
+                    pending[backend.submit(stage)] = stage
+                    continue
+                try:
+                    status, payload = _run_inline_stage(stage, session,
+                                                        payloads, result)
+                except Exception as error:  # noqa: BLE001 - recorded
+                    fail(stage, error)
+                else:
+                    settle(stage, status, payload)
+            if not pending:
+                continue  # inline completions may have readied more stages
+            done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+            # Settle in submission order for deterministic event sequences
+            # when several futures completed in one wait.
+            for future in [f for f in list(pending) if f in done]:
+                stage = pending.pop(future)
+                try:
+                    status, payload = backend.finalize(stage, future.result())
+                except Exception as error:  # noqa: BLE001 - recorded
+                    fail(stage, error)
+                else:
+                    settle(stage, status, payload)
+    if result.errors and raise_errors:
+        raise PlanExecutionError(result)
     return result

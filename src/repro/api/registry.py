@@ -123,6 +123,10 @@ PREFETCHERS = Registry("prefetcher")
 #: where the artifact renders via ``.render()`` (or ``str``).
 ANALYSES = Registry("analysis")
 
+#: Execution backends: ``factory(max_workers=None) -> Executor`` (see
+#: :mod:`repro.api.executor` for the protocol and the built-in four).
+EXECUTORS = Registry("executor")
+
 
 def register_workload(name: str, aliases: Tuple[str, ...] = ()):
     """Class/function decorator adding a workload factory to :data:`WORKLOADS`."""
@@ -142,3 +146,8 @@ def register_prefetcher(name: str, aliases: Tuple[str, ...] = ()):
 def register_analysis(name: str, aliases: Tuple[str, ...] = ()):
     """Decorator adding an analysis adapter to :data:`ANALYSES`."""
     return ANALYSES.decorator(name, aliases=aliases)
+
+
+def register_executor(name: str, aliases: Tuple[str, ...] = ()):
+    """Decorator adding an execution backend to :data:`EXECUTORS`."""
+    return EXECUTORS.decorator(name, aliases=aliases)

@@ -63,12 +63,18 @@ class Session:
     streaming / replay / checkpoint / resume:
         Pipeline policy, with the same meaning as the historical per-call
         flags (see :mod:`repro.experiments.runner`).
+    executor:
+        How plan stages execute: a name registered in
+        :data:`repro.api.registry.EXECUTORS` (``serial``/``thread``/
+        ``process``/``dispatch``) or an
+        :class:`~repro.api.executor.Executor` instance.  ``serial`` (the
+        default) keeps the historical one-stage-at-a-time semantics.
     """
 
     def __init__(self, cache_dir: Optional[str] = None,
                  max_workers: Optional[int] = None, streaming: bool = True,
                  replay: bool = True, checkpoint: bool = True,
-                 resume: bool = True) -> None:
+                 resume: bool = True, executor: Any = "serial") -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
@@ -77,6 +83,7 @@ class Session:
         self.replay = replay
         self.checkpoint = checkpoint
         self.resume = resume
+        self.executor = executor
 
     # ------------------------------------------------------------------ #
     # roots and stores
@@ -121,7 +128,8 @@ class Session:
     def with_options(self, cache_dir: Any = _UNSET,
                      max_workers: Any = _UNSET, streaming: Any = _UNSET,
                      replay: Any = _UNSET, checkpoint: Any = _UNSET,
-                     resume: Any = _UNSET) -> "Session":
+                     resume: Any = _UNSET,
+                     executor: Any = _UNSET) -> "Session":
         """A copy of this session with the given fields overridden."""
         return Session(
             cache_dir=self.cache_dir if cache_dir is _UNSET else cache_dir,
@@ -130,7 +138,8 @@ class Session:
             streaming=self.streaming if streaming is _UNSET else streaming,
             replay=self.replay if replay is _UNSET else replay,
             checkpoint=self.checkpoint if checkpoint is _UNSET else checkpoint,
-            resume=self.resume if resume is _UNSET else resume)
+            resume=self.resume if resume is _UNSET else resume,
+            executor=self.executor if executor is _UNSET else executor)
 
     # ------------------------------------------------------------------ #
     # pipeline entry points
@@ -196,12 +205,18 @@ class Session:
         from .plan import build_plan
         return build_plan(spec)
 
-    def execute(self, spec_or_plan: Any) -> "PlanResult":
-        """Plan (if needed) and execute a spec; returns the plan outcome."""
+    def execute(self, spec_or_plan: Any, executor: Any = None,
+                events: Any = None) -> "PlanResult":
+        """Plan (if needed) and execute a spec; returns the plan outcome.
+
+        ``executor`` overrides this session's execution backend for one
+        call; ``events`` receives :class:`~repro.api.plan.PlanEvents`
+        lifecycle callbacks as stages start/finish/fail.
+        """
         from .plan import Plan
         plan = (spec_or_plan if isinstance(spec_or_plan, Plan)
                 else self.plan(spec_or_plan))
-        return plan.run(self)
+        return plan.run(self, executor=executor, events=events)
 
     # ------------------------------------------------------------------ #
     def clear_caches(self, disk: bool = False) -> int:
@@ -222,7 +237,10 @@ class Session:
             f"{name}={getattr(self, name)}"
             for name in ("streaming", "replay", "checkpoint", "resume"))
         workers = ("auto" if self.max_workers is None else self.max_workers)
-        return (f"session at {self.cache_root} (workers={workers}, {policy}, "
+        backend = (self.executor if isinstance(self.executor, str)
+                   else getattr(self.executor, "name", self.executor))
+        return (f"session at {self.cache_root} (workers={workers}, "
+                f"executor={backend}, {policy}, "
                 f"disk cache {'on' if self.disk_cache_enabled else 'off'})")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

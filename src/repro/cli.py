@@ -16,7 +16,8 @@ report
 spec
     Work with declarative experiment specs: ``validate`` a TOML file,
     ``plan`` to print the capture -> simulate -> analyze -> render stage
-    DAG it resolves to (without executing anything).
+    DAG it resolves to (without executing anything); ``plan --format
+    json|dot`` exports the DAG for inspection or external schedulers.
 trace
     Manage captured access traces: ``capture`` one ahead of time, ``list``
     the store, ``info`` for an (optionally epoch-parallel) per-trace
@@ -36,6 +37,11 @@ accept ``--replay/--no-replay`` to control access-stream capture/replay
 through the trace store (default: replay) and
 ``--checkpoint/--no-checkpoint`` / ``--resume/--no-resume`` to control
 epoch-boundary snapshots and resuming from them (default: both on).
+
+Spec-driven executions additionally accept ``--executor
+serial|thread|process|dispatch`` to pick the stage execution backend
+(default: ``process``, or ``serial`` with ``--jobs 1``) and ``--progress``
+to render the scheduler's stage lifecycle events live on stderr.
 """
 
 from __future__ import annotations
@@ -47,6 +53,7 @@ import sys
 import time
 from typing import List, Optional, Sequence
 
+from .api.executor import EXECUTOR_NAMES
 from .mem.config import DEFAULT_SCALE
 from .mem.trace import ALL_CONTEXTS
 from .workloads import WORKLOAD_NAMES
@@ -83,6 +90,16 @@ def _add_run_params(parser: argparse.ArgumentParser) -> None:
                              "access zero (default: --resume)")
 
 
+def _add_spec_exec_params(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--executor", default=None, choices=EXECUTOR_NAMES,
+                        help="stage execution backend for --spec runs "
+                             "(default: process, or serial with --jobs 1)")
+    parser.add_argument("--progress", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="render stage lifecycle events live on stderr "
+                             "during --spec execution")
+
+
 def _add_cache_params(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default=None,
                         help="disk-cache root (default: $REPRO_CACHE_DIR or "
@@ -112,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for --spec execution "
                             "(default: cpu count; 1 runs inline)")
     _add_run_params(p_run)
+    _add_spec_exec_params(p_run)
     _add_cache_params(p_run)
 
     p_suite = sub.add_parser(
@@ -125,6 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="declarative experiment spec (TOML); the sweep "
                               "grid comes from the spec instead of the flags")
     _add_run_params(p_suite)
+    _add_spec_exec_params(p_suite)
     _add_cache_params(p_suite)
 
     p_report = sub.add_parser(
@@ -146,6 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="work-volume preset (default: small)")
     p_report.add_argument("--seed", type=int, default=42,
                           help="workload RNG seed (default: 42)")
+    _add_spec_exec_params(p_report)
     _add_cache_params(p_report)
 
     p_spec = sub.add_parser(
@@ -157,6 +177,11 @@ def build_parser() -> argparse.ArgumentParser:
     s_plan = ssub.add_parser(
         "plan", help="print the stage DAG a spec resolves to (no execution)")
     s_plan.add_argument("file", help="spec file (TOML)")
+    s_plan.add_argument("--format", default="text",
+                        choices=("text", "json", "dot"),
+                        help="output form: human-readable text, JSON "
+                             "(nodes/deps/kinds for external schedulers), "
+                             "or Graphviz dot (default: text)")
 
     p_trace = sub.add_parser(
         "trace", help="manage captured access traces (capture/list/info)")
@@ -250,14 +275,70 @@ def _bad_jobs(args: argparse.Namespace) -> bool:
 
 
 def _session_from_args(args: argparse.Namespace):
-    """Build the :class:`repro.api.Session` an execution subcommand uses."""
+    """Build the :class:`repro.api.Session` an execution subcommand uses.
+
+    The executor policy defaults to the overlapping ``process`` backend —
+    matching the pooled behaviour spec execution always had — and drops to
+    ``serial`` under ``--jobs 1`` so inline runs stay inline.
+    """
     from .api import Session
+    executor = getattr(args, "executor", None)
+    if executor is None:
+        executor = "serial" if getattr(args, "jobs", None) == 1 else "process"
     return Session(cache_dir=getattr(args, "cache_dir", None),
                    max_workers=getattr(args, "jobs", None),
                    streaming=not getattr(args, "eager", False),
                    replay=getattr(args, "replay", True),
                    checkpoint=getattr(args, "checkpoint", True),
-                   resume=getattr(args, "resume", True))
+                   resume=getattr(args, "resume", True),
+                   executor=executor)
+
+
+def _spec_events(args: argparse.Namespace):
+    """The :class:`~repro.api.PlanEvents` for a spec execution (or None)."""
+    if not getattr(args, "progress", False):
+        return None
+    from .api import PlanEvents
+
+    class _Progress(PlanEvents):
+        """Render scheduler lifecycle events live on stderr.
+
+        Reported durations are submission-to-settle wall clock — they
+        include any time a stage queued behind a busy backend, so they sum
+        to plan latency rather than per-stage compute.
+        """
+
+        def __init__(self) -> None:
+            self._starts = {}
+
+        def on_stage_start(self, stage) -> None:
+            self._starts[stage.key] = time.perf_counter()
+            print(f"[{stage.kind:>9}] {stage.key} ...", file=sys.stderr,
+                  flush=True)
+
+        def on_stage_finish(self, stage, status) -> None:
+            elapsed = time.perf_counter() - self._starts.get(
+                stage.key, time.perf_counter())
+            print(f"[{stage.kind:>9}] {stage.key} {status} "
+                  f"({elapsed:.2f}s)", file=sys.stderr, flush=True)
+
+        def on_stage_error(self, stage, error) -> None:
+            print(f"[{stage.kind:>9}] {stage.key} FAILED: {error}",
+                  file=sys.stderr, flush=True)
+
+    return _Progress()
+
+
+def _execute_spec(session, spec, args: argparse.Namespace):
+    """Run a spec through the session; returns (outcome, error_message)."""
+    from .api import PlanExecutionError
+    from .api.executor import ExecutorSetupError
+    try:
+        return session.execute(spec, events=_spec_events(args)), None
+    except PlanExecutionError as exc:
+        return exc.result, str(exc)
+    except ExecutorSetupError as exc:  # e.g. dispatch without a disk cache
+        return None, str(exc)
 
 
 def _spec_flag_conflicts(args: argparse.Namespace, parser_defaults: dict,
@@ -327,8 +408,20 @@ def _print_bundle(workload: str, context: str, result, size: str, seed: int,
         print(f"    class {cls}: {count:,} ({count / total:.1%})")
 
 
+def _spec_only_flags(args: argparse.Namespace) -> bool:
+    """Reject --executor/--progress outside a --spec execution."""
+    offending = [flag for flag in ("executor", "progress")
+                 if getattr(args, flag, None)]
+    if getattr(args, "spec", None) is None and offending:
+        names = ", ".join(f"--{flag}" for flag in offending)
+        print(f"error: {names} requires --spec (plan-level scheduling only "
+              f"applies to spec-driven execution)", file=sys.stderr)
+        return True
+    return False
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    if _bad_jobs(args):
+    if _bad_jobs(args) or _spec_only_flags(args):
         return 2
     session = _session_from_args(args)
     if args.spec is not None:
@@ -340,7 +433,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
         spec = spec.resolved()
         start = time.time()
-        outcome = session.execute(spec)
+        outcome, error = _execute_spec(session, spec, args)
+        if error is not None:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
         elapsed = time.time() - start
         for (workload, context, scale, warmup), result in sorted(
                 outcome.bundles.items()):
@@ -384,7 +480,7 @@ def _print_suite_table(workloads, contexts, results, size, jobs_label,
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
-    if _bad_jobs(args):
+    if _bad_jobs(args) or _spec_only_flags(args):
         return 2
     session = _session_from_args(args)
     jobs = "inline" if args.jobs == 1 else f"jobs={args.jobs or 'auto'}"
@@ -398,7 +494,10 @@ def _cmd_suite(args: argparse.Namespace) -> int:
             return 2
         spec = spec.resolved()
         start = time.time()
-        outcome = session.execute(spec)
+        outcome, error = _execute_spec(session, spec, args)
+        if error is not None:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
         elapsed = time.time() - start
         contexts = spec_contexts(spec)
         # One table per (scale, warmup) combination of the grid.
@@ -435,7 +534,14 @@ def _cmd_spec(args: argparse.Namespace) -> int:
         return 0
     # plan: print the resolved stage DAG without executing anything.
     from .api import build_plan
-    print(build_plan(spec).describe())
+    plan = build_plan(spec)
+    fmt = getattr(args, "format", "text")
+    if fmt == "json":
+        print(plan.to_json())
+    elif fmt == "dot":
+        print(plan.to_dot())
+    else:
+        print(plan.describe())
     return 0
 
 
@@ -443,7 +549,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments import (figure1, figure2, figure3, figure4,
                               render_table1, render_table2, table3, table4,
                               table5)
-    if _bad_jobs(args):
+    if _bad_jobs(args) or _spec_only_flags(args):
         return 2
     if args.spec is not None:
         if _spec_flag_conflicts(args, _REPORT_SPEC_DEFAULTS,
@@ -453,7 +559,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
         if spec is None:
             return 2
         session = _session_from_args(args)
-        outcome = session.execute(spec)
+        outcome, error = _execute_spec(session, spec, args)
+        if error is not None:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
         if not outcome.artifacts:
             print("spec requests no analyses; add e.g. "
                   "`analyses = [\"figure2\"]`", file=sys.stderr)

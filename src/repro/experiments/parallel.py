@@ -7,7 +7,10 @@ work is an *organisation* rather than a context because the single-chip
 simulation yields both the ``single-chip`` and ``intra-chip`` bundles in one
 pass.
 
-Workers are ordinary processes (:mod:`concurrent.futures`); each one runs
+Workers are ordinary processes, obtained through the pluggable executor
+layer (:class:`repro.api.executor.ProcessExecutor` — or
+:class:`~repro.api.executor.SerialExecutor` when ``max_workers=1`` — via
+:meth:`~repro.api.executor.Executor.submit_call`); each one runs
 :func:`repro.experiments.runner.run_context` under a worker-local
 :class:`~repro.api.session.Session`, which writes its results through to the
 shared on-disk store, and additionally returns the bundles to the parent so
@@ -42,7 +45,7 @@ from __future__ import annotations
 
 import os
 import warnings
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import as_completed
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..api.registry import SYSTEMS
@@ -107,21 +110,15 @@ def _capture_stream_job(job: Tuple) -> Tuple[Tuple[str, int], str]:
     Returns ``((workload, n_cpus), status)`` where status is ``cached`` when
     the trace already existed or ``ran`` after a fresh capture (committed
     atomically, so concurrent captures of the same stream race benignly).
+    Delegates to the capture stage function so the suite-runner path and
+    plan execution share one implementation.
     """
     workload, n_cpus, seed, size, cache_dir = job
-    from ..workloads import create_workload
-    store = get_trace_store(cache_dir)
-    key = (workload, n_cpus)
-    if store is None:
-        return key, "skipped"
-    params = trace_params(workload, n_cpus, seed, size)
-    if store.contains(params):
-        return key, "cached"
-    accesses = create_workload(workload, n_cpus=n_cpus, seed=seed,
-                               size=size).iter_accesses()
-    for _ in store.capture(accesses, params):
-        pass
-    return key, "ran"
+    from ..api.executor import _stage_capture
+    status, _ = _stage_capture(
+        {"workload": workload, "n_cpus": n_cpus, "seed": seed, "size": size},
+        {"cache_dir": cache_dir, "replay": True})
+    return (workload, n_cpus), status
 
 
 def _simulate_shard_job(job: Tuple) -> Tuple[int, Dict[str, list], int]:
@@ -194,6 +191,21 @@ class ParallelSuiteRunner:
         self.replay = replay
         self.checkpoint = checkpoint
         self.resume = resume
+
+    # ------------------------------------------------------------------ #
+    def _pool(self, n_jobs: int):
+        """The executor backend for ``n_jobs`` sub-stage tasks.
+
+        The pool this runner historically owned lives in
+        :class:`repro.api.executor.ProcessExecutor` now; ``max_workers=1``
+        (or a single job) degrades to the inline
+        :class:`~repro.api.executor.SerialExecutor` so tests and restricted
+        environments never spawn.
+        """
+        from ..api.executor import ProcessExecutor, SerialExecutor
+        if self.max_workers == 1 or n_jobs <= 1:
+            return SerialExecutor(max_workers=1)
+        return ProcessExecutor(max_workers=self.max_workers)
 
     # ------------------------------------------------------------------ #
     def _jobs(self, workloads: Iterable[str], size: str, seed: int,
@@ -299,17 +311,12 @@ class ParallelSuiteRunner:
         sharded = [job for job in jobs if self._shardable(*job[:6])]
         pooled = [job for job in jobs if job not in sharded]
         merged: Dict[str, Dict[str, ContextResult]] = {w: {} for w in workloads}
-        if self.max_workers == 1 or not pooled:
-            outcomes = map(_run_organisation, pooled)
-            for workload, results in outcomes:
+        with self._pool(len(pooled)) as pool:
+            futures = [pool.submit_call(_run_organisation, job)
+                       for job in pooled]
+            for future in as_completed(futures):
+                workload, results = future.result()
                 merged[workload].update(results)
-        else:
-            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                futures = [pool.submit(_run_organisation, job)
-                           for job in pooled]
-                for future in as_completed(futures):
-                    workload, results = future.result()
-                    merged[workload].update(results)
         # Sharded cells run in the parent: each call fans its epoch ranges
         # out over its own pool, so running them one after another keeps the
         # workers busy without nesting pools.
@@ -336,10 +343,9 @@ class ParallelSuiteRunner:
         """
         jobs = [(workload, n_cpus, seed, size, self.cache_dir)
                 for workload, n_cpus in streams]
-        if self.max_workers == 1 or len(jobs) <= 1:
-            return dict(map(_capture_stream_job, jobs))
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            futures = [pool.submit(_capture_stream_job, job) for job in jobs]
+        with self._pool(len(jobs)) as pool:
+            futures = [pool.submit_call(_capture_stream_job, job)
+                       for job in jobs]
             return dict(future.result() for future in as_completed(futures))
 
     # ------------------------------------------------------------------ #
@@ -357,13 +363,10 @@ class ParallelSuiteRunner:
         """
         jobs = [(str(reader.path), index, block_bits)
                 for index in range(reader.n_epochs)]
-        if self.max_workers == 1 or len(jobs) <= 1:
-            pairs = [_summarize_epoch_job(job) for job in jobs]
-        else:
-            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                futures = [pool.submit(_summarize_epoch_job, job)
-                           for job in jobs]
-                pairs = [future.result() for future in as_completed(futures)]
+        with self._pool(len(jobs)) as pool:
+            futures = [pool.submit_call(_summarize_epoch_job, job)
+                       for job in jobs]
+            pairs = [future.result() for future in as_completed(futures)]
         return merge_summaries(pairs)
 
     # ------------------------------------------------------------------ #
@@ -418,14 +421,11 @@ class ParallelSuiteRunner:
                  stop, self.cache_dir)
                 for start, stop in zip(starts, starts[1:] + [reader.n_epochs])]
         try:
-            if self.max_workers == 1 or len(jobs) <= 1:
-                outcomes = [_simulate_shard_job(job) for job in jobs]
-            else:
-                with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                    futures = [pool.submit(_simulate_shard_job, job)
-                               for job in jobs]
-                    outcomes = [future.result()
-                                for future in as_completed(futures)]
+            with self._pool(len(jobs)) as pool:
+                futures = [pool.submit_call(_simulate_shard_job, job)
+                           for job in jobs]
+                outcomes = [future.result()
+                            for future in as_completed(futures)]
         except LookupError as exc:
             # A boundary checkpoint vanished or failed to load between
             # planning and execution; degrade to one serial shard.

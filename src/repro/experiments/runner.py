@@ -134,6 +134,20 @@ def _result_params(workload: str, context: str, size: str, seed: int,
             "seed": seed, "scale": scale, "warmup": warmup_fraction}
 
 
+def bundle_status(workload: str, context: str, size: str, seed: int,
+                  scale: int, warmup_fraction: float,
+                  store: Optional[ResultStore] = None) -> str:
+    """``"cached"`` when the bundle already exists (memo or disk), else
+    ``"ran"`` — the status a stage that builds it should report."""
+    if memo_key(workload, context, size, seed, scale,
+                warmup_fraction) in _CACHE:
+        return "cached"
+    if store is not None and store.contains("context", _result_params(
+            workload, context, size, seed, scale, warmup_fraction)):
+        return "cached"
+    return "ran"
+
+
 def _build_system(organisation: str, scale: int
                   ) -> Union[MultiChipSystem, SingleChipSystem]:
     """A fresh system model for one organisation at one cache scale."""

@@ -73,6 +73,27 @@ class TestDagStructure:
         for stage in plan.order():
             assert stage.key in text
 
+    def test_to_json_exports_nodes_deps_and_kinds(self):
+        import json
+        plan = build_plan(SPEC)
+        data = json.loads(plan.to_json())
+        assert data["spec"]["name"] == "grid"
+        stages = {entry["key"]: entry for entry in data["stages"]}
+        assert set(stages) == set(plan.stages)
+        sim = stages["simulate:Apache/multi-chip@scale64-warmup0.25"]
+        assert sim["kind"] == "simulate"
+        assert "capture:Apache@16cpu" in sim["deps"]
+        assert sim["params"]["organisation"] == "multi-chip"
+
+    def test_to_dot_exports_every_node_and_edge(self):
+        plan = build_plan(SPEC)
+        dot = plan.to_dot()
+        assert dot.startswith('digraph "grid"')
+        for stage in plan.order():
+            assert f'"{stage.key}"' in dot
+            for dep in stage.deps:
+                assert f'"{dep}" -> "{stage.key}";' in dot
+
 
 class TestExecution:
     @pytest.fixture
@@ -126,6 +147,16 @@ class TestExecution:
         outcome = session.execute(SPEC)
         with pytest.raises(KeyError, match="figure2"):
             outcome.artifact("figure7")
+
+    def test_ambiguous_artifact_lookup_lists_matches(self):
+        from repro.api import PlanResult
+        outcome = PlanResult(spec=SPEC, plan=build_plan(SPEC))
+        outcome.artifacts = {"figure2@scale64-warmup0.25": "a",
+                             "figure2@scale64-warmup0.5": "b"}
+        with pytest.raises(KeyError, match="ambiguous.*warmup0.25"):
+            outcome.artifact("figure2")
+        # A full name still resolves directly.
+        assert outcome.artifact("figure2@scale64-warmup0.5") == "b"
 
 
 class TestEndToEndEquivalence:

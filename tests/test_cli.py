@@ -288,6 +288,45 @@ def test_run_without_workload_or_spec_fails(tmp_path):
     assert "--spec" in proc.stderr
 
 
+def test_spec_plan_format_json_exports_dag(tmp_path):
+    import json
+    spec = _write_spec(tmp_path)
+    proc = run_cli(["spec", "plan", spec, "--format", "json"], tmp_path)
+    data = json.loads(proc.stdout)
+    assert data["spec"]["name"] == "cli-spec"
+    kinds = {entry["kind"] for entry in data["stages"]}
+    assert {"capture", "summarize", "simulate", "analyze",
+            "render"} <= kinds
+    keyed = {entry["key"]: entry for entry in data["stages"]}
+    assert "capture:Apache@16cpu" in keyed["simulate:Apache/multi-chip"
+                                           "@scale64-warmup0.25"]["deps"]
+
+
+def test_spec_plan_format_dot_exports_graph(tmp_path):
+    spec = _write_spec(tmp_path)
+    proc = run_cli(["spec", "plan", spec, "--format", "dot"], tmp_path)
+    assert proc.stdout.startswith('digraph "cli-spec"')
+    assert ('"capture:Apache@16cpu" -> "summarize:Apache@16cpu";'
+            in proc.stdout)
+
+
+def test_suite_with_spec_accepts_executor_and_progress(tmp_path):
+    spec = _write_spec(tmp_path)
+    proc = run_cli(["suite", "--spec", spec, "--jobs", "2", "--executor",
+                    "process", "--progress"], tmp_path)
+    assert "Apache" in proc.stdout
+    # The live progress stream renders stage lifecycle events on stderr.
+    assert "simulate:Apache/multi-chip" in proc.stderr
+    assert len(list(Path(tmp_path).glob("v*/context/*.pkl"))) == 3
+
+
+def test_executor_flag_requires_spec(tmp_path):
+    proc = run_cli(["suite", "--executor", "thread", "--size", "tiny"],
+                   tmp_path, check=False)
+    assert proc.returncode == 2
+    assert "--executor" in proc.stderr and "--spec" in proc.stderr
+
+
 def test_spec_conflicts_with_run_parameter_flags(tmp_path):
     spec = _write_spec(tmp_path)
     proc = run_cli(["suite", "--spec", spec, "--size", "large"], tmp_path,
