@@ -20,6 +20,13 @@ This package is the composition layer over the rest of the library:
 * :mod:`~repro.api.executor` — the :class:`Executor` protocol plus the four
   built-in backends (``serial``/``thread``/``process``/``dispatch``); new
   backends plug in via :func:`register_executor`.
+* :mod:`~repro.api.queue` / :mod:`~repro.api.worker` /
+  :mod:`~repro.api.serve` — the dispatch work-queue service:
+  :class:`WorkQueue` (atomic claim/lease/receipt files under
+  ``<cache>/dispatch``), :class:`Worker` (the ``repro worker`` daemon with
+  heartbeat renewal and expired-lease stealing), and the ``repro serve``
+  HTTP front end (:func:`create_server`) with its :func:`submit_spec`
+  client.
 
 Quick start::
 
@@ -33,9 +40,13 @@ Quick start::
 
 from .executor import (DispatchExecutor, EXECUTOR_NAMES, Executor,
                        ExecutorSetupError, ProcessExecutor, SerialExecutor,
-                       ThreadExecutor, resolve_executor)
+                       ThreadExecutor, WorkItemCorruptError, WorkItemFailed,
+                       execute_work_item, resolve_executor)
 from .plan import (EventLog, Plan, PlanEvents, PlanExecutionError, PlanResult,
                    Stage, build_plan, execute_plan)
+from .queue import Lease, WorkQueue
+from .serve import ReproServer, create_server, submit_spec
+from .worker import Worker, WorkerStats
 from .registry import (ANALYSES, EXECUTORS, PREFETCHERS, Registry, SYSTEMS,
                        WORKLOADS, register_analysis, register_executor,
                        register_prefetcher, register_system,
@@ -46,11 +57,15 @@ from .spec import Cell, ExperimentSpec, SIZE_NAMES, SpecError
 __all__ = [
     "ANALYSES", "Cell", "DispatchExecutor", "EXECUTOR_NAMES", "EXECUTORS",
     "EventLog", "ExperimentSpec", "Executor", "ExecutorSetupError",
-    "PREFETCHERS", "Plan",
+    "Lease", "PREFETCHERS", "Plan",
     "PlanEvents", "PlanExecutionError", "PlanResult", "ProcessExecutor",
-    "Registry", "SIZE_NAMES", "SYSTEMS", "SerialExecutor", "Session",
-    "SpecError", "Stage", "ThreadExecutor", "WORKLOADS", "build_plan",
-    "execute_plan", "get_default_session", "register_analysis",
+    "Registry", "ReproServer", "SIZE_NAMES", "SYSTEMS", "SerialExecutor",
+    "Session", "SpecError", "Stage", "ThreadExecutor", "WORKLOADS",
+    "WorkItemCorruptError", "WorkItemFailed", "WorkQueue", "Worker",
+    "WorkerStats", "build_plan", "create_server",
+    "execute_plan", "execute_work_item", "get_default_session",
+    "register_analysis",
     "register_executor", "register_prefetcher", "register_system",
     "register_workload", "resolve_executor", "set_default_session",
+    "submit_spec",
 ]

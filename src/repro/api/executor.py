@@ -28,13 +28,16 @@ Four backends ship, all registered in :data:`repro.api.registry.EXECUTORS`
     shared on-disk stores and return their payloads to the parent, exactly
     like the historical suite pool this backend absorbed.
 ``dispatch``
-    The stepping stone to multi-host execution: each ready stage is
-    serialised to a **JSON work item** under ``<cache>/dispatch/``, executed
-    by a worker that sees *only* that JSON plus the shared cache root, and
-    acknowledged through a ``*.done.json`` receipt; the parent then replays
-    the stage's artifacts from the shared stores rather than receiving
-    in-memory objects.  Any scheduler that can ship a JSON file to a machine
-    mounting the same cache root can substitute for the local worker pool.
+    The multi-host execution backend: each ready stage is serialised to a
+    **leased JSON work item** under ``<cache>/dispatch/`` (see
+    :mod:`repro.api.queue`), claimed atomically and executed by a worker
+    that sees *only* that JSON plus the shared cache root, and acknowledged
+    through a ``*.done.json`` receipt; the parent waits on queue state and
+    then replays the stage's artifacts from the shared stores rather than
+    receiving in-memory objects.  Workers are ``repro worker`` daemons on
+    any host mounting the cache root (with an embedded local fleet as the
+    default stand-in); a killed worker's leases expire and its items are
+    requeued and retried idempotently.
 
 The module-level :func:`run_stage` is the single worker entry point every
 backend funnels through, so a stage computes the same payload no matter
@@ -56,6 +59,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from abc import ABC, abstractmethod
 from concurrent.futures import (Future, ProcessPoolExecutor,
                                 ThreadPoolExecutor)
@@ -374,8 +378,16 @@ class ProcessExecutor(Executor):
 
 
 # --------------------------------------------------------------------------- #
-# dispatch: JSON work items against a shared cache root
+# dispatch: a leased work queue against a shared cache root
 # --------------------------------------------------------------------------- #
+class WorkItemCorruptError(RuntimeError):
+    """A work-item JSON is unreadable; the worker quarantines it."""
+
+
+class WorkItemFailed(RuntimeError):
+    """A worker acknowledged an item with a ``failed`` receipt."""
+
+
 def _summary_to_json(summary) -> Dict[str, Any]:
     return {"first_epoch": summary.first_epoch,
             "last_epoch": summary.last_epoch,
@@ -397,7 +409,8 @@ def _summary_from_json(data: Dict[str, Any]):
         distinct_blocks=data["distinct_blocks"])
 
 
-def execute_work_item(item_path: str) -> str:
+def execute_work_item(item_path: str,
+                      extra: Optional[Dict[str, Any]] = None) -> str:
     """Run one serialised stage; returns the path of its ``done`` receipt.
 
     The worker contract of the dispatch backend: everything it needs is in
@@ -406,53 +419,111 @@ def execute_work_item(item_path: str) -> str:
     traces, checkpoints, analysis bundles — land in the shared stores; the
     receipt carries only statuses and small JSON-able payloads, so this
     function can run on any host mounting the cache root.
+
+    Idempotence guarantees (what makes lease-expiry retries safe):
+
+    * an already-finalised ``done`` receipt is a **no-op** — the stage is
+      not re-run and the first receipt is never re-replaced;
+    * a corrupt/truncated item raises :class:`WorkItemCorruptError` (the
+      worker quarantines it) instead of ``JSONDecodeError``;
+    * a stage exception is captured into a ``failed`` receipt rather than
+      crashing the worker, so the submitter sees the failure exactly once.
+
+    ``extra`` (e.g. worker id and attempt count) is merged into the receipt.
     """
-    with open(item_path, "r", encoding="utf-8") as fh:
-        item = json.load(fh)
-    status, payload = run_stage(item["kind"], item["params"], item["config"])
-    done: Dict[str, Any] = {"stage": item["stage"], "kind": item["kind"],
-                            "status": status}
-    if item["kind"] == "summarize" and payload is not None:
-        done["summary"] = _summary_to_json(payload)
-    elif item["kind"] == "simulate":
-        done["statuses"] = payload["statuses"]
+    from .queue import load_json, write_json_atomic
     done_path = item_path[:-len(".json")] + ".done.json"
-    tmp_path = done_path + ".tmp"
-    with open(tmp_path, "w", encoding="utf-8") as fh:
-        json.dump(done, fh, indent=2)
-    os.replace(tmp_path, done_path)
+    if os.path.exists(done_path):
+        return done_path  # already finalised (e.g. by the lease's previous
+        # holder racing our steal); re-running would only repeat the work.
+    item = load_json(item_path, kind="dispatch work item")
+    if item is None:
+        raise WorkItemCorruptError(f"unreadable work item {item_path}")
+    done: Dict[str, Any] = dict(extra or {})
+    done.update({"stage": item["stage"], "kind": item["kind"]})
+    try:
+        status, payload = run_stage(item["kind"], item["params"],
+                                    item["config"])
+    except Exception as exc:  # noqa: BLE001 - reported via the receipt
+        done.update({"status": "failed",
+                     "error": f"{type(exc).__name__}: {exc}"})
+    else:
+        done["status"] = status
+        if item["kind"] == "summarize" and payload is not None:
+            done["summary"] = _summary_to_json(payload)
+        elif item["kind"] == "simulate":
+            done["statuses"] = payload["statuses"]
+    if not os.path.exists(done_path):  # first finaliser wins
+        write_json_atomic(done_path, done)
     return done_path
 
 
 @register_executor("dispatch")
-class DispatchExecutor(ProcessExecutor):
-    """Serialise ready stages to JSON work items; replay artifacts from disk.
+class DispatchExecutor(Executor):
+    """Enqueue ready stages as leased work items; wait on queue state.
 
-    The stepping stone to multi-host execution: the parent writes each
-    ready stage as ``<cache>/dispatch/<run>/item-NNNN.json``, a worker
-    executes it from the JSON alone (here: a local process pool standing in
-    for remote hosts), and the parent recovers the stage's artifacts from
-    the **shared cache root** — analysis bundles from the result store,
-    statuses and epoch summaries from the ``*.done.json`` receipt — never
-    from worker memory.  Requires the disk cache; work-item and receipt
-    files are left in place as an audit trail of the run.
+    The multi-host execution backend: the parent writes each ready stage as
+    ``<cache>/dispatch/<run>/item-NNNN-<kind>.json`` and then *watches the
+    queue* — it never executes stages itself.  Any ``repro worker`` process
+    on any host mounting the cache root may claim an item (atomic
+    ``claim-NNNN`` creation), heartbeat its lease while executing, and
+    acknowledge through an ``item-NNNN.done.json`` receipt; the parent
+    recovers the stage's artifacts from the **shared cache root** —
+    analysis bundles from the result store, statuses and epoch summaries
+    from the receipt — never from worker memory.
+
+    With ``workers > 0`` (the default: the session's worker budget) the
+    executor spawns that many local worker *processes* scoped to its run
+    directory, so ``--executor dispatch`` is self-contained — the embedded
+    fleet is a stand-in for remote hosts running the identical claim
+    protocol.  ``workers=0`` (or ``Session(dispatch_workers=0)``) enqueues
+    only, relying on an external fleet — how ``repro serve`` shares one
+    worker pool across many submitters.
+
+    Robustness: a SIGKILLed worker's leases expire and its items are
+    re-claimed by the fleet; a corrupt receipt warns and requeues the item;
+    a corrupt (quarantined) work item warns and is re-enqueued from the
+    stage the parent still holds.  Work items and receipts are left in
+    place as an audit trail of the run (``repro clear-cache`` removes
+    them).
     """
 
     name = "dispatch"
 
     def __init__(self, max_workers: Optional[int] = None,
-                 work_dir: Optional[str] = None) -> None:
+                 work_dir: Optional[str] = None,
+                 workers: Optional[int] = None,
+                 lease_seconds: Optional[float] = None,
+                 poll_seconds: float = 0.02) -> None:
         super().__init__(max_workers)
+        if workers is not None and workers < 0:
+            raise ValueError("workers must be >= 0 (0 = external fleet)")
         self.work_dir = work_dir
+        self.workers = workers
+        self.lease_seconds = lease_seconds
+        self.poll_seconds = poll_seconds
         self._run_dir: Optional[str] = None
         self._counter = 0
+        self._queue = None
+        self._procs: list = []
+        self._watch: Dict[str, Tuple["Stage", Future]] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
 
+    def submit_call(self, fn, *args) -> Future:
+        # Sub-stage fan-out never routes through dispatch (stages run in
+        # worker processes, which must not nest pools); run it inline.
+        return _completed_future(fn, *args)
+
+    # -- lifecycle ------------------------------------------------------- #
     def bind(self, session: "Session", plan: Optional["Plan"] = None) -> None:
         super().bind(session, plan)
         if not session.disk_cache_enabled:
             raise ExecutorSetupError(
                 "the dispatch executor shares work through the disk cache; "
                 "unset REPRO_DISABLE_DISK_CACHE or pick another backend")
+        from .queue import WorkQueue
         root = (self.work_dir if self.work_dir is not None
                 else str(session.cache_root / "dispatch"))
         os.makedirs(root, exist_ok=True)
@@ -460,23 +531,107 @@ class DispatchExecutor(ProcessExecutor):
         safe = "".join(c if c.isalnum() or c in "-_" else "-" for c in name)
         self._run_dir = tempfile.mkdtemp(prefix=f"{safe}-", dir=root)
         self._session = session
+        self._queue = WorkQueue(self._run_dir,
+                                lease_seconds=self.lease_seconds)
+        self._watch = {}
+        self._stop = threading.Event()
+        self._spawn_workers(self._resolve_worker_count(session))
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="repro-dispatch-monitor",
+            daemon=True)
+        self._monitor.start()
+
+    def _resolve_worker_count(self, session: "Session") -> int:
+        count = self.workers
+        if count is None:
+            count = getattr(session, "dispatch_workers", None)
+        if count is None:
+            count = self.max_workers or (os.cpu_count() or 1)
+        return int(count)
+
+    def _spawn_workers(self, count: int) -> None:
+        import multiprocessing
+        from .worker import embedded_worker_main
+        for _ in range(count):
+            proc = multiprocessing.Process(
+                target=embedded_worker_main,
+                args=(self._run_dir, self._queue.lease_seconds, 0.05),
+                daemon=True)
+            proc.start()
+            self._procs.append(proc)
+
+    def shutdown(self) -> None:
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5)
+            self._monitor = None
+        with self._lock:
+            leftovers = list(self._watch.values())
+            self._watch = {}
+        for _stage, future in leftovers:
+            future.cancel()
+        for proc in self._procs:
+            proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=5)
+        self._procs = []
+
+    # -- submission ------------------------------------------------------ #
+    def _item_payload(self, stage: "Stage") -> Dict[str, Any]:
+        return {"stage": stage.key, "kind": stage.kind,
+                "params": dict(stage.params), "config": dict(self._config)}
 
     def submit(self, stage: "Stage") -> Future:
         if self._run_dir is None:
             raise RuntimeError("DispatchExecutor.submit before bind()")
+        from .queue import write_json_atomic
         self._counter += 1
         item_path = os.path.join(
             self._run_dir,
             f"item-{self._counter:04d}-{stage.kind}.json")
-        item = {"stage": stage.key, "kind": stage.kind,
-                "params": dict(stage.params), "config": dict(self._config)}
-        with open(item_path, "w", encoding="utf-8") as fh:
-            json.dump(item, fh, indent=2)
-        return self.submit_call(execute_work_item, item_path)
+        write_json_atomic(item_path, self._item_payload(stage))
+        future: Future = Future()
+        with self._lock:
+            self._watch[item_path] = (stage, future)
+        return future
+
+    def _monitor_loop(self) -> None:
+        """Resolve futures as receipts land; requeue corrupted hand-offs."""
+        import warnings
+        from .queue import done_path_for, load_json, write_json_atomic
+        while not self._stop.is_set():
+            with self._lock:
+                watch = list(self._watch.items())
+            for item_path, (stage, future) in watch:
+                done_path = done_path_for(item_path)
+                if done_path.exists():
+                    receipt = load_json(done_path, kind="dispatch receipt")
+                    if receipt is None:
+                        # Warned already; drop receipt + claim so the fleet
+                        # re-executes the item (idempotent against stores).
+                        self._queue.requeue(item_path, "corrupt receipt")
+                        continue
+                    with self._lock:
+                        self._watch.pop(item_path, None)
+                    if receipt.get("status") == "failed":
+                        future.set_exception(WorkItemFailed(
+                            f"stage {stage.key} failed on worker "
+                            f"{receipt.get('worker', '?')}: "
+                            f"{receipt.get('error', 'unknown error')}"))
+                    else:
+                        future.set_result(receipt)
+                elif not os.path.exists(item_path):
+                    # A worker quarantined the item as corrupt (or the file
+                    # vanished); re-enqueue a fresh copy from the stage.
+                    warnings.warn(
+                        f"re-enqueueing dispatch item for stage "
+                        f"{stage.key}: work item vanished without a receipt",
+                        RuntimeWarning, stacklevel=2)
+                    write_json_atomic(item_path, self._item_payload(stage))
+            self._stop.wait(self.poll_seconds)
 
     def finalize(self, stage: "Stage", value: Any) -> Tuple[str, Any]:
-        with open(value, "r", encoding="utf-8") as fh:
-            done = json.load(fh)
+        done = value  # the receipt dict the monitor resolved the future with
         status = done["status"]
         if stage.kind == "summarize":
             return status, (_summary_from_json(done["summary"])

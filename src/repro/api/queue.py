@@ -1,0 +1,363 @@
+"""The dispatch work queue: leased JSON work items under ``<cache>/dispatch/``.
+
+PR 5's dispatch backend wrote work items nothing ever *claimed*: two
+processes pointed at one cache root could both execute the same item, and a
+worker that died mid-item left it stranded forever.  This module turns the
+dispatch directory into a real queue with bilateral hand-offs:
+
+* **Atomic claim** — a worker takes an item by creating
+  ``claim-NNNN-<kind>.json`` next to it with ``O_CREAT | O_EXCL``; exactly
+  one creator wins, so double execution is impossible.
+* **Lease + heartbeat** — the claim records a deadline; the executing
+  worker renews it (atomic ``os.replace`` of the claim file) while the
+  stage runs, so a slow item is distinguishable from a dead worker.
+* **Requeue on expiry** — an item whose claim deadline has passed is
+  stealable: the stealer atomically renames the dead claim away (single
+  winner) and re-claims with an incremented attempt counter.  Re-execution
+  is safe because every stage writes through the content-addressed stores
+  and the ``done`` receipt is finalised at most once.
+* **Corruption policy** — a truncated/corrupt item, claim, or receipt JSON
+  warns and is treated as absent (matching the warn-and-drop policy of the
+  result/trace/checkpoint stores) instead of raising ``JSONDecodeError``
+  into a worker or the scheduler.
+
+Layout, per plan run (``<root>`` is ``<cache>/dispatch``)::
+
+    <root>/<run>/item-0001-capture.json        the work item
+    <root>/<run>/claim-0001-capture.json       lease: worker/deadline/attempt
+    <root>/<run>/item-0001-capture.done.json   receipt (kept as audit trail)
+    <root>/<run>/executed.log                  append-only execution audit
+
+A :class:`WorkQueue` rooted at ``<cache>/dispatch`` spans every run
+directory (the fleet view a ``repro worker`` daemon polls); rooted at one
+run directory it covers just that plan (the embedded stand-in fleet the
+dispatch executor spawns).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import socket
+import tempfile
+import time
+import uuid
+import warnings
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..cachedir import default_cache_root
+
+#: Directory under the cache root holding work items (one subdir per run).
+QUEUE_DIR_NAME = "dispatch"
+
+#: Seconds a claim stays valid without a heartbeat (override per queue).
+LEASE_ENV = "REPRO_LEASE_SECONDS"
+DEFAULT_LEASE_SECONDS = 60.0
+
+#: Seconds between heartbeat renewals while a worker executes an item.
+HEARTBEAT_ENV = "REPRO_HEARTBEAT_SECONDS"
+
+#: Seconds a polling worker sleeps when the queue is empty.
+POLL_ENV = "REPRO_WORKER_POLL_SECONDS"
+DEFAULT_POLL_SECONDS = 0.5
+
+
+def lease_seconds_default() -> float:
+    """The configured lease duration (``REPRO_LEASE_SECONDS`` or 60s)."""
+    try:
+        value = float(os.environ.get(LEASE_ENV, DEFAULT_LEASE_SECONDS))
+    except ValueError:
+        return DEFAULT_LEASE_SECONDS
+    return value if value > 0 else DEFAULT_LEASE_SECONDS
+
+
+def heartbeat_seconds_default(lease_seconds: float) -> float:
+    """Heartbeat cadence: ``REPRO_HEARTBEAT_SECONDS`` or a third of the lease."""
+    try:
+        value = float(os.environ.get(HEARTBEAT_ENV, 0) or 0)
+    except ValueError:
+        value = 0
+    return value if value > 0 else max(lease_seconds / 3.0, 0.05)
+
+
+def queue_root(cache_dir: Optional[os.PathLike] = None) -> Path:
+    """The dispatch queue directory under ``cache_dir`` (or the default root)."""
+    root = Path(cache_dir) if cache_dir is not None else default_cache_root()
+    return root / QUEUE_DIR_NAME
+
+
+def claim_path_for(item_path: os.PathLike) -> Path:
+    """The lease file guarding ``item-NNNN-<kind>.json``."""
+    item_path = Path(item_path)
+    return item_path.with_name(
+        item_path.name.replace("item-", "claim-", 1))
+
+
+def done_path_for(item_path: os.PathLike) -> Path:
+    """The receipt file acknowledging ``item-NNNN-<kind>.json``."""
+    item_path = Path(item_path)
+    return item_path.with_name(item_path.name[:-len(".json")] + ".done.json")
+
+
+def write_json_atomic(path: os.PathLike, data: Dict[str, Any]) -> Path:
+    """Write ``data`` as JSON via a temp file + ``os.replace``."""
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_json(path: os.PathLike,
+              kind: str = "dispatch file") -> Optional[Dict[str, Any]]:
+    """Parse a queue JSON file; warn and return ``None`` when unreadable.
+
+    The queue's analogue of the stores' warn-and-drop policy: a truncated
+    or corrupt file is treated as absent (so the item gets requeued or the
+    claim stolen) rather than raising ``JSONDecodeError`` out of a worker
+    or the scheduler.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        return None
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+        warnings.warn(
+            f"unreadable {kind} {path} ({type(exc).__name__}: {exc}); "
+            f"treating it as absent so the work is requeued",
+            RuntimeWarning, stacklevel=2)
+        return None
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class Lease:
+    """A held claim on one work item; renew it while the stage executes."""
+
+    def __init__(self, queue: "WorkQueue", item_path: Path, worker_id: str,
+                 lease_seconds: float, attempt: int) -> None:
+        self.queue = queue
+        self.item_path = Path(item_path)
+        self.claim_path = claim_path_for(item_path)
+        self.worker_id = worker_id
+        self.lease_seconds = lease_seconds
+        self.attempt = attempt
+        self.deadline = 0.0
+
+    def payload(self) -> Dict[str, Any]:
+        return {"worker": self.worker_id, "deadline": self.deadline,
+                "lease_seconds": self.lease_seconds, "attempt": self.attempt}
+
+    def heartbeat(self) -> None:
+        """Extend the deadline by one lease period (atomic claim rewrite)."""
+        self.deadline = time.time() + self.lease_seconds
+        write_json_atomic(self.claim_path, self.payload())
+
+    def release(self) -> None:
+        """Drop the claim (idempotent; the receipt, if any, stays)."""
+        try:
+            os.unlink(self.claim_path)
+        except OSError:
+            pass
+
+    @property
+    def expired(self) -> bool:
+        return time.time() > self.deadline
+
+
+class WorkQueue:
+    """Claim/lease/receipt protocol over a dispatch directory.
+
+    ``root`` may be the whole ``<cache>/dispatch`` directory (fleet view:
+    items in every run subdirectory) or a single run directory (one plan's
+    items).  All mutations are single-file atomic operations, so any number
+    of workers on any number of hosts sharing the filesystem may poll one
+    queue.
+    """
+
+    def __init__(self, root: os.PathLike,
+                 lease_seconds: Optional[float] = None) -> None:
+        self.root = Path(root)
+        self.lease_seconds = (lease_seconds if lease_seconds is not None
+                              else lease_seconds_default())
+
+    # ------------------------------------------------------------------ #
+    # enumeration
+    # ------------------------------------------------------------------ #
+    def item_files(self) -> List[Path]:
+        """Every work-item file under the root, in stable order."""
+        if not self.root.is_dir():
+            return []
+        found = list(self.root.glob("item-*.json"))
+        found += self.root.glob("*/item-*.json")
+        return sorted(p for p in found
+                      if not p.name.endswith(".done.json") and p.is_file())
+
+    def pending(self) -> List[Path]:
+        """Items with no receipt yet (claimed or not)."""
+        return [p for p in self.item_files()
+                if not done_path_for(p).exists()]
+
+    def claimable(self) -> List[Path]:
+        """Pending items with no live (unexpired) claim."""
+        now = time.time()
+        out = []
+        for item in self.pending():
+            claim = load_json(claim_path_for(item), kind="dispatch claim") \
+                if claim_path_for(item).exists() else None
+            if claim is None or float(claim.get("deadline", 0)) <= now:
+                out.append(item)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # the claim protocol
+    # ------------------------------------------------------------------ #
+    def try_claim(self, item_path: os.PathLike, worker_id: str,
+                  lease_seconds: Optional[float] = None) -> Optional[Lease]:
+        """Atomically claim one item; ``None`` if someone else holds it.
+
+        A live claim blocks the attempt.  An *expired* (or corrupt) claim
+        is stolen: the dead claim is renamed away — ``os.rename`` of an
+        existing file has exactly one winner — and a fresh claim is created
+        with ``O_CREAT | O_EXCL``, which again has exactly one winner, so an
+        item can never be executing under two live leases at once.
+        """
+        item_path = Path(item_path)
+        if done_path_for(item_path).exists():
+            return None
+        cpath = claim_path_for(item_path)
+        attempt = 1
+        if cpath.exists():
+            stale = load_json(cpath, kind="dispatch claim")
+            if stale is not None and \
+                    float(stale.get("deadline", 0)) > time.time():
+                return None  # live lease held elsewhere
+            # Steal: rename the dead claim aside (single winner), then
+            # compete for a fresh claim below.
+            tomb = cpath.with_name(
+                f"{cpath.name}.expired-{uuid.uuid4().hex[:8]}")
+            try:
+                os.rename(cpath, tomb)
+            except OSError:
+                return None  # another stealer won the rename
+            try:
+                os.unlink(tomb)
+            except OSError:
+                pass
+            if stale is not None:
+                attempt = int(stale.get("attempt", 0)) + 1
+        lease = Lease(self, item_path,  worker_id,
+                      (lease_seconds if lease_seconds is not None
+                       else self.lease_seconds), attempt)
+        lease.deadline = time.time() + lease.lease_seconds
+        try:
+            fd = os.open(cpath, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            return None  # lost the race to another claimer
+        except FileNotFoundError:
+            return None  # run directory cleared underneath us
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(lease.payload(), fh, indent=2)
+        return lease
+
+    def finalize(self, lease: Lease, receipt: Dict[str, Any]) -> Path:
+        """Write the item's receipt (first finaliser wins) and release.
+
+        An already-present ``done`` marker is a no-op — the receipt of the
+        first finaliser stands, so a stolen-then-completed item and its
+        original (slow but alive) worker cannot flap the receipt.
+        """
+        done = done_path_for(lease.item_path)
+        if not done.exists():
+            write_json_atomic(done, receipt)
+        lease.release()
+        return done
+
+    def requeue(self, item_path: os.PathLike, reason: str) -> None:
+        """Drop an item's receipt and claim so workers pick it up again."""
+        item_path = Path(item_path)
+        warnings.warn(
+            f"requeueing dispatch item {item_path.name}: {reason}",
+            RuntimeWarning, stacklevel=2)
+        for path in (done_path_for(item_path), claim_path_for(item_path)):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def quarantine(self, item_path: os.PathLike) -> Optional[Path]:
+        """Move an unreadable item aside so workers stop re-claiming it.
+
+        The submitter (which still holds the stage) notices the item file
+        vanished without a receipt and re-enqueues a fresh copy.
+        """
+        item_path = Path(item_path)
+        target = item_path.with_name(
+            f"{item_path.name}.corrupt-{uuid.uuid4().hex[:8]}")
+        try:
+            os.rename(item_path, target)
+        except OSError:
+            return None
+        return target
+
+    # ------------------------------------------------------------------ #
+    # introspection and lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, int]:
+        """Item counts by state plus the number of run directories."""
+        items = self.item_files()
+        now = time.time()
+        done = leased = 0
+        for item in items:
+            if done_path_for(item).exists():
+                done += 1
+                continue
+            claim = load_json(claim_path_for(item), kind="dispatch claim") \
+                if claim_path_for(item).exists() else None
+            if claim is not None and float(claim.get("deadline", 0)) > now:
+                leased += 1
+        runs = len([d for d in self.root.iterdir() if d.is_dir()]) \
+            if self.root.is_dir() else 0
+        return {"runs": runs, "items": len(items), "done": done,
+                "leased": leased, "pending": len(items) - done - leased}
+
+    def size_bytes(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(p.stat().st_size for p in self.root.rglob("*")
+                   if p.is_file())
+
+    def describe(self) -> str:
+        s = self.stats()
+        return (f"dispatch queue {self.root}: {s['items']} work item"
+                f"{'' if s['items'] == 1 else 's'} across {s['runs']} run"
+                f"{'' if s['runs'] == 1 else 's'} ({s['pending']} pending, "
+                f"{s['leased']} leased, {s['done']} done), "
+                f"{self.size_bytes() / 1024:.1f} KiB")
+
+    def clear(self) -> int:
+        """Remove every run directory under the root; returns #work items."""
+        removed = len(self.item_files())
+        if self.root.is_dir():
+            for child in self.root.iterdir():
+                if child.is_dir():
+                    shutil.rmtree(child, ignore_errors=True)
+                else:
+                    try:
+                        child.unlink()
+                    except OSError:
+                        pass
+        return removed

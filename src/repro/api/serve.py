@@ -1,0 +1,265 @@
+"""The ``repro serve`` front end: spec submission over HTTP, events as NDJSON.
+
+A thin stdlib-``http.server`` service that lets many concurrent submitters
+share one cache root and one dispatch worker fleet:
+
+* ``POST /submit`` — body is an experiment spec (TOML by default,
+  ``Content-Type: application/json`` for a JSON dict).  The server resolves
+  it into a plan, enqueues the plan's stages through a
+  :class:`~repro.api.executor.DispatchExecutor` (``workers=0`` by default:
+  the items are picked up by external ``repro worker`` daemons polling the
+  same cache root), and streams the scheduler's
+  :class:`~repro.api.plan.PlanEvents` back to the client as **NDJSON** —
+  one ``{"event": ...}`` object per line, ending with a ``done`` line
+  carrying per-status stage counts and every rendered artifact.
+* ``GET /queue`` — dispatch queue stats (runs/items/pending/leased/done).
+* ``GET /health`` — liveness plus the session description.
+
+Each request is handled on its own thread (``ThreadingHTTPServer``), and
+each submission gets its own run directory under ``<cache>/dispatch/``, so
+concurrent grids interleave safely on the shared fleet; the
+content-addressed stores dedupe any overlapping cells.
+
+:func:`submit_spec` is the matching client (used by ``repro submit``): it
+POSTs a spec file, renders progress lines as they arrive, and returns the
+final ``done`` object.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional, TextIO
+
+from .plan import PlanEvents, PlanExecutionError
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8023
+
+#: NDJSON content type used for the event stream.
+NDJSON = "application/x-ndjson"
+
+
+class _StreamEvents(PlanEvents):
+    """Forward scheduler lifecycle events to a writable as NDJSON lines."""
+
+    def __init__(self, emit: Callable[[Dict[str, Any]], None]) -> None:
+        self._emit = emit
+
+    def on_stage_start(self, stage) -> None:
+        self._emit({"event": "start", "stage": stage.key,
+                    "kind": stage.kind})
+
+    def on_stage_finish(self, stage, status) -> None:
+        self._emit({"event": "finish", "stage": stage.key,
+                    "kind": stage.kind, "status": status})
+
+    def on_stage_error(self, stage, error) -> None:
+        self._emit({"event": "error", "stage": stage.key,
+                    "kind": stage.kind, "error": str(error)})
+
+
+def _status_counts(statuses: Dict[str, str]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for status in statuses.values():
+        counts[status] = counts.get(status, 0) + 1
+    return counts
+
+
+class ReproRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.0"  # close-delimited NDJSON streams
+
+    # -- helpers --------------------------------------------------------- #
+    def _json_response(self, code: int, payload: Dict[str, Any]) -> None:
+        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt, *args) -> None:  # pragma: no cover - noise
+        if self.server.verbose:
+            sys.stderr.write("[serve] %s\n" % (fmt % args))
+
+    # -- routes ---------------------------------------------------------- #
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        if self.path == "/health":
+            self._json_response(200, {
+                "status": "ok",
+                "session": self.server.make_session().describe(),
+                "queue": self.server.queue_stats()})
+        elif self.path == "/queue":
+            self._json_response(200, self.server.queue_stats())
+        else:
+            self._json_response(404, {"error": f"unknown path {self.path}; "
+                                      f"GET /health, GET /queue, "
+                                      f"POST /submit"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        if self.path != "/submit":
+            self._json_response(404, {"error": f"unknown path {self.path}; "
+                                      f"POST /submit"})
+            return
+        spec, problem = self._parse_spec()
+        if spec is None:
+            self._json_response(400, {"error": problem})
+            return
+        self._stream_execution(spec)
+
+    # -- submission ------------------------------------------------------ #
+    def _parse_spec(self):
+        from .spec import ExperimentSpec, SpecError
+        length = int(self.headers.get("Content-Length", 0))
+        body = self.rfile.read(length)
+        content_type = (self.headers.get("Content-Type") or "").split(";")[0]
+        try:
+            if content_type == "application/json":
+                data = json.loads(body.decode("utf-8"))
+            else:  # TOML is the default spec wire format
+                import tomllib
+                data = tomllib.loads(body.decode("utf-8"))
+            spec = ExperimentSpec.from_dict(data)
+            spec.ensure_valid()
+        except SpecError as exc:
+            return None, str(exc)
+        except Exception as exc:  # noqa: BLE001 - malformed body
+            return None, f"unparsable spec body: {type(exc).__name__}: {exc}"
+        return spec, None
+
+    def _stream_execution(self, spec) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", NDJSON)
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        lock = threading.Lock()
+
+        def emit(obj: Dict[str, Any]) -> None:
+            line = (json.dumps(obj) + "\n").encode("utf-8")
+            with lock:
+                self.wfile.write(line)
+                self.wfile.flush()
+
+        session = self.server.make_session()
+        plan = session.plan(spec.resolved())
+        emit({"event": "plan", "name": plan.spec.name,
+              "stages": len(plan)})
+        try:
+            outcome = session.execute(plan, events=_StreamEvents(emit))
+            error = None
+        except PlanExecutionError as exc:
+            outcome, error = exc.result, str(exc)
+        except Exception as exc:  # noqa: BLE001 - report, don't hang client
+            emit({"event": "done", "ok": False,
+                  "error": f"{type(exc).__name__}: {exc}", "artifacts": {}})
+            return
+        emit({"event": "done", "ok": error is None, "error": error,
+              "statuses": _status_counts(outcome.statuses),
+              "artifacts": outcome.render_all()})
+
+
+class ReproServer(ThreadingHTTPServer):
+    """HTTP front end bound to one cache root and one executor policy."""
+
+    daemon_threads = True
+
+    def __init__(self, address, cache_dir: Optional[str] = None,
+                 local_workers: int = 0,
+                 lease_seconds: Optional[float] = None,
+                 verbose: bool = False) -> None:
+        super().__init__(address, ReproRequestHandler)
+        self.cache_dir = cache_dir
+        self.local_workers = local_workers
+        self.lease_seconds = lease_seconds
+        self.verbose = verbose
+
+    def make_session(self):
+        """A fresh per-request session submitting through the dispatch queue."""
+        from .executor import DispatchExecutor
+        from .session import Session
+        executor = DispatchExecutor(workers=self.local_workers,
+                                    lease_seconds=self.lease_seconds)
+        return Session(cache_dir=self.cache_dir, executor=executor,
+                       dispatch_workers=self.local_workers)
+
+    def queue_stats(self) -> Dict[str, int]:
+        from .queue import WorkQueue, queue_root
+        return WorkQueue(queue_root(self.cache_dir)).stats()
+
+    def describe(self) -> str:
+        host, port = self.server_address[:2]
+        fleet = (f"{self.local_workers} local worker"
+                 f"{'' if self.local_workers == 1 else 's'}"
+                 if self.local_workers else "external workers")
+        return (f"repro serve on http://{host}:{port} "
+                f"(cache={self.cache_dir or 'default'}, {fleet})")
+
+
+def create_server(host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+                  cache_dir: Optional[str] = None, local_workers: int = 0,
+                  lease_seconds: Optional[float] = None,
+                  verbose: bool = False) -> ReproServer:
+    return ReproServer((host, port), cache_dir=cache_dir,
+                       local_workers=local_workers,
+                       lease_seconds=lease_seconds, verbose=verbose)
+
+
+# --------------------------------------------------------------------------- #
+# the matching client (``repro submit``)
+# --------------------------------------------------------------------------- #
+def submit_spec(url: str, spec_text: str,
+                content_type: str = "application/toml",
+                progress: Optional[TextIO] = None,
+                timeout: float = 600.0) -> Dict[str, Any]:
+    """POST a spec to a ``repro serve`` endpoint; returns the ``done`` object.
+
+    Streams the NDJSON events as they arrive; with ``progress`` each stage
+    lifecycle line is rendered to it live (the HTTP analogue of the CLI's
+    ``--progress``).  Raises ``RuntimeError`` when the server rejects the
+    spec or the stream ends without a ``done`` event.
+    """
+    from urllib.request import Request, urlopen
+    from urllib.error import HTTPError
+    request = Request(url.rstrip("/") + "/submit",
+                      data=spec_text.encode("utf-8"),
+                      headers={"Content-Type": content_type})
+    try:
+        response = urlopen(request, timeout=timeout)
+    except HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace").strip()
+        raise RuntimeError(
+            f"server rejected the spec ({exc.code}): {detail}") from None
+    done: Optional[Dict[str, Any]] = None
+    with response:
+        for raw in response:
+            line = raw.decode("utf-8").strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            if event.get("event") == "done":
+                done = event
+                break
+            if progress is not None:
+                _render_progress_line(event, progress)
+    if done is None:
+        raise RuntimeError("event stream ended without a 'done' event "
+                           "(server died mid-plan?)")
+    return done
+
+
+def _render_progress_line(event: Dict[str, Any], out: TextIO) -> None:
+    kind = event.get("kind", "")
+    if event["event"] == "plan":
+        print(f"[     plan] {event['name']}: {event['stages']} stages",
+              file=out, flush=True)
+    elif event["event"] == "start":
+        print(f"[{kind:>9}] {event['stage']} ...", file=out, flush=True)
+    elif event["event"] == "finish":
+        print(f"[{kind:>9}] {event['stage']} {event['status']}", file=out,
+              flush=True)
+    elif event["event"] == "error":
+        print(f"[{kind:>9}] {event['stage']} FAILED: {event['error']}",
+              file=out, flush=True)

@@ -69,14 +69,26 @@ class Session:
         ``process``/``dispatch``) or an
         :class:`~repro.api.executor.Executor` instance.  ``serial`` (the
         default) keeps the historical one-stage-at-a-time semantics.
+    dispatch_workers:
+        The submit/attach policy of the ``dispatch`` backend: how many
+        local worker processes a
+        :class:`~repro.api.executor.DispatchExecutor` embeds.  ``None``
+        (default) sizes a self-contained local fleet from ``max_workers``;
+        ``0`` *submits only* — work items wait for external ``repro
+        worker`` daemons attached to the same cache root (how ``repro
+        serve`` shares one fleet across submitters).
     """
 
     def __init__(self, cache_dir: Optional[str] = None,
                  max_workers: Optional[int] = None, streaming: bool = True,
                  replay: bool = True, checkpoint: bool = True,
-                 resume: bool = True, executor: Any = "serial") -> None:
+                 resume: bool = True, executor: Any = "serial",
+                 dispatch_workers: Optional[int] = None) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if dispatch_workers is not None and dispatch_workers < 0:
+            raise ValueError("dispatch_workers must be >= 0 "
+                             "(0 = external fleet)")
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.max_workers = max_workers
         self.streaming = streaming
@@ -84,6 +96,7 @@ class Session:
         self.checkpoint = checkpoint
         self.resume = resume
         self.executor = executor
+        self.dispatch_workers = dispatch_workers
 
     # ------------------------------------------------------------------ #
     # roots and stores
@@ -124,12 +137,21 @@ class Session:
         return (CheckpointStore(self.cache_dir) if self.cache_dir
                 else CheckpointStore())
 
+    @property
+    def dispatch_queue(self):
+        """The dispatch work queue, or ``None`` when disk caching is off."""
+        if not self.disk_cache_enabled:
+            return None
+        from .queue import WorkQueue
+        return WorkQueue(self.cache_root / "dispatch")
+
     # ------------------------------------------------------------------ #
     def with_options(self, cache_dir: Any = _UNSET,
                      max_workers: Any = _UNSET, streaming: Any = _UNSET,
                      replay: Any = _UNSET, checkpoint: Any = _UNSET,
                      resume: Any = _UNSET,
-                     executor: Any = _UNSET) -> "Session":
+                     executor: Any = _UNSET,
+                     dispatch_workers: Any = _UNSET) -> "Session":
         """A copy of this session with the given fields overridden."""
         return Session(
             cache_dir=self.cache_dir if cache_dir is _UNSET else cache_dir,
@@ -139,7 +161,10 @@ class Session:
             replay=self.replay if replay is _UNSET else replay,
             checkpoint=self.checkpoint if checkpoint is _UNSET else checkpoint,
             resume=self.resume if resume is _UNSET else resume,
-            executor=self.executor if executor is _UNSET else executor)
+            executor=self.executor if executor is _UNSET else executor,
+            dispatch_workers=(self.dispatch_workers
+                              if dispatch_workers is _UNSET
+                              else dispatch_workers))
 
     # ------------------------------------------------------------------ #
     # pipeline entry points
@@ -220,14 +245,19 @@ class Session:
 
     # ------------------------------------------------------------------ #
     def clear_caches(self, disk: bool = False) -> int:
-        """Drop in-process memos; with ``disk`` also empty this root's stores."""
+        """Drop in-process memos; with ``disk`` also empty this root's stores.
+
+        The disk clear covers all three stores *and* the dispatch work
+        queue (work items, receipts, and run directories), so a full clear
+        leaves no stale queue state for workers to pick up.
+        """
         from ..experiments import runner
         runner._CACHE.clear()
         runner._TRACE_CACHE.clear()
         removed = 0
         if disk:
             for store in (self.result_store, self.trace_store,
-                          self.checkpoint_store):
+                          self.checkpoint_store, self.dispatch_queue):
                 if store is not None:
                     removed += store.clear()
         return removed
@@ -239,8 +269,10 @@ class Session:
         workers = ("auto" if self.max_workers is None else self.max_workers)
         backend = (self.executor if isinstance(self.executor, str)
                    else getattr(self.executor, "name", self.executor))
+        fleet = ("" if self.dispatch_workers is None
+                 else f", dispatch_workers={self.dispatch_workers}")
         return (f"session at {self.cache_root} (workers={workers}, "
-                f"executor={backend}, {policy}, "
+                f"executor={backend}{fleet}, {policy}, "
                 f"disk cache {'on' if self.disk_cache_enabled else 'off'})")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

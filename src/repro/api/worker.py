@@ -1,0 +1,243 @@
+"""The ``repro worker`` daemon: claim, heartbeat, execute, acknowledge.
+
+A worker is one member of the dispatch fleet.  It polls a
+:class:`~repro.api.queue.WorkQueue` (the whole ``<cache>/dispatch``
+directory, or one plan's run directory when embedded in a
+:class:`~repro.api.executor.DispatchExecutor`), claims items through the
+atomic lease protocol, executes them via
+:func:`~repro.api.executor.execute_work_item` — the same contract the
+dispatch backend has always used, so a stage's result is a pure function of
+its JSON — and writes the ``done`` receipt.  While a stage runs, a
+background thread renews the lease every heartbeat interval; if the worker
+is killed instead, the lease expires and any other worker requeues the item
+by stealing the claim.  Re-execution is idempotent: stages write through
+the content-addressed stores and the first receipt to land stands.
+
+Corrupt work items warn and are quarantined (renamed aside) rather than
+crashing the worker; the submitter re-enqueues a fresh copy.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .queue import (Lease, WorkQueue, default_worker_id,
+                    heartbeat_seconds_default, load_json, queue_root,
+                    DEFAULT_POLL_SECONDS, POLL_ENV)
+
+#: Test hook: seconds to sleep between claiming an item and executing it.
+#: Lets tests (and drills) SIGKILL a worker that provably holds a lease.
+TEST_SLEEP_ENV = "REPRO_WORKER_TEST_SLEEP"
+
+
+def poll_seconds_default() -> float:
+    try:
+        value = float(os.environ.get(POLL_ENV, DEFAULT_POLL_SECONDS))
+    except ValueError:
+        return DEFAULT_POLL_SECONDS
+    return value if value > 0 else DEFAULT_POLL_SECONDS
+
+
+@dataclass
+class WorkerStats:
+    """What one worker run did, for logs and tests."""
+
+    executed: int = 0
+    cached: int = 0
+    failed: int = 0
+    steals: int = 0
+    quarantined: int = 0
+    polls: int = 0
+    started_at: float = field(default_factory=time.time)
+
+    def describe(self) -> str:
+        return (f"{self.executed} executed ({self.cached} cached, "
+                f"{self.failed} failed), {self.steals} stolen lease"
+                f"{'' if self.steals == 1 else 's'}, "
+                f"{self.quarantined} quarantined, "
+                f"{time.time() - self.started_at:.1f}s up")
+
+
+class _Heartbeat:
+    """Renew a lease on a background thread while the stage executes."""
+
+    def __init__(self, lease: Lease, interval: float) -> None:
+        self._lease = lease
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-heartbeat", daemon=True)
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=self._interval + 1)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                self._lease.heartbeat()
+            except OSError:
+                return  # run directory cleared; the item is gone anyway
+
+
+class Worker:
+    """Poll one queue and execute claimed items until told to stop.
+
+    Parameters
+    ----------
+    queue:
+        The :class:`WorkQueue` to poll; built from ``cache_dir`` when
+        omitted.
+    lease_seconds / heartbeat_seconds / poll_seconds:
+        Lease duration, renewal cadence (default: a third of the lease),
+        and idle sleep between queue scans.  Env defaults:
+        ``REPRO_LEASE_SECONDS`` / ``REPRO_HEARTBEAT_SECONDS`` /
+        ``REPRO_WORKER_POLL_SECONDS``.
+    max_items:
+        Stop after executing this many items (``None``: run forever).
+    idle_exit:
+        Stop after this many consecutive seconds with nothing claimable
+        (``None``: keep polling) — how CI smoke workers drain and exit.
+    """
+
+    def __init__(self, queue: Optional[WorkQueue] = None,
+                 cache_dir: Optional[str] = None,
+                 worker_id: Optional[str] = None,
+                 lease_seconds: Optional[float] = None,
+                 heartbeat_seconds: Optional[float] = None,
+                 poll_seconds: Optional[float] = None,
+                 max_items: Optional[int] = None,
+                 idle_exit: Optional[float] = None) -> None:
+        self.queue = queue if queue is not None else WorkQueue(
+            queue_root(cache_dir), lease_seconds=lease_seconds)
+        if lease_seconds is not None:
+            self.queue.lease_seconds = lease_seconds
+        self.worker_id = worker_id or default_worker_id()
+        self.heartbeat_seconds = (
+            heartbeat_seconds if heartbeat_seconds is not None
+            else heartbeat_seconds_default(self.queue.lease_seconds))
+        self.poll_seconds = (poll_seconds if poll_seconds is not None
+                             else poll_seconds_default())
+        self.max_items = max_items
+        self.idle_exit = idle_exit
+        self.stats = WorkerStats()
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        """Ask the polling loop to exit after the current item."""
+        self._stop.set()
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> WorkerStats:
+        """The polling loop; returns stats when a stop condition is met."""
+        idle_since: Optional[float] = None
+        while not self._stop.is_set():
+            self.stats.polls += 1
+            claimed_any = False
+            for item_path in self.queue.item_files():
+                if self._stop.is_set():
+                    break
+                lease = self.queue.try_claim(item_path, self.worker_id)
+                if lease is None:
+                    continue
+                claimed_any = True
+                idle_since = None
+                self._execute(lease)
+                if self.max_items is not None \
+                        and self.stats.executed >= self.max_items:
+                    return self.stats
+            if not claimed_any:
+                now = time.time()
+                if idle_since is None:
+                    idle_since = now
+                if self.idle_exit is not None \
+                        and now - idle_since >= self.idle_exit:
+                    return self.stats
+                self._stop.wait(self.poll_seconds)
+        return self.stats
+
+    def run_once(self) -> WorkerStats:
+        """Drain everything currently claimable, then return."""
+        previous, self.idle_exit = self.idle_exit, 0.0
+        try:
+            return self.run()
+        finally:
+            self.idle_exit = previous
+
+    # ------------------------------------------------------------------ #
+    def _execute(self, lease: Lease) -> None:
+        from .executor import WorkItemCorruptError, execute_work_item
+        if lease.attempt > 1:
+            self.stats.steals += 1
+        test_sleep = float(os.environ.get(TEST_SLEEP_ENV, 0) or 0)
+        if test_sleep > 0:
+            time.sleep(test_sleep)
+        self._audit(lease)
+        try:
+            with _Heartbeat(lease, self.heartbeat_seconds):
+                done_path = execute_work_item(
+                    str(lease.item_path),
+                    extra={"worker": self.worker_id,
+                           "attempt": lease.attempt})
+        except WorkItemCorruptError:
+            # Warned already (load path); move the junk aside so the fleet
+            # stops re-claiming it — the submitter re-enqueues a fresh copy.
+            self.queue.quarantine(lease.item_path)
+            self.stats.quarantined += 1
+            lease.release()
+            return
+        lease.release()
+        receipt = load_json(done_path, kind="dispatch receipt") or {}
+        self.stats.executed += 1
+        if receipt.get("status") == "cached":
+            self.stats.cached += 1
+        elif receipt.get("status") == "failed":
+            self.stats.failed += 1
+
+    def _audit(self, lease: Lease) -> None:
+        """Append one line to the run's execution log (O_APPEND: atomic).
+
+        The log is the ground truth for exactly-once assertions: a line is
+        written per *execution attempt*, while receipts record only the
+        first finalisation.
+        """
+        log = lease.item_path.parent / "executed.log"
+        line = (f"{lease.item_path.name} worker={self.worker_id} "
+                f"attempt={lease.attempt}\n")
+        try:
+            fd = os.open(log, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(line)
+        except OSError:
+            pass  # auditing is best-effort
+
+
+def embedded_worker_main(run_dir: str, lease_seconds: Optional[float],
+                         poll_seconds: float) -> None:
+    """Entry point of the dispatch executor's embedded worker processes.
+
+    Scoped to one run directory (so embedded stand-in fleets of concurrent
+    plans do not contend) and polls fast: these workers exist to make
+    ``--executor dispatch`` self-contained when no external fleet runs.
+    """
+    # Under fork this child inherits the parent's in-process memos, which
+    # are keyed without the cache root; a memo hit would skip the disk
+    # write the submitter replays artifacts from.  Start cold, like the
+    # external ``repro worker`` daemons this fleet stands in for.
+    from ..experiments import runner
+    runner._CACHE.clear()
+    runner._TRACE_CACHE.clear()
+    worker = Worker(queue=WorkQueue(run_dir, lease_seconds=lease_seconds),
+                    poll_seconds=poll_seconds)
+    try:
+        worker.run()
+    except KeyboardInterrupt:  # pragma: no cover - parent terminates us
+        pass

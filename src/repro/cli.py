@@ -25,9 +25,26 @@ trace
 checkpoint
     Manage epoch-boundary system checkpoints: ``list`` the store, ``info``
     for one run's stored epochs and resume point.
+worker
+    Run a long-lived dispatch worker: poll the ``<cache>/dispatch/`` work
+    queue, claim items under an expiring lease, heartbeat while executing,
+    acknowledge with receipts.  Start as many as you like, on any host
+    mounting the cache root.
+serve
+    The HTTP front end: accept experiment-spec submissions (``POST
+    /submit``), enqueue their plans onto the dispatch queue, and stream
+    scheduler lifecycle events back as NDJSON.  Pair with one or more
+    ``worker`` processes sharing the cache root.
+submit
+    The matching client: POST a spec file to a ``serve`` endpoint, render
+    progress from the event stream (``--progress``), print the rendered
+    artifacts exactly like ``report --spec``.
+queue
+    Inspect the dispatch work queue: ``status`` for counts, ``list`` for
+    per-item state (pending / leased / done).
 clear-cache
-    Empty the versioned on-disk result store, the trace store, *and* the
-    checkpoint store.
+    Empty the versioned on-disk result store, the trace store, the
+    checkpoint store, *and* the dispatch work queue.
 
 Every execution subcommand builds a :class:`repro.api.Session` from its
 flags and drives the pipeline through it.  All subcommands share
@@ -249,9 +266,75 @@ def build_parser() -> argparse.ArgumentParser:
                              "runner's default)")
     _add_cache_params(k_info)
 
+    p_worker = sub.add_parser(
+        "worker",
+        help="run a dispatch worker polling the <cache>/dispatch queue")
+    p_worker.add_argument("--poll", type=float, default=None, metavar="SEC",
+                          help="idle sleep between queue scans (default: "
+                               "$REPRO_WORKER_POLL_SECONDS or 0.5)")
+    p_worker.add_argument("--lease", type=float, default=None, metavar="SEC",
+                          help="claim lease duration (default: "
+                               "$REPRO_LEASE_SECONDS or 60)")
+    p_worker.add_argument("--heartbeat", type=float, default=None,
+                          metavar="SEC",
+                          help="lease renewal cadence while executing "
+                               "(default: $REPRO_HEARTBEAT_SECONDS or a "
+                               "third of the lease)")
+    p_worker.add_argument("--max-items", type=int, default=None, metavar="N",
+                          help="exit after executing N items "
+                               "(default: run forever)")
+    p_worker.add_argument("--idle-exit", type=float, default=None,
+                          metavar="SEC",
+                          help="exit after SEC seconds with nothing "
+                               "claimable (default: keep polling)")
+    p_worker.add_argument("--worker-id", default=None,
+                          help="identity recorded in claims and receipts "
+                               "(default: <hostname>-<pid>)")
+    _add_cache_params(p_worker)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="HTTP front end: accept spec submissions, stream plan events")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8023,
+                         help="bind port (default: 8023)")
+    p_serve.add_argument("--local-workers", type=int, default=0, metavar="N",
+                         help="embedded dispatch workers per submission "
+                              "(default: 0 — rely on external `repro "
+                              "worker` processes sharing the cache root)")
+    p_serve.add_argument("--lease", type=float, default=None, metavar="SEC",
+                         help="claim lease duration for enqueued items")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log requests to stderr")
+    _add_cache_params(p_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a spec file to a `repro serve` endpoint")
+    p_submit.add_argument("file", help="spec file (TOML)")
+    p_submit.add_argument("--url", default="http://127.0.0.1:8023",
+                          help="serve endpoint "
+                               "(default: http://127.0.0.1:8023)")
+    p_submit.add_argument("--timeout", type=float, default=600.0,
+                          metavar="SEC",
+                          help="overall client timeout (default: 600)")
+    p_submit.add_argument("--progress", action=argparse.BooleanOptionalAction,
+                          default=False,
+                          help="render the server's stage lifecycle events "
+                               "live on stderr as they stream in")
+
+    p_queue = sub.add_parser(
+        "queue", help="inspect the dispatch work queue (status/list)")
+    qsub = p_queue.add_subparsers(dest="queue_command", required=True)
+    q_status = qsub.add_parser("status", help="item counts by state")
+    _add_cache_params(q_status)
+    q_list = qsub.add_parser("list", help="per-item state across all runs")
+    _add_cache_params(q_list)
+
     p_clear = sub.add_parser(
         "clear-cache",
-        help="empty the on-disk result, trace, and checkpoint stores")
+        help="empty the on-disk result, trace, and checkpoint stores and "
+             "the dispatch work queue")
     p_clear.add_argument("--cache-dir", default=None,
                          help="disk-cache root to clear")
     return parser
@@ -782,6 +865,124 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
     return handlers[args.checkpoint_command](args)
 
 
+def _dispatch_queue(args: argparse.Namespace):
+    """The dispatch :class:`WorkQueue` for a subcommand's cache flags."""
+    from .api.queue import WorkQueue, queue_root
+    from .cachedir import disk_cache_disabled
+    if disk_cache_disabled():
+        return None
+    return WorkQueue(queue_root(getattr(args, "cache_dir", None)))
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .api.worker import Worker
+    queue = _dispatch_queue(args)
+    if queue is None:
+        print("disk cache is disabled (REPRO_DISABLE_DISK_CACHE set); "
+              "a worker needs the shared dispatch queue", file=sys.stderr)
+        return 2
+    for flag in ("poll", "lease", "heartbeat"):
+        value = getattr(args, flag)
+        if value is not None and value <= 0:
+            print(f"error: --{flag} must be > 0", file=sys.stderr)
+            return 2
+    worker = Worker(queue=queue, worker_id=args.worker_id,
+                    lease_seconds=args.lease, heartbeat_seconds=args.heartbeat,
+                    poll_seconds=args.poll, max_items=args.max_items,
+                    idle_exit=args.idle_exit)
+    print(f"worker {worker.worker_id} polling {queue.root} "
+          f"(lease={queue.lease_seconds:g}s, "
+          f"heartbeat={worker.heartbeat_seconds:g}s, "
+          f"poll={worker.poll_seconds:g}s)", flush=True)
+    try:
+        stats = worker.run()
+    except KeyboardInterrupt:
+        stats = worker.stats
+    print(f"worker {worker.worker_id} done: {stats.describe()}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .api.serve import create_server
+    if args.local_workers < 0:
+        print("error: --local-workers must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        server = create_server(host=args.host, port=args.port,
+                               cache_dir=args.cache_dir,
+                               local_workers=args.local_workers,
+                               lease_seconds=args.lease,
+                               verbose=args.verbose)
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(server.describe(), flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .api.serve import submit_spec
+    try:
+        spec_text = open(args.file, "r", encoding="utf-8").read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        done = submit_spec(args.url, spec_text,
+                           progress=sys.stderr if args.progress else None,
+                           timeout=args.timeout)
+    except (OSError, RuntimeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for name, text in done.get("artifacts", {}).items():
+        print(f"==== {name} " + "=" * max(0, 66 - len(name)))
+        print(text)
+        print()
+    if not done.get("ok"):
+        print(f"error: {done.get('error', 'plan failed')}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_queue(args: argparse.Namespace) -> int:
+    from .api.queue import claim_path_for, done_path_for, load_json
+    queue = _dispatch_queue(args)
+    if queue is None:
+        print("disk cache is disabled (REPRO_DISABLE_DISK_CACHE set)")
+        return 0
+    print(queue.describe())
+    if args.queue_command == "list":
+        now = time.time()
+        for item in queue.item_files():
+            if done_path_for(item).exists():
+                receipt = load_json(done_path_for(item),
+                                    kind="dispatch receipt") or {}
+                state = (f"done ({receipt.get('status', '?')} on "
+                         f"{receipt.get('worker', '?')})")
+            else:
+                claim = (load_json(claim_path_for(item),
+                                   kind="dispatch claim")
+                         if claim_path_for(item).exists() else None)
+                if claim is not None and \
+                        float(claim.get("deadline", 0)) > now:
+                    state = (f"leased by {claim.get('worker', '?')} "
+                             f"({float(claim['deadline']) - now:.1f}s left, "
+                             f"attempt {claim.get('attempt', 1)})")
+                elif claim is not None:
+                    state = "lease expired (requeue pending)"
+                else:
+                    state = "pending"
+            print(f"  {item.parent.name}/{item.name}: {state}")
+    return 0
+
+
 def _cmd_clear_cache(args: argparse.Namespace) -> int:
     from .checkpoint import get_checkpoint_store
     from .experiments import clear_cache, get_store
@@ -789,19 +990,22 @@ def _cmd_clear_cache(args: argparse.Namespace) -> int:
     store = get_store(args.cache_dir)
     traces = get_trace_store(args.cache_dir)
     checkpoints = get_checkpoint_store(args.cache_dir)
-    if store is None and traces is None and checkpoints is None:
+    queue = _dispatch_queue(args)
+    if store is None and traces is None and checkpoints is None \
+            and queue is None:
         print("disk cache is disabled (REPRO_DISABLE_DISK_CACHE set)")
         return 0
-    for s in (store, traces, checkpoints):
+    for s in (store, traces, checkpoints, queue):
         if s is not None:
             print(s.describe())
     if args.cache_dir is None:
+        # The default session's disk clear covers the dispatch queue too.
         removed = clear_cache(disk=True)
     else:
-        removed = sum(s.clear() for s in (store, traces, checkpoints)
+        removed = sum(s.clear() for s in (store, traces, checkpoints, queue)
                       if s is not None)
     print(f"removed {removed} cached entr{'y' if removed == 1 else 'ies'} "
-          f"(results + traces + checkpoints)")
+          f"(results + traces + checkpoints + dispatch items)")
     return 0
 
 
@@ -815,6 +1019,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "spec": _cmd_spec,
         "trace": _cmd_trace,
         "checkpoint": _cmd_checkpoint,
+        "worker": _cmd_worker,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "queue": _cmd_queue,
         "clear-cache": _cmd_clear_cache,
     }
     try:

@@ -1,0 +1,189 @@
+"""The dispatch work queue: claim atomicity, leases, receipts, corruption."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.api.queue import (WorkQueue, claim_path_for, done_path_for,
+                             heartbeat_seconds_default, lease_seconds_default,
+                             load_json, queue_root, write_json_atomic,
+                             DEFAULT_LEASE_SECONDS, HEARTBEAT_ENV, LEASE_ENV,
+                             QUEUE_DIR_NAME)
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return WorkQueue(tmp_path / "dispatch", lease_seconds=60.0)
+
+
+def enqueue(queue, n=1, kind="simulate"):
+    """Write n work items into one run directory; returns their paths."""
+    run = queue.root / "run-a"
+    run.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for i in range(1, n + 1):
+        path = run / f"item-{i:04d}-{kind}.json"
+        write_json_atomic(path, {"stage": f"s{i}", "kind": kind,
+                                 "params": {}, "config": {}})
+        paths.append(path)
+    return paths if n > 1 else paths[0]
+
+
+class TestNaming:
+    def test_claim_and_done_paths(self, tmp_path):
+        item = tmp_path / "item-0007-capture.json"
+        assert claim_path_for(item).name == "claim-0007-capture.json"
+        assert done_path_for(item).name == "item-0007-capture.done.json"
+
+    def test_queue_root_honours_cache_dir(self, tmp_path):
+        assert queue_root(tmp_path) == tmp_path / QUEUE_DIR_NAME
+
+    def test_lease_env_knobs(self, monkeypatch):
+        monkeypatch.setenv(LEASE_ENV, "12.5")
+        assert lease_seconds_default() == 12.5
+        monkeypatch.setenv(LEASE_ENV, "not-a-number")
+        assert lease_seconds_default() == DEFAULT_LEASE_SECONDS
+        monkeypatch.setenv(HEARTBEAT_ENV, "2")
+        assert heartbeat_seconds_default(60.0) == 2.0
+        monkeypatch.delenv(HEARTBEAT_ENV)
+        assert heartbeat_seconds_default(9.0) == pytest.approx(3.0)
+
+
+class TestClaimProtocol:
+    def test_claim_is_exclusive(self, queue):
+        item = enqueue(queue)
+        lease = queue.try_claim(item, "worker-a")
+        assert lease is not None and lease.attempt == 1
+        assert queue.try_claim(item, "worker-b") is None
+        assert item in queue.pending()
+        assert item not in queue.claimable()
+
+    def test_done_marker_blocks_claim(self, queue):
+        item = enqueue(queue)
+        lease = queue.try_claim(item, "worker-a")
+        queue.finalize(lease, {"status": "ran"})
+        assert queue.try_claim(item, "worker-b") is None
+        assert queue.pending() == []
+
+    def test_release_makes_item_claimable_again(self, queue):
+        item = enqueue(queue)
+        queue.try_claim(item, "worker-a").release()
+        lease = queue.try_claim(item, "worker-b")
+        assert lease is not None
+        # A fresh claim, not a steal: the released claim was removed cleanly.
+        assert lease.attempt == 1
+
+    def test_expired_lease_is_stolen_with_attempt_increment(self, queue):
+        item = enqueue(queue)
+        first = queue.try_claim(item, "worker-a", lease_seconds=0.05)
+        time.sleep(0.1)
+        assert first.expired
+        second = queue.try_claim(item, "worker-b")
+        assert second is not None
+        assert second.attempt == 2
+        assert second.worker_id == "worker-b"
+
+    def test_heartbeat_extends_the_deadline(self, queue):
+        item = enqueue(queue)
+        lease = queue.try_claim(item, "worker-a", lease_seconds=0.2)
+        before = lease.deadline
+        time.sleep(0.05)
+        lease.heartbeat()
+        assert lease.deadline > before
+        on_disk = json.loads(claim_path_for(item).read_text())
+        assert on_disk["deadline"] == lease.deadline
+        assert on_disk["worker"] == "worker-a"
+
+    def test_corrupt_claim_is_stealable(self, queue):
+        item = enqueue(queue)
+        claim_path_for(item).write_text("{truncated")
+        with pytest.warns(RuntimeWarning, match="dispatch claim"):
+            lease = queue.try_claim(item, "worker-b")
+        assert lease is not None
+        assert lease.attempt == 1  # nothing legible to increment from
+
+    def test_finalize_first_receipt_stands(self, queue):
+        item = enqueue(queue)
+        lease_a = queue.try_claim(item, "worker-a", lease_seconds=0.05)
+        time.sleep(0.1)
+        lease_b = queue.try_claim(item, "worker-b")
+        queue.finalize(lease_b, {"status": "ran", "worker": "worker-b"})
+        # The original (slow but alive) holder finalising later is a no-op.
+        queue.finalize(lease_a, {"status": "ran", "worker": "worker-a"})
+        receipt = json.loads(done_path_for(item).read_text())
+        assert receipt["worker"] == "worker-b"
+
+    def test_requeue_drops_receipt_and_claim(self, queue):
+        item = enqueue(queue)
+        lease = queue.try_claim(item, "worker-a")
+        queue.finalize(lease, {"status": "ran"})
+        with pytest.warns(RuntimeWarning, match="requeueing"):
+            queue.requeue(item, "corrupt receipt")
+        assert not done_path_for(item).exists()
+        assert item in queue.claimable()
+
+    def test_quarantine_moves_the_item_aside(self, queue):
+        item = enqueue(queue)
+        target = queue.quarantine(item)
+        assert target is not None and target.exists()
+        assert ".corrupt-" in target.name
+        assert queue.item_files() == []
+
+
+class TestCorruptionPolicy:
+    def test_load_json_warns_and_returns_none(self, tmp_path):
+        path = tmp_path / "item-0001-simulate.json"
+        path.write_text('{"stage": "s1", "kin')
+        with pytest.warns(RuntimeWarning, match="unreadable dispatch"):
+            assert load_json(path, kind="dispatch work item") is None
+
+    def test_load_json_missing_file_is_silent_none(self, tmp_path):
+        assert load_json(tmp_path / "absent.json") is None
+
+
+class TestIntrospection:
+    def test_stats_describe_and_clear(self, queue):
+        items = enqueue(queue, n=3)
+        lease = queue.try_claim(items[0], "worker-a")
+        queue.finalize(lease, {"status": "ran"})
+        queue.try_claim(items[1], "worker-a")
+        stats = queue.stats()
+        assert stats == {"runs": 1, "items": 3, "done": 1, "leased": 1,
+                         "pending": 1}
+        text = queue.describe()
+        assert "3 work items across 1 run" in text
+        assert "(1 pending, 1 leased, 1 done)" in text
+        assert queue.clear() == 3
+        assert queue.stats()["items"] == 0
+        assert not any(queue.root.iterdir())
+
+    def test_empty_queue_stats(self, tmp_path):
+        queue = WorkQueue(tmp_path / "never-created")
+        assert queue.stats() == {"runs": 0, "items": 0, "done": 0,
+                                 "leased": 0, "pending": 0}
+        assert queue.clear() == 0
+
+    def test_item_files_spans_runs_and_skips_receipts(self, queue):
+        enqueue(queue, n=2)
+        other = queue.root / "run-b"
+        other.mkdir()
+        write_json_atomic(other / "item-0001-capture.json", {})
+        write_json_atomic(other / "item-0001-capture.done.json", {})
+        names = [p.name for p in queue.item_files()]
+        assert len(names) == 3
+        assert all(not n.endswith(".done.json") for n in names)
+
+
+class TestAtomicWrite:
+    def test_write_json_atomic_leaves_no_temp_files(self, tmp_path):
+        path = write_json_atomic(tmp_path / "x.json", {"a": 1})
+        assert json.loads(path.read_text()) == {"a": 1}
+        assert [p.name for p in tmp_path.iterdir()] == ["x.json"]
+
+    def test_write_failure_cleans_up(self, tmp_path):
+        with pytest.raises(TypeError):
+            write_json_atomic(tmp_path / "x.json", {"a": object()})
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert not (tmp_path / "x.json").exists()

@@ -1,0 +1,121 @@
+"""The HTTP front end: submission, NDJSON streaming, health, rejection."""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.api import ExperimentSpec, Session, submit_spec
+from repro.api.serve import create_server
+from repro.experiments import runner
+
+SPEC_TOML = """
+name = "serve-grid"
+size = "tiny"
+seed = 42
+workloads = ["Apache"]
+organisations = ["multi-chip"]
+analyses = ["figure2", "table1"]
+"""
+
+
+@pytest.fixture
+def server(private_cache):
+    """A serve instance on an ephemeral port with an embedded worker."""
+    srv = create_server(host="127.0.0.1", port=0, local_workers=2)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    thread.join(timeout=10)
+
+
+def url_of(server):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}"
+
+
+def get_json(url):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+class TestRoutes:
+    def test_health_reports_session_and_queue(self, server):
+        status, body = get_json(url_of(server) + "/health")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert "session at" in body["session"]
+        assert set(body["queue"]) == {"runs", "items", "done", "leased",
+                                      "pending"}
+
+    def test_queue_stats_route(self, server):
+        status, body = get_json(url_of(server) + "/queue")
+        assert status == 200
+        assert body["items"] == 0
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(url_of(server) + "/nope", timeout=30)
+        assert excinfo.value.code == 404
+
+
+class TestSubmission:
+    def test_submit_streams_events_and_matches_serial(self, server,
+                                                      private_cache):
+        spec = ExperimentSpec.from_dict(__import__("tomllib").loads(SPEC_TOML))
+        baseline = Session(executor="serial").execute(spec).render_all()
+        runner.clear_cache()
+
+        done = submit_spec(url_of(server), SPEC_TOML, timeout=600)
+        assert done["ok"] is True
+        assert done["error"] is None
+        assert done["artifacts"] == baseline
+        assert sum(done["statuses"].values()) > 0
+
+    def test_submit_json_body(self, server):
+        spec = {"name": "json-grid", "size": "tiny",
+                "workloads": ["Apache"], "organisations": ["multi-chip"],
+                "analyses": ["table1"]}
+        done = submit_spec(url_of(server), json.dumps(spec),
+                           content_type="application/json", timeout=600)
+        assert done["ok"] is True
+        assert set(done["artifacts"]) == {"table1"}
+
+    def test_events_arrive_before_done(self, server):
+        request = urllib.request.Request(
+            url_of(server) + "/submit", data=SPEC_TOML.encode("utf-8"),
+            headers={"Content-Type": "application/toml"})
+        events = []
+        with urllib.request.urlopen(request, timeout=600) as response:
+            assert response.headers["Content-Type"] == \
+                "application/x-ndjson"
+            for raw in response:
+                line = raw.decode("utf-8").strip()
+                if line:
+                    events.append(json.loads(line))
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "plan"
+        assert kinds[-1] == "done"
+        assert "start" in kinds and "finish" in kinds
+
+    def test_invalid_spec_is_rejected_with_400(self, server):
+        with pytest.raises(RuntimeError, match="rejected the spec \\(400\\)"):
+            submit_spec(url_of(server), 'size = "galactic"\n', timeout=30)
+
+    def test_unparsable_body_is_rejected_with_400(self, server):
+        with pytest.raises(RuntimeError, match="unparsable spec body"):
+            submit_spec(url_of(server), "this is not toml [",
+                        timeout=30)
+
+    def test_progress_lines_render(self, server, tmp_path):
+        import io
+        out = io.StringIO()
+        done = submit_spec(url_of(server), SPEC_TOML, progress=out,
+                           timeout=600)
+        assert done["ok"] is True
+        text = out.getvalue()
+        assert "] serve-grid: " in text.splitlines()[0]
+        assert "capture:" in text

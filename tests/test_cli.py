@@ -31,7 +31,7 @@ def run_cli(args, cache_dir, check=True):
 def test_help_lists_subcommands(tmp_path):
     proc = run_cli(["--help"], tmp_path)
     for sub in ("run", "suite", "report", "trace", "checkpoint",
-                "clear-cache"):
+                "worker", "serve", "submit", "queue", "clear-cache"):
         assert sub in proc.stdout
 
 
@@ -340,3 +340,108 @@ def test_spec_conflicts_with_run_parameter_flags(tmp_path):
                    tmp_path, check=False)
     assert proc.returncode == 2
     assert "--artifact" in proc.stderr
+
+
+# ---------------------------------------------------------------------- #
+# dispatch service subcommands: worker / serve / submit / queue
+# ---------------------------------------------------------------------- #
+def _enqueue_noop_item(cache_dir, number=1):
+    """A fast no-op work item (capture with replay disabled)."""
+    import json
+    run = Path(cache_dir) / "dispatch" / "run-cli"
+    run.mkdir(parents=True, exist_ok=True)
+    item = run / f"item-{number:04d}-capture.json"
+    item.write_text(json.dumps({
+        "stage": f"capture:noop{number}", "kind": "capture",
+        "params": {"workload": "Apache", "n_cpus": 4, "seed": number,
+                   "size": "tiny"},
+        "config": {"replay": False}}))
+    return item
+
+
+def test_worker_executes_and_exits(tmp_path):
+    item = _enqueue_noop_item(tmp_path)
+    proc = run_cli(["worker", "--max-items", "1", "--poll", "0.05",
+                    "--worker-id", "cli-w"], tmp_path)
+    assert "worker cli-w polling" in proc.stdout
+    assert "1 executed" in proc.stdout
+    assert item.with_name("item-0001-capture.done.json").exists()
+
+
+def test_worker_idle_exit_on_empty_queue(tmp_path):
+    proc = run_cli(["worker", "--idle-exit", "0.2", "--poll", "0.05"],
+                   tmp_path)
+    assert "0 executed" in proc.stdout
+
+
+def test_worker_rejects_bad_knobs(tmp_path):
+    proc = run_cli(["worker", "--lease", "0"], tmp_path, check=False)
+    assert proc.returncode == 2
+    assert "--lease" in proc.stderr
+
+
+def test_queue_status_and_list(tmp_path):
+    _enqueue_noop_item(tmp_path)
+    proc = run_cli(["queue", "status"], tmp_path)
+    assert "1 work item across 1 run" in proc.stdout
+    assert "1 pending" in proc.stdout
+    proc = run_cli(["queue", "list"], tmp_path)
+    assert "item-0001-capture.json: pending" in proc.stdout
+    run_cli(["worker", "--max-items", "1", "--poll", "0.05"], tmp_path)
+    proc = run_cli(["queue", "list"], tmp_path)
+    assert "done (skipped on" in proc.stdout
+
+
+def test_clear_cache_covers_dispatch_queue(tmp_path):
+    _enqueue_noop_item(tmp_path)
+    _enqueue_noop_item(tmp_path, number=2)
+    proc = run_cli(["clear-cache"], tmp_path)
+    assert "dispatch queue" in proc.stdout
+    assert "2 work items" in proc.stdout
+    assert "removed 2 cached entries" in proc.stdout
+    assert "dispatch items" in proc.stdout
+    assert not list((Path(tmp_path) / "dispatch").iterdir())
+
+
+def test_submit_without_server_fails_cleanly(tmp_path):
+    spec = REPO_ROOT / "examples" / "spec_tiny.toml"
+    proc = run_cli(["submit", str(spec), "--url", "http://127.0.0.1:1",
+                    "--timeout", "5"], tmp_path, check=False)
+    assert proc.returncode == 1
+    assert "error" in proc.stderr
+
+
+def test_submit_missing_file_fails(tmp_path):
+    proc = run_cli(["submit", str(tmp_path / "nope.toml")], tmp_path,
+                   check=False)
+    assert proc.returncode == 2
+
+
+def test_serve_submit_roundtrip(tmp_path):
+    """End to end over HTTP: serve with an embedded worker, submit a spec."""
+    import json
+    spec = tmp_path / "grid.toml"
+    spec.write_text('name = "cli-serve"\nsize = "tiny"\n'
+                    'workloads = ["Apache"]\n'
+                    'organisations = ["multi-chip"]\n'
+                    'analyses = ["table1"]\n')
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_CACHE_DIR"] = str(tmp_path)
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--local-workers", "2", "--verbose"],
+        env=env, cwd=REPO_ROOT, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True)
+    try:
+        banner = server.stdout.readline()
+        assert "repro serve on http://" in banner
+        url = banner.split(" on ", 1)[1].split()[0].rstrip("/")
+        proc = run_cli(["submit", str(spec), "--url", url, "--progress"],
+                       tmp_path)
+        assert "==== table1" in proc.stdout
+        assert "[     plan] cli-serve:" in proc.stderr
+        assert "finish" not in proc.stdout  # events stream to stderr only
+    finally:
+        server.terminate()
+        server.wait(timeout=30)
