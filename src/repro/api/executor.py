@@ -101,7 +101,8 @@ def session_config(session: "Session", shard: bool = False) -> Dict[str, Any]:
             "checkpoint": session.checkpoint,
             "resume": session.resume,
             "max_workers": session.max_workers,
-            "shard": bool(shard)}
+            "shard": bool(shard),
+            "profile": bool(getattr(session, "profile", False))}
 
 
 def _config_session(config: Dict[str, Any]) -> "Session":
@@ -229,7 +230,41 @@ def run_stage(kind: str, params: Dict[str, Any],
     except KeyError:
         raise ValueError(f"no backend work function for stage kind {kind!r} "
                          f"(backend kinds: {', '.join(_STAGE_FNS)})") from None
-    return fn(params, config)
+    run_id = config.get("telemetry_run_id")
+    if not run_id:
+        return fn(params, config)
+    # Worker-origin span: the stage's actual compute cost, measured in
+    # whichever process runs it (the serial parent, a pool worker, an
+    # embedded dispatch worker, or a remote `repro worker`) and appended to
+    # the run's shared spans.jsonl.  Telemetry must never fail the stage, so
+    # a broken telemetry store only loses the span.
+    from ..obs import Span, get_telemetry_store, maybe_profile
+    store = get_telemetry_store(config.get("cache_dir"))
+    if store is None:
+        return fn(params, config)
+    stage_key = config.get("stage_key", kind)
+    prof_path = (store.profile_path(run_id, stage_key)
+                 if config.get("profile") else None)
+    span = Span(kind, params, stage=stage_key, origin="worker").begin()
+    try:
+        with maybe_profile(prof_path):
+            status, payload = fn(params, config)
+    except Exception as exc:
+        span.finish("failed", error=exc)
+        _append_span_safely(store, run_id, span)
+        raise
+    span.finish(status)
+    _append_span_safely(store, run_id, span)
+    return status, payload
+
+
+def _append_span_safely(store, run_id: str, span) -> None:
+    import warnings
+    try:
+        store.append_span(run_id, span.to_record())
+    except OSError as exc:  # pragma: no cover - disk full etc.
+        warnings.warn(f"failed to persist span for {span.stage}: {exc}",
+                      RuntimeWarning, stacklevel=2)
 
 
 # --------------------------------------------------------------------------- #
@@ -271,6 +306,16 @@ class Executor(ABC):
         self._config = session_config(session, shard=self.runs_in_parent)
         self._config["max_workers"] = self.max_workers
 
+    def configure(self, **overrides: Any) -> None:
+        """Merge per-run settings into the stage config.
+
+        The scheduler calls this between :meth:`bind` and the first
+        :meth:`submit` — e.g. with the telemetry ``run_id``, which does not
+        exist yet at bind time.  Later submits (including dispatch work
+        items) carry the merged config.
+        """
+        self._config.update(overrides)
+
     def shutdown(self) -> None:
         """Release pools/resources; the executor may not be reused after."""
 
@@ -287,8 +332,10 @@ class Executor(ABC):
 
     def submit(self, stage: "Stage") -> Future:
         """Run one ready stage; resolve the future via :meth:`finalize`."""
+        config = dict(self._config)
+        config["stage_key"] = stage.key
         return self.submit_call(run_stage, stage.kind, dict(stage.params),
-                                dict(self._config))
+                                config)
 
     def finalize(self, stage: "Stage", value: Any) -> Tuple[str, Any]:
         """Turn a completed future's raw value into ``(status, payload)``."""
@@ -578,8 +625,10 @@ class DispatchExecutor(Executor):
 
     # -- submission ------------------------------------------------------ #
     def _item_payload(self, stage: "Stage") -> Dict[str, Any]:
+        config = dict(self._config)
+        config["stage_key"] = stage.key
         return {"stage": stage.key, "kind": stage.kind,
-                "params": dict(stage.params), "config": dict(self._config)}
+                "params": dict(stage.params), "config": config}
 
     def submit(self, stage: "Stage") -> Future:
         if self._run_dir is None:

@@ -27,11 +27,14 @@ its transitive dependents while independent branches finish.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, wait
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs.span import SpanRecorder, maybe_profile
+from ..obs.store import iso_utc
 from .registry import ANALYSES, PREFETCHERS, SYSTEMS
 from .spec import ExperimentSpec
 
@@ -86,7 +89,10 @@ class Plan:
     def __len__(self) -> int:
         return len(self.stages)
 
-    def describe(self) -> str:
+    def describe(self, costs: Optional[Dict[str, Dict[str, float]]] = None) -> str:
+        """The plan as text; ``costs`` (kind -> observed mean cost, from
+        :meth:`repro.obs.TelemetryStore.observed_costs`) annotates each
+        stage-kind header with mean wall/cpu seconds from past runs."""
         lines = [self.spec.describe(),
                  f"plan: {len(self.stages)} stages ("
                  + ", ".join(f"{len(self.by_kind(kind))} {kind}"
@@ -96,7 +102,13 @@ class Plan:
             stages = self.by_kind(kind)
             if not stages:
                 continue
-            lines.append(f"[{kind}]")
+            header = f"[{kind}]"
+            cost = (costs or {}).get(kind)
+            if cost:
+                header += (f"  ~{cost['mean_wall_s']:.3f}s wall / "
+                           f"{cost['mean_cpu_s']:.3f}s cpu per stage "
+                           f"(observed over {cost['count']})")
+            lines.append(header)
             lines.extend(f"  {stage.describe()}" for stage in stages)
         if self.by_kind("render"):
             lines.append(
@@ -152,6 +164,10 @@ class PlanEvents:
     run in the scheduler thread, between future waits — keep them cheap.
     """
 
+    def on_plan_start(self, plan: "Plan", run_id: Optional[str]) -> None:
+        """Execution is about to begin; ``run_id`` names the telemetry run
+        (``None`` when telemetry is disabled)."""
+
     def on_stage_start(self, stage: Stage) -> None:
         """``stage`` was handed to the backend (or began running inline)."""
 
@@ -160,6 +176,38 @@ class PlanEvents:
 
     def on_stage_error(self, stage: Stage, error: BaseException) -> None:
         """``stage`` raised; its transitive dependents will be skipped."""
+
+
+class _ComposedEvents(PlanEvents):
+    """Fan callbacks out to several receivers, telemetry recorder first.
+
+    The recorder leads so span clocks start before (and stop after) any
+    user-callback work, keeping user hooks out of the measured window.
+    Receivers are duck-typed: ``None`` entries are dropped and a receiver
+    missing ``on_plan_start`` (pre-telemetry ``PlanEvents`` lookalikes) is
+    simply skipped for that hook.
+    """
+
+    def __init__(self, *receivers: Optional[PlanEvents]) -> None:
+        self._receivers = [r for r in receivers if r is not None]
+
+    def on_plan_start(self, plan: "Plan", run_id: Optional[str]) -> None:
+        for receiver in self._receivers:
+            hook = getattr(receiver, "on_plan_start", None)
+            if hook is not None:
+                hook(plan, run_id)
+
+    def on_stage_start(self, stage: Stage) -> None:
+        for receiver in self._receivers:
+            receiver.on_stage_start(stage)
+
+    def on_stage_finish(self, stage: Stage, status: str) -> None:
+        for receiver in self._receivers:
+            receiver.on_stage_finish(stage, status)
+
+    def on_stage_error(self, stage: Stage, error: BaseException) -> None:
+        for receiver in self._receivers:
+            receiver.on_stage_error(stage, error)
 
 
 class EventLog(PlanEvents):
@@ -221,6 +269,9 @@ class PlanResult:
     statuses: Dict[str, str] = field(default_factory=dict)
     #: stage key -> the exception a failed stage raised.
     errors: Dict[str, BaseException] = field(default_factory=dict)
+    #: Telemetry run id (directory under ``<cache>/telemetry/``), or ``None``
+    #: when telemetry was disabled for this execution.
+    run_id: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -464,8 +515,29 @@ def execute_plan(plan: Plan, session, executor=None,
             events.on_stage_finish(plan.stages[key], "skipped")
             cone.extend(dependents.get(key, ()))
 
+    wall0 = time.perf_counter()
     with resolve_executor(executor, session) as backend:
         backend.bind(session, plan)
+        # Telemetry run: created after bind (the backend knows its name by
+        # then) and before any submit, so every work item carries the run id
+        # and every span — scheduler- or worker-origin, any host — lands in
+        # the same <cache>/telemetry/<run_id>/ directory.
+        telem = getattr(session, "telemetry_store", None)
+        profile = bool(getattr(session, "profile", False))
+        run_id = None
+        if telem is not None:
+            run_id = telem.create_run({
+                "spec": plan.spec.name,
+                "executor": backend.name,
+                "n_stages": len(plan),
+                "stage_kinds": {kind: len(plan.by_kind(kind))
+                                for kind in STAGE_KINDS if plan.by_kind(kind)},
+                "profile": profile})
+            result.run_id = run_id
+            backend.configure(telemetry_run_id=run_id)
+            events = _ComposedEvents(SpanRecorder(sink=telem.span_sink(run_id)),
+                                     events)
+        events.on_plan_start(plan, run_id)
         while ready or pending:
             while ready:
                 stage = plan.stages[ready.popleft()]
@@ -473,9 +545,12 @@ def execute_plan(plan: Plan, session, executor=None,
                 if stage.kind in BACKEND_KINDS:
                     pending[backend.submit(stage)] = stage
                     continue
+                prof_path = (telem.profile_path(run_id, stage.key)
+                             if profile and run_id is not None else None)
                 try:
-                    status, payload = _run_inline_stage(stage, session,
-                                                        payloads, result)
+                    with maybe_profile(prof_path):
+                        status, payload = _run_inline_stage(stage, session,
+                                                            payloads, result)
                 except Exception as error:  # noqa: BLE001 - recorded
                     fail(stage, error)
                 else:
@@ -493,6 +568,10 @@ def execute_plan(plan: Plan, session, executor=None,
                     fail(stage, error)
                 else:
                     settle(stage, status, payload)
+    if telem is not None and run_id is not None:
+        telem.update_manifest(run_id, finished_at=iso_utc(),
+                              wall_s=round(time.perf_counter() - wall0, 6),
+                              ok=result.ok, statuses=dict(result.statuses))
     if result.errors and raise_errors:
         raise PlanExecutionError(result)
     return result

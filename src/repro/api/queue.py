@@ -88,6 +88,18 @@ def queue_root(cache_dir: Optional[os.PathLike] = None) -> Path:
     return root / QUEUE_DIR_NAME
 
 
+def iso_utc(unix: Optional[float] = None) -> str:
+    """ISO-8601 UTC timestamp for audit-trail entries (``executed.log``).
+
+    Second precision with a ``Z`` suffix — lexically sortable and directly
+    comparable with the telemetry manifests, which use the same rendering
+    (:func:`repro.obs.store.iso_utc`, re-exported here so queue/worker code
+    has a local name for it).
+    """
+    from ..obs.store import iso_utc as _iso_utc
+    return _iso_utc(unix)
+
+
 def claim_path_for(item_path: os.PathLike) -> Path:
     """The lease file guarding ``item-NNNN-<kind>.json``."""
     item_path = Path(item_path)
@@ -263,14 +275,27 @@ class WorkQueue:
                       (lease_seconds if lease_seconds is not None
                        else self.lease_seconds), attempt)
         lease.deadline = time.time() + lease.lease_seconds
+        # Publish the claim atomically: write the payload to a private temp
+        # file, then hard-link it into place.  ``os.link`` fails with EEXIST
+        # when a claim already exists (exactly one winner, like O_EXCL) but,
+        # unlike create-then-write, never exposes a half-written claim that
+        # a concurrent scanner would misread as corrupt and steal while this
+        # lease is live.
+        tmp = cpath.with_name(
+            f"{cpath.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}")
         try:
-            fd = os.open(cpath, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(lease.payload(), fh, indent=2)
+            os.link(tmp, cpath)
         except FileExistsError:
             return None  # lost the race to another claimer
         except FileNotFoundError:
             return None  # run directory cleared underneath us
-        with os.fdopen(fd, "w", encoding="utf-8") as fh:
-            json.dump(lease.payload(), fh, indent=2)
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
         return lease
 
     def finalize(self, lease: Lease, receipt: Dict[str, Any]) -> Path:

@@ -13,7 +13,15 @@ share one cache root and one dispatch worker fleet:
   one ``{"event": ...}`` object per line, ending with a ``done`` line
   carrying per-status stage counts and every rendered artifact.
 * ``GET /queue`` — dispatch queue stats (runs/items/pending/leased/done).
+* ``GET /metrics`` — the unified metrics registry snapshot (trace /
+  checkpoint / generation counters plus stage histograms) and queue stats
+  as one JSON object.
 * ``GET /health`` — liveness plus the session description.
+
+Each submission's event stream also carries its telemetry ``run_id``
+(``{"event": "run", "run_id": ...}`` right after the ``plan`` line, and
+again on the ``done`` line), so a client can fetch the per-stage span
+records with ``repro stats <run_id>`` afterwards.
 
 Each request is handled on its own thread (``ThreadingHTTPServer``), and
 each submission gets its own run directory under ``<cache>/dispatch/``, so
@@ -47,6 +55,12 @@ class _StreamEvents(PlanEvents):
 
     def __init__(self, emit: Callable[[Dict[str, Any]], None]) -> None:
         self._emit = emit
+        self.run_id: Optional[str] = None
+
+    def on_plan_start(self, plan, run_id) -> None:
+        self.run_id = run_id
+        if run_id is not None:
+            self._emit({"event": "run", "run_id": run_id})
 
     def on_stage_start(self, stage) -> None:
         self._emit({"event": "start", "stage": stage.key,
@@ -94,10 +108,12 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
                 "queue": self.server.queue_stats()})
         elif self.path == "/queue":
             self._json_response(200, self.server.queue_stats())
+        elif self.path == "/metrics":
+            self._json_response(200, self.server.metrics_snapshot())
         else:
             self._json_response(404, {"error": f"unknown path {self.path}; "
                                       f"GET /health, GET /queue, "
-                                      f"POST /submit"})
+                                      f"GET /metrics, POST /submit"})
 
     def do_POST(self) -> None:  # noqa: N802 - http.server contract
         if self.path != "/submit":
@@ -147,16 +163,18 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
         plan = session.plan(spec.resolved())
         emit({"event": "plan", "name": plan.spec.name,
               "stages": len(plan)})
+        events = _StreamEvents(emit)
         try:
-            outcome = session.execute(plan, events=_StreamEvents(emit))
+            outcome = session.execute(plan, events=events)
             error = None
         except PlanExecutionError as exc:
             outcome, error = exc.result, str(exc)
         except Exception as exc:  # noqa: BLE001 - report, don't hang client
-            emit({"event": "done", "ok": False,
+            emit({"event": "done", "ok": False, "run_id": events.run_id,
                   "error": f"{type(exc).__name__}: {exc}", "artifacts": {}})
             return
         emit({"event": "done", "ok": error is None, "error": error,
+              "run_id": outcome.run_id,
               "statuses": _status_counts(outcome.statuses),
               "artifacts": outcome.render_all()})
 
@@ -188,6 +206,20 @@ class ReproServer(ThreadingHTTPServer):
     def queue_stats(self) -> Dict[str, int]:
         from .queue import WorkQueue, queue_root
         return WorkQueue(queue_root(self.cache_dir)).stats()
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The unified registry snapshot plus queue stats (``GET /metrics``).
+
+        The pipeline packages register their ``STATS`` objects into the
+        registry at import time; import them here so a scrape early in the
+        server's life still reports every section (zeroed) instead of only
+        what a prior submission happened to touch.
+        """
+        import repro.checkpoint.store  # noqa: F401 - registers STATS
+        import repro.trace.store  # noqa: F401 - registers STATS
+        import repro.workloads  # noqa: F401 - registers GENERATION_STATS
+        from ..obs.metrics import REGISTRY
+        return {"metrics": REGISTRY.snapshot(), "queue": self.queue_stats()}
 
     def describe(self) -> str:
         host, port = self.server_address[:2]
@@ -255,6 +287,9 @@ def _render_progress_line(event: Dict[str, Any], out: TextIO) -> None:
     if event["event"] == "plan":
         print(f"[     plan] {event['name']}: {event['stages']} stages",
               file=out, flush=True)
+    elif event["event"] == "run":
+        print(f"[      run] telemetry {event['run_id']}", file=out,
+              flush=True)
     elif event["event"] == "start":
         print(f"[{kind:>9}] {event['stage']} ...", file=out, flush=True)
     elif event["event"] == "finish":

@@ -77,13 +77,23 @@ class Session:
         ``0`` *submits only* — work items wait for external ``repro
         worker`` daemons attached to the same cache root (how ``repro
         serve`` shares one fleet across submitters).
+    telemetry:
+        Record per-stage spans and a run manifest under
+        ``<cache>/telemetry/<run_id>/`` for every executed plan (default
+        on; a no-op when disk caching is disabled).
+    profile:
+        Additionally wrap each stage in :mod:`cProfile`, dropping a
+        per-stage ``.prof`` file into the run's telemetry directory
+        (implies nothing about ``telemetry=False``: without telemetry
+        there is no run directory, so nothing is profiled).
     """
 
     def __init__(self, cache_dir: Optional[str] = None,
                  max_workers: Optional[int] = None, streaming: bool = True,
                  replay: bool = True, checkpoint: bool = True,
                  resume: bool = True, executor: Any = "serial",
-                 dispatch_workers: Optional[int] = None) -> None:
+                 dispatch_workers: Optional[int] = None,
+                 telemetry: bool = True, profile: bool = False) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         if dispatch_workers is not None and dispatch_workers < 0:
@@ -97,6 +107,8 @@ class Session:
         self.resume = resume
         self.executor = executor
         self.dispatch_workers = dispatch_workers
+        self.telemetry = telemetry
+        self.profile = profile
 
     # ------------------------------------------------------------------ #
     # roots and stores
@@ -145,13 +157,24 @@ class Session:
         from .queue import WorkQueue
         return WorkQueue(self.cache_root / "dispatch")
 
+    @property
+    def telemetry_store(self):
+        """The per-run telemetry store, or ``None`` when disk caching is
+        off or this session was built with ``telemetry=False``."""
+        if not self.disk_cache_enabled or not self.telemetry:
+            return None
+        from ..obs.store import TelemetryStore
+        return TelemetryStore(self.cache_dir)
+
     # ------------------------------------------------------------------ #
     def with_options(self, cache_dir: Any = _UNSET,
                      max_workers: Any = _UNSET, streaming: Any = _UNSET,
                      replay: Any = _UNSET, checkpoint: Any = _UNSET,
                      resume: Any = _UNSET,
                      executor: Any = _UNSET,
-                     dispatch_workers: Any = _UNSET) -> "Session":
+                     dispatch_workers: Any = _UNSET,
+                     telemetry: Any = _UNSET,
+                     profile: Any = _UNSET) -> "Session":
         """A copy of this session with the given fields overridden."""
         return Session(
             cache_dir=self.cache_dir if cache_dir is _UNSET else cache_dir,
@@ -164,7 +187,9 @@ class Session:
             executor=self.executor if executor is _UNSET else executor,
             dispatch_workers=(self.dispatch_workers
                               if dispatch_workers is _UNSET
-                              else dispatch_workers))
+                              else dispatch_workers),
+            telemetry=self.telemetry if telemetry is _UNSET else telemetry,
+            profile=self.profile if profile is _UNSET else profile)
 
     # ------------------------------------------------------------------ #
     # pipeline entry points
@@ -247,17 +272,22 @@ class Session:
     def clear_caches(self, disk: bool = False) -> int:
         """Drop in-process memos; with ``disk`` also empty this root's stores.
 
-        The disk clear covers all three stores *and* the dispatch work
-        queue (work items, receipts, and run directories), so a full clear
-        leaves no stale queue state for workers to pick up.
+        The disk clear covers all three stores, the dispatch work queue
+        (work items, receipts, and run directories), and the per-run
+        telemetry directories, so a full clear leaves no stale queue state
+        for workers to pick up and no orphaned run history.
         """
         from ..experiments import runner
         runner._CACHE.clear()
         runner._TRACE_CACHE.clear()
         removed = 0
         if disk:
+            from ..obs.store import TelemetryStore
+            telemetry = (TelemetryStore(self.cache_dir)
+                         if self.disk_cache_enabled else None)
             for store in (self.result_store, self.trace_store,
-                          self.checkpoint_store, self.dispatch_queue):
+                          self.checkpoint_store, self.dispatch_queue,
+                          telemetry):
                 if store is not None:
                     removed += store.clear()
         return removed
@@ -265,7 +295,10 @@ class Session:
     def describe(self) -> str:
         policy = ", ".join(
             f"{name}={getattr(self, name)}"
-            for name in ("streaming", "replay", "checkpoint", "resume"))
+            for name in ("streaming", "replay", "checkpoint", "resume",
+                         "telemetry"))
+        if self.profile:
+            policy += ", profile=True"
         workers = ("auto" if self.max_workers is None else self.max_workers)
         backend = (self.executor if isinstance(self.executor, str)
                    else getattr(self.executor, "name", self.executor))

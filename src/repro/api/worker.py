@@ -180,7 +180,7 @@ class Worker:
         test_sleep = float(os.environ.get(TEST_SLEEP_ENV, 0) or 0)
         if test_sleep > 0:
             time.sleep(test_sleep)
-        self._audit(lease)
+        started = time.time()
         try:
             with _Heartbeat(lease, self.heartbeat_seconds):
                 done_path = execute_work_item(
@@ -194,6 +194,8 @@ class Worker:
             self.stats.quarantined += 1
             lease.release()
             return
+        self._audit(lease, started=started,
+                    duration=time.time() - started)
         lease.release()
         receipt = load_json(done_path, kind="dispatch receipt") or {}
         self.stats.executed += 1
@@ -202,16 +204,20 @@ class Worker:
         elif receipt.get("status") == "failed":
             self.stats.failed += 1
 
-    def _audit(self, lease: Lease) -> None:
+    def _audit(self, lease: Lease, started: float, duration: float) -> None:
         """Append one line to the run's execution log (O_APPEND: atomic).
 
         The log is the ground truth for exactly-once assertions: a line is
-        written per *execution attempt*, while receipts record only the
-        first finalisation.
+        written per *completed execution attempt* (after the stage, so it
+        carries the start timestamp and duration — cross-checkable against
+        the worker-origin spans in the telemetry store), while receipts
+        record only the first finalisation.
         """
+        from .queue import iso_utc
         log = lease.item_path.parent / "executed.log"
         line = (f"{lease.item_path.name} worker={self.worker_id} "
-                f"attempt={lease.attempt}\n")
+                f"attempt={lease.attempt} started={iso_utc(started)} "
+                f"duration_seconds={duration:.3f}\n")
         try:
             fd = os.open(log, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
             with os.fdopen(fd, "w", encoding="utf-8") as fh:

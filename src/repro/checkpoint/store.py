@@ -37,6 +37,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from .. import __version__
 from ..cachedir import default_cache_root, params_slug
+from ..obs.metrics import REGISTRY
 from ..trace.format import DEFAULT_EPOCH_SIZE
 from .format import (CHECKPOINT_FORMAT_VERSION, CheckpointCorruptError,
                      checkpoint_name, decode_checkpoint, encode_checkpoint,
@@ -62,8 +63,10 @@ class CheckpointStoreStats:
         self.saves = self.loads = self.misses = self.resumes = self.drops = 0
 
 
-#: Shared counters (all stores in this process).
-STATS = CheckpointStoreStats()
+#: Shared counters (all stores in this process).  Registered into the
+#: unified metrics registry as the ``checkpoint_store.*`` section; the
+#: module attribute stays the canonical increment site.
+STATS = REGISTRY.register_stats("checkpoint_store", CheckpointStoreStats())
 
 
 def checkpoint_params(workload: str, n_cpus: int, seed: int, size: str,

@@ -18,6 +18,13 @@ spec
     ``plan`` to print the capture -> simulate -> analyze -> render stage
     DAG it resolves to (without executing anything); ``plan --format
     json|dot`` exports the DAG for inspection or external schedulers.
+    When the telemetry store holds prior runs, ``plan`` annotates each
+    stage kind with its observed mean wall/cpu cost.
+stats
+    Inspect recorded run telemetry: with no argument list the runs under
+    ``<cache>/telemetry/``, with a run id (or ``--last``) print per-stage
+    and per-kind timing tables (wall, cpu, peak RSS) from the run's span
+    records, plus any ``--profile`` .prof files.
 trace
     Manage captured access traces: ``capture`` one ahead of time, ``list``
     the store, ``info`` for an (optionally epoch-parallel) per-trace
@@ -44,7 +51,8 @@ queue
     per-item state (pending / leased / done).
 clear-cache
     Empty the versioned on-disk result store, the trace store, the
-    checkpoint store, *and* the dispatch work queue.
+    checkpoint store, the dispatch work queue, *and* recorded run
+    telemetry.
 
 Every execution subcommand builds a :class:`repro.api.Session` from its
 flags and drives the pipeline through it.  All subcommands share
@@ -57,8 +65,9 @@ epoch-boundary snapshots and resuming from them (default: both on).
 
 Spec-driven executions additionally accept ``--executor
 serial|thread|process|dispatch`` to pick the stage execution backend
-(default: ``process``, or ``serial`` with ``--jobs 1``) and ``--progress``
-to render the scheduler's stage lifecycle events live on stderr.
+(default: ``process``, or ``serial`` with ``--jobs 1``), ``--progress``
+to render the scheduler's stage lifecycle events live on stderr, and
+``--profile`` to cProfile every stage into the run's telemetry directory.
 """
 
 from __future__ import annotations
@@ -115,6 +124,10 @@ def _add_spec_exec_params(parser: argparse.ArgumentParser) -> None:
                         default=False,
                         help="render stage lifecycle events live on stderr "
                              "during --spec execution")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile each stage of a --spec execution, "
+                             "writing per-stage .prof files into the run's "
+                             "telemetry directory (see `repro stats`)")
 
 
 def _add_cache_params(parser: argparse.ArgumentParser) -> None:
@@ -199,6 +212,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="output form: human-readable text, JSON "
                              "(nodes/deps/kinds for external schedulers), "
                              "or Graphviz dot (default: text)")
+    _add_cache_params(s_plan)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="per-stage timing tables from recorded run telemetry")
+    p_stats.add_argument("run", nargs="?", default=None, metavar="RUN",
+                         help="telemetry run id (directory name under "
+                              "<cache>/telemetry/); omit to list runs")
+    p_stats.add_argument("--last", action="store_true",
+                         help="show the most recent run")
+    _add_cache_params(p_stats)
 
     p_trace = sub.add_parser(
         "trace", help="manage captured access traces (capture/list/info)")
@@ -374,7 +398,8 @@ def _session_from_args(args: argparse.Namespace):
                    replay=getattr(args, "replay", True),
                    checkpoint=getattr(args, "checkpoint", True),
                    resume=getattr(args, "resume", True),
-                   executor=executor)
+                   executor=executor,
+                   profile=getattr(args, "profile", False))
 
 
 def _spec_events(args: argparse.Namespace):
@@ -492,8 +517,8 @@ def _print_bundle(workload: str, context: str, result, size: str, seed: int,
 
 
 def _spec_only_flags(args: argparse.Namespace) -> bool:
-    """Reject --executor/--progress outside a --spec execution."""
-    offending = [flag for flag in ("executor", "progress")
+    """Reject --executor/--progress/--profile outside a --spec execution."""
+    offending = [flag for flag in ("executor", "progress", "profile")
                  if getattr(args, flag, None)]
     if getattr(args, "spec", None) is None and offending:
         names = ", ".join(f"--{flag}" for flag in offending)
@@ -624,7 +649,10 @@ def _cmd_spec(args: argparse.Namespace) -> int:
     elif fmt == "dot":
         print(plan.to_dot())
     else:
-        print(plan.describe())
+        from .obs import get_telemetry_store
+        telem = get_telemetry_store(getattr(args, "cache_dir", None))
+        costs = telem.observed_costs() if telem is not None else None
+        print(plan.describe(costs=costs or None))
     return 0
 
 
@@ -983,29 +1011,135 @@ def _cmd_queue(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Stage kinds whose compute runs on the executor backend; their
+#: worker-origin spans measure the stage function itself, so ``stats``
+#: prefers those rows over the scheduler's submission-to-settle spans.
+_BACKEND_SPAN_KINDS = ("capture", "summarize", "simulate")
+
+
+def _stats_rows(spans: list) -> list:
+    """One span per stage: worker-origin when available, else scheduler."""
+    chosen = {}
+    for span in spans:
+        key = span.get("stage")
+        if key is None:
+            continue
+        prev = chosen.get(key)
+        if prev is None or (span.get("origin") == "worker"
+                            and prev.get("origin") != "worker"):
+            chosen[key] = span
+    return [chosen[key] for key in sorted(chosen)]
+
+
+def _print_span_tables(spans: list) -> None:
+    rows = _stats_rows(spans)
+    if not rows:
+        print("  (no span records)")
+        return
+    stage_w = max(5, max(len(str(r.get("stage", ""))) for r in rows))
+    print(f"  {'stage':<{stage_w}}  {'kind':>9}  {'origin':>9}  "
+          f"{'status':>7}  {'wall s':>8}  {'cpu s':>8}  {'rss MiB':>8}")
+    for r in rows:
+        rss = r.get("rss_peak_kib", 0) / 1024.0
+        print(f"  {str(r.get('stage', '')):<{stage_w}}  "
+              f"{str(r.get('kind', '')):>9}  {str(r.get('origin', '')):>9}  "
+              f"{str(r.get('status', '')):>7}  {r.get('wall_s', 0.0):>8.3f}  "
+              f"{r.get('cpu_s', 0.0):>8.3f}  {rss:>8.1f}")
+    # Per-kind aggregates over the same preferred rows.
+    by_kind: dict = {}
+    for r in rows:
+        by_kind.setdefault(r.get("kind", "?"), []).append(r)
+    print()
+    print(f"  {'kind':>9}  {'stages':>6}  {'total wall s':>12}  "
+          f"{'mean wall s':>11}  {'total cpu s':>11}")
+    for kind in sorted(by_kind):
+        group = by_kind[kind]
+        wall = sum(r.get("wall_s", 0.0) for r in group)
+        cpu = sum(r.get("cpu_s", 0.0) for r in group)
+        print(f"  {kind:>9}  {len(group):>6}  {wall:>12.3f}  "
+              f"{wall / len(group):>11.3f}  {cpu:>11.3f}")
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .obs import get_telemetry_store
+    store = get_telemetry_store(args.cache_dir)
+    if store is None:
+        print("disk cache is disabled (REPRO_DISABLE_DISK_CACHE set); "
+              "run telemetry lives in the disk cache", file=sys.stderr)
+        return 2
+    if args.run is not None and args.last:
+        print("error: pass a run id or --last, not both", file=sys.stderr)
+        return 2
+    run_id = args.run
+    if args.last:
+        run_id = store.last_run_id()
+        if run_id is None:
+            print("no telemetry runs recorded yet; execute a spec first",
+                  file=sys.stderr)
+            return 1
+    if run_id is None:  # list mode
+        print(store.describe())
+        for rid in store.runs():
+            manifest = store.load_manifest(rid) or {}
+            ok = manifest.get("ok")
+            state = "ok" if ok else ("FAILED" if ok is False else "running")
+            wall = manifest.get("wall_s")
+            tail = f", {wall:.2f}s wall" if isinstance(wall, (int, float)) \
+                else ""
+            print(f"  {rid}: {manifest.get('spec', '?')} via "
+                  f"{manifest.get('executor', '?')}, "
+                  f"{manifest.get('n_stages', '?')} stages, {state}{tail}")
+        return 0
+    manifest = store.load_manifest(run_id)
+    if manifest is None:
+        print(f"error: no telemetry run {run_id!r} under {store.root}",
+              file=sys.stderr)
+        return 1
+    ok = manifest.get("ok")
+    state = "ok" if ok else ("FAILED" if ok is False else "running")
+    wall = manifest.get("wall_s")
+    tail = f", {wall:.2f}s wall" if isinstance(wall, (int, float)) else ""
+    print(f"run {run_id}: {manifest.get('spec', '?')} via "
+          f"{manifest.get('executor', '?')}, "
+          f"{manifest.get('n_stages', '?')} stages, {state}{tail}")
+    _print_span_tables(store.load_spans(run_id))
+    profiles = sorted(store.run_dir(run_id).glob("*.prof"))
+    if profiles:
+        print()
+        print(f"  {len(profiles)} profile{'s' if len(profiles) != 1 else ''} "
+              f"(python -m pstats <file>):")
+        for path in profiles:
+            print(f"    {path}")
+    return 0
+
+
 def _cmd_clear_cache(args: argparse.Namespace) -> int:
     from .checkpoint import get_checkpoint_store
     from .experiments import clear_cache, get_store
+    from .obs import get_telemetry_store
     from .trace import get_trace_store
     store = get_store(args.cache_dir)
     traces = get_trace_store(args.cache_dir)
     checkpoints = get_checkpoint_store(args.cache_dir)
     queue = _dispatch_queue(args)
+    telemetry = get_telemetry_store(args.cache_dir)
     if store is None and traces is None and checkpoints is None \
-            and queue is None:
+            and queue is None and telemetry is None:
         print("disk cache is disabled (REPRO_DISABLE_DISK_CACHE set)")
         return 0
-    for s in (store, traces, checkpoints, queue):
+    for s in (store, traces, checkpoints, queue, telemetry):
         if s is not None:
             print(s.describe())
     if args.cache_dir is None:
-        # The default session's disk clear covers the dispatch queue too.
+        # The default session's disk clear covers the dispatch queue and
+        # telemetry directories too.
         removed = clear_cache(disk=True)
     else:
-        removed = sum(s.clear() for s in (store, traces, checkpoints, queue)
+        removed = sum(s.clear()
+                      for s in (store, traces, checkpoints, queue, telemetry)
                       if s is not None)
     print(f"removed {removed} cached entr{'y' if removed == 1 else 'ies'} "
-          f"(results + traces + checkpoints + dispatch items)")
+          f"(results + traces + checkpoints + dispatch items + telemetry)")
     return 0
 
 
@@ -1023,6 +1157,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "queue": _cmd_queue,
+        "stats": _cmd_stats,
         "clear-cache": _cmd_clear_cache,
     }
     try:

@@ -1,0 +1,38 @@
+"""Observability: stage spans, the unified metrics registry, run telemetry.
+
+Layering note: this package sits *below* ``repro.api`` and the stores — the
+stores register their ``STATS`` objects here, and the plan scheduler and
+``run_stage`` emit spans here, but nothing in ``repro.obs`` imports from
+either. See the module docstrings for the contract each piece provides:
+
+* :mod:`repro.obs.metrics` — :data:`REGISTRY`, ``Counter``/``Gauge``/
+  ``Histogram``, ``register_stats``, flat ``snapshot()``.
+* :mod:`repro.obs.span` — :class:`Span`, :class:`SpanRecorder`,
+  :func:`maybe_profile`.
+* :mod:`repro.obs.store` — :class:`TelemetryStore` under
+  ``<cache>/telemetry/<run_id>/``, :func:`get_telemetry_store`.
+"""
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               REGISTRY, get_registry)
+from repro.obs.span import Span, SpanRecorder, maybe_profile, peak_rss_kib
+from repro.obs.store import (TELEMETRY_SUBDIR, TelemetryStore,
+                             get_telemetry_store, iso_utc, new_run_id)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "get_registry",
+    "Span",
+    "SpanRecorder",
+    "maybe_profile",
+    "peak_rss_kib",
+    "TELEMETRY_SUBDIR",
+    "TelemetryStore",
+    "get_telemetry_store",
+    "iso_utc",
+    "new_run_id",
+]

@@ -1,0 +1,228 @@
+"""The unified metrics registry: named counters, gauges, and histograms.
+
+Before this module existed the codebase had three disconnected module-level
+``STATS`` dataclasses — :data:`repro.trace.store.STATS`,
+:data:`repro.checkpoint.store.STATS`, and
+:data:`repro.workloads.base.GENERATION_STATS` — each invented independently and each
+snapshotable only by importing its module and reading its fields.  The
+:class:`MetricsRegistry` unifies them: the dataclasses stay exactly as they
+are (so every existing ``STATS.hits += 1`` site and every test asserting on
+them keeps working, attribute for attribute) but they *register* themselves
+here at import time, and :meth:`MetricsRegistry.snapshot` renders everything
+— registered stats objects plus first-class counters/gauges/histograms — as
+one flat ``{"section.field": number}`` dict.  That dict is what
+``GET /metrics`` on ``repro serve`` returns and what span records diff to
+report per-stage store-counter deltas.
+
+Design constraints:
+
+* **Zero overhead on the hot paths.**  The stats dataclasses are read at
+  snapshot time only; their increment sites are untouched plain attribute
+  writes.  First-class metrics are used by the span layer (per stage, not
+  per access), so a lock per observation is fine.
+* **Stdlib only, no background threads.**  A registry is a dictionary with
+  opinions, not an agent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+
+class Counter:
+    """A monotonically increasing named value."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Gauge:
+    """A named value that goes up and down (last write wins)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+
+class Histogram:
+    """Running count/sum/min/max/mean over observed values.
+
+    Deliberately not bucketed: the consumers (span summaries, ``/metrics``)
+    want headline aggregates, and full per-span values live in the
+    telemetry JSONL anyway — re-deriving any percentile is a one-liner over
+    that file, without this process carrying bucket state.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.min = self.max = None
+
+    def snapshot(self) -> Dict[str, float]:
+        return {f"{self.name}.count": self.count,
+                f"{self.name}.sum": round(self.total, 9),
+                f"{self.name}.min": self.min if self.min is not None else 0.0,
+                f"{self.name}.max": self.max if self.max is not None else 0.0,
+                f"{self.name}.mean": round(self.mean, 9)}
+
+
+def _numeric_fields(obj: Any) -> Iterable[Tuple[str, float]]:
+    """The ``(name, value)`` pairs of an object's numeric attributes."""
+    if dataclasses.is_dataclass(obj):
+        names = [f.name for f in dataclasses.fields(obj)]
+    else:  # plain objects: public instance attributes
+        names = [n for n in vars(obj) if not n.startswith("_")]
+    for name in names:
+        value = getattr(obj, name)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        yield name, value
+
+
+class MetricsRegistry:
+    """One namespace for every metric in the process.
+
+    Three kinds of members:
+
+    * ``counter(name)`` / ``gauge(name)`` / ``histogram(name)`` — get-or-
+      create first-class metrics (spans observe their durations here).
+    * ``register_stats(section, obj)`` — adopt an existing stats object
+      (dataclass or plain object); its numeric fields appear in snapshots
+      as ``<section>.<field>``.  The object itself stays the module-level
+      singleton it always was — registration is an alias, not a move — so
+      registering is free on the increment path.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._stats: Dict[str, Any] = {}
+
+    # -- first-class metrics --------------------------------------------- #
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            return self._histograms.setdefault(name, Histogram(name))
+
+    # -- adopted stats objects ------------------------------------------- #
+    def register_stats(self, section: str, obj: Any) -> Any:
+        """Expose ``obj``'s numeric fields as ``<section>.<field>``.
+
+        Re-registering a section replaces the previous object (import
+        reloads and test doubles), and returns ``obj`` so the call can wrap
+        a module-level assignment.
+        """
+        with self._lock:
+            self._stats[section] = obj
+        return obj
+
+    def stats_object(self, section: str) -> Optional[Any]:
+        return self._stats.get(section)
+
+    # -- snapshots -------------------------------------------------------- #
+    def counters_snapshot(self) -> Dict[str, float]:
+        """Counters and stats fields only — the monotonic, diffable subset.
+
+        This is what :class:`~repro.obs.span.Span` diffs before/after a
+        stage to report store-counter deltas; histograms and gauges are
+        excluded because they are not meaningful as differences (and the
+        span layer itself writes histograms, which would self-observe).
+        """
+        out: Dict[str, float] = {}
+        for section, obj in list(self._stats.items()):
+            for name, value in _numeric_fields(obj):
+                out[f"{section}.{name}"] = value
+        for name, counter in list(self._counters.items()):
+            out[name] = counter.value
+        return out
+
+    def snapshot(self) -> Dict[str, float]:
+        """Every metric in the process as one flat name -> number dict."""
+        out = self.counters_snapshot()
+        for name, gauge in list(self._gauges.items()):
+            out[name] = gauge.value
+        for _name, histogram in list(self._histograms.items()):
+            out.update(histogram.snapshot())
+        return out
+
+    def reset(self) -> None:
+        """Zero every metric (tests); stats objects reset via their own API."""
+        with self._lock:
+            members = (list(self._counters.values())
+                       + list(self._gauges.values())
+                       + list(self._histograms.values())
+                       + [obj for obj in self._stats.values()
+                          if hasattr(obj, "reset")])
+        for member in members:
+            member.reset()
+
+
+#: The process-wide registry every subsystem registers into.
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide :class:`MetricsRegistry` (module-level singleton)."""
+    return REGISTRY

@@ -1,0 +1,256 @@
+"""Persistent run telemetry: one directory per executed plan.
+
+Layout, alongside the other stores under the shared cache root::
+
+    <root>/telemetry/
+        <run_id>/
+            manifest.json       # spec name, executor, stage census, outcome
+            spans.jsonl         # one span record per line, O_APPEND
+            <stage>.prof        # per-stage cProfile dumps (--profile only)
+
+``run_id`` is ``<UTC compact timestamp>-<pid>-<hex>`` so a plain sorted
+listing is chronological and concurrent runs on one host never collide.
+Span lines are written with a single ``os.write`` on an ``O_APPEND`` fd —
+the same atomic-append discipline ``executed.log`` uses — so the dispatch
+backend's embedded workers and a remote ``repro worker`` fleet can all
+append to one run's ``spans.jsonl`` without interleaving partial lines.
+
+Corruption policy matches the other stores: a manifest that fails to parse
+is warned about and the run treated as absent; a torn or corrupt span line
+is warned about and dropped, the remaining lines still load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+import warnings
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.cachedir import default_cache_root, disk_cache_disabled
+
+#: Subdirectory of the cache root holding per-run telemetry.
+TELEMETRY_SUBDIR = "telemetry"
+
+#: Manifest schema version (bump orphans old runs rather than misreading them).
+TELEMETRY_VERSION = 1
+
+_run_counter = 0
+
+
+def new_run_id() -> str:
+    """A chronologically sortable, collision-resistant run identifier."""
+    global _run_counter
+    _run_counter += 1
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+    return f"{stamp}-{os.getpid()}-{_run_counter:03d}-{os.urandom(3).hex()}"
+
+
+def iso_utc(unix: Optional[float] = None) -> str:
+    """ISO-8601 UTC timestamp (second precision, ``Z`` suffix)."""
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                         time.gmtime(unix if unix is not None else time.time()))
+
+
+def _safe_filename(name: str) -> str:
+    """A filesystem-safe rendering of a stage key (for ``.prof`` files)."""
+    return "".join(c if c.isalnum() or c in ".-_=" else "_" for c in name)
+
+
+class TelemetryStore:
+    """Directory-per-run telemetry under ``<cache root>/telemetry``."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        base = Path(root) if root is not None else default_cache_root()
+        self.root = base / TELEMETRY_SUBDIR
+
+    # -- paths ----------------------------------------------------------- #
+    def run_dir(self, run_id: str) -> Path:
+        return self.root / run_id
+
+    def manifest_path(self, run_id: str) -> Path:
+        return self.run_dir(run_id) / "manifest.json"
+
+    def spans_path(self, run_id: str) -> Path:
+        return self.run_dir(run_id) / "spans.jsonl"
+
+    def profile_path(self, run_id: str, stage_key: str) -> Path:
+        return self.run_dir(run_id) / f"{_safe_filename(stage_key)}.prof"
+
+    # -- run lifecycle ---------------------------------------------------- #
+    def create_run(self, manifest: Dict[str, Any],
+                   run_id: Optional[str] = None) -> str:
+        """Create a run directory and write its initial manifest."""
+        run_id = run_id or new_run_id()
+        path = self.run_dir(run_id)
+        path.mkdir(parents=True, exist_ok=True)
+        payload = {"version": TELEMETRY_VERSION, "run_id": run_id,
+                   "started_at": iso_utc(), **manifest}
+        self._write_manifest(run_id, payload)
+        return run_id
+
+    def update_manifest(self, run_id: str, **fields: Any) -> None:
+        """Merge ``fields`` into the run's manifest (no-op if run vanished)."""
+        manifest = self.load_manifest(run_id)
+        if manifest is None:
+            return
+        manifest.update(fields)
+        self._write_manifest(run_id, manifest)
+
+    def _write_manifest(self, run_id: str, payload: Dict[str, Any]) -> None:
+        path = self.manifest_path(run_id)
+        tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+
+    def load_manifest(self, run_id: str) -> Optional[Dict[str, Any]]:
+        """The run's manifest, or ``None`` (warn-and-drop on corruption)."""
+        path = self.manifest_path(run_id)
+        if not path.is_file():
+            return None
+        try:
+            manifest = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError) as exc:
+            warnings.warn(f"dropping corrupt telemetry manifest {path} "
+                          f"({exc})", RuntimeWarning, stacklevel=2)
+            return None
+        if not isinstance(manifest, dict):
+            warnings.warn(f"dropping corrupt telemetry manifest {path} "
+                          f"(not an object)", RuntimeWarning, stacklevel=2)
+            return None
+        return manifest
+
+    # -- spans ------------------------------------------------------------ #
+    def append_span(self, run_id: str, record: Dict[str, Any]) -> None:
+        """Append one span record to the run's JSONL (atomic single write)."""
+        path = self.spans_path(run_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True) + "\n"
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line.encode())
+        finally:
+            os.close(fd)
+
+    def span_sink(self, run_id: str):
+        """A ``record -> None`` callable bound to one run (SpanRecorder sink)."""
+        def sink(record: Dict[str, Any]) -> None:
+            self.append_span(run_id, record)
+        return sink
+
+    def load_spans(self, run_id: str) -> List[Dict[str, Any]]:
+        """All parseable span records of a run (corrupt lines warn-and-drop)."""
+        path = self.spans_path(run_id)
+        if not path.is_file():
+            return []
+        spans: List[Dict[str, Any]] = []
+        dropped = 0
+        for line in path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                dropped += 1
+                continue
+            if isinstance(record, dict):
+                spans.append(record)
+            else:
+                dropped += 1
+        if dropped:
+            warnings.warn(f"dropped {dropped} corrupt span line"
+                          f"{'' if dropped == 1 else 's'} in {path}",
+                          RuntimeWarning, stacklevel=2)
+        return spans
+
+    # -- queries ----------------------------------------------------------- #
+    def runs(self) -> List[str]:
+        """All run ids with a readable manifest, oldest first."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.name for p in self.root.iterdir()
+                      if p.is_dir() and self.load_manifest(p.name) is not None)
+
+    def last_run_id(self) -> Optional[str]:
+        runs = self.runs()
+        return runs[-1] if runs else None
+
+    def observed_costs(self) -> Dict[str, Dict[str, float]]:
+        """Mean observed cost per stage kind across all recorded runs.
+
+        Returns ``{kind: {"mean_wall_s", "mean_cpu_s", "count"}}`` built from
+        worker-origin spans (actual compute) with scheduler-origin spans as
+        the fallback for kinds that only ever ran inline.  This is what
+        ``repro spec plan`` annotates stages with and what a cost-model
+        scheduler will order ready stages by.
+        """
+        sums: Dict[str, Dict[str, float]] = {}
+        for run_id in self.runs():
+            for span in self.load_spans(run_id):
+                # Only stages that did real work inform the cost model:
+                # "ran" is the scheduler/stage status, "done" the generic
+                # span status; cached/skipped/failed spans would skew means.
+                if span.get("status") not in ("done", "ran"):
+                    continue
+                kind = span.get("kind")
+                if not kind:
+                    continue
+                origin = span.get("origin", "scheduler")
+                bucket = sums.setdefault(kind, {
+                    "worker_wall": 0.0, "worker_cpu": 0.0, "worker_n": 0.0,
+                    "sched_wall": 0.0, "sched_cpu": 0.0, "sched_n": 0.0})
+                prefix = "worker" if origin == "worker" else "sched"
+                bucket[f"{prefix}_wall"] += float(span.get("wall_s", 0.0))
+                bucket[f"{prefix}_cpu"] += float(span.get("cpu_s", 0.0))
+                bucket[f"{prefix}_n"] += 1
+        costs: Dict[str, Dict[str, float]] = {}
+        for kind, b in sums.items():
+            prefix = "worker" if b["worker_n"] else "sched"
+            n = b[f"{prefix}_n"]
+            if not n:
+                continue
+            costs[kind] = {"mean_wall_s": b[f"{prefix}_wall"] / n,
+                           "mean_cpu_s": b[f"{prefix}_cpu"] / n,
+                           "count": int(n)}
+        return costs
+
+    # -- maintenance (store protocol shared with the other stores) --------- #
+    def entries(self) -> List[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(p for p in self.root.iterdir() if p.is_dir())
+
+    def size_bytes(self) -> int:
+        return sum(f.stat().st_size
+                   for run in self.entries()
+                   for f in run.iterdir() if f.is_file())
+
+    def clear(self) -> int:
+        """Remove every run directory; returns the number of runs removed."""
+        removed = len(self.entries())
+        for run in self.entries():
+            shutil.rmtree(run, ignore_errors=True)
+        return removed
+
+    def describe(self) -> str:
+        n = len(self.entries())
+        return (f"telemetry store {self.root}: {n} "
+                f"run{'' if n == 1 else 's'}, "
+                f"{self.size_bytes() / 1024:.1f} KiB")
+
+
+def get_telemetry_store(
+        cache_dir: Optional[os.PathLike] = None) -> Optional[TelemetryStore]:
+    """The telemetry store for ``cache_dir``, or ``None`` when disk is off.
+
+    Unlike the other stores' getters this does not route through the default
+    session: worker processes construct it straight from the ``cache_dir``
+    carried in a work item's config, keeping ``repro.obs`` free of any
+    ``repro.api`` import.
+    """
+    if disk_cache_disabled():
+        return None
+    return TelemetryStore(cache_dir)

@@ -32,6 +32,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional
 from .. import __version__
 from ..cachedir import default_cache_root, params_slug
 from ..mem.records import Access
+from ..obs.metrics import REGISTRY
 from .capture import CaptureWriter, capture_stream
 from .format import DEFAULT_EPOCH_SIZE, TRACE_FORMAT_VERSION
 from .replay import TraceCorruptError, TraceReader, is_trace_dir
@@ -52,8 +53,10 @@ class TraceStoreStats:
         self.hits = self.misses = self.captures = 0
 
 
-#: Shared counters (all stores in this process).
-STATS = TraceStoreStats()
+#: Shared counters (all stores in this process).  Registered into the
+#: unified metrics registry as the ``trace_store.*`` section; the module
+#: attribute stays the canonical increment site.
+STATS = REGISTRY.register_stats("trace_store", TraceStoreStats())
 
 
 def trace_params(workload: str, n_cpus: int, seed: int,

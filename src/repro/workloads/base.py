@@ -26,6 +26,7 @@ from ..mem.addrspace import AddressSpace
 from ..mem.config import BLOCK_SIZE, PAGE_SIZE
 from ..mem.records import Access, AccessKind, FunctionRef, UNKNOWN_FUNCTION
 from ..mem.trace import AccessTrace
+from ..obs.metrics import REGISTRY
 
 
 @dataclass
@@ -46,7 +47,9 @@ class GenerationStats:
 
 
 #: Shared counter covering every workload instance in this process.
-GENERATION_STATS = GenerationStats()
+#: Registered into the unified metrics registry as ``generation.*``; the
+#: module attribute stays the canonical increment site.
+GENERATION_STATS = REGISTRY.register_stats("generation", GenerationStats())
 
 
 class Op(NamedTuple):

@@ -61,6 +61,26 @@ class TestRoutes:
             urllib.request.urlopen(url_of(server) + "/nope", timeout=30)
         assert excinfo.value.code == 404
 
+    def test_metrics_route_serves_registry_and_queue(self, server):
+        status, body = get_json(url_of(server) + "/metrics")
+        assert status == 200
+        assert set(body) == {"metrics", "queue"}
+        # Every stats section reports, even before any submission ran.
+        for name in ("trace_store.hits", "trace_store.misses",
+                     "checkpoint_store.saves", "generation.runs"):
+            assert name in body["metrics"]
+        assert set(body["queue"]) == {"runs", "items", "done", "leased",
+                                      "pending"}
+
+    def test_metrics_reflect_executed_submissions(self, server):
+        submit_spec(url_of(server), SPEC_TOML, timeout=600)
+        _, body = get_json(url_of(server) + "/metrics")
+        # Stage compute ran in worker processes, but the scheduler-side
+        # span histograms observe every stage in the server process.
+        for kind in ("capture", "simulate", "render"):
+            assert body["metrics"][f"stage.{kind}.wall_s.count"] >= 1
+            assert body["metrics"][f"stage.{kind}.ran"] >= 1
+
 
 class TestSubmission:
     def test_submit_streams_events_and_matches_serial(self, server,
@@ -100,6 +120,26 @@ class TestSubmission:
         assert kinds[0] == "plan"
         assert kinds[-1] == "done"
         assert "start" in kinds and "finish" in kinds
+
+    def test_stream_carries_telemetry_run_id(self, server, private_cache):
+        request = urllib.request.Request(
+            url_of(server) + "/submit", data=SPEC_TOML.encode("utf-8"),
+            headers={"Content-Type": "application/toml"})
+        events = []
+        with urllib.request.urlopen(request, timeout=600) as response:
+            for raw in response:
+                line = raw.decode("utf-8").strip()
+                if line:
+                    events.append(json.loads(line))
+        runs = [e for e in events if e["event"] == "run"]
+        assert len(runs) == 1 and runs[0]["run_id"]
+        done = events[-1]
+        assert done["run_id"] == runs[0]["run_id"]
+        # The advertised run is fetchable from the shared telemetry store.
+        from repro.obs.store import TelemetryStore
+        store = TelemetryStore(private_cache)
+        assert done["run_id"] in store.runs()
+        assert store.load_spans(done["run_id"])
 
     def test_invalid_spec_is_rejected_with_400(self, server):
         with pytest.raises(RuntimeError, match="rejected the spec \\(400\\)"):

@@ -57,6 +57,21 @@ class TestWorkerLoop:
         log = (tmp_path / "run-t" / "executed.log").read_text().splitlines()
         assert len(log) == 3
 
+    def test_audit_lines_carry_timestamp_and_duration(self, tmp_path):
+        import re
+        items = enqueue_noop_items(tmp_path, 1)
+        Worker(queue=WorkQueue(tmp_path, lease_seconds=30),
+               worker_id="w-audit", poll_seconds=0.01).run_once()
+        (line,) = (tmp_path / "run-t" / "executed.log").read_text() \
+            .splitlines()
+        fields = dict(token.split("=", 1) for token in line.split()[1:])
+        assert line.split()[0] == items[0].name
+        assert fields["worker"] == "w-audit"
+        assert fields["attempt"] == "1"
+        assert re.fullmatch(r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}Z",
+                            fields["started"])
+        assert float(fields["duration_seconds"]) >= 0.0
+
     def test_max_items_stops_early(self, tmp_path):
         enqueue_noop_items(tmp_path, 3)
         worker = Worker(queue=WorkQueue(tmp_path, lease_seconds=30),

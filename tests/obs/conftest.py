@@ -1,0 +1,15 @@
+"""Shared fixtures for the observability tests."""
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.store import CACHE_DIR_ENV
+
+
+@pytest.fixture
+def private_cache(tmp_path, monkeypatch):
+    """A per-test disk cache plus a clean in-process memo."""
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+    runner.clear_cache()
+    yield tmp_path
+    runner.clear_cache()

@@ -1,0 +1,148 @@
+"""The unified metrics registry: counters, gauges, histograms, stats."""
+
+from dataclasses import dataclass
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               REGISTRY, get_registry)
+
+
+class TestPrimitives:
+    def test_counter_increments_and_resets(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        counter.reset()
+        assert counter.value == 0
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge("g")
+        gauge.set(3.5)
+        gauge.set(-1.0)
+        assert gauge.value == -1.0
+        gauge.reset()
+        assert gauge.value == 0.0
+
+    def test_histogram_aggregates(self):
+        hist = Histogram("h")
+        for value in (1.0, 3.0, 2.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 6.0
+        assert hist.min == 1.0
+        assert hist.max == 3.0
+        assert hist.mean == 2.0
+        snap = hist.snapshot()
+        assert snap == {"h.count": 3, "h.sum": 6.0, "h.min": 1.0,
+                        "h.max": 3.0, "h.mean": 2.0}
+        hist.reset()
+        assert hist.count == 0 and hist.min is None
+        assert hist.mean == 0.0  # no division by zero
+
+    def test_histogram_snapshot_before_any_observation(self):
+        snap = Histogram("h").snapshot()
+        assert snap["h.count"] == 0
+        assert snap["h.min"] == 0.0 and snap["h.max"] == 0.0
+
+
+@dataclass
+class _FakeStats:
+    hits: int = 0
+    misses: int = 0
+    enabled: bool = True  # bools must not appear in snapshots
+    label: str = "x"  # nor non-numerics
+
+    def reset(self) -> None:
+        self.hits = self.misses = 0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_register_stats_returns_object_and_aliases(self):
+        registry = MetricsRegistry()
+        stats = _FakeStats()
+        assert registry.register_stats("fake", stats) is stats
+        assert registry.stats_object("fake") is stats
+        stats.hits += 2
+        assert registry.snapshot()["fake.hits"] == 2
+
+    def test_reregistering_a_section_replaces_it(self):
+        registry = MetricsRegistry()
+        registry.register_stats("fake", _FakeStats(hits=1))
+        replacement = _FakeStats(hits=9)
+        registry.register_stats("fake", replacement)
+        assert registry.stats_object("fake") is replacement
+        assert registry.snapshot()["fake.hits"] == 9
+
+    def test_snapshot_skips_bools_and_non_numerics(self):
+        registry = MetricsRegistry()
+        registry.register_stats("fake", _FakeStats())
+        snap = registry.snapshot()
+        assert "fake.enabled" not in snap
+        assert "fake.label" not in snap
+        assert set(n for n in snap if n.startswith("fake.")) == \
+            {"fake.hits", "fake.misses"}
+
+    def test_register_plain_object_stats(self):
+        class Plain:
+            def __init__(self):
+                self.events = 3
+                self._private = 7
+
+        registry = MetricsRegistry()
+        registry.register_stats("plain", Plain())
+        snap = registry.snapshot()
+        assert snap["plain.events"] == 3
+        assert "plain._private" not in snap
+
+    def test_counters_snapshot_is_the_diffable_subset(self):
+        registry = MetricsRegistry()
+        registry.register_stats("fake", _FakeStats(hits=1))
+        registry.counter("jobs").inc(2)
+        registry.gauge("depth").set(5)
+        registry.histogram("lat").observe(0.25)
+        diffable = registry.counters_snapshot()
+        assert diffable == {"fake.hits": 1, "fake.misses": 0, "jobs": 2}
+        full = registry.snapshot()
+        assert full["depth"] == 5
+        assert full["lat.count"] == 1
+
+    def test_reset_zeroes_everything(self):
+        registry = MetricsRegistry()
+        stats = registry.register_stats("fake", _FakeStats(hits=4))
+        registry.counter("jobs").inc()
+        registry.gauge("depth").set(1)
+        registry.histogram("lat").observe(1.0)
+        registry.reset()
+        assert stats.hits == 0
+        snap = registry.snapshot()
+        assert snap["jobs"] == 0 and snap["depth"] == 0.0
+        assert snap["lat.count"] == 0
+
+
+class TestGlobalRegistry:
+    def test_get_registry_is_the_module_singleton(self):
+        assert get_registry() is REGISTRY
+
+    def test_store_stats_register_at_import_time(self):
+        from repro.checkpoint import store as checkpoint_store
+        from repro.trace import store as trace_store
+        from repro.workloads import base as workloads_base
+        # Registration aliases the module singletons; nothing was moved.
+        assert REGISTRY.stats_object("trace_store") is trace_store.STATS
+        assert REGISTRY.stats_object("checkpoint_store") is \
+            checkpoint_store.STATS
+        assert REGISTRY.stats_object("generation") is \
+            workloads_base.GENERATION_STATS
+        snap = REGISTRY.snapshot()
+        for name in ("trace_store.hits", "trace_store.misses",
+                     "trace_store.captures", "checkpoint_store.saves",
+                     "checkpoint_store.loads", "checkpoint_store.misses",
+                     "checkpoint_store.resumes", "checkpoint_store.drops",
+                     "generation.runs"):
+            assert name in snap

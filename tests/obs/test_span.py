@@ -1,0 +1,121 @@
+"""Spans, the SpanRecorder event hooks, and the --profile context."""
+
+import json
+import pstats
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs.metrics import REGISTRY
+from repro.obs.span import Span, SpanRecorder, maybe_profile, peak_rss_kib
+
+
+def _stage(key="simulate:test", kind="simulate", params=None):
+    return SimpleNamespace(key=key, kind=kind, params=params or {})
+
+
+class TestSpan:
+    def test_context_manager_measures_and_lands_done(self):
+        with Span("t-span-ok", {"x": 1}, stage="s1") as span:
+            time.sleep(0.01)
+        assert span.status == "done"
+        assert span.wall_s >= 0.01
+        assert span.cpu_s >= 0.0
+        assert span.rss_peak_kib == peak_rss_kib()
+        assert span.error is None
+
+    def test_exception_lands_error_status_and_reraises(self):
+        with pytest.raises(ValueError, match="boom"):
+            with Span("t-span-err") as span:
+                raise ValueError("boom")
+        assert span.status == "error"
+        assert span.error == "ValueError: boom"
+
+    def test_finish_before_begin_raises(self):
+        with pytest.raises(RuntimeError, match="before begin"):
+            Span("t-span-order").finish()
+
+    def test_counter_deltas_cover_registered_stats(self):
+        counter = REGISTRY.counter("t.span.delta")
+        span = Span("t-span-delta").begin()
+        counter.inc(3)
+        span.finish()
+        assert span.counter_deltas["t.span.delta"] == 3
+
+    def test_finish_observes_registry_histograms_and_counters(self):
+        before = REGISTRY.histogram("stage.t-span-hist.wall_s").count
+        with Span("t-span-hist"):
+            pass
+        hist = REGISTRY.histogram("stage.t-span-hist.wall_s")
+        assert hist.count == before + 1
+        assert REGISTRY.counter("stage.t-span-hist.done").value >= 1
+
+    def test_record_is_json_safe_even_for_odd_params(self):
+        with Span("t-span-json", {"obj": object(), "t": (1, 2)},
+                  stage="s", origin="worker") as span:
+            pass
+        record = span.to_record()
+        encoded = json.loads(json.dumps(record))
+        assert encoded["origin"] == "worker"
+        assert encoded["stage"] == "s"
+        assert encoded["params"]["t"] == [1, 2]
+        assert "object object" in encoded["params"]["obj"]
+        assert isinstance(encoded["pid"], int)
+        assert "started_unix" in encoded
+
+
+class TestSpanRecorder:
+    def test_start_finish_produces_one_scheduler_span(self):
+        sunk = []
+        recorder = SpanRecorder(sink=sunk.append)
+        recorder.on_plan_start(None, "run-1")
+        stage = _stage()
+        recorder.on_stage_start(stage)
+        recorder.on_stage_finish(stage, "ran")
+        assert len(recorder.records) == 1
+        record = recorder.records[0]
+        assert record["stage"] == stage.key
+        assert record["kind"] == "simulate"
+        assert record["origin"] == "scheduler"
+        assert record["status"] == "ran"
+        assert sunk == recorder.records
+
+    def test_error_settles_as_failed_with_message(self):
+        recorder = SpanRecorder()
+        stage = _stage()
+        recorder.on_stage_start(stage)
+        recorder.on_stage_error(stage, RuntimeError("injected"))
+        (record,) = recorder.records
+        assert record["status"] == "failed"
+        assert record["error"] == "RuntimeError: injected"
+
+    def test_finish_without_start_yields_zero_duration_span(self):
+        # Skipped dependents settle without ever starting.
+        recorder = SpanRecorder()
+        stage = _stage(key="analyze:skipped", kind="analyze")
+        recorder.on_stage_finish(stage, "skipped")
+        (record,) = recorder.records
+        assert record["status"] == "skipped"
+        assert record["wall_s"] < 0.1
+
+    def test_recorder_works_without_a_sink(self):
+        recorder = SpanRecorder()
+        stage = _stage()
+        recorder.on_stage_start(stage)
+        recorder.on_stage_finish(stage, "cached")
+        assert recorder.records[0]["status"] == "cached"
+
+
+class TestMaybeProfile:
+    def test_none_path_is_a_no_op(self):
+        with maybe_profile(None):
+            assert sum(range(10)) == 45
+
+    def test_profile_written_and_loadable(self, tmp_path):
+        path = tmp_path / "stage.prof"
+        with maybe_profile(path):
+            sorted(range(1000))
+        assert path.is_file()
+        stats = pstats.Stats(str(path))
+        assert stats.total_calls > 0

@@ -1,0 +1,157 @@
+"""The telemetry store: run lifecycle, span JSONL, corruption policy."""
+
+import json
+
+import pytest
+
+from repro.cachedir import CACHE_DISABLE_ENV
+from repro.obs.store import (TELEMETRY_VERSION, TelemetryStore,
+                             get_telemetry_store, iso_utc, new_run_id)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return TelemetryStore(tmp_path)
+
+
+class TestIdentifiers:
+    def test_run_ids_are_unique_and_sortable(self):
+        ids = [new_run_id() for _ in range(5)]
+        assert len(set(ids)) == 5
+        assert ids == sorted(ids)  # same-second ids order by counter
+
+    def test_iso_utc_format(self):
+        stamp = iso_utc(0.0)
+        assert stamp == "1970-01-01T00:00:00Z"
+
+
+class TestRunLifecycle:
+    def test_create_run_writes_versioned_manifest(self, store):
+        run_id = store.create_run({"spec": "s", "executor": "serial"})
+        manifest = store.load_manifest(run_id)
+        assert manifest["version"] == TELEMETRY_VERSION
+        assert manifest["run_id"] == run_id
+        assert manifest["spec"] == "s"
+        assert "started_at" in manifest
+
+    def test_update_manifest_merges_fields(self, store):
+        run_id = store.create_run({"spec": "s"})
+        store.update_manifest(run_id, ok=True, wall_s=1.5)
+        manifest = store.load_manifest(run_id)
+        assert manifest["ok"] is True and manifest["wall_s"] == 1.5
+        assert manifest["spec"] == "s"
+
+    def test_update_of_vanished_run_is_a_noop(self, store):
+        store.update_manifest("no-such-run", ok=True)
+        assert store.load_manifest("no-such-run") is None
+
+    def test_runs_sorted_and_last(self, store):
+        assert store.runs() == [] and store.last_run_id() is None
+        first = store.create_run({}, run_id="20250101T000000-1-001-aaaaaa")
+        second = store.create_run({}, run_id="20250102T000000-1-001-aaaaaa")
+        assert store.runs() == [first, second]
+        assert store.last_run_id() == second
+
+    def test_corrupt_manifest_warns_and_run_dropped(self, store):
+        run_id = store.create_run({})
+        store.manifest_path(run_id).write_text("{not json")
+        with pytest.warns(RuntimeWarning, match="corrupt telemetry manifest"):
+            assert store.load_manifest(run_id) is None
+        with pytest.warns(RuntimeWarning):
+            assert store.runs() == []
+
+    def test_non_object_manifest_dropped(self, store):
+        run_id = store.create_run({})
+        store.manifest_path(run_id).write_text("[1, 2]")
+        with pytest.warns(RuntimeWarning, match="not an object"):
+            assert store.load_manifest(run_id) is None
+
+
+class TestSpans:
+    def test_append_and_load_roundtrip(self, store):
+        run_id = store.create_run({})
+        store.append_span(run_id, {"stage": "a", "wall_s": 0.5})
+        store.span_sink(run_id)({"stage": "b", "wall_s": 0.25})
+        spans = store.load_spans(run_id)
+        assert [s["stage"] for s in spans] == ["a", "b"]
+
+    def test_missing_spans_file_loads_empty(self, store):
+        run_id = store.create_run({})
+        assert store.load_spans(run_id) == []
+
+    def test_corrupt_lines_warn_and_drop_but_rest_load(self, store):
+        run_id = store.create_run({})
+        store.append_span(run_id, {"stage": "good"})
+        with store.spans_path(run_id).open("a") as fh:
+            fh.write("{torn line\n")
+            fh.write("[1]\n")  # parseable but not an object
+        store.append_span(run_id, {"stage": "also-good"})
+        with pytest.warns(RuntimeWarning, match="2 corrupt span lines"):
+            spans = store.load_spans(run_id)
+        assert [s["stage"] for s in spans] == ["good", "also-good"]
+
+
+class TestObservedCosts:
+    def test_worker_spans_preferred_scheduler_fallback(self, store):
+        run_id = store.create_run({})
+        for record in (
+                {"kind": "simulate", "origin": "worker", "status": "ran",
+                 "wall_s": 2.0, "cpu_s": 1.0},
+                {"kind": "simulate", "origin": "worker", "status": "ran",
+                 "wall_s": 4.0, "cpu_s": 3.0},
+                # Scheduler envelope of the same stages: must not dilute.
+                {"kind": "simulate", "origin": "scheduler", "status": "ran",
+                 "wall_s": 10.0, "cpu_s": 0.1},
+                # Inline-only kind: scheduler spans are all there is.
+                {"kind": "analyze", "origin": "scheduler", "status": "ran",
+                 "wall_s": 0.5, "cpu_s": 0.5}):
+            store.append_span(run_id, record)
+        costs = store.observed_costs()
+        assert costs["simulate"] == {"mean_wall_s": 3.0, "mean_cpu_s": 2.0,
+                                     "count": 2}
+        assert costs["analyze"]["mean_wall_s"] == 0.5
+
+    def test_cached_skipped_failed_spans_excluded(self, store):
+        run_id = store.create_run({})
+        for status in ("cached", "skipped", "failed"):
+            store.append_span(run_id, {"kind": "capture", "origin": "worker",
+                                       "status": status, "wall_s": 9.0})
+        assert "capture" not in store.observed_costs()
+
+    def test_costs_aggregate_across_runs(self, store):
+        for wall in (1.0, 3.0):
+            run_id = store.create_run({})
+            store.append_span(run_id, {"kind": "render", "status": "ran",
+                                       "origin": "scheduler", "wall_s": wall,
+                                       "cpu_s": wall})
+        assert store.observed_costs()["render"]["mean_wall_s"] == 2.0
+
+
+class TestMaintenance:
+    def test_entries_size_clear_describe(self, store):
+        assert store.entries() == [] and store.size_bytes() == 0
+        run_id = store.create_run({"spec": "s"})
+        store.append_span(run_id, {"stage": "a"})
+        assert len(store.entries()) == 1
+        assert store.size_bytes() > 0
+        assert "1 run" in store.describe()
+        assert store.clear() == 1
+        assert store.entries() == []
+        assert "0 runs" in store.describe()
+
+    def test_profile_path_is_filesystem_safe(self, store):
+        path = store.profile_path("run", "simulate:Apache/multi-chip@s64")
+        assert "/" not in path.name[:-len(".prof")].replace("_", "")
+        assert path.name.endswith(".prof")
+        assert path.parent == store.run_dir("run")
+
+
+class TestGetter:
+    def test_disabled_disk_cache_returns_none(self, monkeypatch):
+        monkeypatch.setenv(CACHE_DISABLE_ENV, "1")
+        assert get_telemetry_store() is None
+
+    def test_explicit_cache_dir_respected(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_DISABLE_ENV, raising=False)
+        store = get_telemetry_store(tmp_path)
+        assert store.root == tmp_path / "telemetry"

@@ -31,7 +31,8 @@ def run_cli(args, cache_dir, check=True):
 def test_help_lists_subcommands(tmp_path):
     proc = run_cli(["--help"], tmp_path)
     for sub in ("run", "suite", "report", "trace", "checkpoint",
-                "worker", "serve", "submit", "queue", "clear-cache"):
+                "worker", "serve", "submit", "queue", "stats",
+                "clear-cache"):
         assert sub in proc.stdout
 
 
@@ -401,6 +402,76 @@ def test_clear_cache_covers_dispatch_queue(tmp_path):
     assert "removed 2 cached entries" in proc.stdout
     assert "dispatch items" in proc.stdout
     assert not list((Path(tmp_path) / "dispatch").iterdir())
+
+
+# ---------------------------------------------------------------------- #
+# run telemetry: stats / --profile / plan cost annotations
+# ---------------------------------------------------------------------- #
+TELEMETRY_SPEC_TOML = """\
+name = "cli-telemetry"
+size = "tiny"
+workloads = ["Apache"]
+organisations = ["multi-chip"]
+prefetchers = ["temporal"]
+analyses = ["table1"]
+"""
+
+
+def test_stats_tables_plan_costs_and_clear(tmp_path):
+    """One spec run feeds stats, plan annotations, and the clear path."""
+    spec = _write_spec(tmp_path, TELEMETRY_SPEC_TOML)
+    run_cli(["run", "--spec", spec, "--executor", "serial"], tmp_path)
+    listing = run_cli(["stats"], tmp_path)
+    assert "telemetry store" in listing.stdout
+    assert "cli-telemetry via serial" in listing.stdout
+    last = run_cli(["stats", "--last"], tmp_path)
+    for kind in ("capture", "summarize", "simulate", "analyze",
+                 "prefetch", "render"):
+        assert kind in last.stdout, f"stage kind {kind} missing from stats"
+    assert "worker" in last.stdout and "scheduler" in last.stdout
+    assert "wall s" in last.stdout and "rss MiB" in last.stdout
+    # The run id printed by the listing addresses the same tables.
+    run_id = listing.stdout.splitlines()[1].strip().split(":")[0]
+    by_id = run_cli(["stats", run_id], tmp_path)
+    assert by_id.stdout == last.stdout
+    # spec plan now annotates kinds with observed mean costs.
+    plan = run_cli(["spec", "plan", spec], tmp_path)
+    assert "observed over" in plan.stdout
+    # clear-cache removes the telemetry runs along with everything else.
+    cleared = run_cli(["clear-cache"], tmp_path)
+    assert "telemetry store" in cleared.stdout
+    assert "telemetry)" in cleared.stdout
+    empty = run_cli(["stats", "--last"], tmp_path, check=False)
+    assert empty.returncode == 1
+    assert "no telemetry runs" in empty.stderr
+
+
+def test_profile_flag_writes_per_stage_prof_files(tmp_path):
+    spec = _write_spec(tmp_path, TELEMETRY_SPEC_TOML)
+    run_cli(["run", "--spec", spec, "--executor", "serial", "--profile"],
+            tmp_path)
+    profs = list((Path(tmp_path) / "telemetry").glob("*/*.prof"))
+    assert profs, "each profiled stage should drop a .prof file"
+    last = run_cli(["stats", "--last"], tmp_path)
+    assert "profile" in last.stdout and ".prof" in last.stdout
+
+
+def test_profile_flag_requires_spec(tmp_path):
+    proc = run_cli(["run", "Apache", "multi-chip", "--profile"], tmp_path,
+                   check=False)
+    assert proc.returncode == 2
+    assert "--profile" in proc.stderr and "--spec" in proc.stderr
+
+
+def test_stats_unknown_run_fails(tmp_path):
+    proc = run_cli(["stats", "no-such-run"], tmp_path, check=False)
+    assert proc.returncode == 1
+    assert "no telemetry run" in proc.stderr
+
+
+def test_stats_rejects_run_id_with_last(tmp_path):
+    proc = run_cli(["stats", "some-run", "--last"], tmp_path, check=False)
+    assert proc.returncode == 2
 
 
 def test_submit_without_server_fails_cleanly(tmp_path):
