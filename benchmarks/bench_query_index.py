@@ -1,0 +1,173 @@
+"""Indexed-query vs full-unpickle benchmark for the run index.
+
+Builds a synthetic cache with ``--cells`` pickled result artifacts plus a
+telemetry run holding one worker-origin simulate span per cell, then
+answers the same question — "which cells ran for workload W, and what was
+the mean wall time per organisation?" — two ways:
+
+* **indexed**: ``RunIndex.query("cells", ...)`` against the sqlite run
+  index (ingest cost reported separately; it is paid once and amortised
+  across every later query), and
+* **unpickle**: the pre-index approach — walk every artifact in the
+  result store, ``pickle.load`` it, and filter/aggregate in Python.
+
+Emits ``BENCH_query_index.json`` and exits non-zero when the indexed
+query is not faster, so CI tracks the speedup as data, not anecdotes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_query_index.py \
+        [--cells 120] [--repeats 5] [--out BENCH_query_index.json]
+
+The script is standalone on purpose (not pytest-collected): CI runs it
+after the test suite and uploads the JSON as a workflow artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pickle
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import __version__
+from repro.experiments.store import ResultStore
+from repro.obs.index import SCHEMA_VERSION, RunIndex
+from repro.obs.store import TelemetryStore
+
+WORKLOADS = ("Apache", "OLTP", "DSS", "Zeus")
+ORGANISATIONS = ("single-chip", "multi-chip")
+
+#: Per-artifact ballast so each unpickle moves a realistic payload
+#: (a bundle of per-class miss counters, not a toy scalar).
+PAYLOAD_FLOATS = 6000
+
+
+def _timed(fn, repeats: int) -> float:
+    """Best-of-N wall time of ``fn()`` (minimum damps scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _build_cache(root: Path, n_cells: int) -> None:
+    store = ResultStore(root)
+    telemetry = TelemetryStore(root)
+    run_id = telemetry.create_run(
+        {"spec": "bench-query-index", "executor": "process",
+         "n_stages": n_cells})
+    for i in range(n_cells):
+        workload = WORKLOADS[i % len(WORKLOADS)]
+        organisation = ORGANISATIONS[(i // len(WORKLOADS)) % 2]
+        params = {"workload": workload, "organisation": organisation,
+                  "scale": 64, "warmup": 0.25, "cell": i}
+        wall = 0.1 + (i % 17) * 0.05
+        store.save("simulate", params, {
+            "workload": workload, "organisation": organisation,
+            "cell": i, "wall_s": wall,
+            "misses": [float(j % 97) for j in range(PAYLOAD_FLOATS)],
+        })
+        telemetry.append_span(run_id, {
+            "stage": f"simulate:{workload}/{organisation}#{i}",
+            "kind": "simulate", "origin": "worker", "status": "ran",
+            "wall_s": wall, "cpu_s": wall * 0.9, "rss_peak_kib": 4096,
+            "params": params,
+        })
+    telemetry.update_manifest(run_id, ok=True, wall_s=1.0)
+
+
+def _query_indexed(index: RunIndex, workload: str):
+    return index.query(
+        "cells", where=[("workload", "=", workload)],
+        group_by=["organisation"],
+        aggregates=["count", "mean:wall_s"], order_by="organisation")
+
+
+def _query_unpickle(store: ResultStore, workload: str):
+    groups: dict = {}
+    for path in store.entries():
+        with open(path, "rb") as fh:
+            bundle = pickle.load(fh)
+        if bundle.get("workload") != workload:
+            continue
+        groups.setdefault(bundle["organisation"], []).append(
+            bundle["wall_s"])
+    return sorted((org, len(walls), sum(walls) / len(walls))
+                  for org, walls in groups.items())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cells", type=int, default=120,
+                        help="synthetic result artifacts to index "
+                             "(default: 120)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="best-of-N timing repeats (default: 5)")
+    parser.add_argument("--out", default="BENCH_query_index.json")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="bench-index-") as root:
+        base = Path(root)
+        _build_cache(base, args.cells)
+        store = ResultStore(base)
+        index = RunIndex(base)
+
+        start = time.perf_counter()
+        counts = index.ingest()
+        ingest_s = time.perf_counter() - start
+
+        workload = WORKLOADS[0]
+        labels, indexed_rows = _query_indexed(index, workload)
+        unpickled_rows = _query_unpickle(store, workload)
+        agree = (
+            [(row[0], row[1], round(row[2], 6)) for row in indexed_rows]
+            == [(org, n, round(mean, 6))
+                for org, n, mean in unpickled_rows])
+
+        query_s = _timed(lambda: _query_indexed(index, workload),
+                         args.repeats)
+        unpickle_s = _timed(lambda: _query_unpickle(store, workload),
+                            args.repeats)
+
+    speedup = unpickle_s / max(query_s, 1e-9)
+    ok = agree and query_s < unpickle_s
+    payload = {
+        "benchmark": "query_index",
+        "repro_version": __version__,
+        "index_schema_version": SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "params": {"cells": args.cells, "repeats": args.repeats,
+                   "payload_floats": PAYLOAD_FLOATS},
+        "ingested": counts,
+        "results": {
+            "ingest_s": round(ingest_s, 4),
+            "query_s": round(query_s, 6),
+            "unpickle_s": round(unpickle_s, 6),
+            "speedup": round(speedup, 2),
+            "answers_agree": agree,
+            "ok": ok,
+        },
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"{args.cells} cells: ingest {ingest_s:.3f}s once, then query "
+          f"{query_s * 1e3:.2f}ms indexed vs {unpickle_s * 1e3:.2f}ms "
+          f"unpickled ({speedup:.1f}x); answers "
+          f"{'agree' if agree else 'DISAGREE'}")
+    print(f"wrote {out}")
+    if not ok:
+        print("indexed query did not beat the full unpickle",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

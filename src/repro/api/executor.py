@@ -709,16 +709,67 @@ class DispatchExecutor(Executor):
         return bundles
 
 
-def resolve_executor(policy: Any, session: "Session") -> Executor:
+def choose_executor_name(plan: Optional["Plan"],
+                         costs: Dict[str, Dict[str, float]]) -> str:
+    """The backend ``executor="auto"`` resolves to for this plan.
+
+    The decision reads the plan's backend-stage mix against the observed
+    costs (``TelemetryStore.observed_costs()`` via the run index):
+
+    * no plan in hand, or nothing observed yet — ``process``, the safe
+      overlapping default for compute-bound simulation;
+    * at most one backend stage — ``serial``: nothing can overlap, so
+      skip pool startup entirely;
+    * otherwise compare total observed CPU to total observed wall over
+      the plan's backend stages.  Replay-dominated plans (cpu/wall below
+      :data:`AUTO_THREAD_CPU_RATIO`) spend their time in I/O and numpy
+      releases of the GIL, so threads win without fork/pickle overhead;
+      compute-bound plans get processes.
+    """
+    if plan is None:
+        return "process"
+    backend_stages = [stage for stage in plan.stages.values()
+                      if stage.kind in BACKEND_KINDS]
+    if len(backend_stages) <= 1:
+        return "serial"
+    wall = cpu = 0.0
+    for stage in backend_stages:
+        estimate = (costs or {}).get(stage.kind)
+        if estimate:
+            wall += float(estimate.get("mean_wall_s", 0.0))
+            cpu += float(estimate.get("mean_cpu_s", 0.0))
+    if wall <= 0.0:
+        return "process"
+    return "thread" if cpu / wall < AUTO_THREAD_CPU_RATIO else "process"
+
+
+#: ``auto`` picks threads when observed cpu/wall falls below this ratio
+#: (the plan's backend stages spend most of their time off the GIL).
+AUTO_THREAD_CPU_RATIO = 0.5
+
+
+def resolve_executor(policy: Any, session: "Session",
+                     plan: Optional["Plan"] = None) -> Executor:
     """The :class:`Executor` instance a policy value denotes.
 
     ``policy`` may be an executor instance (used as-is), a registered name
-    (instantiated with the session's worker budget), or ``None`` (the
-    session's own ``executor`` policy, default ``serial``).
+    (instantiated with the session's worker budget), ``None`` (the
+    session's own ``executor`` policy, default ``serial``), or ``"auto"``
+    (pick serial/thread/process for this ``plan`` from the observed
+    replay/compute mix via :func:`choose_executor_name`).
     """
     if policy is None:
         policy = getattr(session, "executor", None) or "serial"
     if isinstance(policy, Executor):
         return policy
+    if policy == "auto":
+        costs: Dict[str, Dict[str, float]] = {}
+        telem = getattr(session, "telemetry_store", None)
+        if telem is not None:
+            try:
+                costs = telem.observed_costs() or {}
+            except Exception:
+                costs = {}
+        policy = choose_executor_name(plan, costs)
     factory = EXECUTORS.get(policy)
     return factory(max_workers=session.max_workers)

@@ -458,6 +458,21 @@ def _record_payload(stage: Stage, status: str, payload: Any,
         result.artifacts[stage.key[len("render:"):]] = payload
 
 
+def _stage_cost_estimates(session) -> Dict[str, Dict[str, float]]:
+    """Observed per-kind costs for the scheduler, or ``{}`` when unknown.
+
+    Anything going wrong here — telemetry off, empty store, a locked index
+    database — degrades to FIFO scheduling, never to a failed plan.
+    """
+    telem = getattr(session, "telemetry_store", None)
+    if telem is None:
+        return {}
+    try:
+        return telem.observed_costs() or {}
+    except Exception:
+        return {}
+
+
 def execute_plan(plan: Plan, session, executor=None,
                  events: Optional[PlanEvents] = None,
                  raise_errors: bool = True) -> PlanResult:
@@ -476,6 +491,14 @@ def execute_plan(plan: Plan, session, executor=None,
     running (``skipped``), and every independent branch still completes.
     With ``raise_errors`` (the default) a :class:`PlanExecutionError`
     carrying the partial :class:`PlanResult` is raised at the end.
+
+    Scheduling is **cost-aware**: when the telemetry store has observed
+    costs for any stage kind (``TelemetryStore.observed_costs()``, served
+    from the run index), the scheduler pops the most expensive ready stage
+    first instead of FIFO, so long simulations start before cheap captures
+    and the plan's critical path shortens.  Which stages run — and what
+    they produce — is unchanged; only the submission order moves, so
+    artifacts stay bit-identical to FIFO and to the serial backend.
     """
     from .executor import BACKEND_KINDS, resolve_executor
 
@@ -490,6 +513,28 @@ def execute_plan(plan: Plan, session, executor=None,
             dependents.setdefault(dep, []).append(stage.key)
     ready = deque(key for key, deps in remaining.items() if not deps)
     pending: Dict[Future, Stage] = {}
+
+    costs = _stage_cost_estimates(session)
+
+    def estimated_wall(key: str) -> float:
+        estimate = costs.get(plan.stages[key].kind)
+        return float(estimate.get("mean_wall_s", 0.0)) if estimate else 0.0
+
+    def pop_ready() -> Stage:
+        """The most expensive ready stage by observed mean wall time.
+
+        Ties (including the no-observations case, where every estimate is
+        0.0) break FIFO, which keeps the pre-cost-model submission order —
+        and deterministic event sequences — when there is nothing to rank.
+        """
+        if len(ready) > 1 and costs:
+            best = max(range(len(ready)),
+                       key=lambda i: (estimated_wall(ready[i]), -i))
+            if best:
+                key = ready[best]
+                del ready[best]
+                return plan.stages[key]
+        return plan.stages[ready.popleft()]
 
     def settle(stage: Stage, status: str, payload: Any) -> None:
         result.statuses[stage.key] = status
@@ -516,7 +561,7 @@ def execute_plan(plan: Plan, session, executor=None,
             cone.extend(dependents.get(key, ()))
 
     wall0 = time.perf_counter()
-    with resolve_executor(executor, session) as backend:
+    with resolve_executor(executor, session, plan) as backend:
         backend.bind(session, plan)
         # Telemetry run: created after bind (the backend knows its name by
         # then) and before any submit, so every work item carries the run id
@@ -540,7 +585,7 @@ def execute_plan(plan: Plan, session, executor=None,
         events.on_plan_start(plan, run_id)
         while ready or pending:
             while ready:
-                stage = plan.stages[ready.popleft()]
+                stage = pop_ready()
                 events.on_stage_start(stage)
                 if stage.kind in BACKEND_KINDS:
                     pending[backend.submit(stage)] = stage

@@ -27,6 +27,7 @@ Layout, per plan run (``<root>`` is ``<cache>/dispatch``)::
     <root>/<run>/claim-0001-capture.json       lease: worker/deadline/attempt
     <root>/<run>/item-0001-capture.done.json   receipt (kept as audit trail)
     <root>/<run>/executed.log                  append-only execution audit
+    <root>/workers/worker-<id>.json            worker heartbeat/status records
 
 A :class:`WorkQueue` rooted at ``<cache>/dispatch`` spans every run
 directory (the fleet view a ``repro worker`` daemon polls); rooted at one
@@ -51,6 +52,9 @@ from ..cachedir import default_cache_root
 
 #: Directory under the cache root holding work items (one subdir per run).
 QUEUE_DIR_NAME = "dispatch"
+
+#: Subdirectory of the dispatch root where workers publish heartbeat records.
+WORKERS_DIR_NAME = "workers"
 
 #: Seconds a claim stays valid without a heartbeat (override per queue).
 LEASE_ENV = "REPRO_LEASE_SECONDS"
@@ -339,6 +343,118 @@ class WorkQueue:
         return target
 
     # ------------------------------------------------------------------ #
+    # worker heartbeat records (fleet health)
+    # ------------------------------------------------------------------ #
+    def workers_dir(self) -> Path:
+        """Where this queue's workers publish their heartbeat records.
+
+        One shared directory per dispatch tree: a queue rooted at a single
+        run directory (an embedded stand-in fleet) publishes into its
+        parent's ``workers/`` so ``GET /workers`` and ``repro queue
+        status`` see embedded and external workers alike.
+        """
+        if self.root.name != QUEUE_DIR_NAME \
+                and self.root.parent.name == QUEUE_DIR_NAME:
+            return self.root.parent / WORKERS_DIR_NAME
+        return self.root / WORKERS_DIR_NAME
+
+    def worker_record_path(self, worker_id: str) -> Path:
+        safe = "".join(c if c.isalnum() or c in ".-_" else "_"
+                       for c in worker_id)
+        return self.workers_dir() / f"worker-{safe}.json"
+
+    def publish_worker(self, record: Dict[str, Any]) -> Optional[Path]:
+        """Atomically publish one worker's heartbeat/status record.
+
+        Best-effort: health reporting must never take a worker down, so
+        filesystem trouble returns ``None`` instead of raising.
+        """
+        worker_id = str(record.get("worker") or "")
+        if not worker_id:
+            return None
+        try:
+            path = self.worker_record_path(worker_id)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            return write_json_atomic(path, record)
+        except OSError:
+            return None
+
+    def worker_records(self) -> List[Dict[str, Any]]:
+        """Every parseable worker record (corrupt ones warn-and-skip)."""
+        workers_dir = self.workers_dir()
+        if not workers_dir.is_dir():
+            return []
+        records = []
+        for path in sorted(workers_dir.glob("worker-*.json")):
+            record = load_json(path, kind="worker record")
+            if isinstance(record, dict) and record.get("worker"):
+                records.append(record)
+        return records
+
+    def fleet_status(self) -> Dict[str, Any]:
+        """The live health view: workers, held leases, and queue depth.
+
+        Everything ``GET /workers`` serves and ``repro queue status``
+        renders offline comes from here: per-worker liveness (a worker is
+        ``alive`` while its record is fresher than a few heartbeat
+        periods and it has not announced ``stopped``), per-item lease
+        ages and attempt counts, and pending-depth/oldest-item age.
+        """
+        now = time.time()
+        workers = []
+        for record in self.worker_records():
+            updated = float(record.get("updated_at") or 0.0)
+            heartbeat = float(record.get("heartbeat_seconds") or 0.0)
+            age = max(now - updated, 0.0) if updated else None
+            tolerance = max(3.0 * heartbeat, 5.0)
+            alive = (record.get("status") != "stopped"
+                     and age is not None and age <= tolerance)
+            workers.append({
+                "worker": record.get("worker"),
+                "host": record.get("host"),
+                "pid": record.get("pid"),
+                "status": record.get("status"),
+                "item": record.get("item"),
+                "age_s": round(age, 3) if age is not None else None,
+                "alive": alive,
+                "executed": int(record.get("executed") or 0),
+                "cached": int(record.get("cached") or 0),
+                "failed": int(record.get("failed") or 0),
+                "steals": int(record.get("steals") or 0),
+                "quarantined": int(record.get("quarantined") or 0),
+            })
+        leases = []
+        oldest_pending: Optional[float] = None
+        for item in self.pending():
+            try:
+                age = max(now - item.stat().st_mtime, 0.0)
+            except OSError:
+                age = None
+            if age is not None:
+                oldest_pending = max(oldest_pending or 0.0, age)
+            cpath = claim_path_for(item)
+            claim = load_json(cpath, kind="dispatch claim") \
+                if cpath.exists() else None
+            if claim is None:
+                continue
+            deadline = float(claim.get("deadline", 0.0))
+            leases.append({
+                "item": item.name,
+                "run": item.parent.name if item.parent != self.root else "",
+                "worker": claim.get("worker"),
+                "attempt": int(claim.get("attempt", 1)),
+                "lease_seconds": float(claim.get("lease_seconds", 0.0)),
+                "remaining_s": round(deadline - now, 3),
+                "expired": deadline <= now,
+            })
+        stats = self.stats()
+        return {"workers": workers, "leases": leases,
+                "queue": {**stats,
+                          "oldest_pending_s":
+                              round(oldest_pending, 3)
+                              if oldest_pending is not None else None}}
+
+    # ------------------------------------------------------------------ #
     # introspection and lifecycle
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, int]:
@@ -354,7 +470,8 @@ class WorkQueue:
                 if claim_path_for(item).exists() else None
             if claim is not None and float(claim.get("deadline", 0)) > now:
                 leased += 1
-        runs = len([d for d in self.root.iterdir() if d.is_dir()]) \
+        runs = len([d for d in self.root.iterdir()
+                    if d.is_dir() and d.name != WORKERS_DIR_NAME]) \
             if self.root.is_dir() else 0
         return {"runs": runs, "items": len(items), "done": done,
                 "leased": leased, "pending": len(items) - done - leased}

@@ -13,9 +13,12 @@ share one cache root and one dispatch worker fleet:
   one ``{"event": ...}`` object per line, ending with a ``done`` line
   carrying per-status stage counts and every rendered artifact.
 * ``GET /queue`` — dispatch queue stats (runs/items/pending/leased/done).
+* ``GET /workers`` — fleet health: worker heartbeat/status records with
+  liveness, held leases with remaining time and attempt counts, and
+  queue depth with oldest-pending age.
 * ``GET /metrics`` — the unified metrics registry snapshot (trace /
-  checkpoint / generation counters plus stage histograms) and queue stats
-  as one JSON object.
+  checkpoint / generation counters plus stage histograms with p50/p95)
+  and the queue/fleet state as one JSON object.
 * ``GET /health`` — liveness plus the session description.
 
 Each submission's event stream also carries its telemetry ``run_id``
@@ -108,12 +111,15 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
                 "queue": self.server.queue_stats()})
         elif self.path == "/queue":
             self._json_response(200, self.server.queue_stats())
+        elif self.path == "/workers":
+            self._json_response(200, self.server.fleet_status())
         elif self.path == "/metrics":
             self._json_response(200, self.server.metrics_snapshot())
         else:
             self._json_response(404, {"error": f"unknown path {self.path}; "
                                       f"GET /health, GET /queue, "
-                                      f"GET /metrics, POST /submit"})
+                                      f"GET /workers, GET /metrics, "
+                                      f"POST /submit"})
 
     def do_POST(self) -> None:  # noqa: N802 - http.server contract
         if self.path != "/submit":
@@ -207,19 +213,33 @@ class ReproServer(ThreadingHTTPServer):
         from .queue import WorkQueue, queue_root
         return WorkQueue(queue_root(self.cache_dir)).stats()
 
+    def fleet_status(self) -> Dict[str, Any]:
+        """The live fleet-health view (``GET /workers``).
+
+        Worker heartbeat records, held leases with remaining time and
+        attempt counts, and queue depth with oldest-pending age — read
+        straight off the dispatch directory, so it reflects embedded and
+        external workers alike.
+        """
+        from .queue import WorkQueue, queue_root
+        return WorkQueue(queue_root(self.cache_dir)).fleet_status()
+
     def metrics_snapshot(self) -> Dict[str, Any]:
-        """The unified registry snapshot plus queue stats (``GET /metrics``).
+        """The unified registry snapshot plus queue/fleet state (``GET /metrics``).
 
         The pipeline packages register their ``STATS`` objects into the
         registry at import time; import them here so a scrape early in the
         server's life still reports every section (zeroed) instead of only
-        what a prior submission happened to touch.
+        what a prior submission happened to touch.  Histogram entries carry
+        p50/p95 alongside count/sum/min/max/mean.
         """
         import repro.checkpoint.store  # noqa: F401 - registers STATS
         import repro.trace.store  # noqa: F401 - registers STATS
         import repro.workloads  # noqa: F401 - registers GENERATION_STATS
         from ..obs.metrics import REGISTRY
-        return {"metrics": REGISTRY.snapshot(), "queue": self.queue_stats()}
+        fleet = self.fleet_status()
+        return {"metrics": REGISTRY.snapshot(), "queue": fleet["queue"],
+                "fleet": fleet}
 
     def describe(self) -> str:
         host, port = self.server_address[:2]

@@ -66,7 +66,9 @@ class Session:
     executor:
         How plan stages execute: a name registered in
         :data:`repro.api.registry.EXECUTORS` (``serial``/``thread``/
-        ``process``/``dispatch``) or an
+        ``process``/``dispatch``), the string ``auto`` (pick serial /
+        thread / process per plan from the observed replay/compute mix —
+        see :func:`~repro.api.executor.choose_executor_name`), or an
         :class:`~repro.api.executor.Executor` instance.  ``serial`` (the
         default) keeps the historical one-stage-at-a-time semantics.
     dispatch_workers:
@@ -165,6 +167,14 @@ class Session:
             return None
         from ..obs.store import TelemetryStore
         return TelemetryStore(self.cache_dir)
+
+    @property
+    def run_index(self):
+        """The sqlite run index, or ``None`` when disk caching is off."""
+        if not self.disk_cache_enabled:
+            return None
+        from ..obs.index import RunIndex
+        return RunIndex(self.cache_dir)
 
     # ------------------------------------------------------------------ #
     def with_options(self, cache_dir: Any = _UNSET,
@@ -273,9 +283,10 @@ class Session:
         """Drop in-process memos; with ``disk`` also empty this root's stores.
 
         The disk clear covers all three stores, the dispatch work queue
-        (work items, receipts, and run directories), and the per-run
-        telemetry directories, so a full clear leaves no stale queue state
-        for workers to pick up and no orphaned run history.
+        (work items, receipts, and run directories), the per-run telemetry
+        directories, and the sqlite run index, so a full clear leaves no
+        stale queue state for workers to pick up and no orphaned run
+        history.
         """
         from ..experiments import runner
         runner._CACHE.clear()
@@ -287,7 +298,7 @@ class Session:
                          if self.disk_cache_enabled else None)
             for store in (self.result_store, self.trace_store,
                           self.checkpoint_store, self.dispatch_queue,
-                          telemetry):
+                          telemetry, self.run_index):
                 if store is not None:
                     removed += store.clear()
         return removed

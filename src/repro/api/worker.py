@@ -20,6 +20,7 @@ crashing the worker; the submitter re-enqueues a fresh copy.
 from __future__ import annotations
 
 import os
+import socket
 import threading
 import time
 from dataclasses import dataclass, field
@@ -65,9 +66,11 @@ class WorkerStats:
 class _Heartbeat:
     """Renew a lease on a background thread while the stage executes."""
 
-    def __init__(self, lease: Lease, interval: float) -> None:
+    def __init__(self, lease: Lease, interval: float,
+                 on_beat=None) -> None:
         self._lease = lease
         self._interval = interval
+        self._on_beat = on_beat
         self._stop = threading.Event()
         self._thread = threading.Thread(
             target=self._run, name="repro-heartbeat", daemon=True)
@@ -86,6 +89,11 @@ class _Heartbeat:
                 self._lease.heartbeat()
             except OSError:
                 return  # run directory cleared; the item is gone anyway
+            if self._on_beat is not None:
+                try:
+                    self._on_beat()
+                except Exception:
+                    pass  # health reporting must never stop the renewals
 
 
 class Worker:
@@ -130,14 +138,54 @@ class Worker:
         self.idle_exit = idle_exit
         self.stats = WorkerStats()
         self._stop = threading.Event()
+        self._published_at = 0.0
 
     def stop(self) -> None:
         """Ask the polling loop to exit after the current item."""
         self._stop.set()
 
     # ------------------------------------------------------------------ #
+    def publish(self, status: str, item: Optional[str] = None) -> None:
+        """Publish this worker's heartbeat/status record (best-effort).
+
+        The record lands in the queue's shared ``workers/`` directory,
+        where ``GET /workers``, ``repro queue status``, and the run index
+        read fleet health from.  Failures are swallowed: liveness
+        reporting must never take the worker down.
+        """
+        now = time.time()
+        try:
+            self.queue.publish_worker({
+                "worker": self.worker_id,
+                "host": socket.gethostname(),
+                "pid": os.getpid(),
+                "status": status,
+                "item": item,
+                "started_at": self.stats.started_at,
+                "updated_at": now,
+                "heartbeat_seconds": self.heartbeat_seconds,
+                "lease_seconds": self.queue.lease_seconds,
+                "executed": self.stats.executed,
+                "cached": self.stats.cached,
+                "failed": self.stats.failed,
+                "steals": self.stats.steals,
+                "quarantined": self.stats.quarantined,
+                "polls": self.stats.polls,
+            })
+            self._published_at = now
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
     def run(self) -> WorkerStats:
         """The polling loop; returns stats when a stop condition is met."""
+        self.publish("idle")
+        try:
+            return self._run_loop()
+        finally:
+            self.publish("stopped")
+
+    def _run_loop(self) -> WorkerStats:
         idle_since: Optional[float] = None
         while not self._stop.is_set():
             self.stats.polls += 1
@@ -156,6 +204,10 @@ class Worker:
                     return self.stats
             if not claimed_any:
                 now = time.time()
+                # Keep the published record fresh while idle, so a fleet
+                # with an empty queue still reads as alive.
+                if now - self._published_at >= self.heartbeat_seconds:
+                    self.publish("idle")
                 if idle_since is None:
                     idle_since = now
                 if self.idle_exit is not None \
@@ -180,9 +232,13 @@ class Worker:
         test_sleep = float(os.environ.get(TEST_SLEEP_ENV, 0) or 0)
         if test_sleep > 0:
             time.sleep(test_sleep)
+        item_name = lease.item_path.name
+        self.publish("executing", item=item_name)
         started = time.time()
         try:
-            with _Heartbeat(lease, self.heartbeat_seconds):
+            with _Heartbeat(lease, self.heartbeat_seconds,
+                            on_beat=lambda: self.publish(
+                                "executing", item=item_name)):
                 done_path = execute_work_item(
                     str(lease.item_path),
                     extra={"worker": self.worker_id,
@@ -193,6 +249,7 @@ class Worker:
             self.queue.quarantine(lease.item_path)
             self.stats.quarantined += 1
             lease.release()
+            self.publish("idle")
             return
         self._audit(lease, started=started,
                     duration=time.time() - started)
@@ -203,6 +260,7 @@ class Worker:
             self.stats.cached += 1
         elif receipt.get("status") == "failed":
             self.stats.failed += 1
+        self.publish("idle")
 
     def _audit(self, lease: Lease, started: float, duration: float) -> None:
         """Append one line to the run's execution log (O_APPEND: atomic).

@@ -12,7 +12,16 @@ suite
     With ``--spec FILE`` the sweep grid comes from the spec.
 report
     Render the paper's figures and tables from (cached) suite results.
-    With ``--spec FILE`` renders the spec's requested analyses.
+    With ``--spec FILE`` renders the spec's requested analyses; with
+    ``--where COL<OP>VAL`` filters answer straight from the run index
+    without unpickling any artifact.
+query
+    Ask the sqlite run index about past runs: pick a table (``cells``,
+    ``runs``, ``stages``, ``spans``, ``artifacts``, ``workers``,
+    ``executions``), filter with repeatable ``--where``, group and
+    aggregate with ``--group-by``/``--agg``, and render as a table,
+    JSON, or CSV.  The index is refreshed incrementally on every
+    invocation (``--rebuild`` re-ingests from scratch).
 spec
     Work with declarative experiment specs: ``validate`` a TOML file,
     ``plan`` to print the capture -> simulate -> analyze -> render stage
@@ -47,12 +56,14 @@ submit
     progress from the event stream (``--progress``), print the rendered
     artifacts exactly like ``report --spec``.
 queue
-    Inspect the dispatch work queue: ``status`` for counts, ``list`` for
-    per-item state (pending / leased / done).
+    Inspect the dispatch work queue: ``status`` for counts plus the
+    worker fleet's published heartbeat records and live leases (the
+    offline twin of ``GET /workers``), ``list`` for per-item state
+    (pending / leased / done).
 clear-cache
     Empty the versioned on-disk result store, the trace store, the
-    checkpoint store, the dispatch work queue, *and* recorded run
-    telemetry.
+    checkpoint store, the dispatch work queue, the run index, *and*
+    recorded run telemetry.
 
 Every execution subcommand builds a :class:`repro.api.Session` from its
 flags and drives the pipeline through it.  All subcommands share
@@ -64,8 +75,9 @@ through the trace store (default: replay) and
 epoch-boundary snapshots and resuming from them (default: both on).
 
 Spec-driven executions additionally accept ``--executor
-serial|thread|process|dispatch`` to pick the stage execution backend
-(default: ``process``, or ``serial`` with ``--jobs 1``), ``--progress``
+serial|thread|process|dispatch|auto`` to pick the stage execution backend
+(default: ``process``, or ``serial`` with ``--jobs 1``; ``auto`` chooses
+from the telemetry store's observed stage costs), ``--progress``
 to render the scheduler's stage lifecycle events live on stderr, and
 ``--profile`` to cProfile every stage into the run's telemetry directory.
 """
@@ -74,6 +86,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import re
 import shutil
 import sys
 import time
@@ -117,9 +130,12 @@ def _add_run_params(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_spec_exec_params(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--executor", default=None, choices=EXECUTOR_NAMES,
-                        help="stage execution backend for --spec runs "
-                             "(default: process, or serial with --jobs 1)")
+    parser.add_argument("--executor", default=None,
+                        choices=EXECUTOR_NAMES + ("auto",),
+                        help="stage execution backend for --spec runs; "
+                             "'auto' picks serial/thread/process per plan "
+                             "from observed stage costs (default: process, "
+                             "or serial with --jobs 1)")
     parser.add_argument("--progress", action=argparse.BooleanOptionalAction,
                         default=False,
                         help="render stage lifecycle events live on stderr "
@@ -186,6 +202,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--spec", default=None, metavar="FILE",
                           help="declarative experiment spec (TOML); renders "
                                "the spec's requested analyses")
+    p_report.add_argument("--where", action="append", default=None,
+                          metavar="COL<OP>VAL",
+                          help="answer from the sqlite run index instead of "
+                               "unpickling results: filter recorded simulate "
+                               "cells (repeatable; e.g. --where "
+                               "workload=Apache --where 'wall_s>=0.5')")
     p_report.add_argument("--jobs", type=int, default=None, metavar="N",
                           help="worker processes for --spec execution")
     # The figure/table drivers expose size and seed only; no --scale/--eager
@@ -223,6 +245,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--last", action="store_true",
                          help="show the most recent run")
     _add_cache_params(p_stats)
+
+    p_query = sub.add_parser(
+        "query",
+        help="filter/aggregate the sqlite run index (no unpickling)")
+    from .obs.index import TABLE_NAMES
+    p_query.add_argument("table", nargs="?", default="cells",
+                         choices=TABLE_NAMES,
+                         help="which index table to query (default: cells — "
+                              "one row per recorded simulate cell)")
+    p_query.add_argument("--where", action="append", default=None,
+                         metavar="COL<OP>VAL",
+                         help="row filter, repeatable; ops = != > < >= <= ~ "
+                              "(substring), e.g. --where workload=Apache "
+                              "--where 'wall_s>=0.5'")
+    p_query.add_argument("--select", default=None, metavar="COL,COL",
+                         help="comma-separated columns to print "
+                              "(default: all)")
+    p_query.add_argument("--group-by", default=None, metavar="COL,COL",
+                         help="group rows and print one row per group "
+                              "(with --agg, or a plain count)")
+    p_query.add_argument("--agg", default=None, metavar="AGG,AGG",
+                         help="aggregates: count or fn:col with fn in "
+                              "count/sum/mean/min/max, e.g. "
+                              "--agg count,mean:wall_s")
+    p_query.add_argument("--order-by", default=None, metavar="COL",
+                         help="sort the output rows by this column")
+    p_query.add_argument("--desc", action="store_true",
+                         help="sort descending (with --order-by)")
+    p_query.add_argument("--limit", type=int, default=None, metavar="N",
+                         help="print at most N rows")
+    p_query.add_argument("--format", default="table",
+                         choices=("table", "json", "csv"),
+                         help="output form (default: table)")
+    p_query.add_argument("--rebuild", action="store_true",
+                         help="drop the index database and re-ingest "
+                              "everything from disk first")
+    p_query.add_argument("--no-ingest", action="store_true",
+                         help="query the index as-is without refreshing it")
+    _add_cache_params(p_query)
 
     p_trace = sub.add_parser(
         "trace", help="manage captured access traces (capture/list/info)")
@@ -662,6 +723,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
                               table5)
     if _bad_jobs(args) or _spec_only_flags(args):
         return 2
+    if args.where:
+        if args.spec is not None:
+            print("--where reports from the run index and cannot be "
+                  "combined with --spec", file=sys.stderr)
+            return 2
+        return _report_from_index(args)
     if args.spec is not None:
         if _spec_flag_conflicts(args, _REPORT_SPEC_DEFAULTS,
                                 tuple(_REPORT_SPEC_DEFAULTS)):
@@ -979,6 +1046,128 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------- #
+# the run index (``repro query`` / ``report --where``)
+# ---------------------------------------------------------------------- #
+_WHERE_RE = re.compile(
+    r"^\s*([A-Za-z_][A-Za-z0-9_]*)\s*(!=|>=|<=|~|=|>|<)\s*(.*?)\s*$")
+
+
+def _coerce_value(raw: str):
+    """int, else float, else the raw string (sqlite compares typed)."""
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def _parse_where(exprs) -> list:
+    """``["col>=3", ...]`` -> ``[("col", ">=", 3), ...]`` triples."""
+    out = []
+    for expr in exprs or ():
+        match = _WHERE_RE.match(expr)
+        if match is None:
+            raise ValueError(
+                f"bad --where {expr!r}; expected COL<OP>VALUE with an "
+                f"operator in = != > < >= <= ~")
+        column, op, raw = match.groups()
+        out.append((column, op, _coerce_value(raw)))
+    return out
+
+
+def _render_query_rows(columns: list, rows: list, fmt: str) -> None:
+    if fmt == "json":
+        import json
+        print(json.dumps([dict(zip(columns, row)) for row in rows],
+                         indent=2))
+        return
+    if fmt == "csv":
+        import csv
+        writer = csv.writer(sys.stdout)
+        writer.writerow(columns)
+        writer.writerows(rows)
+        return
+    rendered = [["" if value is None
+                 else (f"{value:.3f}" if isinstance(value, float)
+                       else str(value))
+                 for value in row] for row in rows]
+    widths = [max(len(name), *(len(row[i]) for row in rendered))
+              if rendered else len(name)
+              for i, name in enumerate(columns)]
+    print("  ".join(name.ljust(width)
+                    for name, width in zip(columns, widths)).rstrip())
+    for row in rendered:
+        print("  ".join(value.ljust(width)
+                        for value, width in zip(row, widths)).rstrip())
+    print(f"({len(rows)} row{'' if len(rows) == 1 else 's'})")
+
+
+def _run_index(args: argparse.Namespace):
+    """The ingest-refreshed run index, or ``None`` (already reported)."""
+    from .obs.index import get_run_index
+    index = get_run_index(getattr(args, "cache_dir", None))
+    if index is None:
+        print("disk cache is disabled (REPRO_DISABLE_DISK_CACHE set); "
+              "the run index lives in the disk cache", file=sys.stderr)
+    return index
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    index = _run_index(args)
+    if index is None:
+        return 2
+    if args.rebuild:
+        index.clear()
+    if not args.no_ingest:
+        index.ingest(full=args.rebuild)
+    try:
+        columns, rows = index.query(
+            args.table,
+            where=_parse_where(args.where),
+            select=args.select.split(",") if args.select else None,
+            group_by=args.group_by.split(",") if args.group_by else None,
+            aggregates=args.agg.split(",") if args.agg else None,
+            order_by=args.order_by, descending=args.desc, limit=args.limit)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _render_query_rows(columns, rows, args.format)
+    return 0
+
+
+def _report_from_index(args: argparse.Namespace) -> int:
+    """``report --where``: answer from the index, unpickling nothing."""
+    index = _run_index(args)
+    if index is None:
+        return 2
+    index.ingest()
+    try:
+        where = _parse_where(args.where)
+        columns, rows = index.query(
+            "cells", where=where,
+            select=["run_id", "workload", "organisation", "scale",
+                    "warmup", "status", "wall_s", "executor"],
+            order_by="started_at")
+        group_cols, groups = index.query(
+            "cells", where=where,
+            group_by=["workload", "organisation"],
+            aggregates=["count", "mean:wall_s", "max:wall_s"],
+            order_by="workload")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    title = "indexed cells"
+    print(f"==== {title} " + "=" * max(0, 66 - len(title)))
+    _render_query_rows(columns, rows, "table")
+    print()
+    title = "by workload / organisation"
+    print(f"==== {title} " + "=" * max(0, 66 - len(title)))
+    _render_query_rows(group_cols, groups, "table")
+    return 0
+
+
 def _cmd_queue(args: argparse.Namespace) -> int:
     from .api.queue import claim_path_for, done_path_for, load_json
     queue = _dispatch_queue(args)
@@ -986,6 +1175,32 @@ def _cmd_queue(args: argparse.Namespace) -> int:
         print("disk cache is disabled (REPRO_DISABLE_DISK_CACHE set)")
         return 0
     print(queue.describe())
+    if args.queue_command == "status":
+        fleet = queue.fleet_status()
+        oldest = fleet["queue"].get("oldest_pending_s")
+        if oldest is not None:
+            print(f"  oldest pending item: {oldest:.1f}s old")
+        workers = fleet["workers"]
+        print(f"  {len(workers)} worker record"
+              f"{'' if len(workers) == 1 else 's'}")
+        for rec in workers:
+            liveness = ("alive" if rec["alive"]
+                        else ("stopped" if rec["status"] == "stopped"
+                              else "stale"))
+            item = f" on {rec['item']}" if rec.get("item") else ""
+            age = (f"{rec['age_s']:.1f}s ago"
+                   if rec["age_s"] is not None else "never")
+            print(f"    {rec['worker']} [{liveness}] {rec['status']}"
+                  f"{item} (beat {age}; "
+                  f"{rec['executed']} executed, {rec['cached']} cached, "
+                  f"{rec['failed']} failed, {rec['steals']} stolen, "
+                  f"{rec['quarantined']} quarantined)")
+        for lease in fleet["leases"]:
+            state = ("expired" if lease["expired"]
+                     else f"{lease['remaining_s']:.1f}s left")
+            print(f"    lease {lease['run']}/{lease['item']} -> "
+                  f"{lease['worker']} (attempt {lease['attempt']}, "
+                  f"{state})")
     if args.queue_command == "list":
         now = time.time()
         for item in queue.item_files():
@@ -1117,29 +1332,30 @@ def _cmd_clear_cache(args: argparse.Namespace) -> int:
     from .checkpoint import get_checkpoint_store
     from .experiments import clear_cache, get_store
     from .obs import get_telemetry_store
+    from .obs.index import get_run_index
     from .trace import get_trace_store
     store = get_store(args.cache_dir)
     traces = get_trace_store(args.cache_dir)
     checkpoints = get_checkpoint_store(args.cache_dir)
     queue = _dispatch_queue(args)
+    index = get_run_index(args.cache_dir)
     telemetry = get_telemetry_store(args.cache_dir)
-    if store is None and traces is None and checkpoints is None \
-            and queue is None and telemetry is None:
+    stores = (store, traces, checkpoints, queue, index, telemetry)
+    if all(s is None for s in stores):
         print("disk cache is disabled (REPRO_DISABLE_DISK_CACHE set)")
         return 0
-    for s in (store, traces, checkpoints, queue, telemetry):
+    for s in stores:
         if s is not None:
             print(s.describe())
     if args.cache_dir is None:
-        # The default session's disk clear covers the dispatch queue and
-        # telemetry directories too.
+        # The default session's disk clear covers the dispatch queue,
+        # run-index, and telemetry directories too.
         removed = clear_cache(disk=True)
     else:
-        removed = sum(s.clear()
-                      for s in (store, traces, checkpoints, queue, telemetry)
-                      if s is not None)
+        removed = sum(s.clear() for s in stores if s is not None)
     print(f"removed {removed} cached entr{'y' if removed == 1 else 'ies'} "
-          f"(results + traces + checkpoints + dispatch items + telemetry)")
+          f"(results + traces + checkpoints + dispatch items + run index "
+          f"+ telemetry)")
     return 0
 
 
@@ -1157,6 +1373,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "queue": _cmd_queue,
+        "query": _cmd_query,
         "stats": _cmd_stats,
         "clear-cache": _cmd_clear_cache,
     }

@@ -11,8 +11,12 @@ either. See the module docstrings for the contract each piece provides:
   :func:`maybe_profile`.
 * :mod:`repro.obs.store` — :class:`TelemetryStore` under
   ``<cache>/telemetry/<run_id>/``, :func:`get_telemetry_store`.
+* :mod:`repro.obs.index` — :class:`RunIndex`, the sqlite query layer over
+  telemetry, dispatch audit logs, worker heartbeats, and result artifacts.
 """
 
+from repro.obs.index import (INDEX_SUBDIR, RunIndex, TABLE_COLUMNS,
+                             TABLE_NAMES, get_run_index)
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                                REGISTRY, get_registry)
 from repro.obs.span import Span, SpanRecorder, maybe_profile, peak_rss_kib
@@ -20,6 +24,11 @@ from repro.obs.store import (TELEMETRY_SUBDIR, TelemetryStore,
                              get_telemetry_store, iso_utc, new_run_id)
 
 __all__ = [
+    "INDEX_SUBDIR",
+    "RunIndex",
+    "TABLE_COLUMNS",
+    "TABLE_NAMES",
+    "get_run_index",
     "Counter",
     "Gauge",
     "Histogram",

@@ -1,0 +1,654 @@
+"""A sqlite-backed run index over every on-disk observability source.
+
+The telemetry store (PR 7) records what happened; this module makes it
+*queryable*.  :class:`RunIndex` incrementally ingests four sources that
+already live under the shared cache root:
+
+* ``telemetry/<run_id>/manifest.json`` -> ``runs`` + ``stages`` rows
+* ``telemetry/<run_id>/spans.jsonl``   -> ``spans`` rows (with the cell
+  coordinates — workload, organisation, scale, warmup — lifted out of each
+  span's ``params`` into real columns)
+* ``dispatch/<run>/executed.log``      -> ``executions`` rows (the audit
+  trail of which worker ran which item, attempt counts, durations)
+* ``dispatch/workers/worker-*.json``   -> ``workers`` rows (the heartbeat
+  records the worker daemons publish)
+* ``v*/<kind>/<slug>.pkl``             -> ``artifacts`` rows (result-store
+  metadata from ``stat`` alone — **no pickle is ever loaded**)
+
+plus a ``cells`` view (worker-origin simulate spans joined to their runs)
+that answers the questions ``repro report`` used to unpickle everything
+for: "mean simulate wall time for OLTP at scale 256", "which cells failed
+yesterday", "how many cells has this sweep produced".
+
+Ingestion is incremental and idempotent: each source carries a fingerprint
+(mtime+size for telemetry runs, a byte offset for append-only
+``executed.log``) in the ``ingest_state`` table, unchanged sources are
+skipped, and a changed telemetry run is deleted and re-inserted whole so
+re-ingesting is always safe.  Corrupt rows follow the stores' policy —
+warn and skip, never abort — and sources that vanish from disk have their
+rows retired on the next ingest.
+
+Layering: like the rest of ``repro.obs`` this module never imports
+``repro.api``; it reads the dispatch directory as plain JSON/text files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import warnings
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cachedir import default_cache_root, disk_cache_disabled
+from repro.obs.store import TelemetryStore
+
+#: Subdirectory of the cache root holding the index database.
+INDEX_SUBDIR = "index"
+
+#: Bumping this drops and rebuilds the database on next open (the sources
+#: on disk remain the ground truth; the index is always reconstructible).
+SCHEMA_VERSION = 1
+
+#: Span statuses that represent real work (mirrors ``observed_costs``).
+_WORKED = ("done", "ran")
+
+#: Stage statuses whose spans must not inform cost estimates.
+_POISONED = ("failed", "skipped")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS ingest_state (
+    source      TEXT PRIMARY KEY,
+    fingerprint TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    run_id      TEXT PRIMARY KEY,
+    spec        TEXT,
+    executor    TEXT,
+    n_stages    INTEGER,
+    started_at  TEXT,
+    finished_at TEXT,
+    wall_s      REAL,
+    ok          INTEGER,
+    profile     INTEGER
+);
+CREATE TABLE IF NOT EXISTS stages (
+    run_id TEXT NOT NULL,
+    stage  TEXT NOT NULL,
+    kind   TEXT,
+    status TEXT,
+    PRIMARY KEY (run_id, stage)
+);
+CREATE TABLE IF NOT EXISTS spans (
+    run_id       TEXT NOT NULL,
+    seq          INTEGER NOT NULL,
+    stage        TEXT,
+    kind         TEXT,
+    origin       TEXT,
+    status       TEXT,
+    wall_s       REAL,
+    cpu_s        REAL,
+    rss_peak_kib INTEGER,
+    pid          INTEGER,
+    started_unix REAL,
+    workload     TEXT,
+    organisation TEXT,
+    context      TEXT,
+    scale        INTEGER,
+    warmup       REAL,
+    error        TEXT,
+    params       TEXT,
+    PRIMARY KEY (run_id, seq)
+);
+CREATE TABLE IF NOT EXISTS artifacts (
+    path       TEXT PRIMARY KEY,
+    kind       TEXT,
+    slug       TEXT,
+    version    TEXT,
+    size_bytes INTEGER,
+    mtime      REAL
+);
+CREATE TABLE IF NOT EXISTS workers (
+    worker            TEXT PRIMARY KEY,
+    host              TEXT,
+    pid               INTEGER,
+    status            TEXT,
+    item              TEXT,
+    started_at        REAL,
+    updated_at        REAL,
+    heartbeat_seconds REAL,
+    lease_seconds     REAL,
+    executed          INTEGER,
+    cached            INTEGER,
+    failed            INTEGER,
+    steals            INTEGER,
+    quarantined       INTEGER,
+    polls             INTEGER
+);
+CREATE TABLE IF NOT EXISTS executions (
+    run_dir    TEXT NOT NULL,
+    line       INTEGER NOT NULL,
+    item       TEXT,
+    worker     TEXT,
+    attempt    INTEGER,
+    started    TEXT,
+    duration_s REAL,
+    PRIMARY KEY (run_dir, line)
+);
+CREATE INDEX IF NOT EXISTS spans_kind ON spans (kind, origin, status);
+CREATE INDEX IF NOT EXISTS spans_cell ON spans (workload, organisation);
+CREATE VIEW IF NOT EXISTS cells AS
+    SELECT s.run_id AS run_id, s.stage AS stage, s.workload AS workload,
+           s.organisation AS organisation, s.scale AS scale,
+           s.warmup AS warmup, s.status AS status, s.wall_s AS wall_s,
+           s.cpu_s AS cpu_s, r.spec AS spec, r.executor AS executor,
+           r.started_at AS started_at
+    FROM spans s JOIN runs r ON r.run_id = s.run_id
+    WHERE s.kind = 'simulate' AND s.origin = 'worker';
+"""
+
+#: Queryable column whitelist per table (``repro query`` validates against
+#: this, so user input never reaches SQL as an identifier).
+TABLE_COLUMNS: Dict[str, Tuple[str, ...]] = {
+    "runs": ("run_id", "spec", "executor", "n_stages", "started_at",
+             "finished_at", "wall_s", "ok", "profile"),
+    "stages": ("run_id", "stage", "kind", "status"),
+    "spans": ("run_id", "seq", "stage", "kind", "origin", "status",
+              "wall_s", "cpu_s", "rss_peak_kib", "pid", "started_unix",
+              "workload", "organisation", "context", "scale", "warmup",
+              "error", "params"),
+    "artifacts": ("path", "kind", "slug", "version", "size_bytes", "mtime"),
+    "workers": ("worker", "host", "pid", "status", "item", "started_at",
+                "updated_at", "heartbeat_seconds", "lease_seconds",
+                "executed", "cached", "failed", "steals", "quarantined",
+                "polls"),
+    "executions": ("run_dir", "line", "item", "worker", "attempt",
+                   "started", "duration_s"),
+    "cells": ("run_id", "stage", "workload", "organisation", "scale",
+              "warmup", "status", "wall_s", "cpu_s", "spec", "executor",
+              "started_at"),
+}
+
+TABLE_NAMES: Tuple[str, ...] = tuple(TABLE_COLUMNS)
+
+_OPS = {"=": "=", "!=": "!=", ">": ">", "<": "<", ">=": ">=", "<=": "<=",
+        "~": "LIKE"}
+
+_AGG_FNS = {"count": "COUNT", "sum": "SUM", "mean": "AVG", "min": "MIN",
+            "max": "MAX"}
+
+
+def _warn(message: str) -> None:
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
+def _load_json_guarded(path: Path, what: str) -> Optional[Dict[str, Any]]:
+    """Parse a JSON object file, warn-and-skip on any corruption."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        _warn(f"skipping corrupt {what} {path} ({exc})")
+        return None
+    if not isinstance(payload, dict):
+        _warn(f"skipping corrupt {what} {path} (not an object)")
+        return None
+    return payload
+
+
+def _as_float(value: Any) -> Optional[float]:
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def _as_int(value: Any) -> Optional[int]:
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return None
+
+
+class RunIndex:
+    """The queryable sqlite index at ``<cache root>/index/runs.sqlite``."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.base = Path(root) if root is not None else default_cache_root()
+        self.db_path = self.base / INDEX_SUBDIR / "runs.sqlite"
+
+    # -- connection / schema ---------------------------------------------- #
+    def _connect(self) -> sqlite3.Connection:
+        self.db_path.parent.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(self.db_path, timeout=2.0)
+        try:
+            version = conn.execute("PRAGMA user_version").fetchone()[0]
+            if version != SCHEMA_VERSION:
+                if version:  # stale schema: the sources rebuild everything
+                    for row in conn.execute(
+                            "SELECT type, name FROM sqlite_master "
+                            "WHERE name NOT LIKE 'sqlite_%'").fetchall():
+                        conn.execute(f"DROP {row[0]} IF EXISTS {row[1]}")
+                conn.executescript(_SCHEMA)
+                conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+                conn.commit()
+        except BaseException:
+            conn.close()
+            raise
+        return conn
+
+    # -- ingestion --------------------------------------------------------- #
+    def ingest(self, full: bool = False) -> Dict[str, int]:
+        """Bring the index up to date with the on-disk sources.
+
+        Returns ``{"runs": ..., "spans": ..., "executions": ...,
+        "artifacts": ..., "workers": ...}`` — the number of rows (re)written
+        this call, so an unchanged tree ingests as all zeros.  ``full=True``
+        ignores fingerprints and re-reads everything.
+        """
+        conn = self._connect()
+        try:
+            with conn:
+                counts = {"runs": 0, "spans": 0, "executions": 0}
+                self._ingest_telemetry(conn, counts, full)
+                self._ingest_executions(conn, counts, full)
+                counts["artifacts"] = self._ingest_artifacts(conn)
+                counts["workers"] = self._ingest_workers(conn)
+            return counts
+        finally:
+            conn.close()
+
+    def _fingerprint(self, conn: sqlite3.Connection,
+                     source: str) -> Optional[str]:
+        row = conn.execute("SELECT fingerprint FROM ingest_state "
+                           "WHERE source = ?", (source,)).fetchone()
+        return row[0] if row else None
+
+    def _set_fingerprint(self, conn: sqlite3.Connection, source: str,
+                         fingerprint: str) -> None:
+        conn.execute("INSERT OR REPLACE INTO ingest_state VALUES (?, ?)",
+                     (source, fingerprint))
+
+    def _ingest_telemetry(self, conn: sqlite3.Connection,
+                          counts: Dict[str, int], full: bool) -> None:
+        store = TelemetryStore(self.base)
+        seen: List[str] = []
+        run_dirs = (sorted(p for p in store.root.iterdir() if p.is_dir())
+                    if store.root.is_dir() else [])
+        for run_dir in run_dirs:
+            run_id = run_dir.name
+            manifest_path = store.manifest_path(run_id)
+            spans_path = store.spans_path(run_id)
+            try:
+                mstat = manifest_path.stat()
+                spans_size = (spans_path.stat().st_size
+                              if spans_path.is_file() else 0)
+            except OSError:
+                continue  # torn down mid-scan; next ingest settles it
+            seen.append(run_id)
+            source = f"run:{run_id}"
+            fingerprint = f"{mstat.st_mtime_ns}:{mstat.st_size}:{spans_size}"
+            if not full and self._fingerprint(conn, source) == fingerprint:
+                continue
+            self._delete_run(conn, run_id)
+            # load_manifest/load_spans warn on corruption themselves; the
+            # fingerprint is recorded either way so an unchanged corrupt
+            # run does not re-warn on every ingest.
+            manifest = store.load_manifest(run_id)
+            self._set_fingerprint(conn, source, fingerprint)
+            if manifest is None:
+                continue
+            conn.execute(
+                "INSERT OR REPLACE INTO runs VALUES (?,?,?,?,?,?,?,?,?)",
+                (run_id, manifest.get("spec"), manifest.get("executor"),
+                 _as_int(manifest.get("n_stages")),
+                 manifest.get("started_at"), manifest.get("finished_at"),
+                 _as_float(manifest.get("wall_s")),
+                 None if manifest.get("ok") is None
+                 else int(bool(manifest.get("ok"))),
+                 None if manifest.get("profile") is None
+                 else int(bool(manifest.get("profile")))))
+            counts["runs"] += 1
+            statuses = manifest.get("statuses")
+            if isinstance(statuses, dict):
+                conn.executemany(
+                    "INSERT OR REPLACE INTO stages VALUES (?,?,?,?)",
+                    [(run_id, str(stage), str(stage).split(":", 1)[0],
+                      None if status is None else str(status))
+                     for stage, status in statuses.items()])
+            for seq, span in enumerate(store.load_spans(run_id)):
+                params = span.get("params")
+                if not isinstance(params, dict):
+                    params = {}
+                conn.execute(
+                    "INSERT OR REPLACE INTO spans VALUES "
+                    "(?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                    (run_id, seq, span.get("stage"), span.get("kind"),
+                     span.get("origin"), span.get("status"),
+                     _as_float(span.get("wall_s")),
+                     _as_float(span.get("cpu_s")),
+                     _as_int(span.get("rss_peak_kib")),
+                     _as_int(span.get("pid")),
+                     _as_float(span.get("started_unix")),
+                     params.get("workload"), params.get("organisation"),
+                     params.get("context"), _as_int(params.get("scale")),
+                     _as_float(params.get("warmup")), span.get("error"),
+                     json.dumps(params, sort_keys=True) if params else None))
+                counts["spans"] += 1
+        # Retire runs whose directories vanished (clear-cache, pruning).
+        for (run_id,) in conn.execute("SELECT run_id FROM runs").fetchall():
+            if run_id not in seen:
+                self._delete_run(conn, run_id)
+        for (source,) in conn.execute(
+                "SELECT source FROM ingest_state "
+                "WHERE source LIKE 'run:%'").fetchall():
+            if source[len("run:"):] not in seen:
+                conn.execute("DELETE FROM ingest_state WHERE source = ?",
+                             (source,))
+
+    def _delete_run(self, conn: sqlite3.Connection, run_id: str) -> None:
+        for table in ("runs", "stages", "spans"):
+            conn.execute(f"DELETE FROM {table} WHERE run_id = ?", (run_id,))
+
+    def _ingest_executions(self, conn: sqlite3.Connection,
+                           counts: Dict[str, int], full: bool) -> None:
+        dispatch = self.base / "dispatch"
+        seen: List[str] = []
+        run_dirs = (sorted(p for p in dispatch.iterdir()
+                           if p.is_dir() and p.name != "workers")
+                    if dispatch.is_dir() else [])
+        for run_dir in run_dirs:
+            log = run_dir / "executed.log"
+            if not log.is_file():
+                continue
+            seen.append(run_dir.name)
+            source = f"log:{run_dir.name}"
+            try:
+                size = log.stat().st_size
+            except OSError:
+                continue
+            state = self._fingerprint(conn, source)
+            offset = int(state) if state and state.isdigit() else 0
+            if full or offset > size:  # truncated/rewritten: start over
+                conn.execute("DELETE FROM executions WHERE run_dir = ?",
+                             (run_dir.name,))
+                offset = 0
+            if offset >= size:
+                continue
+            try:
+                with open(log, "rb") as fh:
+                    fh.seek(offset)
+                    blob = fh.read()
+            except OSError:
+                continue
+            end = blob.rfind(b"\n")
+            if end < 0:
+                continue  # no complete line appended yet
+            dropped = 0
+            pos = offset
+            for raw in blob[:end + 1].split(b"\n")[:-1]:
+                line_no, pos = pos, pos + len(raw) + 1
+                row = self._parse_audit_line(raw)
+                if row is None:
+                    dropped += 1
+                    continue
+                conn.execute(
+                    "INSERT OR REPLACE INTO executions VALUES "
+                    "(?,?,?,?,?,?,?)", (run_dir.name, line_no) + row)
+                counts["executions"] += 1
+            if dropped:
+                _warn(f"skipped {dropped} corrupt audit line"
+                      f"{'' if dropped == 1 else 's'} in {log}")
+            self._set_fingerprint(conn, source, str(offset + end + 1))
+        for (run_dir,) in conn.execute(
+                "SELECT DISTINCT run_dir FROM executions").fetchall():
+            if run_dir not in seen:
+                conn.execute("DELETE FROM executions WHERE run_dir = ?",
+                             (run_dir,))
+        for (source,) in conn.execute(
+                "SELECT source FROM ingest_state "
+                "WHERE source LIKE 'log:%'").fetchall():
+            if source[len("log:"):] not in seen:
+                conn.execute("DELETE FROM ingest_state WHERE source = ?",
+                             (source,))
+
+    @staticmethod
+    def _parse_audit_line(
+            raw: bytes) -> Optional[Tuple[str, Optional[str], Optional[int],
+                                          Optional[str], Optional[float]]]:
+        """``item-NNNN-kind.json worker=W attempt=N started=... duration_seconds=F``"""
+        try:
+            tokens = raw.decode().split()
+        except UnicodeDecodeError:
+            return None
+        fields = dict(token.split("=", 1)
+                      for token in tokens[1:] if "=" in token)
+        # The first token is the item filename; a line without it (or
+        # without a single k=v field) is torn or foreign — skip it.
+        if not tokens or not tokens[0].endswith(".json") or not fields:
+            return None
+        return (tokens[0], fields.get("worker"),
+                _as_int(fields.get("attempt")), fields.get("started"),
+                _as_float(fields.get("duration_seconds")))
+
+    def _ingest_artifacts(self, conn: sqlite3.Connection) -> int:
+        """Stat-only rescan of the result store (cheap: no pickle loads)."""
+        conn.execute("DELETE FROM artifacts")
+        written = 0
+        for path in sorted(self.base.glob("v*/*/*.pkl")):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            version_dir, kind = path.parts[-3], path.parts[-2]
+            conn.execute(
+                "INSERT OR REPLACE INTO artifacts VALUES (?,?,?,?,?,?)",
+                (str(path.relative_to(self.base)), kind, path.stem,
+                 version_dir[1:], stat.st_size, stat.st_mtime))
+            written += 1
+        return written
+
+    def _ingest_workers(self, conn: sqlite3.Connection) -> int:
+        """Snapshot the worker heartbeat records (current fleet state)."""
+        conn.execute("DELETE FROM workers")
+        workers_dir = self.base / "dispatch" / "workers"
+        written = 0
+        if not workers_dir.is_dir():
+            return 0
+        for path in sorted(workers_dir.glob("worker-*.json")):
+            record = _load_json_guarded(path, "worker record")
+            if record is None or not record.get("worker"):
+                continue
+            conn.execute(
+                "INSERT OR REPLACE INTO workers VALUES "
+                "(?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                (str(record["worker"]), record.get("host"),
+                 _as_int(record.get("pid")), record.get("status"),
+                 record.get("item"), _as_float(record.get("started_at")),
+                 _as_float(record.get("updated_at")),
+                 _as_float(record.get("heartbeat_seconds")),
+                 _as_float(record.get("lease_seconds")),
+                 _as_int(record.get("executed")),
+                 _as_int(record.get("cached")),
+                 _as_int(record.get("failed")),
+                 _as_int(record.get("steals")),
+                 _as_int(record.get("quarantined")),
+                 _as_int(record.get("polls"))))
+            written += 1
+        return written
+
+    # -- queries ----------------------------------------------------------- #
+    def query(self, table: str = "cells",
+              where: Sequence[Tuple[str, str, Any]] = (),
+              select: Optional[Sequence[str]] = None,
+              group_by: Optional[Sequence[str]] = None,
+              aggregates: Optional[Sequence[str]] = None,
+              order_by: Optional[str] = None, descending: bool = False,
+              limit: Optional[int] = None,
+              ) -> Tuple[List[str], List[Tuple[Any, ...]]]:
+        """Run a validated filter/aggregate and return ``(columns, rows)``.
+
+        ``where`` is ``[(column, op, value), ...]`` with ops ``= != > <
+        >= <= ~`` (``~`` is a substring LIKE).  ``aggregates`` entries are
+        ``"count"`` or ``"<fn>:<column>"`` with fn in count/sum/mean/min/
+        max.  Every identifier is checked against :data:`TABLE_COLUMNS`;
+        anything unknown raises ``ValueError`` before touching SQL.
+        """
+        if table not in TABLE_COLUMNS:
+            raise ValueError(f"unknown table {table!r}; "
+                             f"expected one of {', '.join(TABLE_NAMES)}")
+        columns = TABLE_COLUMNS[table]
+
+        def check(name: str) -> str:
+            if name not in columns:
+                raise ValueError(f"unknown column {name!r} for table "
+                                 f"{table!r}; expected one of "
+                                 f"{', '.join(columns)}")
+            return name
+
+        agg_exprs: List[str] = []
+        agg_labels: List[str] = []
+        for spec in aggregates or ():
+            fn, _, col = spec.partition(":")
+            if fn not in _AGG_FNS:
+                raise ValueError(f"unknown aggregate {spec!r}; expected "
+                                 f"count or <fn>:<column> with fn in "
+                                 f"{', '.join(_AGG_FNS)}")
+            if fn == "count" and not col:
+                agg_exprs.append("COUNT(*)")
+                agg_labels.append("count")
+            else:
+                if not col:
+                    raise ValueError(f"aggregate {spec!r} needs a column "
+                                     f"({fn}:<column>)")
+                agg_exprs.append(f"{_AGG_FNS[fn]}({check(col)})")
+                agg_labels.append(f"{fn}_{col}")
+
+        if group_by:
+            out_cols = [check(c) for c in group_by]
+            select_sql = ", ".join(out_cols + agg_exprs)
+            out_labels = out_cols + (agg_labels or [])
+            if not agg_exprs:
+                select_sql += ", COUNT(*)"
+                out_labels = out_cols + ["count"]
+            group_sql = " GROUP BY " + ", ".join(out_cols)
+        elif agg_exprs:
+            select_sql = ", ".join(agg_exprs)
+            out_labels = list(agg_labels)
+            group_sql = ""
+        else:
+            out_cols = [check(c) for c in (select or columns)]
+            select_sql = ", ".join(out_cols)
+            out_labels = list(out_cols)
+            group_sql = ""
+
+        clauses: List[str] = []
+        values: List[Any] = []
+        for column, op, value in where:
+            if op not in _OPS:
+                raise ValueError(f"unknown operator {op!r}; expected one "
+                                 f"of {', '.join(_OPS)}")
+            clauses.append(f"{check(column)} {_OPS[op]} ?")
+            values.append(f"%{value}%" if op == "~" else value)
+        where_sql = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+
+        order_sql = ""
+        if order_by:
+            if order_by in out_labels:
+                order_sql = f" ORDER BY {out_labels.index(order_by) + 1}"
+            else:
+                order_sql = f" ORDER BY {check(order_by)}"
+            if descending:
+                order_sql += " DESC"
+        limit_sql = f" LIMIT {int(limit)}" if limit is not None else ""
+
+        sql = (f"SELECT {select_sql} FROM {table}{where_sql}{group_sql}"
+               f"{order_sql}{limit_sql}")
+        conn = self._connect()
+        try:
+            rows = conn.execute(sql, values).fetchall()
+        finally:
+            conn.close()
+        return out_labels, rows
+
+    def observed_costs(self) -> Dict[str, Dict[str, float]]:
+        """``{kind: {"mean_wall_s", "mean_cpu_s", "count"}}`` from the index.
+
+        Matches :meth:`TelemetryStore.observed_costs` semantics — only
+        spans that did real work, worker origin preferred over scheduler —
+        plus the manifest-status filter: spans whose *stage* ultimately
+        failed or was skipped are excluded, so one crashed run cannot
+        poison the cost model with partial timings.
+        """
+        conn = self._connect()
+        try:
+            rows = conn.execute(
+                "SELECT s.kind, s.origin, SUM(s.wall_s), SUM(s.cpu_s), "
+                "       COUNT(*) "
+                "FROM spans s LEFT JOIN stages st "
+                "  ON st.run_id = s.run_id AND st.stage = s.stage "
+                "WHERE s.status IN (?, ?) AND s.kind IS NOT NULL "
+                "  AND (st.status IS NULL OR st.status NOT IN (?, ?)) "
+                "GROUP BY s.kind, s.origin",
+                _WORKED + _POISONED).fetchall()
+        finally:
+            conn.close()
+        buckets: Dict[str, Dict[str, Tuple[float, float, int]]] = {}
+        for kind, origin, wall, cpu, n in rows:
+            label = "worker" if origin == "worker" else "sched"
+            prev = buckets.setdefault(kind, {}).get(label, (0.0, 0.0, 0))
+            buckets[kind][label] = (prev[0] + (wall or 0.0),
+                                    prev[1] + (cpu or 0.0), prev[2] + n)
+        costs: Dict[str, Dict[str, float]] = {}
+        for kind, origins in buckets.items():
+            wall, cpu, n = origins.get("worker") or origins["sched"]
+            costs[kind] = {"mean_wall_s": wall / n, "mean_cpu_s": cpu / n,
+                           "count": n}
+        return costs
+
+    def counts(self) -> Dict[str, int]:
+        """Row counts per table (cheap health overview)."""
+        conn = self._connect()
+        try:
+            return {table: conn.execute(
+                f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+                for table in TABLE_NAMES if table != "cells"}
+        finally:
+            conn.close()
+
+    # -- maintenance (store protocol shared with the other stores) --------- #
+    def entries(self) -> List[Path]:
+        return [self.db_path] if self.db_path.is_file() else []
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.entries())
+
+    def clear(self) -> int:
+        """Drop the database; returns 1 if one existed (it rebuilds lazily)."""
+        existed = int(self.db_path.is_file())
+        try:
+            self.db_path.unlink()
+        except OSError:
+            pass
+        return existed
+
+    def describe(self) -> str:
+        if not self.db_path.is_file():
+            return f"run index {self.db_path}: empty"
+        try:
+            counts = self.counts()
+        except sqlite3.Error:
+            return f"run index {self.db_path}: unreadable"
+        return (f"run index {self.db_path}: {counts['runs']} "
+                f"run{'' if counts['runs'] == 1 else 's'}, "
+                f"{counts['spans']} spans, {counts['artifacts']} artifacts, "
+                f"{counts['executions']} executions, "
+                f"{self.size_bytes() / 1024:.1f} KiB")
+
+
+def get_run_index(cache_dir: Optional[os.PathLike] = None
+                  ) -> Optional[RunIndex]:
+    """The run index for ``cache_dir``, or ``None`` when disk is off."""
+    if disk_cache_disabled():
+        return None
+    return RunIndex(cache_dir)

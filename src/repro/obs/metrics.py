@@ -27,7 +27,9 @@ Design constraints:
 from __future__ import annotations
 
 import dataclasses
+import math
 import threading
+from collections import deque
 from typing import Any, Dict, Iterable, Optional, Tuple
 
 
@@ -75,15 +77,20 @@ class Gauge:
 
 
 class Histogram:
-    """Running count/sum/min/max/mean over observed values.
+    """Running count/sum/min/max/mean plus p50/p95 over observed values.
 
     Deliberately not bucketed: the consumers (span summaries, ``/metrics``)
-    want headline aggregates, and full per-span values live in the
-    telemetry JSONL anyway — re-deriving any percentile is a one-liner over
-    that file, without this process carrying bucket state.
+    want headline aggregates, so instead of bucket state the histogram
+    keeps a sliding window of the most recent :data:`SAMPLE_SIZE`
+    observations and derives p50/p95 from it at snapshot time
+    (nearest-rank over the sorted window).  Full per-span values still
+    live in the telemetry JSONL for exact offline percentiles.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+    #: Recent observations retained for percentile estimates.
+    SAMPLE_SIZE = 512
+
+    __slots__ = ("name", "count", "total", "min", "max", "_lock", "_sample")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -92,6 +99,7 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._sample: deque = deque(maxlen=self.SAMPLE_SIZE)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -100,23 +108,36 @@ class Histogram:
             self.total += value
             self.min = value if self.min is None else min(self.min, value)
             self.max = value if self.max is None else max(self.max, value)
+            self._sample.append(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the recent-observation window."""
+        with self._lock:
+            sample = sorted(self._sample)
+        if not sample:
+            return 0.0
+        rank = math.ceil(q / 100.0 * len(sample))
+        return sample[min(len(sample), max(rank, 1)) - 1]
 
     def reset(self) -> None:
         with self._lock:
             self.count = 0
             self.total = 0.0
             self.min = self.max = None
+            self._sample.clear()
 
     def snapshot(self) -> Dict[str, float]:
         return {f"{self.name}.count": self.count,
                 f"{self.name}.sum": round(self.total, 9),
                 f"{self.name}.min": self.min if self.min is not None else 0.0,
                 f"{self.name}.max": self.max if self.max is not None else 0.0,
-                f"{self.name}.mean": round(self.mean, 9)}
+                f"{self.name}.mean": round(self.mean, 9),
+                f"{self.name}.p50": round(self.percentile(50), 9),
+                f"{self.name}.p95": round(self.percentile(95), 9)}
 
 
 def _numeric_fields(obj: Any) -> Iterable[Tuple[str, float]]:

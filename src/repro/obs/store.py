@@ -175,8 +175,21 @@ class TelemetryStore:
                       if p.is_dir() and self.load_manifest(p.name) is not None)
 
     def last_run_id(self) -> Optional[str]:
+        """The most recently *started* run, by manifest timestamp.
+
+        Run ids sort chronologically only within one process (the embedded
+        counter breaks ties); across processes — and after a reader updates
+        a directory's mtime — the manifest's ``started_at`` is the ground
+        truth.  Ties (same second) fall back to the run id, which keeps the
+        within-process counter order.
+        """
         runs = self.runs()
-        return runs[-1] if runs else None
+        if not runs:
+            return None
+        def started(run_id: str) -> tuple:
+            manifest = self.load_manifest(run_id) or {}
+            return (str(manifest.get("started_at", "")), run_id)
+        return max(runs, key=started)
 
     def observed_costs(self) -> Dict[str, Dict[str, float]]:
         """Mean observed cost per stage kind across all recorded runs.
@@ -184,16 +197,41 @@ class TelemetryStore:
         Returns ``{kind: {"mean_wall_s", "mean_cpu_s", "count"}}`` built from
         worker-origin spans (actual compute) with scheduler-origin spans as
         the fallback for kinds that only ever ran inline.  This is what
-        ``repro spec plan`` annotates stages with and what a cost-model
-        scheduler will order ready stages by.
+        ``repro spec plan`` annotates stages with and what the cost-aware
+        scheduler orders ready stages by.
+
+        Answered from the sqlite :class:`~repro.obs.index.RunIndex` (an
+        incremental ingest then one aggregate query) with a direct JSONL
+        scan as the fallback if the index is unavailable (e.g. the database
+        is locked by a concurrent ingest); both paths exclude spans whose
+        stage ultimately failed or was skipped.
         """
+        try:
+            from repro.obs.index import RunIndex
+            index = RunIndex(self.root.parent)
+            index.ingest()
+            return index.observed_costs()
+        except Exception:
+            return self._observed_costs_scan()
+
+    def _observed_costs_scan(self) -> Dict[str, Dict[str, float]]:
+        """The index-free fallback: scan every run's manifest + JSONL."""
         sums: Dict[str, Dict[str, float]] = {}
         for run_id in self.runs():
+            manifest = self.load_manifest(run_id) or {}
+            statuses = manifest.get("statuses")
+            if not isinstance(statuses, dict):
+                statuses = {}
             for span in self.load_spans(run_id):
                 # Only stages that did real work inform the cost model:
                 # "ran" is the scheduler/stage status, "done" the generic
                 # span status; cached/skipped/failed spans would skew means.
                 if span.get("status") not in ("done", "ran"):
+                    continue
+                # A span can report success while its stage later failed
+                # (e.g. a retried dispatch attempt); the manifest's final
+                # stage status is authoritative for the cost model.
+                if statuses.get(span.get("stage")) in ("failed", "skipped"):
                     continue
                 kind = span.get("kind")
                 if not kind:

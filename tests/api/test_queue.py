@@ -176,6 +176,67 @@ class TestIntrospection:
         assert all(not n.endswith(".done.json") for n in names)
 
 
+class TestFleetHealth:
+    def test_workers_dir_is_shared_across_run_queues(self, tmp_path):
+        fleet = WorkQueue(tmp_path / "dispatch")
+        embedded = WorkQueue(tmp_path / "dispatch" / "run-a")
+        assert fleet.workers_dir() == tmp_path / "dispatch" / "workers"
+        assert embedded.workers_dir() == fleet.workers_dir()
+
+    def test_publish_and_read_worker_records(self, queue):
+        path = queue.publish_worker({"worker": "w1", "status": "idle",
+                                     "updated_at": time.time(),
+                                     "heartbeat_seconds": 5.0})
+        assert path is not None and path.name == "worker-w1.json"
+        records = queue.worker_records()
+        assert [r["worker"] for r in records] == ["w1"]
+
+    def test_publish_without_worker_id_refused(self, queue):
+        assert queue.publish_worker({"status": "idle"}) is None
+
+    def test_worker_id_sanitised_in_record_path(self, queue):
+        path = queue.worker_record_path("../../evil worker")
+        assert path.parent == queue.workers_dir()
+        assert "/" not in path.name and " " not in path.name
+
+    def test_corrupt_worker_record_warned_and_skipped(self, queue):
+        queue.publish_worker({"worker": "good", "status": "idle",
+                              "updated_at": time.time()})
+        queue.workers_dir().mkdir(parents=True, exist_ok=True)
+        (queue.workers_dir() / "worker-bad.json").write_text("{torn")
+        with pytest.warns(RuntimeWarning):
+            records = queue.worker_records()
+        assert [r["worker"] for r in records] == ["good"]
+
+    def test_fleet_status_liveness_and_leases(self, queue):
+        now = time.time()
+        queue.publish_worker({"worker": "fresh", "status": "idle",
+                              "updated_at": now, "heartbeat_seconds": 5.0,
+                              "executed": 1})
+        queue.publish_worker({"worker": "stale", "status": "executing",
+                              "updated_at": now - 300,
+                              "heartbeat_seconds": 5.0})
+        queue.publish_worker({"worker": "retired", "status": "stopped",
+                              "updated_at": now})
+        items = enqueue(queue, n=2)
+        queue.try_claim(items[0], "fresh")
+        fleet = queue.fleet_status()
+        alive = {w["worker"]: w["alive"] for w in fleet["workers"]}
+        assert alive == {"fresh": True, "stale": False, "retired": False}
+        assert len(fleet["leases"]) == 1
+        lease = fleet["leases"][0]
+        assert lease["worker"] == "fresh" and not lease["expired"]
+        assert lease["remaining_s"] > 0
+        assert fleet["queue"]["pending"] == 1
+        assert fleet["queue"]["oldest_pending_s"] >= 0
+
+    def test_workers_dir_not_counted_as_a_run(self, queue):
+        enqueue(queue, n=1)
+        queue.publish_worker({"worker": "w1", "status": "idle",
+                              "updated_at": time.time()})
+        assert queue.stats()["runs"] == 1
+
+
 class TestAtomicWrite:
     def test_write_json_atomic_leaves_no_temp_files(self, tmp_path):
         path = write_json_atomic(tmp_path / "x.json", {"a": 1})

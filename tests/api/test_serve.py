@@ -64,13 +64,15 @@ class TestRoutes:
     def test_metrics_route_serves_registry_and_queue(self, server):
         status, body = get_json(url_of(server) + "/metrics")
         assert status == 200
-        assert set(body) == {"metrics", "queue"}
+        assert set(body) == {"metrics", "queue", "fleet"}
         # Every stats section reports, even before any submission ran.
         for name in ("trace_store.hits", "trace_store.misses",
                      "checkpoint_store.saves", "generation.runs"):
             assert name in body["metrics"]
-        assert set(body["queue"]) == {"runs", "items", "done", "leased",
-                                      "pending"}
+        for key in ("runs", "items", "done", "leased", "pending",
+                    "oldest_pending_s"):
+            assert key in body["queue"]
+        assert set(body["fleet"]) == {"workers", "leases", "queue"}
 
     def test_metrics_reflect_executed_submissions(self, server):
         submit_spec(url_of(server), SPEC_TOML, timeout=600)
@@ -80,6 +82,29 @@ class TestRoutes:
         for kind in ("capture", "simulate", "render"):
             assert body["metrics"][f"stage.{kind}.wall_s.count"] >= 1
             assert body["metrics"][f"stage.{kind}.ran"] >= 1
+            # Histogram summaries ride along with count/sum/mean.
+            assert f"stage.{kind}.wall_s.p50" in body["metrics"]
+            assert f"stage.{kind}.wall_s.p95" in body["metrics"]
+
+    def test_workers_route_serves_fleet_health(self, server):
+        status, body = get_json(url_of(server) + "/workers")
+        assert status == 200
+        assert set(body) == {"workers", "leases", "queue"}
+        assert body["workers"] == [] and body["leases"] == []
+        assert body["queue"]["pending"] == 0
+
+    def test_workers_route_lists_published_records(self, server,
+                                                   private_cache):
+        import time as time_mod
+        from repro.api.queue import WorkQueue, queue_root
+        queue = WorkQueue(queue_root(private_cache))
+        queue.publish_worker({"worker": "w-live", "status": "idle",
+                              "updated_at": time_mod.time(),
+                              "heartbeat_seconds": 5.0, "executed": 2})
+        _, body = get_json(url_of(server) + "/workers")
+        workers = {w["worker"]: w for w in body["workers"]}
+        assert workers["w-live"]["alive"] is True
+        assert workers["w-live"]["executed"] == 2
 
 
 class TestSubmission:

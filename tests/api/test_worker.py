@@ -116,6 +116,53 @@ class TestWorkerLoop:
         assert list(run.glob("item-0001-simulate.json.corrupt-*"))
 
 
+class TestFleetPublication:
+    def test_run_publishes_idle_then_stopped(self, tmp_path):
+        enqueue_noop_items(tmp_path, 1)
+        queue = WorkQueue(tmp_path, lease_seconds=30)
+        worker = Worker(queue=queue, worker_id="w-pub", poll_seconds=0.01,
+                        max_items=1)
+        worker.run()
+        records = queue.worker_records()
+        assert [r["worker"] for r in records] == ["w-pub"]
+        record = records[0]
+        # The final record is the stopped announcement with the run's
+        # cumulative counters; fleet views report it as not alive.
+        assert record["status"] == "stopped"
+        assert record["executed"] == 1
+        assert record["pid"] == os.getpid()
+        assert record["heartbeat_seconds"] == worker.heartbeat_seconds
+        fleet = queue.fleet_status()
+        assert fleet["workers"][0]["alive"] is False
+
+    def test_executing_status_names_the_item(self, tmp_path, monkeypatch):
+        items = enqueue_noop_items(tmp_path, 1)
+        queue = WorkQueue(tmp_path, lease_seconds=30)
+        worker = Worker(queue=queue, worker_id="w-item", poll_seconds=0.01)
+        seen = []
+        original = worker.publish
+
+        def spy(status, item=None):
+            seen.append((status, item))
+            original(status, item)
+
+        monkeypatch.setattr(worker, "publish", spy)
+        worker.run_once()
+        assert ("executing", items[0].name) in seen
+        # Back to idle after the item, stopped on the way out.
+        assert seen.index(("executing", items[0].name)) \
+            < len(seen) - 1 - seen[::-1].index(("idle", None))
+        assert seen[-1] == ("stopped", None)
+
+    def test_publish_failure_never_raises(self, tmp_path, monkeypatch):
+        queue = WorkQueue(tmp_path, lease_seconds=30)
+        worker = Worker(queue=queue, worker_id="w-err", poll_seconds=0.01)
+        monkeypatch.setattr(queue, "publish_worker",
+                            lambda record: (_ for _ in ()).throw(
+                                OSError("disk full")))
+        worker.publish("idle")  # must swallow
+
+
 class TestExecuteWorkItem:
     def test_existing_receipt_is_a_noop(self, tmp_path):
         item = enqueue_noop_items(tmp_path, 1)[0]

@@ -1,0 +1,322 @@
+"""The sqlite run index: ingestion, corruption policy, queries, costs."""
+
+import json
+import pickle
+import sqlite3
+
+import pytest
+
+from repro.cachedir import CACHE_DISABLE_ENV
+from repro.experiments.store import ResultStore
+from repro.obs.index import (INDEX_SUBDIR, RunIndex, SCHEMA_VERSION,
+                             TABLE_COLUMNS, TABLE_NAMES, get_run_index)
+from repro.obs.store import TelemetryStore
+
+
+@pytest.fixture
+def index(tmp_path):
+    return RunIndex(tmp_path)
+
+
+@pytest.fixture
+def telemetry(tmp_path):
+    return TelemetryStore(tmp_path)
+
+
+def make_run(telemetry, run_id=None, spec="s", n_spans=2, statuses=None):
+    run_id = telemetry.create_run(
+        {"spec": spec, "executor": "serial", "n_stages": n_spans},
+        run_id=run_id)
+    for i in range(n_spans):
+        telemetry.append_span(run_id, {
+            "stage": f"simulate:w{i}", "kind": "simulate",
+            "origin": "worker", "status": "ran", "wall_s": 1.0 + i,
+            "cpu_s": 0.5 + i, "rss_peak_kib": 1024, "pid": 7,
+            "params": {"workload": f"w{i}", "organisation": "multi-chip",
+                       "scale": 64, "warmup": 0.25}})
+    if statuses is not None:
+        telemetry.update_manifest(run_id, statuses=statuses)
+    return run_id
+
+
+def write_audit(tmp_path, run="run-1", lines=(), tail=""):
+    run_dir = tmp_path / "dispatch" / run
+    run_dir.mkdir(parents=True, exist_ok=True)
+    body = "".join(line + "\n" for line in lines) + tail
+    (run_dir / "executed.log").write_text(body)
+    return run_dir / "executed.log"
+
+
+AUDIT = ("item-0000-capture.json worker=w1 attempt=1 "
+         "started=2026-01-01T00:00:00Z duration_seconds=0.5")
+
+
+class TestTelemetryIngest:
+    def test_runs_stages_spans_land_with_cell_columns(self, index,
+                                                      telemetry):
+        run_id = make_run(telemetry, statuses={"simulate:w0": "ran",
+                                               "simulate:w1": "ran"})
+        counts = index.ingest()
+        assert counts["runs"] == 1 and counts["spans"] == 2
+        labels, rows = index.query(
+            "spans", select=["stage", "workload", "organisation", "scale",
+                             "warmup"], order_by="seq")
+        assert rows == [("simulate:w0", "w0", "multi-chip", 64, 0.25),
+                        ("simulate:w1", "w1", "multi-chip", 64, 0.25)]
+        _, stages = index.query("stages", select=["stage", "kind", "status"],
+                                order_by="stage")
+        assert stages == [("simulate:w0", "simulate", "ran"),
+                          ("simulate:w1", "simulate", "ran")]
+        _, runs = index.query("runs", select=["run_id", "spec", "n_stages"])
+        assert runs == [(run_id, "s", 2)]
+
+    def test_reingest_is_idempotent(self, index, telemetry):
+        make_run(telemetry)
+        index.ingest()
+        assert index.ingest() == {"runs": 0, "spans": 0, "executions": 0,
+                                  "artifacts": 0, "workers": 0}
+
+    def test_appended_spans_picked_up_incrementally(self, index, telemetry):
+        run_id = make_run(telemetry, n_spans=1)
+        index.ingest()
+        telemetry.append_span(run_id, {"stage": "render:r", "kind": "render",
+                                       "origin": "scheduler",
+                                       "status": "ran", "wall_s": 0.1})
+        counts = index.ingest()
+        # The changed run is re-ingested whole: 1 run, both spans.
+        assert counts["runs"] == 1 and counts["spans"] == 2
+
+    def test_torn_span_line_warns_and_rest_survive(self, index, telemetry):
+        run_id = make_run(telemetry, n_spans=2)
+        with open(telemetry.spans_path(run_id), "a") as fh:
+            fh.write('{"stage": "simulate:torn", "wall_s": ')
+        with pytest.warns(RuntimeWarning, match="span"):
+            counts = index.ingest()
+        assert counts["spans"] == 2
+        # Unchanged-but-corrupt run: fingerprinted, so no re-warn loop.
+        assert index.ingest()["spans"] == 0
+
+    def test_corrupt_manifest_warns_and_other_runs_ingest(self, index,
+                                                          telemetry):
+        bad = make_run(telemetry, run_id="20250101T000000-1-001-aaaaaa")
+        good = make_run(telemetry, run_id="20250102T000000-1-001-aaaaaa")
+        telemetry.manifest_path(bad).write_text("{not json")
+        with pytest.warns(RuntimeWarning, match="manifest"):
+            counts = index.ingest()
+        assert counts["runs"] == 1
+        _, rows = index.query("runs", select=["run_id"])
+        assert rows == [(good,)]
+
+    def test_vanished_run_rows_retired(self, index, telemetry):
+        import shutil
+        run_id = make_run(telemetry)
+        index.ingest()
+        shutil.rmtree(telemetry.run_dir(run_id))
+        index.ingest()
+        assert index.counts()["runs"] == 0
+        assert index.counts()["spans"] == 0
+
+
+class TestExecutionsIngest:
+    def test_audit_lines_parse(self, index, tmp_path):
+        write_audit(tmp_path, lines=[AUDIT])
+        assert index.ingest()["executions"] == 1
+        _, rows = index.query("executions",
+                              select=["item", "worker", "attempt",
+                                      "duration_s"])
+        assert rows == [("item-0000-capture.json", "w1", 1, 0.5)]
+
+    def test_torn_trailing_line_deferred_until_complete(self, index,
+                                                        tmp_path):
+        log = write_audit(tmp_path, lines=[AUDIT],
+                          tail="item-0001-simulate.json worker=w2")
+        assert index.ingest()["executions"] == 1
+        # The writer finishes the line: only the new bytes are read.
+        with open(log, "a") as fh:
+            fh.write(" attempt=1 duration_seconds=1.5\n")
+        assert index.ingest()["executions"] == 1
+        _, rows = index.query("executions", select=["item", "worker"],
+                              order_by="line")
+        assert rows == [("item-0000-capture.json", "w1"),
+                        ("item-0001-simulate.json", "w2")]
+
+    def test_garbage_line_warned_and_skipped(self, index, tmp_path):
+        write_audit(tmp_path, lines=["garbage line without fields", AUDIT])
+        with pytest.warns(RuntimeWarning, match="audit line"):
+            assert index.ingest()["executions"] == 1
+
+    def test_truncated_log_restarts_from_zero(self, index, tmp_path):
+        log = write_audit(tmp_path, lines=[AUDIT, AUDIT.replace("w1", "w2")])
+        assert index.ingest()["executions"] == 2
+        log.write_text(AUDIT.replace("w1", "w3") + "\n")  # rewritten shorter
+        assert index.ingest()["executions"] == 1
+        _, rows = index.query("executions", select=["worker"])
+        assert rows == [("w3",)]
+
+
+class TestArtifactsAndWorkers:
+    def test_artifact_metadata_without_unpickling(self, index, tmp_path,
+                                                  monkeypatch):
+        store = ResultStore(tmp_path)
+        store.save("simulate", {"workload": "Apache"}, {"x": 1})
+
+        def boom(*a, **k):  # the acceptance bar: stat() only, no loads
+            raise AssertionError("index ingestion must never unpickle")
+
+        monkeypatch.setattr(pickle, "load", boom)
+        monkeypatch.setattr(pickle, "loads", boom)
+        assert index.ingest()["artifacts"] == 1
+        labels, rows = index.query("artifacts",
+                                   select=["kind", "version", "size_bytes"])
+        assert rows[0][0] == "simulate"
+        assert rows[0][2] > 0
+
+    def test_worker_records_ingested_and_corrupt_skipped(self, index,
+                                                         tmp_path):
+        workers = tmp_path / "dispatch" / "workers"
+        workers.mkdir(parents=True)
+        (workers / "worker-w1.json").write_text(json.dumps(
+            {"worker": "w1", "status": "idle", "pid": 9,
+             "executed": 3, "failed": 1}))
+        (workers / "worker-w2.json").write_text("{torn")
+        with pytest.warns(RuntimeWarning, match="worker record"):
+            assert index.ingest()["workers"] == 1
+        _, rows = index.query("workers", select=["worker", "status",
+                                                 "executed"])
+        assert rows == [("w1", "idle", 3)]
+
+
+class TestQuery:
+    @pytest.fixture
+    def populated(self, index, telemetry):
+        make_run(telemetry, n_spans=3)
+        index.ingest()
+        return index
+
+    def test_cells_view_joins_runs(self, populated):
+        labels, rows = populated.query("cells", order_by="workload")
+        assert labels == list(TABLE_COLUMNS["cells"])
+        assert [r[labels.index("workload")] for r in rows] == \
+            ["w0", "w1", "w2"]
+        assert rows[0][labels.index("spec")] == "s"
+
+    def test_where_operators(self, populated):
+        _, rows = populated.query("cells",
+                                  where=[("wall_s", ">=", 2.0)])
+        assert len(rows) == 2
+        _, rows = populated.query("cells", where=[("workload", "~", "1")])
+        assert len(rows) == 1
+        _, rows = populated.query("cells", where=[("workload", "!=", "w0"),
+                                                  ("wall_s", "<", 3.0)])
+        assert len(rows) == 1
+
+    def test_group_by_and_aggregates(self, populated):
+        labels, rows = populated.query(
+            "cells", group_by=["organisation"],
+            aggregates=["count", "mean:wall_s", "max:wall_s"])
+        assert labels == ["organisation", "count", "mean_wall_s",
+                          "max_wall_s"]
+        assert rows == [("multi-chip", 3, 2.0, 3.0)]
+
+    def test_group_by_without_agg_counts(self, populated):
+        labels, rows = populated.query("cells", group_by=["organisation"])
+        assert labels == ["organisation", "count"]
+        assert rows == [("multi-chip", 3)]
+
+    def test_order_desc_and_limit(self, populated):
+        _, rows = populated.query("cells", select=["workload"],
+                                  order_by="wall_s", descending=True,
+                                  limit=2)
+        assert rows == [("w2",), ("w1",)]
+
+    def test_unknown_identifiers_rejected(self, populated):
+        with pytest.raises(ValueError, match="unknown table"):
+            populated.query("nope")
+        with pytest.raises(ValueError, match="unknown column"):
+            populated.query("cells", where=[("evil; DROP", "=", 1)])
+        with pytest.raises(ValueError, match="unknown column"):
+            populated.query("cells", select=["nope"])
+        with pytest.raises(ValueError, match="unknown operator"):
+            populated.query("cells", where=[("wall_s", "<>", 1)])
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            populated.query("cells", aggregates=["median:wall_s"])
+        with pytest.raises(ValueError, match="needs a column"):
+            populated.query("cells", aggregates=["sum:"])
+
+    def test_query_never_unpickles(self, populated, monkeypatch):
+        def boom(*a, **k):
+            raise AssertionError("queries must never unpickle")
+
+        monkeypatch.setattr(pickle, "load", boom)
+        monkeypatch.setattr(pickle, "loads", boom)
+        _, rows = populated.query("cells", aggregates=["count"])
+        assert rows == [(3,)]
+
+
+class TestObservedCosts:
+    def test_failed_stage_spans_excluded(self, index, telemetry):
+        run_id = make_run(telemetry, n_spans=2,
+                          statuses={"simulate:w0": "ran",
+                                    "simulate:w1": "failed"})
+        index.ingest()
+        costs = index.observed_costs()
+        assert costs["simulate"]["count"] == 1
+        assert costs["simulate"]["mean_wall_s"] == 1.0
+
+    def test_worker_origin_preferred(self, index, telemetry):
+        run_id = telemetry.create_run({})
+        telemetry.append_span(run_id, {"stage": "capture:a",
+                                       "kind": "capture", "origin": "worker",
+                                       "status": "ran", "wall_s": 2.0,
+                                       "cpu_s": 1.0})
+        telemetry.append_span(run_id, {"stage": "capture:a",
+                                       "kind": "capture",
+                                       "origin": "scheduler",
+                                       "status": "ran", "wall_s": 9.0,
+                                       "cpu_s": 0.1})
+        index.ingest()
+        assert index.observed_costs()["capture"]["mean_wall_s"] == 2.0
+
+
+class TestMaintenance:
+    def test_schema_bump_rebuilds(self, index, telemetry):
+        make_run(telemetry)
+        index.ingest()
+        conn = sqlite3.connect(index.db_path)
+        conn.execute("PRAGMA user_version = 99")
+        conn.commit()
+        conn.close()
+        # A stale schema version drops everything; ingest repopulates.
+        assert index.counts()["runs"] == 0
+        assert index.ingest()["runs"] == 1
+
+    def test_entries_size_clear_describe(self, index, telemetry):
+        assert index.entries() == []
+        assert "empty" in index.describe()
+        make_run(telemetry)
+        index.ingest()
+        assert index.db_path in index.entries()
+        assert index.size_bytes() > 0
+        assert "1 run," in index.describe()
+        assert index.clear() == 1
+        assert index.clear() == 0
+        assert index.entries() == []
+
+    def test_table_names_cover_all_whitelists(self):
+        assert set(TABLE_NAMES) == set(TABLE_COLUMNS)
+        assert "cells" in TABLE_NAMES
+
+    def test_db_lives_under_index_subdir(self, index, tmp_path):
+        assert index.db_path == tmp_path / INDEX_SUBDIR / "runs.sqlite"
+        assert SCHEMA_VERSION >= 1
+
+
+class TestGetter:
+    def test_disabled_disk_cache_returns_none(self, monkeypatch):
+        monkeypatch.setenv(CACHE_DISABLE_ENV, "1")
+        assert get_run_index() is None
+
+    def test_explicit_cache_dir_respected(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_DISABLE_ENV, raising=False)
+        index = get_run_index(tmp_path)
+        assert index.base == tmp_path

@@ -34,15 +34,35 @@ class TestPrimitives:
         assert hist.mean == 2.0
         snap = hist.snapshot()
         assert snap == {"h.count": 3, "h.sum": 6.0, "h.min": 1.0,
-                        "h.max": 3.0, "h.mean": 2.0}
+                        "h.max": 3.0, "h.mean": 2.0, "h.p50": 2.0,
+                        "h.p95": 3.0}
         hist.reset()
         assert hist.count == 0 and hist.min is None
         assert hist.mean == 0.0  # no division by zero
+        assert hist.percentile(50) == 0.0  # empty sample
 
     def test_histogram_snapshot_before_any_observation(self):
         snap = Histogram("h").snapshot()
         assert snap["h.count"] == 0
         assert snap["h.min"] == 0.0 and snap["h.max"] == 0.0
+        assert snap["h.p50"] == 0.0 and snap["h.p95"] == 0.0
+
+    def test_histogram_percentiles_nearest_rank(self):
+        hist = Histogram("h")
+        for value in range(1, 101):  # 1..100
+            hist.observe(float(value))
+        assert hist.percentile(50) == 50.0
+        assert hist.percentile(95) == 95.0
+        assert hist.percentile(100) == 100.0
+
+    def test_histogram_percentile_window_slides(self):
+        hist = Histogram("h")
+        for value in range(2 * Histogram.SAMPLE_SIZE):
+            hist.observe(float(value))
+        # Only the newest SAMPLE_SIZE observations back the percentile,
+        # while count/sum keep aggregating over everything.
+        assert hist.count == 2 * Histogram.SAMPLE_SIZE
+        assert hist.percentile(50) >= Histogram.SAMPLE_SIZE
 
 
 @dataclass

@@ -52,6 +52,25 @@ class TestRunLifecycle:
         assert store.runs() == [first, second]
         assert store.last_run_id() == second
 
+    def test_last_run_selected_by_started_at_not_name(self, store):
+        # A run whose directory name sorts first but whose manifest
+        # records the latest start must win: --last means "most recently
+        # started", not "lexically greatest id" or "newest mtime".
+        early = store.create_run({}, run_id="20250109T000000-1-001-aaaaaa")
+        late = store.create_run({}, run_id="20250101T000000-1-001-aaaaaa")
+        store.update_manifest(early, started_at="2025-01-09T00:00:00Z")
+        store.update_manifest(late, started_at="2025-01-10T00:00:00Z")
+        assert store.last_run_id() == late
+
+    def test_last_run_without_started_at_falls_back_to_id(self, store):
+        first = store.create_run({}, run_id="20250101T000000-1-001-aaaaaa")
+        second = store.create_run({}, run_id="20250102T000000-1-001-aaaaaa")
+        for run_id in (first, second):
+            manifest = store.load_manifest(run_id)
+            manifest.pop("started_at")
+            store._write_manifest(run_id, manifest)
+        assert store.last_run_id() == second
+
     def test_corrupt_manifest_warns_and_run_dropped(self, store):
         run_id = store.create_run({})
         store.manifest_path(run_id).write_text("{not json")
@@ -125,6 +144,37 @@ class TestObservedCosts:
                                        "origin": "scheduler", "wall_s": wall,
                                        "cpu_s": wall})
         assert store.observed_costs()["render"]["mean_wall_s"] == 2.0
+
+    def test_spans_of_failed_or_skipped_stages_excluded(self, store):
+        # A worker's "ran" span for a stage the scheduler later marked
+        # failed (e.g. its sibling attempt poisoned the stage) must not
+        # feed the cost model.
+        run_id = store.create_run({})
+        store.append_span(run_id, {"stage": "simulate:bad", "kind":
+                                   "simulate", "origin": "worker",
+                                   "status": "ran", "wall_s": 100.0,
+                                   "cpu_s": 100.0})
+        store.append_span(run_id, {"stage": "simulate:good", "kind":
+                                   "simulate", "origin": "worker",
+                                   "status": "ran", "wall_s": 2.0,
+                                   "cpu_s": 2.0})
+        store.update_manifest(run_id, statuses={"simulate:bad": "failed",
+                                                "simulate:good": "ran"})
+        costs = store.observed_costs()
+        assert costs["simulate"] == {"mean_wall_s": 2.0, "mean_cpu_s": 2.0,
+                                     "count": 1}
+
+    def test_index_and_scan_paths_agree(self, store):
+        run_id = store.create_run({})
+        store.append_span(run_id, {"stage": "simulate:a", "kind": "simulate",
+                                   "origin": "worker", "status": "ran",
+                                   "wall_s": 3.0, "cpu_s": 1.5})
+        store.append_span(run_id, {"stage": "render:r", "kind": "render",
+                                   "origin": "scheduler", "status": "ran",
+                                   "wall_s": 0.5, "cpu_s": 0.25})
+        store.update_manifest(run_id, statuses={"simulate:a": "ran",
+                                                "render:r": "ran"})
+        assert store.observed_costs() == store._observed_costs_scan()
 
 
 class TestMaintenance:

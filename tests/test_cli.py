@@ -4,6 +4,7 @@ The subcommands run in subprocesses (the real user entry point) with the
 disk cache pointed at a per-test temp directory.
 """
 
+import json
 import os
 import subprocess
 import sys
@@ -31,7 +32,7 @@ def run_cli(args, cache_dir, check=True):
 def test_help_lists_subcommands(tmp_path):
     proc = run_cli(["--help"], tmp_path)
     for sub in ("run", "suite", "report", "trace", "checkpoint",
-                "worker", "serve", "submit", "queue", "stats",
+                "worker", "serve", "submit", "queue", "query", "stats",
                 "clear-cache"):
         assert sub in proc.stdout
 
@@ -516,3 +517,82 @@ def test_serve_submit_roundtrip(tmp_path):
     finally:
         server.terminate()
         server.wait(timeout=30)
+
+
+# ---------------------------------------------------------------------- #
+# the run index: ``repro query`` and ``report --where``
+# ---------------------------------------------------------------------- #
+def test_query_filters_aggregates_and_formats(tmp_path):
+    spec = _write_spec(tmp_path, TELEMETRY_SPEC_TOML)
+    run_cli(["run", "--spec", spec, "--executor", "serial"], tmp_path)
+
+    table = run_cli(["query"], tmp_path)
+    assert "workload" in table.stdout and "Apache" in table.stdout
+    assert "(1 row)" in table.stdout
+
+    as_json = run_cli(["query", "cells", "--agg", "count",
+                       "--format", "json"], tmp_path)
+    assert json.loads(as_json.stdout) == [{"count": 1}]
+
+    as_csv = run_cli(["query", "cells", "--select", "workload,status",
+                      "--format", "csv"], tmp_path)
+    lines = as_csv.stdout.strip().splitlines()
+    assert lines[0] == "workload,status"
+    assert lines[1].startswith("Apache,")
+
+    grouped = run_cli(["query", "cells", "--group-by", "workload",
+                       "--agg", "count,mean:wall_s"], tmp_path)
+    assert "mean_wall_s" in grouped.stdout
+
+    filtered = run_cli(["query", "cells", "--where", "workload=DSS",
+                        "--format", "json"], tmp_path)
+    assert json.loads(filtered.stdout) == []
+
+    stages = run_cli(["query", "stages", "--where", "kind=simulate",
+                      "--agg", "count", "--format", "json"], tmp_path)
+    assert json.loads(stages.stdout) == [{"count": 1}]
+
+
+def test_query_rejects_bad_input(tmp_path):
+    bad_col = run_cli(["query", "cells", "--where", "nope=1"], tmp_path,
+                      check=False)
+    assert bad_col.returncode == 2
+    assert "unknown column" in bad_col.stderr
+    bad_expr = run_cli(["query", "cells", "--where", "no-operator"],
+                       tmp_path, check=False)
+    assert bad_expr.returncode == 2
+    assert "bad --where" in bad_expr.stderr
+
+
+def test_report_where_answers_from_the_index(tmp_path):
+    spec = _write_spec(tmp_path, TELEMETRY_SPEC_TOML)
+    run_cli(["run", "--spec", spec, "--executor", "serial"], tmp_path)
+    report = run_cli(["report", "--where", "workload=Apache"], tmp_path)
+    assert "indexed cells" in report.stdout
+    assert "by workload / organisation" in report.stdout
+    assert "Apache" in report.stdout
+    empty = run_cli(["report", "--where", "workload=DSS"], tmp_path)
+    assert "(0 rows)" in empty.stdout
+
+
+def test_report_where_conflicts_with_spec(tmp_path):
+    spec = _write_spec(tmp_path, TELEMETRY_SPEC_TOML)
+    proc = run_cli(["report", "--spec", spec, "--where", "workload=Apache"],
+                   tmp_path, check=False)
+    assert proc.returncode == 2
+    assert "cannot be combined" in proc.stderr
+
+
+def test_clear_cache_reports_run_index(tmp_path):
+    spec = _write_spec(tmp_path, TELEMETRY_SPEC_TOML)
+    run_cli(["run", "--spec", spec, "--executor", "serial"], tmp_path)
+    run_cli(["query"], tmp_path)  # materialise the index database
+    cleared = run_cli(["clear-cache"], tmp_path)
+    assert "run index" in cleared.stdout
+    assert "run index + telemetry)" in cleared.stdout
+    assert not (Path(tmp_path) / "index" / "runs.sqlite").exists()
+
+
+def test_queue_status_renders_fleet(tmp_path):
+    status = run_cli(["queue", "status"], tmp_path)
+    assert "0 worker records" in status.stdout
