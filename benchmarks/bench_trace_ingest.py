@@ -1,0 +1,193 @@
+"""Import-throughput and imported-replay benchmark for the ingest subsystem.
+
+Measures, per bundled fixture format, (a) import throughput — parsing an
+external dump and committing it into the columnar trace store, in
+accesses/second — and (b) how imported-trace replay compares against live
+workload generation for a stream of comparable length (the economics of
+importing: parse once, replay at columnar speed thereafter).  Also times one
+seeded fuzz-recipe generation pass.  Emits ``BENCH_trace_ingest.json`` so the
+ingest path's performance trajectory is tracked as data, not anecdotes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_trace_ingest.py \
+        [--cpus 16] [--seed 42] [--repeats 3] \
+        [--fuzz-recipe fuzz:Apache+OLTP,drift=0.3,burst=0.1] \
+        [--out BENCH_trace_ingest.json]
+
+The script is standalone on purpose (not pytest-collected): CI's
+ingest-smoke job runs it after the test suite and uploads the JSON as a
+workflow artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import __version__
+from repro.ingest import IMPORTERS, import_trace
+from repro.trace import TRACE_FORMAT_VERSION, TraceStore, trace_params
+from repro.workloads import create_workload
+
+FIXTURES = Path(__file__).resolve().parent.parent / "tests/ingest/fixtures"
+
+#: (format, fixture file) pairs benchmarked by default — one per importer.
+FIXTURE_FORMATS = (
+    ("valgrind", "fixture.lackey"),
+    ("champsim", "fixture.champsim.bin"),
+    ("csv", "fixture.csv"),
+    ("jsonl", "fixture.jsonl"),
+)
+
+#: Live-generation reference workload for the replay comparison.
+REFERENCE_WORKLOAD = "Apache"
+
+
+def _timed(fn, repeats: int) -> float:
+    """Best-of-N wall time of ``fn()`` (minimum damps scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_import(store: TraceStore, fmt: str, source: Path, n_cpus: int,
+                 seed: int, repeats: int) -> dict:
+    def do_import():
+        return import_trace(store, source, fmt, name=f"bench-{fmt}",
+                            n_cpus=n_cpus, seed=seed, size="bench",
+                            force=True)
+
+    import_s = _timed(do_import, repeats)
+    result = store.open(trace_params(f"import:bench-{fmt}", n_cpus, seed,
+                                     "bench"))
+    assert result is not None
+
+    def replay_accesses():
+        return sum(1 for _ in result.iter_accesses())
+
+    replay_s = _timed(replay_accesses, repeats)
+    n = result.n_accesses
+    return {
+        "format": fmt,
+        "source": source.name,
+        "source_kib": round(source.stat().st_size / 1024, 1),
+        "n_accesses": n,
+        "import_s": round(import_s, 4),
+        "import_accesses_per_s": round(n / max(import_s, 1e-9)),
+        "replay_s": round(replay_s, 4),
+        "replay_accesses_per_s": round(n / max(replay_s, 1e-9)),
+    }
+
+
+def bench_replay_vs_generation(store: TraceStore, n_cpus: int, seed: int,
+                               size: str, repeats: int) -> dict:
+    """Imported-replay vs live-generation wall time, same stream."""
+    params = trace_params(REFERENCE_WORKLOAD, n_cpus, seed, size)
+
+    def generate():
+        return sum(1 for _ in create_workload(
+            REFERENCE_WORKLOAD, n_cpus=n_cpus, seed=seed,
+            size=size).iter_accesses())
+
+    generate_s = _timed(generate, repeats)
+    n_accesses = sum(1 for _ in store.capture(
+        create_workload(REFERENCE_WORKLOAD, n_cpus=n_cpus, seed=seed,
+                        size=size).iter_accesses(), params))
+    reader = store.open(params)
+    assert reader is not None
+    replay_s = _timed(lambda: sum(1 for _ in reader.iter_accesses()),
+                      repeats)
+    return {
+        "workload": REFERENCE_WORKLOAD,
+        "n_accesses": n_accesses,
+        "generate_s": round(generate_s, 4),
+        "replay_s": round(replay_s, 4),
+        "replay_speedup": round(generate_s / max(replay_s, 1e-9), 2),
+    }
+
+
+def bench_fuzz(recipe: str, n_cpus: int, seed: int, size: str,
+               repeats: int) -> dict:
+    def generate():
+        return sum(1 for _ in create_workload(
+            recipe, n_cpus=n_cpus, seed=seed, size=size).iter_accesses())
+
+    n_accesses = generate()
+    fuzz_s = _timed(generate, repeats)
+    return {
+        "recipe": recipe,
+        "n_accesses": n_accesses,
+        "generate_s": round(fuzz_s, 4),
+        "accesses_per_s": round(n_accesses / max(fuzz_s, 1e-9)),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cpus", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--size", default="tiny",
+                        choices=("tiny", "small", "default", "large"),
+                        help="size for the generation/fuzz comparisons")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N timing repeats (default: 3)")
+    parser.add_argument("--fuzz-recipe",
+                        default="fuzz:Apache+OLTP,drift=0.3,burst=0.1")
+    parser.add_argument("--out", default="BENCH_trace_ingest.json")
+    args = parser.parse_args(argv)
+
+    imports = []
+    with tempfile.TemporaryDirectory(prefix="bench-ingest-") as root:
+        store = TraceStore(root)
+        for fmt, filename in FIXTURE_FORMATS:
+            source = FIXTURES / filename
+            if not source.is_file():
+                print(f"missing fixture {source}, skipping", file=sys.stderr)
+                continue
+            row = bench_import(store, fmt, source, args.cpus, args.seed,
+                               args.repeats)
+            imports.append(row)
+            print(f"{fmt:<9} {row['n_accesses']:>7,} accesses  "
+                  f"import {row['import_s']:.3f}s "
+                  f"({row['import_accesses_per_s']:,}/s)  "
+                  f"replay {row['replay_accesses_per_s']:,}/s")
+
+        comparison = bench_replay_vs_generation(store, args.cpus, args.seed,
+                                                args.size, args.repeats)
+        print(f"replay-vs-gen ({comparison['workload']}, {args.size}): "
+              f"{comparison['replay_speedup']:.1f}x over live generation")
+
+    fuzz = bench_fuzz(args.fuzz_recipe, args.cpus, args.seed, args.size,
+                      args.repeats)
+    print(f"fuzz {fuzz['recipe']}: {fuzz['n_accesses']:,} accesses in "
+          f"{fuzz['generate_s']:.3f}s ({fuzz['accesses_per_s']:,}/s)")
+
+    payload = {
+        "benchmark": "trace_ingest",
+        "repro_version": __version__,
+        "trace_format_version": TRACE_FORMAT_VERSION,
+        "importers": sorted(IMPORTERS.names()),
+        "python": platform.python_version(),
+        "params": {"cpus": args.cpus, "seed": args.seed, "size": args.size,
+                   "repeats": args.repeats},
+        "imports": imports,
+        "replay_vs_generation": comparison,
+        "fuzz": fuzz,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out} ({len(imports)} formats)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,14 @@ Usage::
 Lookups are case-insensitive over canonical names and aliases; registering a
 name (or alias) twice raises ``ValueError``, and looking up an unknown name
 raises ``KeyError`` listing the available entries.
+
+Beyond fixed names, a registry can host whole *families* of entries through
+:meth:`Registry.register_prefix`: a handler owns every name starting with a
+prefix (``fuzz:``, ``import:``) and derives an entry from the suffix at
+lookup time.  The trace-ingest subsystem uses this so ``workload =
+"fuzz:Apache+OLTP,drift=0.3"`` or ``"import:memcached"`` resolve through the
+same :data:`WORKLOADS` registry as the six paper workloads — specs, plans,
+and the CLI need no special cases.
 """
 
 from __future__ import annotations
@@ -43,6 +51,8 @@ class Registry:
         self._entries: Dict[str, Any] = {}
         #: normalized name/alias -> canonical name.
         self._lookup: Dict[str, str] = {}
+        #: normalized prefix -> (canonical prefix, handler, placeholder).
+        self._prefixes: Dict[str, Tuple[str, Callable, str]] = {}
 
     # ------------------------------------------------------------------ #
     def register(self, name: str, obj: Any,
@@ -71,10 +81,51 @@ class Registry:
             return self.register(name, obj, aliases=tuple(aliases))
         return _register
 
+    def register_prefix(self, prefix: str, handler: Callable,
+                        placeholder: Optional[str] = None) -> Callable:
+        """Register a ``handler`` owning every name starting with ``prefix``.
+
+        ``handler(suffix)`` is called with the part after the prefix and
+        must return ``(canonical_suffix, entry)`` when the suffix is valid,
+        or ``None`` to reject it (the name then resolves like any unknown
+        name).  The canonical name of a prefixed entry is
+        ``prefix + canonical_suffix``, so aliases inside the suffix (e.g.
+        fuzz-recipe base-workload aliases) normalise to one spelling.
+
+        ``placeholder`` is the human-readable form shown in "available:"
+        listings (default ``<prefix>...``).  Prefixes are matched
+        case-insensitively; registering the same prefix twice raises
+        ``ValueError``.  Returns ``handler`` so it can be used as a
+        decorator.
+        """
+        key = _normalize(prefix)
+        if key in self._prefixes:
+            raise ValueError(
+                f"duplicate {self.kind} prefix {prefix!r}")
+        self._prefixes[key] = (prefix, handler,
+                               placeholder or f"{prefix}...")
+        return handler
+
+    def _resolve_prefixed(self, name: str) -> Optional[Tuple[str, Any]]:
+        """(canonical name, entry) via a prefix handler, or ``None``."""
+        normalized = _normalize(name)
+        for key, (prefix, handler, _) in self._prefixes.items():
+            if not normalized.startswith(key):
+                continue
+            resolved = handler(name.strip()[len(prefix):])
+            if resolved is not None:
+                canonical_suffix, entry = resolved
+                return prefix + canonical_suffix, entry
+        return None
+
     # ------------------------------------------------------------------ #
     def canonical(self, name: str) -> Optional[str]:
         """The canonical name ``name`` resolves to, or ``None``."""
-        return self._lookup.get(_normalize(name))
+        exact = self._lookup.get(_normalize(name))
+        if exact is not None:
+            return exact
+        prefixed = self._resolve_prefixed(name)
+        return prefixed[0] if prefixed is not None else None
 
     def get(self, name: str) -> Any:
         """The registered entry for ``name`` (canonical or alias).
@@ -82,16 +133,25 @@ class Registry:
         Raises ``KeyError`` whose message lists the available entries, so a
         typo in a spec or on the command line is self-diagnosing.
         """
-        canonical = self.canonical(name)
-        if canonical is None:
-            raise KeyError(
-                f"unknown {self.kind} {name!r}; available: "
-                f"{', '.join(self.names()) or '(none registered)'}")
-        return self._entries[canonical]
+        canonical = self._lookup.get(_normalize(name))
+        if canonical is not None:
+            return self._entries[canonical]
+        prefixed = self._resolve_prefixed(name)
+        if prefixed is not None:
+            return prefixed[1]
+        available = self.names() + tuple(
+            placeholder for _, _, placeholder in self._prefixes.values())
+        raise KeyError(
+            f"unknown {self.kind} {name!r}; available: "
+            f"{', '.join(available) or '(none registered)'}")
 
     def names(self) -> Tuple[str, ...]:
-        """Canonical names in registration order."""
+        """Canonical names in registration order (prefix families excluded)."""
         return tuple(self._entries)
+
+    def prefixes(self) -> Tuple[str, ...]:
+        """Registered name prefixes in registration order."""
+        return tuple(prefix for prefix, _, _ in self._prefixes.values())
 
     def items(self) -> List[Tuple[str, Any]]:
         return list(self._entries.items())

@@ -35,9 +35,17 @@ stats
     and per-kind timing tables (wall, cpu, peak RSS) from the run's span
     records, plus any ``--profile`` .prof files.
 trace
-    Manage captured access traces: ``capture`` one ahead of time, ``list``
-    the store, ``info`` for an (optionally epoch-parallel) per-trace
-    breakdown.
+    Manage stored access traces: ``capture`` one ahead of time, ``import``
+    an external dump (valgrind-lackey, ChampSim-style records, CSV/JSONL)
+    as workload ``import:<name>``, ``list`` the store with each trace's
+    origin (captured vs imported), ``info`` for an (optionally
+    epoch-parallel) per-trace breakdown plus the provenance sidecar.
+fuzz
+    The seeded workload fuzzer: ``describe`` parses a
+    ``fuzz:<base>[+<base>...][,knob=value...]`` recipe and prints its
+    canonical form; ``gen`` generates the recipe's deterministic stream
+    and captures it into the trace store.  Recipes are usable directly as
+    spec/CLI workloads (``workload = "fuzz:Apache+OLTP,drift=0.3"``).
 checkpoint
     Manage epoch-boundary system checkpoints: ``list`` the store, ``info``
     for one run's stored epochs and resume point.
@@ -286,7 +294,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_params(p_query)
 
     p_trace = sub.add_parser(
-        "trace", help="manage captured access traces (capture/list/info)")
+        "trace", help="manage stored access traces "
+                      "(capture/import/list/info)")
     tsub = p_trace.add_subparsers(dest="trace_command", required=True)
 
     t_capture = tsub.add_parser(
@@ -306,6 +315,40 @@ def build_parser() -> argparse.ArgumentParser:
                            help="re-capture even if the trace already exists")
     _add_cache_params(t_capture)
 
+    t_import = tsub.add_parser(
+        "import",
+        help="import an external trace dump into the trace store")
+    t_import.add_argument("file", help="source trace file")
+    from .ingest import IMPORTERS
+    t_import.add_argument("--format", required=True, dest="fmt",
+                          metavar="FMT",
+                          help=f"dump format, one of "
+                               f"{', '.join(IMPORTERS.names())} "
+                               f"(aliases accepted)")
+    t_import.add_argument("--name", default=None, metavar="NAME",
+                          help="import name; the trace becomes workload "
+                               "'import:<name>' (default: the file stem)")
+    t_import.add_argument("--cpus", type=int, nargs="+", default=[16, 4],
+                          metavar="N",
+                          help="CPU count(s) to import for — one trace per "
+                               "value; cover every organisation the target "
+                               "spec uses (default: 16 4)")
+    t_import.add_argument("--size", default="small",
+                          choices=("tiny", "small", "default", "large"),
+                          help="size preset of the synthetic trace key "
+                               "(default: small)")
+    t_import.add_argument("--seed", type=int, default=42,
+                          help="seed of the synthetic trace key "
+                               "(default: 42)")
+    t_import.add_argument("--epoch-size", type=int, default=None,
+                          metavar="N",
+                          help="accesses per columnar epoch segment "
+                               "(default: the store default)")
+    t_import.add_argument("--force", action="store_true",
+                          help="re-import over an existing trace at the "
+                               "same key")
+    _add_cache_params(t_import)
+
     t_list = tsub.add_parser("list", help="list stored access traces")
     _add_cache_params(t_list)
 
@@ -323,6 +366,34 @@ def build_parser() -> argparse.ArgumentParser:
                         help="processes for the epoch-sharded counting pass "
                              "(default: cpu count; 1 runs inline)")
     _add_cache_params(t_info)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="seeded workload fuzzer (gen/describe)")
+    fsub = p_fuzz.add_subparsers(dest="fuzz_command", required=True)
+
+    f_gen = fsub.add_parser(
+        "gen", help="generate a fuzz recipe's stream and capture it into "
+                    "the trace store")
+    f_gen.add_argument("recipe",
+                       help="recipe, e.g. 'fuzz:Apache+OLTP,drift=0.3' "
+                            "(the 'fuzz:' prefix is optional here)")
+    f_gen.add_argument("--cpus", type=int, default=16, metavar="N",
+                       help="CPUs the stream is interleaved over "
+                            "(default: 16)")
+    f_gen.add_argument("--size", default="small",
+                       choices=("tiny", "small", "default", "large"),
+                       help="work-volume preset (default: small)")
+    f_gen.add_argument("--seed", type=int, default=42,
+                       help="fuzz seed (default: 42)")
+    f_gen.add_argument("--force", action="store_true",
+                       help="re-generate even if the trace already exists")
+    _add_cache_params(f_gen)
+
+    f_describe = fsub.add_parser(
+        "describe", help="parse a fuzz recipe and print its resolved form")
+    f_describe.add_argument("recipe",
+                            help="recipe string (with or without the "
+                                 "'fuzz:' prefix)")
 
     p_ckpt = sub.add_parser(
         "checkpoint",
@@ -817,7 +888,34 @@ def _cmd_trace_capture(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_import(args: argparse.Namespace) -> int:
+    from .ingest import TraceIngestError, import_trace
+    from .trace import DEFAULT_EPOCH_SIZE, get_trace_store
+    store = get_trace_store(args.cache_dir)
+    if store is None:
+        print("disk cache is disabled (REPRO_DISABLE_DISK_CACHE set)",
+              file=sys.stderr)
+        return 2
+    epoch_size = (args.epoch_size if args.epoch_size is not None
+                  else DEFAULT_EPOCH_SIZE)
+    workload = None
+    for n_cpus in dict.fromkeys(args.cpus):  # de-duplicated, order kept
+        try:
+            result = import_trace(
+                store, args.file, args.fmt, name=args.name, n_cpus=n_cpus,
+                seed=args.seed, size=args.size, epoch_size=epoch_size,
+                force=args.force)
+        except TraceIngestError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        workload = result.workload
+        print(result.describe())
+    print(f"use it in specs or `run` as workload = {workload!r}")
+    return 0
+
+
 def _cmd_trace_list(args: argparse.Namespace) -> int:
+    from .ingest import load_provenance, trace_origin
     from .trace import TraceCorruptError, TraceReader, get_trace_store
     store = get_trace_store(args.cache_dir)
     if store is None:
@@ -828,16 +926,23 @@ def _cmd_trace_list(args: argparse.Namespace) -> int:
     for path in store.entries():
         # entries() spans every version directory; traces from other
         # format/package versions are listed, not readable.
+        origin = trace_origin(path)
         try:
-            print(f"  {TraceReader(path).describe()}")
+            line = f"  {origin:>8}  {TraceReader(path).describe()}"
         except TraceCorruptError:
-            print(f"  {path.parent.name}/{path.name}: "
-                  f"unreadable (other version or corrupt)")
+            line = (f"  {origin:>8}  {path.parent.name}/{path.name}: "
+                    f"unreadable (other version or corrupt)")
+        if origin == "imported":
+            record = load_provenance(path) or {}
+            source = record.get("source", "?")
+            line += f" [from {record.get('format', '?')}:{source}]"
+        print(line)
     return 0
 
 
 def _cmd_trace_info(args: argparse.Namespace) -> int:
     from .experiments import ParallelSuiteRunner
+    from .ingest import load_provenance
     from .trace import get_trace_store, summarize_chunk, trace_params
     store = get_trace_store(args.cache_dir)
     if store is None:
@@ -853,9 +958,23 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
         print(f"no stored trace for {params}; run "
               f"`python -m repro trace capture {args.workload} "
               f"--cpus {args.cpus} --size {args.size} --seed {args.seed}` "
+              f"(or `trace import` for external dumps) "
               f"or any simulation with replay enabled", file=sys.stderr)
         return 1
     print(reader.describe())
+    provenance = load_provenance(store.path_for(params))
+    if provenance is not None:
+        options = provenance.get("options", {})
+        print(f"origin: imported via {provenance.get('format', '?')}")
+        print(f"  source: {provenance.get('source', '?')}")
+        print(f"  sha256: {provenance.get('sha256', '?')}")
+        print(f"  options: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(options.items())))
+        skipped = provenance.get("skipped_records", 0)
+        print(f"  records: {provenance.get('n_accesses', '?')} imported, "
+              f"{skipped} corrupt skipped")
+    else:
+        print("origin: captured (live generator stream)")
     header = (f"{'epoch':>6}{'accesses':>12}{'instructions':>14}"
               f"{'blocks':>10}{'reads':>10}{'writes':>10}")
     print(header)
@@ -877,10 +996,88 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     handlers = {
         "capture": _cmd_trace_capture,
+        "import": _cmd_trace_import,
         "list": _cmd_trace_list,
         "info": _cmd_trace_info,
     }
     return handlers[args.trace_command](args)
+
+
+def _fuzz_workload_name(recipe: str) -> str:
+    """The full ``fuzz:<recipe>`` workload name for a CLI recipe argument."""
+    text = recipe.strip()
+    return text if text.lower().startswith("fuzz:") else f"fuzz:{text}"
+
+
+def _cmd_fuzz_gen(args: argparse.Namespace) -> int:
+    from .api.registry import WORKLOADS
+    from .trace import get_trace_store, trace_params
+    from .workloads import create_workload
+    store = get_trace_store(args.cache_dir)
+    if store is None:
+        print("disk cache is disabled (REPRO_DISABLE_DISK_CACHE set)",
+              file=sys.stderr)
+        return 2
+    requested = _fuzz_workload_name(args.recipe)
+    workload_name = WORKLOADS.canonical(requested)
+    if workload_name is None:
+        from .ingest import RecipeError, parse_recipe
+        try:
+            parse_recipe(requested[len("fuzz:"):])
+        except RecipeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"error: unknown fuzz recipe {args.recipe!r}", file=sys.stderr)
+        return 2
+    params = trace_params(workload_name, args.cpus, args.seed, args.size)
+    if store.contains(params):
+        if not args.force:
+            reader = store.open(params)
+            if reader is not None:
+                print(f"already generated: {reader.describe()}")
+                return 0
+        else:
+            shutil.rmtree(store.path_for(params), ignore_errors=True)
+    workload = create_workload(workload_name, n_cpus=args.cpus,
+                               seed=args.seed, size=args.size)
+    start = time.time()
+    n = sum(1 for _ in store.capture(workload.iter_accesses(), params))
+    elapsed = time.time() - start
+    reader = store.open(params)
+    if reader is None:
+        print("fuzz capture failed to commit", file=sys.stderr)
+        return 1
+    print(f"generated {n:,} fuzzed accesses in {elapsed:.2f}s")
+    print(reader.describe())
+    print(f"use it in specs or `run` as workload = {workload_name!r}")
+    return 0
+
+
+def _cmd_fuzz_describe(args: argparse.Namespace) -> int:
+    from .ingest import FuzzWorkload, RecipeError, parse_recipe
+    requested = _fuzz_workload_name(args.recipe)
+    try:
+        recipe = parse_recipe(requested[len("fuzz:"):])
+    except RecipeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    workload_name = f"fuzz:{recipe.canonical_suffix()}"
+    print(f"canonical workload: {workload_name}")
+    print(recipe.describe())
+    sample = FuzzWorkload(recipe, n_cpus=16, seed=42)
+    print(f"base generator CPUs at 16-CPU interleave: "
+          f"{sample.generation_cpus} (skew={recipe.skew})")
+    for index, base in enumerate(recipe.bases):
+        print(f"  base[{index}] {base}: derived seed {sample.base_seed(index)}")
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    handlers = {
+        "gen": _cmd_fuzz_gen,
+        "describe": _cmd_fuzz_describe,
+    }
+    return handlers[args.fuzz_command](args)
 
 
 def _cmd_checkpoint_list(args: argparse.Namespace) -> int:
@@ -1368,6 +1565,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "report": _cmd_report,
         "spec": _cmd_spec,
         "trace": _cmd_trace,
+        "fuzz": _cmd_fuzz,
         "checkpoint": _cmd_checkpoint,
         "worker": _cmd_worker,
         "serve": _cmd_serve,

@@ -1,0 +1,281 @@
+"""Seeded workload fuzzer: compose and perturb the synthetic generators.
+
+The paper's temporal-streaming claims are evaluated on six well-behaved
+synthetic workloads; :class:`FuzzWorkload` hunts for access patterns where
+those claims break down by *recombining* the existing generators under
+deterministic perturbations.  A fuzz workload is named by a **recipe
+string** and plugs into the ``WORKLOADS`` registry through the ``fuzz:``
+prefix, so specs, plans, the trace store, checkpoints, and every executor
+treat ``workload = "fuzz:<recipe>"`` exactly like ``"Apache"``.
+
+Recipe grammar (no spaces)::
+
+    fuzz:<base>[+<base>...][,knob=value...]
+
+    fuzz:Apache+OLTP,drift=0.3,skew=2,burst=0.1,phases=6
+
+* **bases** — one or more registered workload names/aliases, each run as a
+  fresh deterministic generator with a seed derived from the base list and
+  the fuzz seed (knobs do not reseed the substrate, so single-knob
+  ablations compare like-for-like streams).
+* ``phases`` — phase mixing: the output interleaves fixed-size slots drawn
+  round-robin from the bases; the drift cycle repeats every ``phases``
+  phase indices (default: twice per base).
+* ``drift`` — working-set drift in [0, 1]: each phase shifts its base's
+  addresses by a page-aligned offset growing with the phase index, so
+  recurring temporal streams land at migrated addresses.
+* ``skew`` — CPU-count skew >= 1: bases generate for ``ceil(n_cpus/skew)``
+  CPUs, concentrating the interleaving on a subset of the machine.
+* ``burst`` — burst injection in [0, 1]: after each slot, with this
+  probability the most recent accesses are re-emitted back-to-back,
+  injecting dense re-reference bursts mid-stream.
+
+Determinism is the contract: the canonical recipe, the seed, ``n_cpus``,
+and ``size`` fully determine the access stream (base sub-seeds and all
+perturbation draws come from a SHA-256 of those values — never from
+``hash()``, which is salted per process), so the trace-store key
+``(fuzz:<recipe>, n_cpus, seed, size)`` is reproducible across processes,
+machines, and cold caches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import re
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterator, List, Optional, Tuple
+
+from ..mem.records import Access
+from ..mem.trace import AccessTrace
+from ..workloads.base import GENERATION_STATS, Workload
+
+#: Accesses drawn from one base generator before the mix rotates.
+SLOT_ACCESSES = 4096
+
+#: Page-aligned address shift per whole unit of drift per phase (4 MiB).
+DRIFT_STRIDE = 1 << 22
+
+#: Upper bound kept for burst re-emission.
+BURST_WINDOW = 64
+
+
+class RecipeError(ValueError):
+    """A fuzz recipe string does not parse or is out of range."""
+
+
+@dataclass(frozen=True)
+class FuzzRecipe:
+    """A parsed, validated fuzz recipe."""
+
+    bases: Tuple[str, ...]
+    drift: float = 0.0
+    skew: int = 1
+    burst: float = 0.0
+    #: 0 means "auto": twice per base, resolved at stream-build time.
+    phases: int = 0
+
+    def resolved_phases(self) -> int:
+        return self.phases if self.phases > 0 else 2 * len(self.bases)
+
+    def canonical_suffix(self) -> str:
+        """The one canonical spelling of this recipe (bases canonicalised,
+        knobs in fixed order, defaults omitted)."""
+        parts = ["+".join(self.bases)]
+        if self.drift:
+            parts.append(f"drift={format(self.drift, 'g')}")
+        if self.skew != 1:
+            parts.append(f"skew={self.skew}")
+        if self.burst:
+            parts.append(f"burst={format(self.burst, 'g')}")
+        if self.phases:
+            parts.append(f"phases={self.phases}")
+        return ",".join(parts)
+
+    def describe(self) -> str:
+        return (f"fuzz recipe over {len(self.bases)} base(s) "
+                f"[{', '.join(self.bases)}]: "
+                f"{self.resolved_phases()} phase(s), drift={self.drift}, "
+                f"skew={self.skew}, burst={self.burst}")
+
+
+_KNOB_PATTERN = re.compile(r"^(drift|skew|burst|phases)=([^=,]+)$")
+
+
+def parse_recipe(suffix: str) -> FuzzRecipe:
+    """Parse (and canonicalise) the part after ``fuzz:``.
+
+    Base-workload aliases resolve to canonical names, so two spellings of
+    the same recipe share one trace-store key.  Raises :class:`RecipeError`
+    on an empty recipe, an unknown base, a ``fuzz:`` base (no recursion),
+    an unknown knob, or an out-of-range value.
+    """
+    from ..api.registry import WORKLOADS
+
+    text = suffix.strip()
+    if not text:
+        raise RecipeError("empty fuzz recipe (expected "
+                          "fuzz:<base>[+<base>...][,knob=value...])")
+    segments = text.split(",")
+    base_names = [b for b in segments[0].split("+") if b]
+    if not base_names:
+        raise RecipeError(f"fuzz recipe {suffix!r} names no base workloads")
+    bases: List[str] = []
+    for base in base_names:
+        if base.strip().lower().startswith("fuzz:"):
+            raise RecipeError(
+                f"fuzz recipe base {base!r} may not itself be a fuzz "
+                f"workload")
+        canonical = WORKLOADS.canonical(base)
+        if canonical is None:
+            raise RecipeError(
+                f"fuzz recipe base {base!r} is not a registered workload "
+                f"(available: {', '.join(WORKLOADS.names())})")
+        bases.append(canonical)
+    knobs = {"drift": 0.0, "skew": 1, "burst": 0.0, "phases": 0}
+    for segment in segments[1:]:
+        match = _KNOB_PATTERN.match(segment.strip())
+        if match is None:
+            raise RecipeError(
+                f"bad fuzz recipe segment {segment!r} (expected "
+                f"knob=value with knob in drift/skew/burst/phases)")
+        knob, raw = match.groups()
+        try:
+            value = float(raw) if knob in ("drift", "burst") else int(raw)
+        except ValueError:
+            raise RecipeError(
+                f"bad value {raw!r} for fuzz knob {knob!r}") from None
+        knobs[knob] = value
+    if not 0.0 <= knobs["drift"] <= 1.0:
+        raise RecipeError(f"drift must be in [0, 1], got {knobs['drift']}")
+    if not 0.0 <= knobs["burst"] <= 1.0:
+        raise RecipeError(f"burst must be in [0, 1], got {knobs['burst']}")
+    if knobs["skew"] < 1:
+        raise RecipeError(f"skew must be >= 1, got {knobs['skew']}")
+    if knobs["phases"] < 0:
+        raise RecipeError(f"phases must be >= 0 (0 = auto), "
+                          f"got {knobs['phases']}")
+    return FuzzRecipe(bases=tuple(bases), drift=knobs["drift"],
+                      skew=int(knobs["skew"]), burst=knobs["burst"],
+                      phases=int(knobs["phases"]))
+
+
+def _stable_digest(*parts: object) -> int:
+    """A process-stable 63-bit integer digest of the given parts."""
+    payload = "\x1f".join(str(p) for p in parts).encode("utf-8")
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8],
+                          "big") & (2 ** 63 - 1)
+
+
+class FuzzWorkload(Workload):
+    """A deterministic composition/perturbation of registered workloads.
+
+    Satisfies the :class:`~repro.workloads.base.Workload` consumption
+    contract (``iter_accesses`` / ``generate``) without a builder or kernel
+    of its own — the substrate is the base workloads, instantiated fresh
+    per run with seeds derived from ``(recipe, seed)``.  Like every
+    workload, an instance is single-shot.
+    """
+
+    def __init__(self, recipe: FuzzRecipe, n_cpus: int, seed: int = 42,
+                 size: str = "default") -> None:
+        self.recipe = recipe
+        self.n_cpus = n_cpus
+        self.seed = seed
+        self.size = size
+        self._consumed = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def generation_cpus(self) -> int:
+        """CPUs handed to the base generators (skew concentrates them)."""
+        return max(1, -(-self.n_cpus // self.recipe.skew))
+
+    def base_seed(self, index: int) -> int:
+        """The derived seed for base workload ``index``.
+
+        Deliberately a function of the *bases* (not the knobs): two recipes
+        over the same composition share a substrate stream, so a behaviour
+        change under ``drift``/``burst`` is attributable to that knob alone
+        rather than to a reshuffled substrate.
+        """
+        return _stable_digest("fuzz-base", "+".join(self.recipe.bases),
+                              self.seed, index) % (2 ** 31)
+
+    def jobs(self):  # pragma: no cover - the driver path is not used
+        raise NotImplementedError(
+            "FuzzWorkload streams from its base workloads; it has no job "
+            "list of its own")
+
+    # ------------------------------------------------------------------ #
+    def iter_accesses(self) -> Iterator[Access]:
+        """Lazily yield the fuzzed stream (O(slot) memory)."""
+        if self._consumed:
+            raise RuntimeError(
+                "FuzzWorkload instances are single-shot; create a fresh "
+                "instance per run")
+        self._consumed = True
+        GENERATION_STATS.runs += 1
+        return self._stream()
+
+    def generate(self) -> AccessTrace:
+        trace = AccessTrace()
+        for access in self.iter_accesses():
+            trace.append(access)
+        return trace
+
+    # ------------------------------------------------------------------ #
+    def _stream(self) -> Iterator[Access]:
+        from ..workloads import create_workload
+
+        recipe = self.recipe
+        rng = random.Random(_stable_digest(
+            "fuzz-perturb", recipe.canonical_suffix(), self.seed,
+            self.n_cpus, self.size))
+        streams: List[Optional[Iterator[Access]]] = [
+            iter(create_workload(base, n_cpus=self.generation_cpus,
+                                 seed=self.base_seed(i),
+                                 size=self.size).iter_accesses())
+            for i, base in enumerate(recipe.bases)]
+        n_bases = len(streams)
+        phases = recipe.resolved_phases()
+        drift_step = int(recipe.drift * DRIFT_STRIDE) & ~0xFFF
+        recent: Deque[Access] = deque(maxlen=BURST_WINDOW)
+        slot = 0
+        live = n_bases
+        while live:
+            index = slot % n_bases
+            stream = streams[index]
+            slot += 1
+            if stream is None:
+                continue
+            # One phase = one round over the bases; drift cycles per phase.
+            phase = (slot - 1) // n_bases
+            offset = drift_step * (phase % phases)
+            emitted = 0
+            for access in stream:
+                # DMA rows shift too, keeping device writes correlated
+                # with the CPU reads of the same (drifted) buffers.
+                if offset:
+                    access = Access(cpu=access.cpu,
+                                    addr=access.addr + offset,
+                                    size=access.size, kind=access.kind,
+                                    fn=access.fn, thread=access.thread,
+                                    icount=access.icount)
+                recent.append(access)
+                yield access
+                emitted += 1
+                if emitted >= SLOT_ACCESSES:
+                    break
+            if emitted < SLOT_ACCESSES:
+                streams[index] = None
+                live -= 1
+            if recipe.burst and recent and rng.random() < recipe.burst:
+                # Re-emit the trailing window as a dense burst: repeated
+                # block touches with no instruction progress.
+                for access in list(recent):
+                    yield Access(cpu=access.cpu, addr=access.addr,
+                                 size=access.size, kind=access.kind,
+                                 fn=access.fn, thread=access.thread,
+                                 icount=0)

@@ -1,0 +1,109 @@
+"""Provenance sidecars for imported traces.
+
+An imported trace is indistinguishable from a captured one as far as the
+replay pipeline is concerned — same columnar segments, same ``meta.json``,
+same ``(workload, n_cpus, seed, size)`` key.  What *is* different is where
+the accesses came from, and that account lives in a ``provenance.json``
+sidecar written into the committed trace directory:
+
+* the source file path and its SHA-256 content hash (so a re-import of a
+  changed file is detectable),
+* the importer format and every import option that shaped the stream
+  (CPU remapping, assigned seed/size, epoch size),
+* how many records were imported and how many were skipped as corrupt.
+
+The sidecar is deliberately *extra* data: :func:`~repro.trace.replay.is_trace_dir`
+only requires ``meta.json``, so a trace with a sidecar replays through every
+existing code path untouched, and a sidecar that is itself corrupt degrades
+to "origin unknown" (``load_provenance`` returns ``None``) rather than
+poisoning the trace — mirroring the store's warn-and-drop policy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import warnings
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+#: Sidecar file name inside a committed trace directory.
+PROVENANCE_NAME = "provenance.json"
+
+#: Schema version of the sidecar payload.
+PROVENANCE_VERSION = 1
+
+
+def provenance_path(trace_dir: os.PathLike) -> Path:
+    return Path(trace_dir) / PROVENANCE_NAME
+
+
+def hash_file(path: os.PathLike, chunk_bytes: int = 1 << 20) -> str:
+    """SHA-256 hex digest of a file, streamed chunk-wise."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(chunk_bytes)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def build_provenance(source: os.PathLike, fmt: str,
+                     options: Dict[str, Any], sha256: str,
+                     n_accesses: int, skipped: int) -> Dict[str, Any]:
+    """The sidecar payload for one import."""
+    return {
+        "provenance_version": PROVENANCE_VERSION,
+        "origin": "imported",
+        "source": str(Path(source).resolve()),
+        "format": fmt,
+        "options": dict(options),
+        "sha256": sha256,
+        "n_accesses": int(n_accesses),
+        "skipped_records": int(skipped),
+    }
+
+
+def write_provenance(trace_dir: os.PathLike,
+                     record: Dict[str, Any]) -> Path:
+    """Write the sidecar into a (committed) trace directory."""
+    path = provenance_path(trace_dir)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_provenance(trace_dir: os.PathLike) -> Optional[Dict[str, Any]]:
+    """The sidecar payload, or ``None`` for captured/unreadable traces.
+
+    A malformed sidecar is reported with a warning and treated as absent:
+    the trace itself is still valid, only its origin story is lost.
+    """
+    path = provenance_path(trace_dir)
+    if not path.is_file():
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            record = json.load(fh)
+    except (OSError, ValueError) as exc:
+        warnings.warn(f"unreadable provenance sidecar {path} ({exc}); "
+                      f"treating the trace as origin-unknown",
+                      RuntimeWarning, stacklevel=2)
+        return None
+    if not isinstance(record, dict):
+        return None
+    return record
+
+
+def trace_origin(trace_dir: os.PathLike) -> str:
+    """``"imported"`` when a readable sidecar exists, else ``"captured"``."""
+    record = load_provenance(trace_dir)
+    if record is None:
+        return "captured"
+    return str(record.get("origin", "imported"))

@@ -48,9 +48,11 @@ class TraceStoreStats:
     hits: int = 0
     misses: int = 0
     captures: int = 0
+    #: Traces written by the ingest subsystem (``repro trace import``).
+    imports: int = 0
 
     def reset(self) -> None:
-        self.hits = self.misses = self.captures = 0
+        self.hits = self.misses = self.captures = self.imports = 0
 
 
 #: Shared counters (all stores in this process).  Registered into the

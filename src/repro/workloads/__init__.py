@@ -71,6 +71,14 @@ def _qry17(n_cpus: int, seed: int = 42, size: str = "default") -> DssWorkload:
     return DssWorkload(17, n_cpus=n_cpus, seed=seed, size=size)
 
 
+# Registering the paper workloads above is half the axis; the trace-ingest
+# package contributes the other half by claiming the "import:" and "fuzz:"
+# name prefixes on the same registry.  Importing it here guarantees the
+# prefixes exist wherever workloads are resolvable — specs, plans, the CLI,
+# and freshly spawned dispatch/process workers alike.
+from .. import ingest as _ingest  # noqa: E402,F401  (registers prefixes)
+
+
 def create_workload(name: str, n_cpus: int, seed: int = 42,
                     size: str = "default"):
     """Instantiate a workload model by its registered name.

@@ -1,0 +1,28 @@
+"""Shared helpers for the trace-ingest tests."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.trace import TraceStore
+
+#: Bundled external-format dumps, checked into the repository so importer
+#: behaviour is pinned against real bytes (CI's ingest-smoke job uses the
+#: same files).
+FIXTURES = Path(__file__).parent / "fixtures"
+
+LACKEY_FIXTURE = FIXTURES / "fixture.lackey"
+CHAMPSIM_FIXTURE = FIXTURES / "fixture.champsim.bin"
+CSV_FIXTURE = FIXTURES / "fixture.csv"
+JSONL_FIXTURE = FIXTURES / "fixture.jsonl"
+
+
+@pytest.fixture
+def store(tmp_path):
+    """A TraceStore rooted in this test's temp directory."""
+    return TraceStore(root=tmp_path / "cache")
+
+
+def access_key(access):
+    return (access.cpu, access.addr, access.size, int(access.kind),
+            access.thread, access.icount)

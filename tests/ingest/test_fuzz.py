@@ -1,0 +1,138 @@
+"""FuzzWorkload: recipe parsing, perturbations, and seed determinism."""
+
+import pytest
+
+from repro.api.registry import WORKLOADS
+from repro.cachedir import params_slug
+from repro.ingest import (FuzzRecipe, FuzzWorkload, RecipeError,
+                          parse_recipe)
+from repro.mem import AccessKind
+from repro.trace import trace_params
+from repro.workloads import create_workload
+
+from .conftest import access_key
+
+
+# --------------------------------------------------------------------------- #
+# recipe grammar
+# --------------------------------------------------------------------------- #
+def test_parse_recipe_canonicalises_bases_and_knobs():
+    recipe = parse_recipe("apache+db2,burst=0.10,drift=0.30")
+    assert recipe.bases == ("Apache", "OLTP")
+    assert recipe.drift == 0.3 and recipe.burst == 0.1
+    # Knobs render in fixed order with defaults omitted.
+    assert recipe.canonical_suffix() == "Apache+OLTP,drift=0.3,burst=0.1"
+    assert parse_recipe("Apache").canonical_suffix() == "Apache"
+
+
+@pytest.mark.parametrize("suffix, match", [
+    ("", "empty fuzz recipe"),
+    ("+", "names no base"),
+    ("NotAWorkload", "not a registered workload"),
+    ("fuzz:Apache", "may not itself be a fuzz"),
+    ("Apache,tempo=3", "bad fuzz recipe segment"),
+    ("Apache,drift=fast", "bad value"),
+    ("Apache,drift=1.5", "drift must be in"),
+    ("Apache,burst=-0.1", "burst must be in"),
+    ("Apache,skew=0", "skew must be >= 1"),
+    ("Apache,phases=-1", "phases must be >= 0"),
+])
+def test_parse_recipe_rejects(suffix, match):
+    with pytest.raises(RecipeError, match=match):
+        parse_recipe(suffix)
+
+
+def test_workload_registry_resolves_fuzz_prefix():
+    name = "fuzz:zeus+q1,skew=2"
+    canonical = WORKLOADS.canonical(name)
+    assert canonical == "fuzz:Zeus+Qry1,skew=2"
+    assert name in WORKLOADS
+    assert "fuzz:NotAWorkload" not in WORKLOADS
+    workload = create_workload(name, n_cpus=4, seed=3, size="tiny")
+    assert isinstance(workload, FuzzWorkload)
+    assert workload.recipe.bases == ("Zeus", "Qry1")
+    # The placeholder advertises the family in unknown-name errors.
+    with pytest.raises(KeyError, match="fuzz:<recipe>"):
+        WORKLOADS.get("Apache2")
+
+
+# --------------------------------------------------------------------------- #
+# stream semantics
+# --------------------------------------------------------------------------- #
+def test_fuzz_stream_is_seed_deterministic():
+    name = "fuzz:Apache+OLTP,drift=0.3,skew=2,burst=0.2"
+
+    def stream(seed):
+        workload = create_workload(name, n_cpus=4, seed=seed, size="tiny")
+        return [access_key(a) for a in workload.iter_accesses()]
+
+    first, second = stream(9), stream(9)
+    assert first == second and len(first) > 0
+    assert stream(10) != first
+
+
+def test_fuzz_trace_key_is_canonical_and_stable():
+    # Two spellings of one recipe share a single trace-store key.
+    spellings = ("fuzz:apache+db2,burst=0.10", "fuzz:Apache+OLTP,burst=0.1")
+    slugs = {params_slug(trace_params(WORKLOADS.canonical(s), 4, 9, "tiny"))
+             for s in spellings}
+    assert len(slugs) == 1
+
+
+def test_skew_concentrates_cpus():
+    workload = create_workload("fuzz:Apache,skew=4", n_cpus=8, seed=5,
+                               size="tiny")
+    assert workload.generation_cpus == 2
+    cpus = {a.cpu for a in workload.iter_accesses() if a.cpu >= 0}
+    assert cpus <= {0, 1}
+
+
+def test_drift_shifts_later_phases():
+    plain = [a.addr for a in
+             create_workload("fuzz:Apache", n_cpus=2, seed=1,
+                             size="tiny").iter_accesses()]
+    drifted = [a.addr for a in
+               create_workload("fuzz:Apache,drift=1,phases=8", n_cpus=2,
+                               seed=1, size="tiny").iter_accesses()]
+    assert len(plain) == len(drifted)
+    # Phase 0 (the first slot) is unshifted; later phases are offset by a
+    # page-aligned multiple of the drift stride.
+    deltas = {d - p for p, d in zip(plain, drifted)}
+    assert 0 in deltas and len(deltas) > 1
+    assert all(delta % 0x1000 == 0 for delta in deltas)
+
+
+def test_burst_injects_icount_free_reemissions():
+    no_burst = list(create_workload("fuzz:Apache", n_cpus=2, seed=2,
+                                    size="tiny").iter_accesses())
+    burst = list(create_workload("fuzz:Apache,burst=1", n_cpus=2, seed=2,
+                                 size="tiny").iter_accesses())
+    assert len(burst) > len(no_burst)
+    # Bursts re-emit recent accesses with no instruction progress, so total
+    # instructions are unchanged.
+    assert (sum(a.icount for a in burst if a.cpu >= 0)
+            == sum(a.icount for a in no_burst if a.cpu >= 0))
+
+
+def test_fuzz_workload_is_single_shot():
+    workload = create_workload("fuzz:Apache", n_cpus=2, seed=1, size="tiny")
+    list(workload.iter_accesses())
+    with pytest.raises(RuntimeError, match="single-shot"):
+        workload.iter_accesses()
+
+
+def test_generate_matches_iter_accesses():
+    kwargs = dict(n_cpus=2, seed=4, size="tiny")
+    eager = create_workload("fuzz:Qry1,burst=0.3", **kwargs).generate()
+    lazy = list(create_workload("fuzz:Qry1,burst=0.3",
+                                **kwargs).iter_accesses())
+    assert [access_key(a) for a in eager] == [access_key(a) for a in lazy]
+    assert {int(a.kind) for a in eager} >= {AccessKind.READ,
+                                            AccessKind.WRITE}
+
+
+def test_recipe_dataclass_defaults():
+    recipe = FuzzRecipe(bases=("Apache",))
+    assert recipe.resolved_phases() == 2
+    assert FuzzRecipe(bases=("Apache", "Zeus"),
+                      phases=5).resolved_phases() == 5

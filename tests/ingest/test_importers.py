@@ -1,0 +1,220 @@
+"""Importer adapters: parsing, corruption policy, provenance, registry."""
+
+import struct
+
+import pytest
+
+from repro.ingest import (CHAMPSIM_RECORD, IMPORTERS, ChampSimImporter,
+                          CsvImporter, JsonlImporter, TraceIngestError,
+                          ValgrindLackeyImporter, import_trace,
+                          load_provenance, sanitize_import_name,
+                          trace_origin)
+from repro.mem import AccessKind
+from repro.trace import trace_params
+
+from .conftest import (CHAMPSIM_FIXTURE, CSV_FIXTURE, JSONL_FIXTURE,
+                       LACKEY_FIXTURE, access_key)
+
+
+# --------------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------------- #
+def test_importer_registry_names_and_aliases():
+    assert set(IMPORTERS.names()) >= {"valgrind", "champsim", "csv", "jsonl"}
+    assert IMPORTERS.get("lackey") is ValgrindLackeyImporter
+    assert IMPORTERS.get("valgrind-lackey") is ValgrindLackeyImporter
+    assert IMPORTERS.get("champsim-records") is ChampSimImporter
+    assert IMPORTERS.get("ndjson") is JsonlImporter
+    with pytest.raises(KeyError):
+        IMPORTERS.get("gzip")
+
+
+def test_sanitize_import_name():
+    assert sanitize_import_name("memcached") == "memcached"
+    assert sanitize_import_name("my trace (v2)") == "my-trace-v2"
+    with pytest.raises(TraceIngestError):
+        sanitize_import_name("///")
+
+
+# --------------------------------------------------------------------------- #
+# valgrind-lackey text
+# --------------------------------------------------------------------------- #
+def test_lackey_parses_fixture():
+    importer = ValgrindLackeyImporter()
+    accesses = list(importer.iter_accesses(LACKEY_FIXTURE, {"n_cpus": 4}))
+    assert importer.stats.skipped == 0
+    assert importer.stats.records > 0
+    kinds = {int(a.kind) for a in accesses}
+    assert AccessKind.IFETCH in kinds and AccessKind.READ in kinds
+    assert AccessKind.WRITE in kinds
+    # Instructions are dealt round-robin over the requested CPUs.
+    assert {a.cpu for a in accesses} == {0, 1, 2, 3}
+    # Only ifetches carry instruction counts (one per I line).
+    assert all((a.icount == 1) == (a.kind == AccessKind.IFETCH)
+               for a in accesses)
+
+
+def test_lackey_modify_expands_to_read_then_write(tmp_path):
+    source = tmp_path / "m.lackey"
+    source.write_text("I  1000,4\n M 2000,8\n")
+    accesses = list(ValgrindLackeyImporter().iter_accesses(
+        source, {"n_cpus": 2}))
+    assert [int(a.kind) for a in accesses] == [
+        AccessKind.IFETCH, AccessKind.READ, AccessKind.WRITE]
+    assert accesses[1].addr == accesses[2].addr == 0x2000
+
+
+def test_lackey_corrupt_lines_warn_and_skip(tmp_path):
+    source = tmp_path / "bad.lackey"
+    source.write_text("I  1000,4\n"
+                      "this is not a record\n"
+                      " L zz,8\n"
+                      " L 2000,8\n")
+    importer = ValgrindLackeyImporter()
+    with pytest.warns(RuntimeWarning, match="skipping corrupt record"):
+        accesses = list(importer.iter_accesses(source, {"n_cpus": 1}))
+    assert importer.stats.skipped == 2
+    assert len(accesses) == 2  # the I and the good L
+
+
+# --------------------------------------------------------------------------- #
+# ChampSim-style records
+# --------------------------------------------------------------------------- #
+def test_champsim_parses_fixture():
+    importer = ChampSimImporter()
+    accesses = list(importer.iter_accesses(CHAMPSIM_FIXTURE, {"n_cpus": 4}))
+    assert importer.stats.skipped == 0
+    assert len(accesses) == 600
+    # Foreign cpu ids 0..7 fold onto the 4 requested CPUs.
+    assert {a.cpu for a in accesses} == {0, 1, 2, 3}
+    assert {int(a.kind) for a in accesses} == {AccessKind.READ,
+                                               AccessKind.WRITE}
+
+
+def test_champsim_truncated_tail_warns_and_skips(tmp_path):
+    source = tmp_path / "trunc.bin"
+    good = CHAMPSIM_RECORD.pack(0x400, 0x1000, 0, 0, 8)
+    source.write_bytes(good + good[:10])
+    importer = ChampSimImporter()
+    with pytest.warns(RuntimeWarning, match="truncated trailing record"):
+        accesses = list(importer.iter_accesses(source, {"n_cpus": 1}))
+    assert len(accesses) == 1
+    assert importer.stats.skipped == 1
+
+
+def test_champsim_bad_flag_skipped(tmp_path):
+    source = tmp_path / "flag.bin"
+    bad = struct.pack("<QQBBH4x", 0x400, 0x1000, 7, 0, 8)
+    good = CHAMPSIM_RECORD.pack(0x404, 0x2000, 1, 0, 8)
+    source.write_bytes(bad + good)
+    importer = ChampSimImporter()
+    with pytest.warns(RuntimeWarning, match="is_write=7"):
+        accesses = list(importer.iter_accesses(source, {"n_cpus": 1}))
+    assert [a.addr for a in accesses] == [0x2000]
+    assert importer.stats.skipped == 1
+
+
+# --------------------------------------------------------------------------- #
+# CSV / JSONL rows
+# --------------------------------------------------------------------------- #
+def test_csv_parses_fixture_with_named_kinds():
+    importer = CsvImporter()
+    accesses = list(importer.iter_accesses(CSV_FIXTURE, {"n_cpus": 4}))
+    assert importer.stats.skipped == 0
+    assert len(accesses) == 300
+    assert {int(a.kind) for a in accesses} == {AccessKind.READ,
+                                               AccessKind.WRITE}
+    assert all(a.addr >= 0x2000000 for a in accesses)
+
+
+def test_jsonl_parses_fixture():
+    importer = JsonlImporter()
+    accesses = list(importer.iter_accesses(JSONL_FIXTURE, {"n_cpus": 2}))
+    assert importer.stats.skipped == 0
+    assert len(accesses) == 200
+
+
+def test_row_importers_skip_bad_rows(tmp_path):
+    csv_file = tmp_path / "rows.csv"
+    csv_file.write_text("cpu,addr,kind\n"
+                        "0,0x100,read\n"
+                        "0,,read\n"          # missing addr
+                        "0,0x200,teleport\n"  # unknown kind
+                        "1,0x300,write\n")
+    importer = CsvImporter()
+    with pytest.warns(RuntimeWarning):
+        accesses = list(importer.iter_accesses(csv_file, {"n_cpus": 2}))
+    assert [a.addr for a in accesses] == [0x100, 0x300]
+    assert importer.stats.skipped == 2
+
+    jsonl_file = tmp_path / "rows.jsonl"
+    jsonl_file.write_text('{"addr": 16}\n'
+                          'not json\n'
+                          '[1, 2]\n'
+                          '{"addr": "0x20", "kind": "write"}\n')
+    importer = JsonlImporter()
+    with pytest.warns(RuntimeWarning):
+        accesses = list(importer.iter_accesses(jsonl_file, {"n_cpus": 1}))
+    assert [a.addr for a in accesses] == [16, 0x20]
+    assert importer.stats.skipped == 2
+
+
+# --------------------------------------------------------------------------- #
+# import_trace orchestration + provenance
+# --------------------------------------------------------------------------- #
+def test_import_trace_commits_with_provenance(store):
+    result = import_trace(store, LACKEY_FIXTURE, "lackey", name="fix",
+                          n_cpus=4, seed=7, size="tiny")
+    params = trace_params("import:fix", 4, 7, "tiny")
+    assert result.params == params
+    assert store.contains(params)
+    assert trace_origin(result.path) == "imported"
+    provenance = load_provenance(result.path)
+    assert provenance["format"] == "valgrind"  # canonicalised from alias
+    assert provenance["source"].endswith("fixture.lackey")
+    assert provenance["n_accesses"] == result.n_accesses
+    assert provenance["options"]["n_cpus"] == 4
+    assert len(provenance["sha256"]) == 64
+
+    # The replay path sees exactly what the importer produced.
+    reader = store.open(params)
+    replayed = list(reader.iter_accesses())
+    direct = list(ValgrindLackeyImporter().iter_accesses(
+        LACKEY_FIXTURE, {"n_cpus": 4}))
+    assert [access_key(a) for a in replayed] == \
+        [access_key(a) for a in direct]
+
+
+def test_import_trace_rejects_duplicate_without_force(store):
+    import_trace(store, CSV_FIXTURE, "csv", name="dup", n_cpus=2,
+                 size="tiny")
+    with pytest.raises(TraceIngestError, match="already exists"):
+        import_trace(store, CSV_FIXTURE, "csv", name="dup", n_cpus=2,
+                     size="tiny")
+    result = import_trace(store, CSV_FIXTURE, "csv", name="dup", n_cpus=2,
+                          size="tiny", force=True)
+    assert result.n_accesses == 300
+
+
+def test_import_trace_refuses_empty_and_unknown(store, tmp_path):
+    empty = tmp_path / "empty.lackey"
+    empty.write_text("== banner only\n")
+    with pytest.raises(TraceIngestError, match="no importable records"):
+        import_trace(store, empty, "lackey", n_cpus=1, size="tiny")
+    # A refused import never publishes a trace directory.
+    assert not store.contains(trace_params("import:empty", 1, 42, "tiny"))
+    with pytest.raises(TraceIngestError, match="unknown importer"):
+        import_trace(store, LACKEY_FIXTURE, "nope", n_cpus=1, size="tiny")
+    with pytest.raises(TraceIngestError, match="no such trace file"):
+        import_trace(store, tmp_path / "missing.bin", "csv", n_cpus=1)
+
+
+def test_captured_traces_report_captured_origin(store):
+    from repro.workloads import create_workload
+    params = trace_params("Apache", 2, 42, "tiny")
+    stream = create_workload("Apache", n_cpus=2, seed=42,
+                             size="tiny").iter_accesses()
+    for _access in store.capture(stream, params):
+        pass
+    assert trace_origin(store.path_for(params)) == "captured"
+    assert load_provenance(store.path_for(params)) is None
