@@ -1,0 +1,238 @@
+"""Delta-chain checkpoint and shared-prefix warm-start benchmark.
+
+Quantifies, per workload, what the delta layer buys over legacy full
+snapshots, and what shared-prefix warm starts buy over cold sweeps:
+
+* ``full_kib_per_epoch`` vs ``delta_kib_per_epoch`` — bytes the store
+  grows per epoch boundary when checkpointing *every* boundary with legacy
+  full snapshots vs delta chains.  The dominant snapshot component (the
+  accumulated miss trace) grows linearly with the run, so full snapshots
+  cost O(trace) per boundary while append-encoded delta links cost
+  O(epoch); ``bytes_ratio`` is asserted >= 2 — this gate is deterministic
+  (byte counts, not timings).
+* ``full_ckpt_s`` vs ``delta_ckpt_s`` — wall time of the same two passes
+  (reported, not gated: timings are noisy in CI).
+* ``cold_sweep_s`` vs ``warm_sweep_s`` — a two-cell sweep differing only in
+  warm-up fraction, run cold (each cell simulates from access zero,
+  checkpointing as the runner always does) vs warm (the shared prefix is
+  published once, both cells restore it and simulate just their tails);
+  miss traces are verified identical before the speedup is reported.
+
+Emits ``BENCH_checkpoint_delta.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_checkpoint_delta.py \
+        [--size default] [--seed 42] [--workloads Apache ...] \
+        [--organisation multi-chip] [--out BENCH_checkpoint_delta.json]
+
+Standalone on purpose (not pytest-collected): CI runs it after the test
+suite and uploads the JSON as a workflow artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import __version__
+from repro.checkpoint import (CHECKPOINT_FORMAT_VERSION, STATS,
+                              CheckpointStore, chain_stats,
+                              checkpoint_params, prefix_params,
+                              simulate_replay)
+from repro.checkpoint.delta import collect_garbage
+from repro.experiments.runner import _build_system
+from repro.trace import TraceStore, trace_params
+from repro.trace.epoch import boundary_at_or_before
+from repro.workloads import WORKLOAD_NAMES, create_workload
+
+#: The sweep's two warm-up fractions; the smaller one is the shared prefix.
+WARMUPS = (0.5, 0.75)
+
+
+def _trace_checksum(trace) -> tuple:
+    """A cheap, order-sensitive fingerprint of one miss trace."""
+    return (len(trace), trace.instructions,
+            sum((record.seq + 1) * record.block for record in trace),
+            sum(record.cpu for record in trace))
+
+
+def _checksums(system) -> dict:
+    return {context: _trace_checksum(trace)
+            for context, trace in system.miss_traces().items()}
+
+
+def bench_workload(root: str, name: str, organisation: str, seed: int,
+                   size: str, scale: int) -> dict:
+    system = _build_system(organisation, scale)
+    n_cpus = system.config.n_cpus
+    stream_key = trace_params(name, n_cpus, seed, size)
+    traces = TraceStore(root)
+
+    n_accesses = sum(1 for _ in traces.capture(
+        create_workload(name, n_cpus=n_cpus, seed=seed,
+                        size=size).iter_accesses(), stream_key))
+    reader = traces.open(stream_key)
+    assert reader is not None and reader.n_accesses == n_accesses
+    warmup = int(n_accesses * WARMUPS[0])
+    key = checkpoint_params(name, n_cpus, seed, size, organisation, scale,
+                            WARMUPS[0], epoch_size=reader.meta.epoch_size)
+
+    # ---- per-epoch checkpoint overhead: legacy full vs delta chains ---- #
+    full_store = CheckpointStore(Path(root) / "full")
+    start = time.perf_counter()
+    full_system = _build_system(organisation, scale)
+    simulate_replay(full_system, reader, warmup=warmup, store=full_store,
+                    params=key, resume=False, checkpoint_every=1,
+                    delta=False)
+    full_ckpt_s = time.perf_counter() - start
+    reference = _checksums(full_system)
+
+    delta_store = CheckpointStore(Path(root) / "delta")
+    start = time.perf_counter()
+    delta_system = _build_system(organisation, scale)
+    simulate_replay(delta_system, reader, warmup=warmup, store=delta_store,
+                    params=key, resume=False, checkpoint_every=1, delta=True)
+    delta_ckpt_s = time.perf_counter() - start
+    assert _checksums(delta_system) == reference
+
+    # The delta chain restores the final boundary to the exact full state.
+    full_latest = full_store.latest(key)
+    delta_latest = delta_store.latest(key)
+    assert full_latest is not None and delta_latest is not None
+    assert full_latest[0] == delta_latest[0]
+    assert full_latest[1] == delta_latest[1], "delta restore diverged"
+
+    n_epochs = reader.n_epochs
+    full_bytes = full_store.size_bytes()
+    delta_bytes = delta_store.size_bytes()
+    bytes_ratio = full_bytes / max(delta_bytes, 1)
+    assert bytes_ratio >= 2.0, (
+        f"{name}: delta checkpoints only {bytes_ratio:.2f}x smaller per "
+        f"epoch than full snapshots (expected >= 2x; full "
+        f"{full_bytes} B vs delta {delta_bytes} B over {n_epochs} epochs)")
+    gc_removed, gc_freed = collect_garbage(delta_store)
+    assert gc_removed == 0, "live chains must not lose chunks to gc"
+
+    # ---- shared-prefix warm start: cold sweep vs publish + warm cells --- #
+    def cell_key(fraction):
+        return checkpoint_params(name, n_cpus, seed, size, organisation,
+                                 scale, fraction,
+                                 epoch_size=reader.meta.epoch_size)
+
+    cold_store = CheckpointStore(Path(root) / "cold")
+    start = time.perf_counter()
+    cold = {}
+    for fraction in WARMUPS:
+        cell = _build_system(organisation, scale)
+        simulate_replay(cell, reader, warmup=int(n_accesses * fraction),
+                        store=cold_store, params=cell_key(fraction),
+                        resume=False)
+        cold[fraction] = _checksums(cell)
+    cold_sweep_s = time.perf_counter() - start
+
+    warm_store = CheckpointStore(Path(root) / "warm")
+    p_key = prefix_params(name, n_cpus, seed, size, organisation, scale,
+                          epoch_size=reader.meta.epoch_size)
+    stop = boundary_at_or_before(reader.meta.segments,
+                                 int(n_accesses * WARMUPS[0]))
+    assert stop >= 1, f"{name}: no epoch boundary inside the shared prefix"
+    start = time.perf_counter()
+    publisher = _build_system(organisation, scale)
+    simulate_replay(publisher, reader, warmup=n_accesses, store=warm_store,
+                    params=p_key, stop_epoch=stop)
+    warm = {}
+    for fraction in WARMUPS:
+        limit = boundary_at_or_before(reader.meta.segments,
+                                      int(n_accesses * fraction))
+        cell = _build_system(organisation, scale)
+        simulate_replay(cell, reader, warmup=int(n_accesses * fraction),
+                        store=warm_store, params=cell_key(fraction),
+                        prefix_params=p_key, prefix_limit=limit)
+        warm[fraction] = _checksums(cell)
+    warm_sweep_s = time.perf_counter() - start
+    assert warm == cold, "warm-started sweep diverged from cold sweep"
+    assert STATS.warm_starts >= 2, "both cells should have warm-started"
+
+    stats = chain_stats(delta_store)
+    return {
+        "workload": name,
+        "organisation": organisation,
+        "n_accesses": n_accesses,
+        "n_epochs": n_epochs,
+        "full_kib_per_epoch": round(full_bytes / n_epochs / 1024, 2),
+        "delta_kib_per_epoch": round(delta_bytes / n_epochs / 1024, 2),
+        "bytes_ratio": round(bytes_ratio, 2),
+        "full_ckpt_s": round(full_ckpt_s, 4),
+        "delta_ckpt_s": round(delta_ckpt_s, 4),
+        "ckpt_time_ratio": round(full_ckpt_s / max(delta_ckpt_s, 1e-9), 2),
+        "chunk_dedupe_ratio": round(stats["dedupe_ratio"], 2),
+        "gc_freed_bytes": gc_freed,
+        "cold_sweep_s": round(cold_sweep_s, 4),
+        "warm_sweep_s": round(warm_sweep_s, 4),
+        "warm_speedup": round(cold_sweep_s / max(warm_sweep_s, 1e-9), 2),
+        "warm_matches_cold": True,  # asserted above
+        "delta_restore_matches_full": True,  # asserted above
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", default="default",
+                        choices=("tiny", "small", "default", "large"))
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--organisation", default="multi-chip",
+                        choices=("multi-chip", "single-chip"))
+    parser.add_argument("--scale", type=int, default=64)
+    parser.add_argument("--workloads", nargs="+", default=["Apache"],
+                        metavar="NAME")
+    parser.add_argument("--out", default="BENCH_checkpoint_delta.json")
+    args = parser.parse_args(argv)
+
+    unknown = [w for w in args.workloads if w not in WORKLOAD_NAMES]
+    if unknown:
+        print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    results = []
+    for name in args.workloads:
+        with tempfile.TemporaryDirectory(prefix="bench-delta-") as root:
+            row = bench_workload(root, name, args.organisation, args.seed,
+                                 args.size, args.scale)
+        results.append(row)
+        print(f"{name:<8} {row['n_accesses']:>9,} accesses "
+              f"{row['n_epochs']:>4} epochs  "
+              f"bytes/epoch {row['full_kib_per_epoch']:.1f} -> "
+              f"{row['delta_kib_per_epoch']:.1f} KiB "
+              f"({row['bytes_ratio']:.1f}x)  "
+              f"ckpt pass {row['full_ckpt_s']:.2f}s -> "
+              f"{row['delta_ckpt_s']:.2f}s  "
+              f"warm sweep {row['cold_sweep_s']:.2f}s -> "
+              f"{row['warm_sweep_s']:.2f}s "
+              f"({row['warm_speedup']:.2f}x)")
+
+    payload = {
+        "benchmark": "checkpoint_delta",
+        "repro_version": __version__,
+        "checkpoint_format_version": CHECKPOINT_FORMAT_VERSION,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "params": {"size": args.size, "seed": args.seed,
+                   "organisation": args.organisation, "scale": args.scale,
+                   "warmups": list(WARMUPS)},
+        "results": results,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out} ({len(results)} workloads)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

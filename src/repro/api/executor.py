@@ -86,7 +86,7 @@ class ExecutorSetupError(RuntimeError):
 #: Stage kinds a backend executes; the scheduler runs the remaining kinds
 #: (analyze/prefetch/render) inline because they are pure bookkeeping over
 #: payloads it already holds.
-BACKEND_KINDS = ("capture", "summarize", "simulate")
+BACKEND_KINDS = ("capture", "summarize", "prefix", "simulate")
 
 
 def session_config(session: "Session", shard: bool = False) -> Dict[str, Any]:
@@ -100,6 +100,7 @@ def session_config(session: "Session", shard: bool = False) -> Dict[str, Any]:
             "replay": session.replay,
             "checkpoint": session.checkpoint,
             "resume": session.resume,
+            "warm_start": bool(getattr(session, "warm_start", True)),
             "max_workers": session.max_workers,
             "shard": bool(shard),
             "profile": bool(getattr(session, "profile", False))}
@@ -111,7 +112,8 @@ def _config_session(config: Dict[str, Any]) -> "Session":
                    streaming=config.get("streaming", True),
                    replay=config.get("replay", True),
                    checkpoint=config.get("checkpoint", True),
-                   resume=config.get("resume", True))
+                   resume=config.get("resume", True),
+                   warm_start=config.get("warm_start", True))
 
 
 # --------------------------------------------------------------------------- #
@@ -159,6 +161,29 @@ def _stage_summarize(params: Dict[str, Any],
                                      cache_dir=config.get("cache_dir"))
         return "ran", runner.summarize_trace(reader)
     return "ran", summarize_trace(reader)
+
+
+def _stage_prefix(params: Dict[str, Any],
+                  config: Dict[str, Any]) -> Tuple[str, None]:
+    """Publish the shared-prefix checkpoint chain of one cell group.
+
+    Runs on every backend — a dispatch worker resolves the same shared
+    cache root, so sibling simulate stages warm-start no matter where they
+    (or this stage) execute.  Skipped when replay/checkpointing/warm
+    starts are off: member cells then simulate cold, identically.
+    """
+    from ..checkpoint.prefix import publish_prefix
+    from ..experiments.runner import clamp_warmup_fraction
+    if not (config.get("replay", True) and config.get("checkpoint", True)
+            and config.get("warm_start", True)):
+        return "skipped", None
+    status = publish_prefix(
+        params["workload"], params["organisation"], params["size"],
+        params["seed"], params["scale"],
+        clamp_warmup_fraction(params["warmup"]),
+        cache_dir=config.get("cache_dir"),
+        resume=config.get("resume", True))
+    return status, None
 
 
 def _stage_simulate(params: Dict[str, Any],
@@ -213,6 +238,7 @@ def _merge_statuses(statuses: Dict[str, str]) -> str:
 
 _STAGE_FNS = {"capture": _stage_capture,
               "summarize": _stage_summarize,
+              "prefix": _stage_prefix,
               "simulate": _stage_simulate}
 
 

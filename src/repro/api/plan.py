@@ -39,8 +39,8 @@ from .registry import ANALYSES, PREFETCHERS, SYSTEMS
 from .spec import ExperimentSpec
 
 #: Stage kinds in pipeline order.
-STAGE_KINDS = ("capture", "summarize", "simulate", "analyze", "prefetch",
-               "render")
+STAGE_KINDS = ("capture", "summarize", "prefix", "simulate", "analyze",
+               "prefetch", "render")
 
 
 @dataclass(frozen=True)
@@ -135,8 +135,9 @@ class Plan:
     def to_dot(self) -> str:
         """The DAG in Graphviz ``dot`` form (one node per stage)."""
         colors = {"capture": "lightblue", "summarize": "lightcyan",
-                  "simulate": "khaki", "analyze": "palegreen",
-                  "prefetch": "plum", "render": "lightsalmon"}
+                  "prefix": "lightgoldenrod", "simulate": "khaki",
+                  "analyze": "palegreen", "prefetch": "plum",
+                  "render": "lightsalmon"}
         lines = [f'digraph "{self.spec.name}" {{', "  rankdir=LR;",
                  '  node [shape=box, style=filled, fontname="monospace"];']
         for stage in self.order():
@@ -330,8 +331,19 @@ def _combo_suffix(spec: ExperimentSpec, scale: int, warmup: float) -> str:
     return f"@scale{scale}-warmup{warmup:g}"
 
 
-def build_plan(spec: ExperimentSpec) -> Plan:
-    """Resolve ``spec`` into the explicit stage DAG described above."""
+def build_plan(spec: ExperimentSpec, warm_starts: bool = True) -> Plan:
+    """Resolve ``spec`` into the explicit stage DAG described above.
+
+    With ``warm_starts`` (the default), every (workload, organisation,
+    scale) group whose cells span at least two distinct positive warm-up
+    fractions gains one ``prefix`` stage: it simulates the group's shared
+    prefix — the epochs every member passes through with recording off —
+    exactly once and publishes the boundary checkpoint chain under a
+    warmup-free key (:mod:`repro.checkpoint.prefix`).  Member simulate
+    stages depend on it and warm-start from the published chain instead of
+    recomputing the prefix, on every executor backend.
+    """
+    from ..experiments.runner import clamp_warmup_fraction
     spec = spec.resolved()
     spec.ensure_valid()
     plan = Plan(spec)
@@ -354,11 +366,36 @@ def build_plan(spec: ExperimentSpec) -> Plan:
                            deps=(capture_key,)))
             stream_keys[(workload, n_cpus)] = (capture_key, summarize_key)
 
+    # One prefix stage per (workload, organisation, scale) group whose
+    # cells span several positive warm-ups: simulate the shared prefix
+    # once, publish its boundary chain under the warmup-free prefix key,
+    # and let every member cell warm-start from it.
+    prefix_keys: Dict[Tuple[str, str, int], str] = {}
+    if warm_starts:
+        from ..checkpoint.prefix import shared_prefix_groups
+        grid = [(cell.workload, cell.organisation, cell.scale,
+                 clamp_warmup_fraction(cell.warmup))
+                for cell in spec.cells()]
+        for (workload, organisation, scale), warmup in \
+                shared_prefix_groups(grid):
+            capture_key = stream_keys[
+                (workload, SYSTEMS.get(organisation).n_cpus)][0]
+            key = f"prefix:{workload}/{organisation}@scale{scale}"
+            plan.add(Stage(key, "prefix",
+                           {"workload": workload,
+                            "organisation": organisation, "scale": scale,
+                            "warmup": warmup, "size": spec.size,
+                            "seed": spec.seed},
+                           deps=(capture_key,)))
+            prefix_keys[(workload, organisation, scale)] = key
+
     # One simulate per grid cell; one analyze per cell context.
     analyze_keys: Dict[Tuple[int, float], List[str]] = {}
     for cell in spec.cells():
         system = SYSTEMS.get(cell.organisation)
         stream = stream_keys[(cell.workload, system.n_cpus)]
+        prefix_key = prefix_keys.get((cell.workload, cell.organisation,
+                                      cell.scale))
         sim_key = (f"simulate:{cell.workload}/{cell.organisation}"
                    f"@scale{cell.scale}-warmup{cell.warmup:g}")
         plan.add(Stage(sim_key, "simulate",
@@ -366,7 +403,7 @@ def build_plan(spec: ExperimentSpec) -> Plan:
                         "organisation": cell.organisation,
                         "scale": cell.scale, "warmup": cell.warmup,
                         "size": spec.size, "seed": spec.seed},
-                       deps=stream))
+                       deps=stream + ((prefix_key,) if prefix_key else ())))
         for context in system.contexts:
             ana_key = (f"analyze:{cell.workload}/{context}"
                        f"@scale{cell.scale}-warmup{cell.warmup:g}")
@@ -384,7 +421,8 @@ def build_plan(spec: ExperimentSpec) -> Plan:
                     "prefetch",
                     {"prefetcher": prefetcher, "workload": cell.workload,
                      "context": context, "scale": cell.scale,
-                     "warmup": cell.warmup},
+                     "warmup": cell.warmup, "size": spec.size,
+                     "seed": spec.seed},
                     deps=(ana_key,)))
 
     # One render per analysis per (scale, warmup) combination: an analysis
@@ -419,10 +457,20 @@ def _run_inline_stage(stage: Stage, session, payloads: Dict[str, Any],
         context = params["context"]
         return sim["statuses"][context], sim["bundles"][context]
     if stage.kind == "prefetch":
-        from ..prefetch.base import evaluate_coverage
+        from ..experiments.runner import clamp_warmup_fraction
+        from ..prefetch.base import coverage_params, evaluate_coverage
         factory = PREFETCHERS.get(params["prefetcher"])
         bundle = payloads[stage.deps[0]]
-        return "ran", evaluate_coverage(factory(), bundle.miss_trace)
+        store = (getattr(session, "checkpoint_store", None)
+                 if getattr(session, "checkpoint", True) else None)
+        key = coverage_params(
+            params["prefetcher"], params["workload"], params["context"],
+            params.get("size", "small"), params.get("seed", 42),
+            params["scale"],
+            clamp_warmup_fraction(params["warmup"])) if store else None
+        return "ran", evaluate_coverage(
+            factory(), bundle.miss_trace, store=store, params=key,
+            resume=bool(getattr(session, "resume", True)))
     if stage.kind == "render":
         adapter = ANALYSES.get(params["analysis"])
         return "ran", adapter(session=session, spec=result.spec,

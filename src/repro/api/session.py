@@ -63,6 +63,13 @@ class Session:
     streaming / replay / checkpoint / resume:
         Pipeline policy, with the same meaning as the historical per-call
         flags (see :mod:`repro.experiments.runner`).
+    warm_start:
+        Exploit shared-prefix checkpoints (:mod:`repro.checkpoint.prefix`):
+        plans gain ``prefix`` stages that publish each cell group's shared
+        simulation prefix once, and simulate runs restore the furthest
+        prefix checkpoint inside their warm-up instead of recomputing it.
+        Results are bit-identical either way; ``False`` disables both the
+        planning and the restore side.
     executor:
         How plan stages execute: a name registered in
         :data:`repro.api.registry.EXECUTORS` (``serial``/``thread``/
@@ -93,7 +100,8 @@ class Session:
     def __init__(self, cache_dir: Optional[str] = None,
                  max_workers: Optional[int] = None, streaming: bool = True,
                  replay: bool = True, checkpoint: bool = True,
-                 resume: bool = True, executor: Any = "serial",
+                 resume: bool = True, warm_start: bool = True,
+                 executor: Any = "serial",
                  dispatch_workers: Optional[int] = None,
                  telemetry: bool = True, profile: bool = False) -> None:
         if max_workers is not None and max_workers < 1:
@@ -107,6 +115,7 @@ class Session:
         self.replay = replay
         self.checkpoint = checkpoint
         self.resume = resume
+        self.warm_start = warm_start
         self.executor = executor
         self.dispatch_workers = dispatch_workers
         self.telemetry = telemetry
@@ -180,7 +189,7 @@ class Session:
     def with_options(self, cache_dir: Any = _UNSET,
                      max_workers: Any = _UNSET, streaming: Any = _UNSET,
                      replay: Any = _UNSET, checkpoint: Any = _UNSET,
-                     resume: Any = _UNSET,
+                     resume: Any = _UNSET, warm_start: Any = _UNSET,
                      executor: Any = _UNSET,
                      dispatch_workers: Any = _UNSET,
                      telemetry: Any = _UNSET,
@@ -194,6 +203,8 @@ class Session:
             replay=self.replay if replay is _UNSET else replay,
             checkpoint=self.checkpoint if checkpoint is _UNSET else checkpoint,
             resume=self.resume if resume is _UNSET else resume,
+            warm_start=(self.warm_start if warm_start is _UNSET
+                        else warm_start),
             executor=self.executor if executor is _UNSET else executor,
             dispatch_workers=(self.dispatch_workers
                               if dispatch_workers is _UNSET
@@ -263,7 +274,7 @@ class Session:
     def plan(self, spec: "ExperimentSpec") -> "Plan":
         """Resolve a declarative spec into an explicit stage DAG."""
         from .plan import build_plan
-        return build_plan(spec)
+        return build_plan(spec, warm_starts=self.warm_start)
 
     def execute(self, spec_or_plan: Any, executor: Any = None,
                 events: Any = None) -> "PlanResult":
@@ -307,7 +318,7 @@ class Session:
         policy = ", ".join(
             f"{name}={getattr(self, name)}"
             for name in ("streaming", "replay", "checkpoint", "resume",
-                         "telemetry"))
+                         "warm_start", "telemetry"))
         if self.profile:
             policy += ", profile=True"
         workers = ("auto" if self.max_workers is None else self.max_workers)

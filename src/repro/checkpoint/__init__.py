@@ -16,30 +16,48 @@ the shared cache root so that
   epoch order (``ParallelSuiteRunner.simulate_trace``).
 
 * :mod:`~repro.checkpoint.format` — versioned gzip-pickle encoding of one
-  snapshot payload.
+  snapshot payload, plus content-addressed chunk encoding.
 * :mod:`~repro.checkpoint.store` — :class:`CheckpointStore`,
   content-addressed under ``<cache root>/checkpoints``, with process-wide
   save/load/resume counters and a warn-and-drop policy for corrupt files.
-* :mod:`~repro.checkpoint.replay` — :func:`simulate_replay` (resumable
-  checkpointed replay) and :func:`simulate_epoch_range` (one parallel
-  shard).
+* :mod:`~repro.checkpoint.delta` — delta-encoded checkpoint *chains*:
+  per-section chunks, append-encoded miss traces, bounded-restore chain
+  manifests, chunk garbage collection.
+* :mod:`~repro.checkpoint.prefix` — shared-prefix warm starts: one prefix
+  checkpoint chain per (trace, organisation, scale) group, published once
+  and restored by every sibling grid cell.
+* :mod:`~repro.checkpoint.replay` — :func:`simulate_replay` (resumable,
+  warm-startable checkpointed replay) and :func:`simulate_epoch_range`
+  (one parallel shard).
 
 Layering: this package depends on the mem and trace layers only; the
-experiments layer builds on it, never the other way around.
+experiments layer builds on it, never the other way around
+(:func:`~repro.checkpoint.prefix.publish_prefix` touches the registries
+via function-level imports for the same reason).
 """
 
-from .format import (CHECKPOINT_FORMAT_VERSION, CheckpointCorruptError,
+from .delta import (DeltaChainWriter, chain_stats, collect_garbage,
+                    load_chain)
+from .format import (CHAIN_SUFFIX, CHECKPOINT_FORMAT_VERSION,
+                     CheckpointCorruptError, DELTA_FULL_EVERY, chain_name,
                      checkpoint_name, decode_checkpoint, encode_checkpoint,
-                     parse_checkpoint_name)
-from .replay import (DEFAULT_CHECKPOINT_TARGET, accesses_before,
-                     simulate_epoch_range, simulate_replay)
-from .store import (CHECKPOINTS_SUBDIR, CheckpointStore, CheckpointStoreStats,
-                    STATS, checkpoint_params, get_checkpoint_store)
+                     parse_chain_name, parse_checkpoint_name)
+from .prefix import prefix_params, publish_prefix, shared_prefix_groups
+from .replay import (DEFAULT_CHECKPOINT_TARGET, DELTA_CHECKPOINT_TARGET,
+                     accesses_before, simulate_epoch_range, simulate_replay)
+from .store import (CHECKPOINTS_SUBDIR, CHUNKS_SUBDIR, CheckpointStore,
+                    CheckpointStoreStats, STATS, checkpoint_params,
+                    get_checkpoint_store)
 
 __all__ = [
-    "CHECKPOINTS_SUBDIR", "CHECKPOINT_FORMAT_VERSION", "CheckpointCorruptError",
-    "CheckpointStore", "CheckpointStoreStats", "DEFAULT_CHECKPOINT_TARGET",
-    "STATS", "accesses_before", "checkpoint_name", "checkpoint_params",
+    "CHAIN_SUFFIX", "CHECKPOINTS_SUBDIR", "CHECKPOINT_FORMAT_VERSION",
+    "CHUNKS_SUBDIR", "CheckpointCorruptError", "CheckpointStore",
+    "CheckpointStoreStats", "DEFAULT_CHECKPOINT_TARGET",
+    "DELTA_CHECKPOINT_TARGET", "DELTA_FULL_EVERY", "DeltaChainWriter",
+    "STATS", "accesses_before", "chain_name", "chain_stats",
+    "checkpoint_name", "checkpoint_params", "collect_garbage",
     "decode_checkpoint", "encode_checkpoint", "get_checkpoint_store",
-    "parse_checkpoint_name", "simulate_epoch_range", "simulate_replay",
+    "load_chain", "parse_chain_name", "parse_checkpoint_name",
+    "prefix_params", "publish_prefix", "shared_prefix_groups",
+    "simulate_epoch_range", "simulate_replay",
 ]

@@ -26,15 +26,24 @@ worker race benignly).
 from __future__ import annotations
 
 import gzip
+import hashlib
 import pickle
 from typing import Any, Dict, Tuple
 
 #: Bump when the checkpoint payload layout (or any snapshot schema) changes
 #: incompatibly.
-CHECKPOINT_FORMAT_VERSION = 1
+CHECKPOINT_FORMAT_VERSION = 2
 
 #: File-name suffix of one committed checkpoint.
 CHECKPOINT_SUFFIX = ".ckpt.gz"
+
+#: File-name suffix of one delta-chain manifest (JSON, referencing
+#: content-addressed chunks; see :mod:`repro.checkpoint.delta`).
+CHAIN_SUFFIX = ".chain.json"
+
+#: A chain writes a ``full`` manifest every this many ``delta`` links, so
+#: restoring any epoch folds a bounded number of manifests.
+DELTA_FULL_EVERY = 8
 
 
 class CheckpointCorruptError(RuntimeError):
@@ -54,6 +63,59 @@ def parse_checkpoint_name(name: str) -> int:
         return -1
     digits = name[len("epoch-"):-len(CHECKPOINT_SUFFIX)]
     return int(digits) if digits.isdigit() else -1
+
+
+def chain_name(epoch: int) -> str:
+    """File name of the chain manifest at epoch boundary ``epoch``."""
+    if epoch < 0:
+        raise ValueError("checkpoint epoch must be >= 0")
+    return f"epoch-{epoch:06d}{CHAIN_SUFFIX}"
+
+
+def parse_chain_name(name: str) -> int:
+    """Epoch index encoded in a chain-manifest file name, or -1 when foreign."""
+    if not (name.startswith("epoch-") and name.endswith(CHAIN_SUFFIX)):
+        return -1
+    digits = name[len("epoch-"):-len(CHAIN_SUFFIX)]
+    return int(digits) if digits.isdigit() else -1
+
+
+def encode_chunk(payload: Any) -> Tuple[str, bytes]:
+    """Serialise one section payload into ``(digest, blob)``.
+
+    The digest addresses the *uncompressed* pickle, so identical payloads
+    dedupe to one chunk file regardless of when (or by which run) they were
+    written; the blob is the same deterministic gzip framing full
+    checkpoints use (``mtime=0``, level 1).
+    """
+    raw = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(raw).hexdigest()
+    return digest, gzip.compress(raw, compresslevel=1, mtime=0)
+
+
+def decode_chunk(blob: bytes, digest: str) -> Any:
+    """Decode a chunk blob, verifying it hashes to ``digest``.
+
+    Raises :class:`CheckpointCorruptError` on a truncated frame, an
+    unpicklable payload, or a digest mismatch (a torn write under the
+    expected name), so chain loaders have one error to warn-and-drop on.
+    """
+    try:
+        raw = gzip.decompress(blob)
+    except (OSError, EOFError) as exc:
+        raise CheckpointCorruptError(f"unreadable chunk {digest[:12]}: "
+                                     f"{exc}") from exc
+    actual = hashlib.sha256(raw).hexdigest()
+    if actual != digest:
+        raise CheckpointCorruptError(
+            f"chunk content hashes to {actual[:12]}, expected {digest[:12]} "
+            f"(torn or tampered write)")
+    try:
+        return pickle.loads(raw)
+    except (pickle.UnpicklingError, EOFError, AttributeError, ImportError,
+            IndexError, TypeError, ValueError) as exc:
+        raise CheckpointCorruptError(f"unpicklable chunk {digest[:12]}: "
+                                     f"{exc}") from exc
 
 
 def encode_checkpoint(params: Dict[str, Any], epoch: int,

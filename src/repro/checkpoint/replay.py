@@ -28,6 +28,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..mem.records import MissRecord
 from ..trace.replay import TraceReader
+from .delta import DeltaChainWriter
 from .store import CheckpointStore, STATS
 
 #: Adaptive checkpoint stride aims for about this many snapshots per run.
@@ -36,6 +37,12 @@ from .store import CheckpointStore, STATS
 #: more than the simulation itself; a dozen evenly-spaced boundaries keeps
 #: the overhead small while resume/sharding granularity stays useful.
 DEFAULT_CHECKPOINT_TARGET = 12
+
+#: Target snapshot count when boundaries are committed as delta chains.
+#: A delta link costs only the state that changed since the last boundary
+#: (the miss-trace tail plus touched caches), so the affordable density is
+#: several times the full-snapshot target.
+DELTA_CHECKPOINT_TARGET = 48
 
 
 def accesses_before(reader: TraceReader, epoch: int) -> int:
@@ -48,7 +55,10 @@ def simulate_replay(system: Any, reader: TraceReader, warmup: int = 0,
                     params: Optional[Dict[str, Any]] = None,
                     resume: bool = True,
                     checkpoint_every: Optional[int] = None,
-                    stop_epoch: Optional[int] = None) -> Any:
+                    stop_epoch: Optional[int] = None,
+                    delta: bool = True,
+                    prefix_params: Optional[Dict[str, Any]] = None,
+                    prefix_limit: Optional[int] = None) -> Any:
     """Replay ``reader``'s epochs through ``system`` with checkpointing.
 
     Parameters
@@ -69,12 +79,26 @@ def simulate_replay(system: Any, reader: TraceReader, warmup: int = 0,
     checkpoint_every:
         Epoch-boundary stride between snapshots (``0`` disables saving but
         still allows resume; ``None`` — the default — picks a stride
-        targeting :data:`DEFAULT_CHECKPOINT_TARGET` snapshots for the whole
-        trace).  The final boundary of the run is always saved so a
-        completed prefix is never lost to stride rounding.
+        targeting :data:`DELTA_CHECKPOINT_TARGET` snapshots for the whole
+        trace, or :data:`DEFAULT_CHECKPOINT_TARGET` with ``delta=False``).
+        The final boundary of the run is always saved so a completed prefix
+        is never lost to stride rounding.
     stop_epoch:
         Simulate only epochs ``[start, stop_epoch)`` — used by tests to
         model an interrupted run; the default runs to the end of the trace.
+    delta:
+        Commit boundaries as content-addressed delta chains
+        (:class:`~repro.checkpoint.delta.DeltaChainWriter`) instead of
+        whole-snapshot files.  Restore folds chains and legacy files
+        interchangeably, bit-identically.
+    prefix_params / prefix_limit:
+        The shared-prefix checkpoint key of this run's trace/organisation/
+        scale group and the last epoch boundary still inside this run's
+        warm-up (see :mod:`repro.checkpoint.prefix`).  With ``resume``, a
+        prefix checkpoint *further along* than this run's own latest is
+        restored instead — a warm start, counted in
+        ``STATS.warm_starts`` — never beyond ``prefix_limit``, where state
+        would start depending on the warm-up fraction.
 
     Returns whatever the system's ``finish()`` returns (one miss trace for
     the multi-chip model, an (off-chip, intra-chip) pair for single-chip).
@@ -82,11 +106,20 @@ def simulate_replay(system: Any, reader: TraceReader, warmup: int = 0,
     stop = reader.n_epochs if stop_epoch is None else min(stop_epoch,
                                                           reader.n_epochs)
     if checkpoint_every is None:
-        checkpoint_every = max(1, reader.n_epochs // DEFAULT_CHECKPOINT_TARGET)
+        target = DELTA_CHECKPOINT_TARGET if delta else DEFAULT_CHECKPOINT_TARGET
+        checkpoint_every = max(1, reader.n_epochs // target)
     start = 0
     checkpointing = store is not None and params is not None
     if checkpointing and resume:
         found = store.latest(params, max_epoch=stop)
+        start = found[0] if found is not None else 0
+        if prefix_params is not None and prefix_limit is not None:
+            cap = min(stop, prefix_limit)
+            if cap > start:
+                warm = store.latest(prefix_params, max_epoch=cap)
+                if warm is not None and warm[0] > start:
+                    found = warm
+                    STATS.warm_starts += 1
         if found is not None:
             start, state = found
             system.restore(state)
@@ -95,11 +128,16 @@ def simulate_replay(system: Any, reader: TraceReader, warmup: int = 0,
 
     on_chunk = None
     if checkpointing and checkpoint_every:
+        writer = DeltaChainWriter(store, params) if delta else None
+
         def on_chunk(chunk: Any, seen_after: int) -> None:
             boundary = chunk.epoch + 1
             if chunk.epoch >= 0 and (boundary % checkpoint_every == 0
                                      or boundary == stop):
-                store.save(params, boundary, system.snapshot())
+                if writer is not None:
+                    writer.save(boundary, system.snapshot())
+                else:
+                    store.save(params, boundary, system.snapshot())
 
     return system.run_chunks(reader.iter_epochs(start, stop), warmup=warmup,
                              seen=seen, on_chunk=on_chunk)

@@ -135,6 +135,12 @@ def _add_run_params(parser: argparse.ArgumentParser) -> None:
                         help="resume a replayed simulation from its latest "
                              "stored checkpoint instead of simulating from "
                              "access zero (default: --resume)")
+    parser.add_argument("--warm-start", action=argparse.BooleanOptionalAction,
+                        default=True, dest="warm_start",
+                        help="share simulation prefixes across grid cells "
+                             "that differ only in warm-up: plan a prefix "
+                             "stage per group and warm-start member cells "
+                             "from its checkpoint (default: --warm-start)")
 
 
 def _add_spec_exec_params(parser: argparse.ArgumentParser) -> None:
@@ -397,11 +403,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_ckpt = sub.add_parser(
         "checkpoint",
-        help="manage epoch-boundary system checkpoints (list/info)")
+        help="manage epoch-boundary system checkpoints (list/info/gc)")
     ksub = p_ckpt.add_subparsers(dest="checkpoint_command", required=True)
 
     k_list = ksub.add_parser("list", help="list stored checkpoint runs")
     _add_cache_params(k_list)
+
+    k_gc = ksub.add_parser(
+        "gc", help="remove delta-chain chunks no manifest references")
+    _add_cache_params(k_gc)
 
     k_info = ksub.add_parser(
         "info", help="per-epoch checkpoint breakdown of one run")
@@ -530,6 +540,7 @@ def _session_from_args(args: argparse.Namespace):
                    replay=getattr(args, "replay", True),
                    checkpoint=getattr(args, "checkpoint", True),
                    resume=getattr(args, "resume", True),
+                   warm_start=getattr(args, "warm_start", True),
                    executor=executor,
                    profile=getattr(args, "profile", False))
 
@@ -1087,15 +1098,57 @@ def _cmd_checkpoint_list(args: argparse.Namespace) -> int:
         print("disk cache is disabled (REPRO_DISABLE_DISK_CACHE set)",
               file=sys.stderr)
         return 2
+    import json
+
+    from .checkpoint.format import chain_name, checkpoint_name
     print(store.describe())
-    for run_dir in store.runs():
+    for run_dir in sorted(store.runs(), key=lambda p: (p.name, str(p))):
         epochs = store.epochs_in(run_dir)
-        size_kib = sum(p.stat().st_size for p in run_dir.iterdir()
-                       if p.is_file()) / 1024
+        kinds = []
+        chunk_refs = set()
+        for epoch in epochs:
+            if (run_dir / checkpoint_name(epoch)).is_file():
+                kinds.append("full")
+                continue
+            try:
+                manifest = json.loads(
+                    (run_dir / chain_name(epoch)).read_text(encoding="utf-8"))
+                kinds.append(str(manifest.get("kind", "?")))
+                for spec in manifest.get("sections", {}).values():
+                    if isinstance(spec.get("chunk"), str):
+                        chunk_refs.add(spec["chunk"])
+            except (OSError, ValueError, AttributeError):
+                kinds.append("?")
+        size = sum(p.stat().st_size for p in run_dir.iterdir()
+                   if p.is_file())
+        size += sum(store.chunk_path(d).stat().st_size for d in chunk_refs
+                    if store.chunk_path(d).is_file())
         span = (f"epochs {epochs[0]}..{epochs[-1]}" if epochs else "empty")
+        breakdown = ", ".join(
+            f"{kinds.count(kind)} {kind}"
+            for kind in ("full", "delta", "?") if kind in kinds)
+        detail = f"{span}; {breakdown}" if breakdown else span
         print(f"  {run_dir.name}: {len(epochs)} checkpoint"
-              f"{'' if len(epochs) == 1 else 's'} ({span}), "
-              f"{size_kib:.1f} KiB")
+              f"{'' if len(epochs) == 1 else 's'} ({detail}), "
+              f"{size / 1024:.1f} KiB")
+    return 0
+
+
+def _cmd_checkpoint_gc(args: argparse.Namespace) -> int:
+    from .checkpoint import chain_stats, collect_garbage, get_checkpoint_store
+    store = get_checkpoint_store(args.cache_dir)
+    if store is None:
+        print("disk cache is disabled (REPRO_DISABLE_DISK_CACHE set)",
+              file=sys.stderr)
+        return 2
+    removed, freed = collect_garbage(store)
+    stats = chain_stats(store)
+    print(f"removed {removed} unreferenced chunk"
+          f"{'' if removed == 1 else 's'} ({freed / 1024:.1f} KiB freed); "
+          f"{stats['chunk_files']} chunk"
+          f"{'' if stats['chunk_files'] == 1 else 's'} "
+          f"({stats['chunk_bytes'] / 1024:.1f} KiB) still referenced by "
+          f"{stats['full_manifests'] + stats['delta_manifests']} manifests")
     return 0
 
 
@@ -1137,12 +1190,13 @@ def _cmd_checkpoint_info(args: argparse.Namespace) -> int:
     print(f"{args.workload} / {args.organisation} (size={args.size}, "
           f"seed={args.seed}, scale={args.scale}, warmup={warmup}) — "
           f"{len(epochs)} checkpoint{'' if len(epochs) == 1 else 's'}")
-    header = f"{'epoch':>8}{'size (KiB)':>14}"
+    header = f"{'epoch':>8}{'kind':>8}{'size (KiB)':>14}"
     print(header)
     print("-" * len(header))
     for epoch in epochs:
-        size_kib = store.file_for(params, epoch).stat().st_size / 1024
-        print(f"{epoch:>8}{size_kib:>14.1f}")
+        kind = store.entry_kind(params, epoch)
+        size_kib = store.entry_size(params, epoch) / 1024
+        print(f"{epoch:>8}{kind:>8}{size_kib:>14.1f}")
     print(f"resume point: epoch {epochs[-1]} "
           f"(a `run` of this configuration restores it and simulates only "
           f"the remaining epochs)")
@@ -1153,6 +1207,7 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
     handlers = {
         "list": _cmd_checkpoint_list,
         "info": _cmd_checkpoint_info,
+        "gc": _cmd_checkpoint_gc,
     }
     return handlers[args.checkpoint_command](args)
 
@@ -1501,6 +1556,21 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             print(f"  {rid}: {manifest.get('spec', '?')} via "
                   f"{manifest.get('executor', '?')}, "
                   f"{manifest.get('n_stages', '?')} stages, {state}{tail}")
+        from .checkpoint import chain_stats, get_checkpoint_store
+        ckpt = get_checkpoint_store(args.cache_dir)
+        if ckpt is not None:
+            cs = chain_stats(ckpt)
+            if cs["full_manifests"] or cs["delta_manifests"]:
+                print(f"  delta checkpoints: {cs['full_manifests']} full + "
+                      f"{cs['delta_manifests']} delta manifests across "
+                      f"{cs['chains']} chain"
+                      f"{'' if cs['chains'] == 1 else 's'} "
+                      f"(longest {cs['longest_chain']}); "
+                      f"{cs['chunk_files']} chunks, "
+                      f"{cs['chunk_bytes'] / 1024:.1f} KiB, "
+                      f"dedupe x{cs['dedupe_ratio']:.2f}, "
+                      f"{cs['unreferenced_chunks']} unreferenced "
+                      f"(`repro checkpoint gc` reclaims them)")
         return 0
     manifest = store.load_manifest(run_id)
     if manifest is None:

@@ -162,7 +162,8 @@ def _simulate(workload: str, organisation: str, size: str, seed: int,
               scale: int, warmup_fraction: float, streaming: bool = True,
               chunk_size: int = DEFAULT_CHUNK_SIZE, replay: bool = True,
               cache_dir: Optional[str] = None, checkpoint: bool = True,
-              resume: bool = True) -> Dict[str, MissTrace]:
+              resume: bool = True,
+              warm_start: bool = True) -> Dict[str, MissTrace]:
     """Run the workload access stream through one system organisation.
 
     With ``replay`` enabled the stream comes from the columnar trace store
@@ -185,7 +186,8 @@ def _simulate(workload: str, organisation: str, size: str, seed: int,
         traces = _simulate_once(
             workload, organisation, size, seed, scale, warmup_fraction,
             streaming=streaming, chunk_size=chunk_size, replay=replay,
-            cache_dir=cache_dir, checkpoint=checkpoint, resume=resume)
+            cache_dir=cache_dir, checkpoint=checkpoint, resume=resume,
+            warm_start=warm_start)
     except TraceCorruptError as exc:
         warnings.warn(
             f"captured trace for {workload} is corrupt mid-replay ({exc}); "
@@ -201,7 +203,8 @@ def _simulate(workload: str, organisation: str, size: str, seed: int,
         traces = _simulate_once(
             workload, organisation, size, seed, scale, warmup_fraction,
             streaming=streaming, chunk_size=chunk_size, replay=False,
-            cache_dir=cache_dir, checkpoint=checkpoint, resume=resume)
+            cache_dir=cache_dir, checkpoint=checkpoint, resume=resume,
+            warm_start=warm_start)
     _TRACE_CACHE[key] = traces
     return traces
 
@@ -209,7 +212,8 @@ def _simulate(workload: str, organisation: str, size: str, seed: int,
 def _simulate_once(workload: str, organisation: str, size: str, seed: int,
                    scale: int, warmup_fraction: float, streaming: bool,
                    chunk_size: int, replay: bool, cache_dir: Optional[str],
-                   checkpoint: bool, resume: bool) -> Dict[str, MissTrace]:
+                   checkpoint: bool, resume: bool,
+                   warm_start: bool = True) -> Dict[str, MissTrace]:
     """One simulation attempt (see :func:`_simulate` for the retry wrapper)."""
     system = _build_system(organisation, scale)
     config = system.config
@@ -261,9 +265,23 @@ def _simulate_once(workload: str, organisation: str, size: str, seed: int,
         ckpt_key = checkpoint_params(workload, config.n_cpus, seed, size,
                                      organisation, scale, fraction,
                                      epoch_size=reader.meta.epoch_size)
+        # Warm start: a prefix chain published under the warmup-free key
+        # covers every epoch boundary inside this cell's warm-up, so when
+        # it reaches further than our own checkpoints, restore it instead.
+        prefix_key = prefix_limit = None
+        if warm_start and ckpt_store is not None and warmup > 0:
+            from ..checkpoint.prefix import prefix_params
+            from ..trace.epoch import boundary_at_or_before
+            limit = boundary_at_or_before(reader.meta.segments, warmup)
+            if limit >= 1:
+                prefix_key = prefix_params(
+                    workload, config.n_cpus, seed, size, organisation,
+                    scale, epoch_size=reader.meta.epoch_size)
+                prefix_limit = limit
         results = simulate_replay(system, reader, warmup=warmup,
                                   store=ckpt_store, params=ckpt_key,
-                                  resume=resume)
+                                  resume=resume, prefix_params=prefix_key,
+                                  prefix_limit=prefix_limit)
     else:
         results = system.run_stream(accesses, warmup=warmup,
                                     chunk_size=chunk_size)
@@ -333,7 +351,8 @@ def run_context(workload: str, context: str, *, size: str = "small",
     traces = _simulate(workload, organisation, size, seed, scale,
                        warmup_fraction, streaming=session.streaming,
                        replay=session.replay, cache_dir=session.cache_dir,
-                       checkpoint=session.checkpoint, resume=session.resume)
+                       checkpoint=session.checkpoint, resume=session.resume,
+                       warm_start=getattr(session, "warm_start", True))
     result = _analyze(workload, context, traces[context])
     _CACHE[cache_key] = result
     if store is not None:

@@ -32,6 +32,11 @@ adapters ship built-in:
     :class:`~repro.mem.records.Access` defaults; ``kind`` accepts numbers
     or :class:`~repro.mem.records.AccessKind` names.
 
+All importers read ``.gz`` and ``.xz`` sources transparently (suffix
+dispatch — no magic-byte sniffing, so a mis-suffixed file fails loudly
+instead of importing garbage); provenance hashes the compressed file as it
+sits on disk.
+
 Corrupt input is never fatal: each importer skips unparseable records,
 counting them (and warning on the first), so a partially damaged dump still
 imports the records it can prove out — per the store policy that broken data
@@ -41,7 +46,9 @@ degrades to less data, not to a broken pipeline.
 from __future__ import annotations
 
 import csv as _csv
+import gzip
 import json
+import lzma
 import re
 import struct
 import time
@@ -67,6 +74,30 @@ def register_importer(name: str, aliases: Tuple[str, ...] = ()):
 
 class TraceIngestError(ValueError):
     """An import cannot proceed (unknown format, empty file, key clash)."""
+
+
+#: Compression suffixes importers decompress transparently.
+COMPRESSED_SUFFIXES = (".gz", ".xz")
+
+_OPENERS = {".gz": gzip.open, ".xz": lzma.open}
+
+
+def open_text(source: Path, newline: Optional[str] = None):
+    """Open a trace dump for text reading, decompressing by suffix."""
+    opener = _OPENERS.get(Path(source).suffix)
+    if opener is not None:
+        return opener(source, "rt", encoding="utf-8", errors="replace",
+                      newline=newline)
+    return open(source, "r", encoding="utf-8", errors="replace",
+                newline=newline)
+
+
+def open_binary(source: Path):
+    """Open a trace dump for binary reading, decompressing by suffix."""
+    opener = _OPENERS.get(Path(source).suffix)
+    if opener is not None:
+        return opener(source, "rb")
+    return open(source, "rb")
 
 
 @dataclass
@@ -140,7 +171,7 @@ class ValgrindLackeyImporter(TraceImporter):
         n_cpus = int(options.get("n_cpus", 1))
         cpu = 0
         instructions = 0
-        with open(source, "r", encoding="utf-8", errors="replace") as fh:
+        with open_text(source) as fh:
             for line in fh:
                 stripped = line.strip()
                 if not stripped or stripped.startswith("=="):
@@ -200,7 +231,7 @@ class ChampSimImporter(TraceImporter):
         n_cpus = int(options.get("n_cpus", 1))
         record = CHAMPSIM_RECORD
         last_ip: Optional[int] = None
-        with open(source, "rb") as fh:
+        with open_binary(source) as fh:
             while True:
                 raw = fh.read(record.size)
                 if not raw:
@@ -287,8 +318,7 @@ class CsvImporter(RowImporter):
     name = "csv"
 
     def iter_rows(self, source: Path) -> Iterator[Tuple[int, Dict[str, Any]]]:
-        with open(source, "r", encoding="utf-8", errors="replace",
-                  newline="") as fh:
+        with open_text(source, newline="") as fh:
             reader = _csv.DictReader(fh)
             for lineno, row in enumerate(reader, start=2):
                 if row.get("addr") in (None, ""):
@@ -305,7 +335,7 @@ class JsonlImporter(RowImporter):
     name = "jsonl"
 
     def iter_rows(self, source: Path) -> Iterator[Tuple[int, Dict[str, Any]]]:
-        with open(source, "r", encoding="utf-8", errors="replace") as fh:
+        with open_text(source) as fh:
             for lineno, line in enumerate(fh, start=1):
                 if not line.strip():
                     continue
@@ -433,7 +463,10 @@ def import_trace(store: TraceStore, source, fmt: str, *,
     except KeyError as exc:
         raise TraceIngestError(exc.args[0]) from None
     importer: TraceImporter = importer_cls()
-    workload = f"import:{sanitize_import_name(name or source.stem)}"
+    # "trace.csv.gz" should default to the name "trace", not "trace.csv".
+    stem = (Path(source.stem).stem
+            if source.suffix in COMPRESSED_SUFFIXES else source.stem)
+    workload = f"import:{sanitize_import_name(name or stem)}"
     params = trace_params(workload, n_cpus, seed, size)
     if store.contains(params):
         if not force:

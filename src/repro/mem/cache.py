@@ -173,14 +173,23 @@ class Cache:
     def snapshot(self) -> Dict[str, object]:
         """Full cache state as plain (picklable, version-stable) structures.
 
-        Per set, resident blocks are listed in LRU order (first = least
-        recently used) with their coherence state, so :meth:`restore`
-        reconstructs recency exactly; the hit/miss/eviction counters ride
-        along so restored statistics continue seamlessly.
+        Resident blocks are one flat ``frames`` table of
+        ``[set, position, block, state]`` rows sorted by (set, position),
+        where position is the block's LRU rank within its set (0 = least
+        recently used) — so :meth:`restore` reconstructs recency exactly,
+        and the table's sorted-unique-rows shape lets delta checkpoints
+        store just the frames an epoch actually touched
+        (:func:`repro.checkpoint.delta.encode_rows`).  Geometry and the
+        hit/miss/eviction counters ride along so restored statistics
+        continue seamlessly.
         """
         return {
-            "sets": [[[int(block), int(state)] for block, state in
-                      cache_set.items()] for cache_set in self._sets],
+            "frames": [[index, position, int(block), int(state)]
+                       for index, cache_set in enumerate(self._sets)
+                       for position, (block, state)
+                       in enumerate(cache_set.items())],
+            "n_sets": self.n_sets,
+            "assoc": self.assoc,
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
@@ -190,22 +199,36 @@ class Cache:
         """Replace the cache contents with a :meth:`snapshot` state dict.
 
         The snapshot must match this cache's geometry (set count and
-        associativity); a mismatch raises ``ValueError`` before any state is
-        mutated.
+        associativity) and its ``frames`` rows must arrive sorted by
+        (set, position) with contiguous positions — exactly what
+        :meth:`snapshot` and a delta-chain fold produce; any mismatch
+        raises ``ValueError`` before any state is mutated.
         """
-        sets = state["sets"]
-        if len(sets) != self.n_sets:
+        if int(state["n_sets"]) != self.n_sets:
             raise ValueError(
-                f"snapshot has {len(sets)} sets, {self.name} has "
+                f"snapshot has {state['n_sets']} sets, {self.name} has "
                 f"{self.n_sets}")
-        new_sets: List["OrderedDict[int, State]"] = []
-        for index, entries in enumerate(sets):
-            if len(entries) > self.assoc:
+        if int(state["assoc"]) != self.assoc:
+            raise ValueError(
+                f"snapshot is {state['assoc']}-way, {self.name} is "
+                f"{self.assoc}-way")
+        new_sets: List["OrderedDict[int, State]"] = [
+            OrderedDict() for _ in range(self.n_sets)]
+        for index, position, block, value in state["frames"]:
+            if not 0 <= index < self.n_sets:
                 raise ValueError(
-                    f"snapshot set {index} holds {len(entries)} blocks, "
-                    f"{self.name} is {self.assoc}-way")
-            new_sets.append(OrderedDict(
-                (int(block), State(int(value))) for block, value in entries))
+                    f"snapshot frame names set {index}, {self.name} has "
+                    f"{self.n_sets}")
+            cache_set = new_sets[index]
+            if position >= self.assoc:
+                raise ValueError(
+                    f"snapshot set {index} holds more than {self.assoc} "
+                    f"blocks, {self.name} is {self.assoc}-way")
+            if position != len(cache_set) or int(block) in cache_set:
+                raise ValueError(
+                    f"snapshot frames for set {index} are not contiguous "
+                    f"unique (set, position) rows")
+            cache_set[int(block)] = State(int(value))
         self._sets = new_sets
         self.hits = int(state["hits"])
         self.misses = int(state["misses"])

@@ -49,7 +49,7 @@ INDEX_SUBDIR = "index"
 
 #: Bumping this drops and rebuilds the database on next open (the sources
 #: on disk remain the ground truth; the index is always reconstructible).
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Span statuses that represent real work (mirrors ``observed_costs``).
 _WORKED = ("done", "ran")
@@ -97,6 +97,7 @@ CREATE TABLE IF NOT EXISTS spans (
     context      TEXT,
     scale        INTEGER,
     warmup       REAL,
+    warm_start   INTEGER,
     error        TEXT,
     params       TEXT,
     PRIMARY KEY (run_id, seq)
@@ -141,7 +142,8 @@ CREATE INDEX IF NOT EXISTS spans_cell ON spans (workload, organisation);
 CREATE VIEW IF NOT EXISTS cells AS
     SELECT s.run_id AS run_id, s.stage AS stage, s.workload AS workload,
            s.organisation AS organisation, s.scale AS scale,
-           s.warmup AS warmup, s.status AS status, s.wall_s AS wall_s,
+           s.warmup AS warmup, s.warm_start AS warm_start,
+           s.status AS status, s.wall_s AS wall_s,
            s.cpu_s AS cpu_s, r.spec AS spec, r.executor AS executor,
            r.started_at AS started_at
     FROM spans s JOIN runs r ON r.run_id = s.run_id
@@ -157,7 +159,7 @@ TABLE_COLUMNS: Dict[str, Tuple[str, ...]] = {
     "spans": ("run_id", "seq", "stage", "kind", "origin", "status",
               "wall_s", "cpu_s", "rss_peak_kib", "pid", "started_unix",
               "workload", "organisation", "context", "scale", "warmup",
-              "error", "params"),
+              "warm_start", "error", "params"),
     "artifacts": ("path", "kind", "slug", "version", "size_bytes", "mtime"),
     "workers": ("worker", "host", "pid", "status", "item", "started_at",
                 "updated_at", "heartbeat_seconds", "lease_seconds",
@@ -166,8 +168,8 @@ TABLE_COLUMNS: Dict[str, Tuple[str, ...]] = {
     "executions": ("run_dir", "line", "item", "worker", "attempt",
                    "started", "duration_s"),
     "cells": ("run_id", "stage", "workload", "organisation", "scale",
-              "warmup", "status", "wall_s", "cpu_s", "spec", "executor",
-              "started_at"),
+              "warmup", "warm_start", "status", "wall_s", "cpu_s", "spec",
+              "executor", "started_at"),
 }
 
 TABLE_NAMES: Tuple[str, ...] = tuple(TABLE_COLUMNS)
@@ -320,9 +322,18 @@ class RunIndex:
                 params = span.get("params")
                 if not isinstance(params, dict):
                     params = {}
+                deltas = span.get("counter_deltas")
+                if not isinstance(deltas, dict):
+                    deltas = {}
+                # 1 when the stage restored a shared-prefix checkpoint
+                # (checkpoint subsystem counter), 0 when it ran cold, NULL
+                # for span kinds where the question doesn't apply.
+                warm = (None if span.get("kind") not in ("simulate", "prefix")
+                        else int(bool(deltas.get(
+                            "checkpoint_store.warm_starts"))))
                 conn.execute(
                     "INSERT OR REPLACE INTO spans VALUES "
-                    "(?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                    "(?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
                     (run_id, seq, span.get("stage"), span.get("kind"),
                      span.get("origin"), span.get("status"),
                      _as_float(span.get("wall_s")),
@@ -332,7 +343,8 @@ class RunIndex:
                      _as_float(span.get("started_unix")),
                      params.get("workload"), params.get("organisation"),
                      params.get("context"), _as_int(params.get("scale")),
-                     _as_float(params.get("warmup")), span.get("error"),
+                     _as_float(params.get("warmup")), warm,
+                     span.get("error"),
                      json.dumps(params, sort_keys=True) if params else None))
                 counts["spans"] += 1
         # Retire runs whose directories vanished (clear-cache, pruning).

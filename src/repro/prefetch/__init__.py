@@ -9,9 +9,10 @@ Public API
 * :class:`~repro.prefetch.temporal_prefetcher.TemporalPrefetcher`
 """
 
-from .base import CoverageResult, Prefetcher, evaluate_coverage
+from .base import (CoverageResult, Prefetcher, coverage_params,
+                   evaluate_coverage)
 from .stride_prefetcher import StridePrefetcher
 from .temporal_prefetcher import TemporalPrefetcher
 
 __all__ = ["CoverageResult", "Prefetcher", "StridePrefetcher",
-           "TemporalPrefetcher", "evaluate_coverage"]
+           "TemporalPrefetcher", "coverage_params", "evaluate_coverage"]

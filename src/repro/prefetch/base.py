@@ -77,18 +77,77 @@ class CoverageResult:
         return self.covered_misses / self.issued_prefetches
 
 
+#: Default number of coverage checkpoints per trace when a store is given.
+COVERAGE_CHECKPOINT_TARGET = 12
+
+
+def coverage_params(prefetcher: str, workload: str, context: str, size: str,
+                    seed: int, scale: int, warmup: float,
+                    buffer_capacity: int = 4096) -> Dict[str, object]:
+    """The checkpoint-store key of one coverage evaluation.
+
+    Every replay-relevant input is part of the key — a resumed evaluation
+    must only ever fold onto state produced by an identical one.  The
+    ``coverage`` marker keeps these chains from colliding with simulation
+    checkpoints over the same trace.
+    """
+    return {"coverage": True, "prefetcher": prefetcher, "workload": workload,
+            "context": context, "size": size, "seed": seed, "scale": scale,
+            "warmup": warmup, "buffer_capacity": buffer_capacity}
+
+
 def evaluate_coverage(prefetcher: Prefetcher, trace: MissTrace,
-                      buffer_capacity: int = 4096) -> CoverageResult:
+                      buffer_capacity: int = 4096, *,
+                      store=None, params: Optional[Dict[str, object]] = None,
+                      resume: bool = True,
+                      checkpoint_every: Optional[int] = None,
+                      stop_after: Optional[int] = None) -> CoverageResult:
     """Replay ``trace`` against ``prefetcher`` and measure miss coverage.
 
     A miss is *covered* if its block address sits in the prefetch buffer when
     the miss occurs.  The buffer holds the most recent ``buffer_capacity``
     prefetched blocks (FIFO by issue order, refreshed on re-issue).
+
+    With a ``store`` and ``params`` key, evaluator state (predictor snapshot,
+    buffer order, counters) is checkpointed as a delta chain every
+    ``checkpoint_every`` records (default: the trace split into
+    ``COVERAGE_CHECKPOINT_TARGET`` strides), keyed by records consumed; an
+    interrupted evaluation resumes bit-identically from the furthest
+    checkpoint at or before ``stop_after``.  ``stop_after`` caps how many
+    records are consumed, returning the partial result.
     """
     buffer: "OrderedDict[int, bool]" = OrderedDict()
     covered = 0
     issued = 0
-    for record in trace:
+    start = 0
+    n = len(trace)
+    stop = n if stop_after is None else min(n, stop_after)
+    writer = None
+    if store is not None and params is not None:
+        from ..checkpoint.delta import DeltaChainWriter
+        from ..checkpoint.store import STATS
+        if checkpoint_every is None:
+            checkpoint_every = max(1, n // COVERAGE_CHECKPOINT_TARGET)
+        writer = DeltaChainWriter(store, params)
+        if resume:
+            found = store.latest(params, max_epoch=stop)
+            if found is not None:
+                start, state = found
+                prefetcher.restore(state["prefetcher"])
+                buffer = OrderedDict(
+                    (block, True) for block in state["buffer"])
+                covered = state["covered"]
+                issued = state["issued"]
+                STATS.resumes += 1
+
+    def save(position: int) -> None:
+        writer.save(position, {
+            "name": prefetcher.name,
+            "prefetcher": prefetcher.snapshot(),
+            "buffer": list(buffer.keys()),
+            "covered": covered, "issued": issued, "position": position})
+
+    for offset, record in enumerate(trace.records[start:stop], start=start):
         if record.block in buffer:
             covered += 1
             del buffer[record.block]
@@ -101,6 +160,12 @@ def evaluate_coverage(prefetcher: Prefetcher, trace: MissTrace,
             buffer[block] = True
             if len(buffer) > buffer_capacity:
                 buffer.popitem(last=False)
+        position = offset + 1
+        if (writer is not None and position < stop
+                and position % checkpoint_every == 0):
+            save(position)
+    if writer is not None and stop > start:
+        save(stop)
     return CoverageResult(prefetcher=prefetcher.name, context=trace.context,
-                          total_misses=len(trace), covered_misses=covered,
+                          total_misses=stop, covered_misses=covered,
                           issued_prefetches=issued)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -121,3 +121,23 @@ def summarize_trace(reader: TraceReader,
     return merge_summaries(
         (chunk.epoch, summarize_chunk(chunk, block_bits=block_bits))
         for chunk in reader.iter_epochs())
+
+
+def boundary_at_or_before(segments: List[Dict[str, int]],
+                          access_count: int) -> int:
+    """The largest epoch boundary whose prefix fits within ``access_count``.
+
+    ``segments`` is ``TraceMeta.segments``; the return value ``e`` satisfies
+    ``sum(seg["n"] for seg in segments[:e]) <= access_count`` and is maximal
+    (0 when not even the first epoch fits).  The shared-prefix planner uses
+    this to turn a warm-up access count into the last epoch boundary whose
+    snapshot is still warmup-independent.
+    """
+    boundary = 0
+    consumed = 0
+    for index, segment in enumerate(segments):
+        consumed += int(segment["n"])
+        if consumed > access_count:
+            break
+        boundary = index + 1
+    return boundary

@@ -1,0 +1,156 @@
+"""Shared-prefix warm starts: grouping, planning, and cold/warm equality."""
+
+import pytest
+
+from repro.api.plan import STAGE_KINDS, build_plan
+from repro.api.session import Session
+from repro.api.spec import ExperimentSpec
+from repro.checkpoint import (STATS, prefix_params, publish_prefix,
+                              shared_prefix_groups)
+from repro.trace.epoch import boundary_at_or_before
+
+SPEC = ExperimentSpec(name="prefix-grid", workloads=("Apache",),
+                      organisations=("multi-chip",), scales=(64,),
+                      warmups=(0.6, 0.8), size="tiny", seed=7)
+
+
+def fresh_run(tmp_path, sub, warm_start, spec=SPEC, **options):
+    """Execute ``spec`` in an isolated cache with cleared in-process memos."""
+    from repro.experiments import runner
+    runner.clear_cache()
+    session = Session(cache_dir=str(tmp_path / sub), warm_start=warm_start,
+                      **options)
+    plan = session.plan(spec)
+    result = session.execute(plan)
+    assert result.ok, result.errors
+    return session, plan, result
+
+
+def trace_bytes(result):
+    return {key: bundle.miss_trace.state_dict()
+            for key, bundle in result.bundles.items()}
+
+
+# --------------------------------------------------------------------------- #
+# epoch math and grouping
+# --------------------------------------------------------------------------- #
+class TestPrefixMath:
+    SEGMENTS = [{"n": 100}, {"n": 100}, {"n": 50}]
+
+    def test_boundary_at_or_before(self):
+        assert boundary_at_or_before(self.SEGMENTS, 0) == 0
+        assert boundary_at_or_before(self.SEGMENTS, 99) == 0
+        assert boundary_at_or_before(self.SEGMENTS, 100) == 1
+        assert boundary_at_or_before(self.SEGMENTS, 249) == 2
+        assert boundary_at_or_before(self.SEGMENTS, 250) == 3
+        assert boundary_at_or_before(self.SEGMENTS, 10_000) == 3
+        assert boundary_at_or_before([], 100) == 0
+
+    def test_prefix_params_excludes_warmup(self):
+        key = prefix_params("Apache", 16, 7, "tiny", "multi-chip", 64)
+        assert key["prefix"] is True
+        assert "warmup" not in key
+        # Two cells differing only in warmup share the key by construction.
+        assert key == prefix_params("Apache", 16, 7, "tiny", "multi-chip",
+                                    64)
+
+    def test_shared_prefix_groups(self):
+        cells = [("Apache", "multi-chip", 64, 0.25),
+                 ("Apache", "multi-chip", 64, 0.5),
+                 ("Apache", "multi-chip", 8, 0.25),   # lone warmup
+                 ("OLTP", "multi-chip", 64, 0.0),
+                 ("OLTP", "multi-chip", 64, 0.5),     # min is 0 -> no prefix
+                 ("Zeus", "single-chip", 64, 0.5),
+                 ("Zeus", "single-chip", 64, 0.25)]
+        groups = shared_prefix_groups(cells)
+        assert groups == [(("Apache", "multi-chip", 64), 0.25),
+                          (("Zeus", "single-chip", 64), 0.25)]
+
+    def test_shared_prefix_groups_empty(self):
+        assert shared_prefix_groups([]) == []
+        assert shared_prefix_groups([("A", "multi-chip", 64, 0.25)]) == []
+
+
+# --------------------------------------------------------------------------- #
+# planning
+# --------------------------------------------------------------------------- #
+class TestPlanning:
+    def test_prefix_is_a_stage_kind(self):
+        assert "prefix" in STAGE_KINDS
+
+    def test_plan_gains_prefix_stage_for_shared_groups(self):
+        plan = build_plan(SPEC, warm_starts=True)
+        key = "prefix:Apache/multi-chip@scale64"
+        assert key in plan.stages
+        stage = plan.stages[key]
+        assert stage.kind == "prefix"
+        assert stage.params["warmup"] == 0.6  # the group minimum
+        assert stage.deps == ("capture:Apache@16cpu",)
+        for warmup in ("0.6", "0.8"):
+            sim = plan.stages[f"simulate:Apache/multi-chip@scale64"
+                              f"-warmup{warmup}"]
+            assert key in sim.deps
+
+    def test_plan_without_warm_starts_has_no_prefix(self):
+        plan = build_plan(SPEC, warm_starts=False)
+        assert not [k for k in plan.stages if k.startswith("prefix:")]
+
+    def test_single_warmup_spec_has_no_prefix(self):
+        solo = ExperimentSpec(name="solo", workloads=("Apache",),
+                              organisations=("multi-chip",), scales=(64,),
+                              warmups=(0.25,), size="tiny", seed=7)
+        plan = build_plan(solo, warm_starts=True)
+        assert not [k for k in plan.stages if k.startswith("prefix:")]
+
+    def test_session_plan_respects_warm_start_option(self, tmp_path):
+        on = Session(cache_dir=str(tmp_path), warm_start=True).plan(SPEC)
+        off = Session(cache_dir=str(tmp_path), warm_start=False).plan(SPEC)
+        assert [k for k in on.stages if k.startswith("prefix:")]
+        assert not [k for k in off.stages if k.startswith("prefix:")]
+
+
+# --------------------------------------------------------------------------- #
+# execution: cold == warm, counters, policy toggles
+# --------------------------------------------------------------------------- #
+class TestWarmStartExecution:
+    def test_warm_equals_cold_and_counts(self, tmp_path):
+        _, _, cold = fresh_run(tmp_path, "cold", warm_start=False)
+        warm_before = STATS.warm_starts
+        _, plan, warm = fresh_run(tmp_path, "warm", warm_start=True)
+        assert warm.statuses["prefix:Apache/multi-chip@scale64"] == "ran"
+        # Both member cells restored the published prefix checkpoint.
+        assert STATS.warm_starts == warm_before + 2
+        assert trace_bytes(warm) == trace_bytes(cold)
+
+    def test_warm_start_false_never_restores_prefix(self, tmp_path):
+        warm_before = STATS.warm_starts
+        _, plan, result = fresh_run(tmp_path, "off", warm_start=False)
+        assert STATS.warm_starts == warm_before
+        assert not [k for k in result.statuses if k.startswith("prefix:")]
+
+    def test_publish_prefix_is_idempotent(self, tmp_path):
+        cache = str(tmp_path / "pub")
+        session, _, _ = fresh_run(tmp_path, "pub", warm_start=True)
+        assert publish_prefix("Apache", "multi-chip", "tiny", 7, 64, 0.6,
+                              cache_dir=cache) == "cached"
+
+    def test_publish_prefix_without_trace_skips(self, tmp_path):
+        assert publish_prefix("Apache", "multi-chip", "tiny", 99, 64, 0.6,
+                              cache_dir=str(tmp_path / "empty")) == "skipped"
+
+    def test_index_records_warm_start_column(self, tmp_path):
+        from repro.obs.index import RunIndex
+        cache = tmp_path / "warm-idx"
+        _, _, result = fresh_run(tmp_path, "warm-idx", warm_start=True)
+        assert result.run_id is not None
+        index = RunIndex(cache)
+        index.ingest()
+        _, rows = index.query(
+            "spans", select=["stage", "warm_start"],
+            where=[("kind", "=", "simulate")], order_by="stage")
+        assert rows, "no simulate spans indexed"
+        assert all(warm == 1 for _stage, warm in rows), rows
+        # Non-simulate spans leave the column NULL (question doesn't apply).
+        _, other = index.query("spans", select=["warm_start"],
+                               where=[("kind", "=", "capture")])
+        assert all(warm is None for (warm,) in other)

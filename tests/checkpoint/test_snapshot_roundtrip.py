@@ -66,8 +66,8 @@ class TestCacheRoundTrip:
     def test_overfull_set_rejected(self):
         cache = Cache(CacheConfig(size_bytes=1024, assoc=2))
         snap = cache.snapshot()
-        snap["sets"][0] = [[0, 1], [64 * cache.n_sets, 1],
-                           [128 * cache.n_sets, 1]]
+        snap["frames"] = [[0, pos, 64 * cache.n_sets * pos, 1]
+                          for pos in range(cache.assoc + 1)]
         with pytest.raises(ValueError):
             cache.restore(snap)
 

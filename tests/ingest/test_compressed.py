@@ -1,0 +1,86 @@
+"""Transparent .gz/.xz decompression in the trace importers."""
+
+import gzip
+import lzma
+
+import pytest
+
+from repro.ingest import (ChampSimImporter, CsvImporter, JsonlImporter,
+                          ValgrindLackeyImporter, import_trace)
+from repro.ingest.importers import COMPRESSED_SUFFIXES, open_binary, open_text
+from repro.trace import trace_params
+
+from .conftest import (CHAMPSIM_FIXTURE, CSV_FIXTURE, FIXTURES,
+                       JSONL_FIXTURE, LACKEY_FIXTURE, access_key)
+
+CSV_GZ_FIXTURE = FIXTURES / "fixture.csv.gz"
+JSONL_XZ_FIXTURE = FIXTURES / "fixture.jsonl.xz"
+
+
+def test_compressed_fixtures_mirror_plain_ones():
+    assert gzip.decompress(CSV_GZ_FIXTURE.read_bytes()) == \
+        CSV_FIXTURE.read_bytes()
+    assert lzma.decompress(JSONL_XZ_FIXTURE.read_bytes()) == \
+        JSONL_FIXTURE.read_bytes()
+
+
+def test_open_helpers_dispatch_on_suffix(tmp_path):
+    assert COMPRESSED_SUFFIXES == (".gz", ".xz")
+    for suffix, compress in ((".gz", gzip.compress), (".xz", lzma.compress)):
+        text = tmp_path / f"t{suffix}"
+        text.write_bytes(compress(b"hello\n"))
+        with open_text(text) as fh:
+            assert fh.read() == "hello\n"
+        with open_binary(text) as fh:
+            assert fh.read() == b"hello\n"
+    plain = tmp_path / "plain.txt"
+    plain.write_text("hi\n")
+    with open_text(plain) as fh:
+        assert fh.read() == "hi\n"
+
+
+@pytest.mark.parametrize("fixture,importer_cls,compressed", [
+    (CSV_FIXTURE, CsvImporter, CSV_GZ_FIXTURE),
+    (JSONL_FIXTURE, JsonlImporter, JSONL_XZ_FIXTURE),
+])
+def test_row_importers_read_compressed_identically(fixture, importer_cls,
+                                                   compressed):
+    plain = list(importer_cls().iter_accesses(fixture, {"n_cpus": 4}))
+    packed = list(importer_cls().iter_accesses(compressed, {"n_cpus": 4}))
+    assert [access_key(a) for a in packed] == [access_key(a) for a in plain]
+
+
+def test_lackey_reads_gz(tmp_path):
+    packed = tmp_path / "dump.lackey.gz"
+    packed.write_bytes(gzip.compress(LACKEY_FIXTURE.read_bytes()))
+    plain = list(ValgrindLackeyImporter().iter_accesses(LACKEY_FIXTURE,
+                                                        {"n_cpus": 4}))
+    via_gz = list(ValgrindLackeyImporter().iter_accesses(packed,
+                                                         {"n_cpus": 4}))
+    assert [access_key(a) for a in via_gz] == [access_key(a) for a in plain]
+
+
+def test_champsim_reads_xz(tmp_path):
+    packed = tmp_path / "dump.bin.xz"
+    packed.write_bytes(lzma.compress(CHAMPSIM_FIXTURE.read_bytes()))
+    plain = list(ChampSimImporter().iter_accesses(CHAMPSIM_FIXTURE,
+                                                  {"n_cpus": 4}))
+    via_xz = list(ChampSimImporter().iter_accesses(packed, {"n_cpus": 4}))
+    assert [access_key(a) for a in via_xz] == [access_key(a) for a in plain]
+
+
+def test_import_trace_compressed_end_to_end(store):
+    result = import_trace(store, CSV_GZ_FIXTURE, "csv", n_cpus=4)
+    # The default name strips the compression suffix too: fixture.csv.gz
+    # imports as "fixture", exactly like the uncompressed file would.
+    assert result.workload == "import:fixture"
+    assert result.n_accesses > 0
+    reference = import_trace(store, CSV_FIXTURE, "csv", n_cpus=4,
+                             name="reference")
+    assert result.n_accesses == reference.n_accesses
+    mine = store.open(trace_params("import:fixture", 4, 42, "small"))
+    theirs = store.open(trace_params("import:reference", 4, 42, "small"))
+    assert ([access_key(a) for a in mine.iter_accesses()]
+            == [access_key(a) for a in theirs.iter_accesses()])
+    # Provenance hashed the compressed bytes as they sit on disk.
+    assert result.provenance["sha256"] != reference.provenance["sha256"]

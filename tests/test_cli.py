@@ -88,13 +88,13 @@ def test_clear_cache_removes_entries(tmp_path):
     run_cli(["run", "Zeus", "multi-chip", "--size", "tiny"], tmp_path)
     assert list(Path(tmp_path).glob("v*/context/*.pkl"))
     assert list(Path(tmp_path).glob("traces/v*/*/meta.json"))
-    assert list(Path(tmp_path).glob("checkpoints/v*/*/epoch-*.ckpt.gz"))
+    assert list(Path(tmp_path).glob("checkpoints/v*/*/epoch-*.chain.json"))
     proc = run_cli(["clear-cache"], tmp_path)
     assert "removed" in proc.stdout
     assert not list(Path(tmp_path).glob("v*/context/*.pkl"))
     # clear-cache covers captured traces and checkpoints too.
     assert not list(Path(tmp_path).glob("traces/v*/*/meta.json"))
-    assert not list(Path(tmp_path).glob("checkpoints/v*/*/epoch-*.ckpt.gz"))
+    assert not list(Path(tmp_path).glob("checkpoints/v*/*/epoch-*.chain.json"))
 
 
 def test_trace_capture_list_info(tmp_path):
@@ -175,7 +175,7 @@ def test_no_disk_cache_flag(tmp_path):
 
 def test_run_writes_checkpoints_and_checkpoint_list_info(tmp_path):
     run_cli(["run", "Apache", "multi-chip", "--size", "tiny"], tmp_path)
-    files = list(Path(tmp_path).glob("checkpoints/v*/*/epoch-*.ckpt.gz"))
+    files = list(Path(tmp_path).glob("checkpoints/v*/*/epoch-*.chain.json"))
     assert files  # epoch-boundary snapshots written during the run
 
     listing = run_cli(["checkpoint", "list"], tmp_path)
@@ -192,7 +192,7 @@ def test_run_writes_checkpoints_and_checkpoint_list_info(tmp_path):
 def test_run_no_checkpoint_flag(tmp_path):
     run_cli(["run", "Apache", "multi-chip", "--size", "tiny",
              "--no-checkpoint"], tmp_path)
-    assert not list(Path(tmp_path).glob("checkpoints/v*/*/epoch-*.ckpt.gz"))
+    assert not list(Path(tmp_path).glob("checkpoints/v*/*/epoch-*.chain.json"))
 
 
 def test_checkpoint_info_missing_run_fails(tmp_path):
